@@ -1,0 +1,59 @@
+// Ablation: asynchronous vs bulk-synchronous (BSP) execution.
+//
+// §IV motivates HavoqGT over BSP frameworks: "asynchronous processing offers
+// notable advantage over bulk synchronous processing for distributed
+// shortest path computation: the former enabling faster convergence". This
+// ablation runs the identical solver in both engine modes — in BSP all
+// visitor deliveries wait for the round boundary — and compares rounds,
+// messages and simulated time. The output trees are identical by
+// construction (deterministic lexicographic relaxation).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dsteiner;
+  bench::print_header("Ablation: asynchronous vs bulk-synchronous engine",
+                      "paper §IV design motivation", "");
+
+  util::table table({"graph", "|S|", "mode", "rounds", "messages",
+                     "Voronoi sim", "total sim", "D(GS)"});
+  for (const char* key : {"LVJ", "FRS"}) {
+    const auto ds = io::load_dataset(key);
+    for (const std::size_t s : {100u, 1000u}) {
+      const auto seeds = bench::default_seeds(ds.graph, s);
+      graph::weight_t async_distance = 0, bsp_distance = 0;
+      for (const auto mode :
+           {runtime::execution_mode::async, runtime::execution_mode::bsp}) {
+        core::solver_config config;
+        config.mode = mode;
+        const auto result = core::solve_steiner_tree(ds.graph, seeds, config);
+        const auto* voronoi =
+            result.phases.find(runtime::phase_names::voronoi);
+        const auto total = result.phases.total();
+        table.add_row(
+            {std::string(key) + "-mini", std::to_string(s),
+             mode == runtime::execution_mode::async ? "async" : "BSP",
+             util::with_commas(voronoi->rounds),
+             util::with_commas(total.messages_total()),
+             util::format_duration(voronoi->sim_seconds(config.costs)),
+             util::format_duration(total.sim_seconds(config.costs)),
+             util::with_commas(result.total_distance)});
+        (mode == runtime::execution_mode::async ? async_distance
+                                                : bsp_distance) =
+            result.total_distance;
+      }
+      if (async_distance != bsp_distance) {
+        std::printf("ERROR: async and BSP trees differ!\n");
+        return 1;
+      }
+    }
+    table.add_rule();
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Expected: BSP needs more rounds (updates propagate one superstep per\n"
+      "hop) and generates more messages (staler scatters), confirming the\n"
+      "paper's choice of asynchronous processing. Results are identical.\n");
+  return 0;
+}

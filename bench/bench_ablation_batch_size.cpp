@@ -1,0 +1,47 @@
+// Ablation: scheduler batch size vs priority-queue effectiveness.
+//
+// The engine drains up to `batch_size` visitors per rank per round. A small
+// batch means finer interleaving — the priority queue gets more chances to
+// reorder pending work (closer to Dijkstra), while a huge batch degrades
+// both policies toward plain label-correcting sweeps. The paper's "best
+// effort" caveat (§IV: effectiveness "depends on timeliness of asynchronous
+// message propagation") corresponds exactly to this knob.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dsteiner;
+  bench::print_header("Ablation: scheduler batch size (LVJ, |S|=100)",
+                      "paper §IV 'best-effort prioritization' caveat", "");
+
+  const auto ds = io::load_dataset("LVJ");
+  const auto seeds = bench::default_seeds(ds.graph, 100);
+
+  util::table table({"batch", "FIFO Voronoi msgs", "Priority Voronoi msgs",
+                     "improvement"});
+  for (const std::size_t batch : {4u, 16u, 64u, 256u, 4096u}) {
+    std::uint64_t messages[2] = {0, 0};
+    for (const auto policy :
+         {runtime::queue_policy::fifo, runtime::queue_policy::priority}) {
+      core::solver_config config;
+      config.policy = policy;
+      config.batch_size = batch;
+      const auto result = core::solve_steiner_tree(ds.graph, seeds, config);
+      messages[policy == runtime::queue_policy::priority ? 1 : 0] =
+          result.phases.find(runtime::phase_names::voronoi)->messages_total();
+    }
+    table.add_row({std::to_string(batch), util::with_commas(messages[0]),
+                   util::with_commas(messages[1]),
+                   util::format_fixed(static_cast<double>(messages[0]) /
+                                          static_cast<double>(messages[1]),
+                                      2) +
+                       "x"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Expected: the priority queue's message advantage shrinks as the\n"
+      "batch grows (less reordering opportunity) — the simulated analogue\n"
+      "of the paper's nondeterministic message-timeliness caveat.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation: algorithmic formulations of the 2-approximation.
+//
+// §III argues the Voronoi-cell formulation (Mehlhorn) parallelizes better
+// than the generalized-MST family (WWW/Widmayer) and avoids KMB's APSP.
+// This ablation runs all sequential formulations plus our distributed
+// solver on the same instances and reports runtime and quality — the
+// work-efficiency vs parallelizability landscape behind the paper's choice.
+#include <cstdio>
+
+#include "baselines/kmb.hpp"
+#include "baselines/mehlhorn.hpp"
+#include "baselines/takahashi.hpp"
+#include "baselines/www.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dsteiner;
+  bench::print_header("Ablation: 2-approximation formulations",
+                      "paper §III design rationale", "");
+
+  util::table table({"graph", "|S|", "algorithm", "wall", "D(GS)", "|ES|"});
+  for (const char* key : {"LVJ", "PTN"}) {
+    const auto ds = io::load_dataset(key);
+    for (const std::size_t s : {100u, 1000u}) {
+      const auto seeds = bench::default_seeds(ds.graph, s);
+
+      const auto add = [&](const char* name, double seconds,
+                           graph::weight_t distance, std::size_t edges) {
+        table.add_row({std::string(key) + "-mini", std::to_string(s), name,
+                       util::format_duration(seconds),
+                       util::with_commas(distance),
+                       util::with_commas(edges)});
+      };
+
+      if (s <= 100) {  // KMB's APSP is the quadratic phase being ablated
+        const auto kmb = baselines::kmb_steiner_tree(ds.graph, seeds);
+        add("KMB (APSP)", kmb.seconds, kmb.total_distance,
+            kmb.tree_edges.size());
+      }
+      const auto mehlhorn = baselines::mehlhorn_steiner_tree(ds.graph, seeds);
+      add("Mehlhorn (Voronoi)", mehlhorn.seconds, mehlhorn.total_distance,
+          mehlhorn.tree_edges.size());
+      const auto www = baselines::www_steiner_tree(ds.graph, seeds);
+      add("WWW (gen. MST)", www.seconds, www.total_distance,
+          www.tree_edges.size());
+      const auto tm = baselines::takahashi_steiner_tree(ds.graph, seeds);
+      add("Takahashi (SP heur.)", tm.seconds, tm.total_distance,
+          tm.tree_edges.size());
+
+      core::solver_config config;
+      util::timer wall;
+      const auto ours = core::solve_steiner_tree(ds.graph, seeds, config);
+      add("ours (dist. Voronoi)", wall.seconds(), ours.total_distance,
+          ours.tree_edges.size());
+      table.add_rule();
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Expected: all formulations produce comparable D(GS) (same bound);\n"
+      "KMB's APSP phase dominates as |S| grows — exactly what the Voronoi\n"
+      "formulation removes. WWW is the most work-efficient sequentially but\n"
+      "its component merging is the serialization the paper avoids.\n");
+  return 0;
+}

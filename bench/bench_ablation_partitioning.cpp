@@ -1,0 +1,53 @@
+// Ablation: partitioning and vertex delegates.
+//
+// §IV credits HavoqGT's load balancing "for scale-free graphs through
+// vertex-cut partitioning by distributing edges of high-degree vertices
+// across multiple partitions — crucial to scale to large graphs with skewed
+// degree distribution". This ablation compares block vs hash partitioning,
+// each with and without delegates, on the most skewed mirror (WDC) and a
+// milder one (PTN). Simulated time reflects critical-path (max-per-rank)
+// work, so hub concentration shows up directly.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dsteiner;
+  bench::print_header("Ablation: partitioning schemes and vertex delegates",
+                      "paper §IV (HavoqGT design motivation)", "");
+
+  util::table table({"graph", "scheme", "delegates", "delegate count",
+                     "Voronoi sim", "total sim", "remote msgs"});
+  for (const char* key : {"WDC", "PTN"}) {
+    const auto ds = io::load_dataset(key);
+    const auto seeds = bench::default_seeds(ds.graph, 1000);
+    for (const auto scheme :
+         {runtime::partition_scheme::block, runtime::partition_scheme::hash}) {
+      for (const bool delegates : {false, true}) {
+        core::solver_config config;
+        config.scheme = scheme;
+        config.use_delegates = delegates;
+        config.delegate_threshold = 512;
+        const auto result = core::solve_steiner_tree(ds.graph, seeds, config);
+        const auto* voronoi =
+            result.phases.find(runtime::phase_names::voronoi);
+        const auto total = result.phases.total();
+        table.add_row(
+            {std::string(key) + "-mini",
+             scheme == runtime::partition_scheme::block ? "block" : "hash",
+             delegates ? "on" : "off",
+             util::with_commas(result.delegate_count),
+             util::format_duration(voronoi->sim_seconds(config.costs)),
+             util::format_duration(total.sim_seconds(config.costs)),
+             util::format_count(static_cast<double>(total.messages_remote))});
+      }
+    }
+    table.add_rule();
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Expected: on the skewed WDC mirror, delegates cut the critical-path\n"
+      "Voronoi time by spreading hub scatter across ranks (at the cost of\n"
+      "extra relay messages); on the milder PTN the effect is small.\n");
+  return 0;
+}

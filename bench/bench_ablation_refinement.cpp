@@ -1,0 +1,63 @@
+// Ablation: key-path refinement on top of the 2-approximation.
+//
+// §VI: algorithms with ratio < 2 "iteratively refine a base-solution which
+// is typically computed using a 2-approximation algorithm" [38]-[41]. This
+// bench quantifies what that refinement buys on our instances: the solver's
+// tree is post-processed with key-path exchanges and both trees are
+// certified against the dual-ascent lower bound.
+#include <cstdio>
+
+#include "baselines/dual_ascent.hpp"
+#include "baselines/key_path_improvement.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dsteiner;
+  bench::print_header("Ablation: key-path refinement of the base solution",
+                      "paper §VI refinement-algorithm discussion", "");
+
+  util::table table({"graph", "|S|", "D(GS) base", "D(GS) refined",
+                     "exchanges", "refine wall", "gain %", "cert. ratio base",
+                     "cert. ratio refined"});
+  for (const char* key : {"LVJ", "PTN", "MCO", "CTS"}) {
+    const auto ds = io::load_dataset(key);
+    for (const std::size_t s : {100u, 1000u}) {
+      std::vector<graph::vertex_id> seeds;
+      try {
+        seeds = bench::default_seeds(ds.graph, s);
+      } catch (const std::invalid_argument&) {
+        continue;
+      }
+      const auto base = core::solve_steiner_tree(ds.graph, seeds, {});
+      const auto refined =
+          baselines::improve_steiner_tree(ds.graph, seeds, base.tree_edges);
+      const auto lb = baselines::dual_ascent_lower_bound(ds.graph, seeds);
+      const double gain =
+          100.0 * (1.0 - static_cast<double>(refined.total_distance) /
+                             static_cast<double>(base.total_distance));
+      table.add_row(
+          {std::string(key) + "-mini", std::to_string(s),
+           util::with_commas(base.total_distance),
+           util::with_commas(refined.total_distance),
+           util::with_commas(refined.exchanges),
+           util::format_duration(refined.seconds),
+           util::format_fixed(gain, 2),
+           "<= " + util::format_fixed(
+                       static_cast<double>(base.total_distance) /
+                           static_cast<double>(lb.lower_bound),
+                       4),
+           "<= " + util::format_fixed(
+                       static_cast<double>(refined.total_distance) /
+                           static_cast<double>(lb.lower_bound),
+                       4)});
+    }
+    table.add_rule();
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Expected: refinement recovers ~0.1-1.5%% of total distance — the\n"
+      "base 2-approximation is already near-optimal on these instances\n"
+      "(consistent with the paper's measured 1.05 mean ratio), which is why\n"
+      "the paper ships the unrefined algorithm.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Shared helpers for the benchmark harnesses. Every bench binary regenerates
+// one of the paper's tables/figures: it loads the synthetic mirror datasets,
+// selects seeds with the paper's BFS-level methodology, runs the solver, and
+// prints the same rows/series the paper reports.
+//
+// Reported times: "sim" columns are simulated parallel seconds from the cost
+// model in runtime/perf_model.hpp (critical-path work across the simulated
+// ranks); "wall" columns are single-core wall clock of the whole simulation.
+// See EXPERIMENTS.md for the calibration discussion.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/steiner_solver.hpp"
+#include "io/dataset.hpp"
+#include "runtime/perf_model.hpp"
+#include "seed/seed_select.hpp"
+#include "util/format.hpp"
+#include "util/timer.hpp"
+
+namespace dsteiner::bench {
+
+/// The paper's canonical phase order (chart legends of Figs. 3-6).
+inline const std::vector<std::string>& phase_order() {
+  static const std::vector<std::string> order = {
+      runtime::phase_names::voronoi,        runtime::phase_names::local_min_edge,
+      runtime::phase_names::global_min_edge, runtime::phase_names::mst,
+      runtime::phase_names::pruning,         runtime::phase_names::tree_edge,
+  };
+  return order;
+}
+
+/// Short column labels for the same phases.
+inline const std::vector<std::string>& phase_labels() {
+  static const std::vector<std::string> labels = {
+      "Voronoi", "LocalMinE", "GlobalMinE", "MST", "Pruning", "TreeEdge"};
+  return labels;
+}
+
+inline void print_header(const char* experiment, const char* paper_ref,
+                         const char* note) {
+  std::printf("==============================================================\n");
+  std::printf("%s  (reproduces %s)\n", experiment, paper_ref);
+  if (note != nullptr && note[0] != '\0') std::printf("%s\n", note);
+  std::printf("==============================================================\n\n");
+}
+
+/// Per-phase simulated seconds of a result, in phase_order().
+inline std::vector<double> phase_sim_seconds(const core::steiner_result& result,
+                                             const runtime::cost_model& costs) {
+  std::vector<double> seconds;
+  for (const auto& name : phase_order()) {
+    const auto* metrics = result.phases.find(name);
+    seconds.push_back(metrics != nullptr ? metrics->sim_seconds(costs) : 0.0);
+  }
+  return seconds;
+}
+
+/// Per-phase message counts, in phase_order().
+inline std::vector<std::uint64_t> phase_messages(
+    const core::steiner_result& result) {
+  std::vector<std::uint64_t> messages;
+  for (const auto& name : phase_order()) {
+    const auto* metrics = result.phases.find(name);
+    messages.push_back(metrics != nullptr ? metrics->messages_total() : 0);
+  }
+  return messages;
+}
+
+/// BFS-level seeds (the paper's default methodology), deterministic per
+/// dataset+count.
+inline std::vector<graph::vertex_id> default_seeds(const graph::csr_graph& g,
+                                                   std::size_t count,
+                                                   std::uint64_t salt = 0) {
+  return seed::select_seeds(g, count, seed::seed_strategy::bfs_level,
+                            0xbeef + salt);
+}
+
+}  // namespace dsteiner::bench

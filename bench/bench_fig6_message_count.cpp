@@ -1,0 +1,56 @@
+// Fig. 6: message counts of the FIFO vs priority queue runs of Fig. 5,
+// grouped by computation phase (visitor phases only — the paper's figure
+// excludes the MPI-collective phases).
+//
+// Runtime improvement in Fig. 5 is "a direct result of reduction in number
+// of messages": paper improvements 22.1x (LVJ), 4.9x (FRS), 6.1x (UKW) in
+// the Voronoi-cell phase.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dsteiner;
+  bench::print_header("Fig. 6: FIFO vs priority queue, message counts",
+                      "paper Fig. 6",
+                      "Paper Voronoi message improvements: LVJ 22.1x, FRS "
+                      "4.9x, UKW 6.1x.");
+
+  for (const char* key : {"LVJ", "FRS", "UKW"}) {
+    const auto ds = io::load_dataset(key);
+    const auto seeds = bench::default_seeds(ds.graph, 100);
+    std::printf("--- %s-mini  |S|=100 ---\n", key);
+    util::table table(
+        {"queue", "Voronoi msgs", "LocalMinE msgs", "TreeEdge msgs", "total"});
+    std::uint64_t fifo_voronoi = 0, priority_voronoi = 0;
+    for (const auto policy :
+         {runtime::queue_policy::fifo, runtime::queue_policy::priority}) {
+      core::solver_config config;
+      config.policy = policy;
+      config.batch_size = 16;
+      const auto result = core::solve_steiner_tree(ds.graph, seeds, config);
+      const auto messages = bench::phase_messages(result);
+      // phase_messages order: Voronoi, LocalMinE, GlobalMinE, MST, Pruning,
+      // TreeEdge; the collective phases carry no visitor messages.
+      const std::uint64_t voronoi = messages[0];
+      const std::uint64_t local_min = messages[1];
+      const std::uint64_t tree_edge = messages[5];
+      table.add_row(
+          {policy == runtime::queue_policy::fifo ? "FIFO" : "Priority",
+           util::with_commas(voronoi), util::with_commas(local_min),
+           util::with_commas(tree_edge),
+           util::with_commas(voronoi + local_min + tree_edge)});
+      (policy == runtime::queue_policy::fifo ? fifo_voronoi
+                                             : priority_voronoi) = voronoi;
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("Voronoi-phase message improvement: %.1fx\n\n",
+                static_cast<double>(fifo_voronoi) /
+                    static_cast<double>(priority_voronoi));
+  }
+  std::printf(
+      "Shape check: local min-distance edge messages are policy-independent\n"
+      "(bounded by |E|); tree-edge messages are negligible (|ES| << |E|);\n"
+      "the entire improvement is in the Voronoi phase — as in Fig. 6.\n");
+  return 0;
+}

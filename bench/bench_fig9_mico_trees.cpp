@@ -1,0 +1,51 @@
+// Fig. 9: Steiner trees in the MiCo graph for seed sets of sizes 10, 100 and
+// 1000 — seed vertices red, Steiner vertices blue.
+//
+// The figure is qualitative; this bench computes the three trees on the
+// MCO mirror, prints their summary statistics, and writes Graphviz DOT files
+// (fig9_mico_s{10,100,1000}.dot) that render the same visual.
+#include <cstdio>
+#include <unordered_set>
+
+#include "bench_common.hpp"
+#include "graph/dot_export.hpp"
+
+int main() {
+  using namespace dsteiner;
+  bench::print_header("Fig. 9: Steiner trees in the MiCo graph",
+                      "paper Fig. 9",
+                      "DOT output: fig9_mico_s<|S|>.dot (render with "
+                      "`neato -Tsvg`).");
+
+  const auto ds = io::load_dataset("MCO");
+  util::table table({"|S|", "tree vertices", "Steiner vertices", "|ES|",
+                     "D(GS)", "dot file"});
+  for (const std::size_t s : {10u, 100u, 1000u}) {
+    const auto seeds = bench::default_seeds(ds.graph, s);
+    core::solver_config config;
+    config.validate = true;
+    const auto result = core::solve_steiner_tree(ds.graph, seeds, config);
+
+    std::unordered_set<graph::vertex_id> vertices;
+    for (const auto& e : result.tree_edges) {
+      vertices.insert(e.source);
+      vertices.insert(e.target);
+    }
+    const std::string path = "fig9_mico_s" + std::to_string(s) + ".dot";
+    graph::dot_options options;
+    options.graph_name = "mico_steiner_s" + std::to_string(s);
+    options.show_weights = false;
+    graph::write_dot_file(path, result.tree_edges, seeds, options);
+
+    table.add_row({std::to_string(s), util::with_commas(vertices.size()),
+                   util::with_commas(vertices.size() - seeds.size()),
+                   util::with_commas(result.tree_edges.size()),
+                   util::with_commas(result.total_distance), path});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Shape check: like the paper's drawings, the number of blue Steiner\n"
+      "vertices grows much slower than |S| — at |S|=1000 most tree vertices\n"
+      "are seeds themselves.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// google-benchmark microbenchmarks for the substrate kernels the solver is
+// built from: mailbox operations, SSSP kernels, MST, RMAT generation and the
+// visitor engine. These guard the constants behind the paper-scale benches.
+#include <benchmark/benchmark.h>
+
+#include "core/steiner_solver.hpp"
+#include "graph/bellman_ford.hpp"
+#include "graph/connected_components.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/generators.hpp"
+#include "graph/mst.hpp"
+#include "runtime/mailbox.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace dsteiner;
+
+struct bench_visitor {
+  graph::vertex_id v;
+  std::uint64_t prio;
+  [[nodiscard]] graph::vertex_id target() const { return v; }
+  [[nodiscard]] std::uint64_t priority() const { return prio; }
+};
+
+void BM_MailboxFifo(benchmark::State& state) {
+  util::rng gen(1);
+  for (auto _ : state) {
+    runtime::mailbox<bench_visitor> box(runtime::queue_policy::fifo);
+    for (int i = 0; i < state.range(0); ++i) box.push({0, gen()});
+    while (!box.empty()) benchmark::DoNotOptimize(box.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MailboxFifo)->Arg(1024)->Arg(16384);
+
+void BM_MailboxPriority(benchmark::State& state) {
+  util::rng gen(1);
+  for (auto _ : state) {
+    runtime::mailbox<bench_visitor> box(runtime::queue_policy::priority);
+    for (int i = 0; i < state.range(0); ++i) box.push({0, gen()});
+    while (!box.empty()) benchmark::DoNotOptimize(box.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MailboxPriority)->Arg(1024)->Arg(16384);
+
+const graph::csr_graph& bench_graph() {
+  static const graph::csr_graph g = [] {
+    graph::rmat_params params;
+    params.scale = 14;
+    params.edge_factor = 8;
+    params.seed = 3;
+    graph::edge_list list = graph::generate_rmat(params);
+    graph::assign_uniform_weights(list, 1, 1000, 5);
+    return graph::csr_graph(list);
+  }();
+  return g;
+}
+
+void BM_Dijkstra(benchmark::State& state) {
+  const auto& g = bench_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::dijkstra(g, 0).distance.back());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.num_arcs()));
+}
+BENCHMARK(BM_Dijkstra);
+
+void BM_BellmanFord(benchmark::State& state) {
+  const auto& g = bench_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::bellman_ford(g, 0).distance.back());
+  }
+}
+BENCHMARK(BM_BellmanFord);
+
+void BM_MultiSourceVoronoi(benchmark::State& state) {
+  const auto& g = bench_graph();
+  util::rng gen(9);
+  const auto picks = util::sample_without_replacement(
+      g.num_vertices(), static_cast<std::uint64_t>(state.range(0)), gen);
+  const std::vector<graph::vertex_id> seeds(picks.begin(), picks.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::multi_source_voronoi(g, seeds).distance.back());
+  }
+}
+BENCHMARK(BM_MultiSourceVoronoi)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_PrimMst(benchmark::State& state) {
+  const auto& g = bench_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::prim_mst(g, 0).total_weight);
+  }
+}
+BENCHMARK(BM_PrimMst);
+
+void BM_RmatGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    graph::rmat_params params;
+    params.scale = static_cast<std::uint64_t>(state.range(0));
+    params.edge_factor = 8;
+    params.seed = 11;
+    benchmark::DoNotOptimize(graph::generate_rmat(params).size());
+  }
+}
+BENCHMARK(BM_RmatGeneration)->Arg(12)->Arg(14);
+
+void BM_DistributedSolver(benchmark::State& state) {
+  const auto& g = bench_graph();
+  // Seeds must be mutually reachable: sample within the largest component.
+  const auto component = graph::largest_component_vertices(g);
+  util::rng gen(13);
+  const auto picks = util::sample_without_replacement(
+      component.size(), static_cast<std::uint64_t>(state.range(0)), gen);
+  std::vector<graph::vertex_id> seeds;
+  seeds.reserve(picks.size());
+  for (const auto i : picks) seeds.push_back(component[i]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::solve_steiner_tree(g, seeds, {}).total_distance);
+  }
+}
+BENCHMARK(BM_DistributedSolver)->Arg(10)->Arg(100);
+
+}  // namespace

@@ -1,0 +1,41 @@
+// Table III: characteristics of the graph datasets used for evaluation.
+//
+// The original multi-terabyte graphs are unavailable offline; this prints
+// the measured statistics of the bundled synthetic mirrors next to the
+// paper-reported full-size numbers so every other bench's inputs are
+// documented.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "graph/graph_stats.hpp"
+
+int main() {
+  using namespace dsteiner;
+  bench::print_header("Table III: dataset characteristics", "paper Table III",
+                      "Mirror columns are measured; paper columns reported.");
+
+  util::table table({"graph", "|V|", "2|E|", "max deg", "avg deg",
+                     "weights", "memory", "paper |V|", "paper 2|E|"});
+  for (const auto& spec : io::dataset_specs()) {
+    const auto ds = io::load_dataset(spec.key);
+    const auto stats = graph::compute_statistics(ds.graph);
+    table.add_row(
+        {spec.key + "-mini",
+         util::format_count(static_cast<double>(stats.num_vertices)),
+         util::format_count(static_cast<double>(stats.num_arcs)),
+         util::format_count(static_cast<double>(stats.max_degree)),
+         util::format_fixed(stats.avg_degree, 1),
+         "[" + std::to_string(stats.min_weight) + ", " +
+             util::format_count(static_cast<double>(stats.max_weight)) + "]",
+         util::format_bytes(stats.memory_bytes),
+         util::format_count(spec.paper_vertices),
+         util::format_count(spec.paper_arcs)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Mirrors preserve Table III's size ordering, the RMAT-style skewed\n"
+      "degree distributions of web/social graphs, and the per-dataset edge\n"
+      "weight ranges; absolute sizes are scaled ~3 orders of magnitude down\n"
+      "to fit a single-core container (see DESIGN.md).\n");
+  return 0;
+}

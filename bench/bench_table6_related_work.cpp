@@ -1,0 +1,79 @@
+// Table VI: runtime comparison between our distributed solution (16 ranks,
+// one machine) and related work — the exact solver (paper: SCIP-Jack;
+// here: Dreyfus-Wagner DP), and the sequential 2-approximations WWW and
+// Mehlhorn — on the four smallest graphs x |S| in {10, 100, 1000}.
+//
+// The exact column is only tractable at |S|=10 (the DP is exponential in
+// |S|; SCIP-Jack itself needed 45.8m-1h at |S|=1000). The Takahashi
+// heuristic is included as an extra reference point.
+//
+// Shape to reproduce: the exact solver is orders of magnitude slower than
+// every approximation; our distributed solution beats Mehlhorn and WWW on
+// the larger LVJ/PTN while work-efficient sequential code wins on the tiny
+// CTS/MCO.
+#include <cstdio>
+
+#include "baselines/exact.hpp"
+#include "baselines/mehlhorn.hpp"
+#include "baselines/takahashi.hpp"
+#include "baselines/www.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dsteiner;
+  bench::print_header(
+      "Table VI: runtime vs related work",
+      "paper Table VI",
+      "S = exact DP (SCIP-Jack substitute), W = WWW, M = Mehlhorn,\n"
+      "T = Takahashi-Matsuyama, D = ours (16 simulated ranks; sim | wall).");
+
+  util::table table({"graph", "|S|", "S (exact)", "W", "M", "T",
+                     "D sim", "D wall", "D msgs"});
+  for (const char* key : {"LVJ", "PTN", "MCO", "CTS"}) {
+    const auto ds = io::load_dataset(key);
+    for (const std::size_t s : {10u, 100u, 1000u}) {
+      std::vector<graph::vertex_id> seeds;
+      try {
+        seeds = bench::default_seeds(ds.graph, s);
+      } catch (const std::invalid_argument&) {
+        table.add_row({std::string(key) + "-mini", std::to_string(s), "N/A"});
+        continue;
+      }
+
+      std::string exact_cell = "-";
+      if (s == 10) {
+        baselines::exact_options options;
+        options.reconstruct = false;
+        const auto exact = baselines::exact_steiner_tree(ds.graph, seeds, options);
+        exact_cell = util::format_duration(exact.seconds);
+      }
+      const auto www = baselines::www_steiner_tree(ds.graph, seeds);
+      const auto mehlhorn = baselines::mehlhorn_steiner_tree(ds.graph, seeds);
+      const auto takahashi = baselines::takahashi_steiner_tree(ds.graph, seeds);
+
+      core::solver_config config;  // 16 ranks, priority, async — paper setup
+      util::timer wall;
+      const auto ours = core::solve_steiner_tree(ds.graph, seeds, config);
+      const double ours_wall = wall.seconds();
+
+      table.add_row({std::string(key) + "-mini", std::to_string(s), exact_cell,
+                     util::format_duration(www.seconds),
+                     util::format_duration(mehlhorn.seconds),
+                     util::format_duration(takahashi.seconds),
+                     util::format_duration(
+                         ours.phases.total().sim_seconds(config.costs)),
+                     util::format_duration(ours_wall),
+                     util::format_count(
+                         static_cast<double>(ours.total_messages()))});
+    }
+    table.add_rule();
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Notes: 'D wall' is the *single-core simulation* of 16 ranks — it\n"
+      "includes all 16 ranks' work serialized plus runtime bookkeeping, so\n"
+      "compare shapes via 'D sim' (the modeled 16-rank time). '-' = exact\n"
+      "solver intractable at that |S| (exponential DP); the paper's\n"
+      "SCIP-Jack column took 45.8m-1.0h there.\n");
+  return 0;
+}

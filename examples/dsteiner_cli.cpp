@@ -1,0 +1,195 @@
+// dsteiner_cli — command-line driver for the library, the shape of tool a
+// network scientist would actually run against their own data (§I's
+// interactive-exploration use case).
+//
+// Usage:
+//   dsteiner_cli --graph edges.txt --seeds 4,17,123 [options]
+//   dsteiner_cli --dataset LVJ --num-seeds 100 [options]
+//
+// Options:
+//   --graph PATH         edge list: "u v w" per line ('#' comments)
+//   --dataset KEY        built-in mirror (WDC CLW UKW FRS LVJ PTN MCO CTS)
+//   --seeds LIST         comma-separated vertex ids
+//   --num-seeds N        select N seeds instead (BFS-level strategy)
+//   --strategy NAME      bfs-level | uniform | eccentric | proximate
+//   --ranks N            simulated MPI ranks (default 16)
+//   --queue fifo|priority
+//   --refine             apply key-path local search to the output
+//   --certify            print a dual-ascent lower bound + certified ratio
+//   --dot PATH           write the tree as Graphviz DOT
+//   --quiet              suppress the phase table
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/dual_ascent.hpp"
+#include "baselines/key_path_improvement.hpp"
+#include "core/steiner_solver.hpp"
+#include "graph/dot_export.hpp"
+#include "graph/edge_list.hpp"
+#include "io/dataset.hpp"
+#include "seed/seed_select.hpp"
+#include "util/format.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace dsteiner;
+
+[[noreturn]] void usage(const char* message) {
+  if (message != nullptr) std::fprintf(stderr, "error: %s\n", message);
+  std::fprintf(stderr,
+               "usage: dsteiner_cli (--graph PATH | --dataset KEY)\n"
+               "                    (--seeds a,b,c | --num-seeds N)\n"
+               "                    [--strategy bfs-level|uniform|eccentric|proximate]\n"
+               "                    [--ranks N] [--queue fifo|priority]\n"
+               "                    [--refine] [--certify] [--dot PATH] [--quiet]\n");
+  std::exit(2);
+}
+
+std::vector<graph::vertex_id> parse_seed_list(const std::string& text) {
+  std::vector<graph::vertex_id> seeds;
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = text.find(',', begin);
+    if (end == std::string::npos) end = text.size();
+    seeds.push_back(std::stoull(text.substr(begin, end - begin)));
+    begin = end + 1;
+  }
+  return seeds;
+}
+
+seed::seed_strategy parse_strategy(const std::string& name) {
+  if (name == "bfs-level") return seed::seed_strategy::bfs_level;
+  if (name == "uniform") return seed::seed_strategy::uniform_random;
+  if (name == "eccentric") return seed::seed_strategy::eccentric;
+  if (name == "proximate") return seed::seed_strategy::proximate;
+  usage("unknown strategy");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<std::string> graph_path, dataset_key, seed_list, dot_path;
+  std::size_t num_seeds = 0;
+  seed::seed_strategy strategy = seed::seed_strategy::bfs_level;
+  core::solver_config config;
+  bool refine = false, certify = false, quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--graph") {
+      graph_path = next();
+    } else if (arg == "--dataset") {
+      dataset_key = next();
+    } else if (arg == "--seeds") {
+      seed_list = next();
+    } else if (arg == "--num-seeds") {
+      num_seeds = std::stoull(next());
+    } else if (arg == "--strategy") {
+      strategy = parse_strategy(next());
+    } else if (arg == "--ranks") {
+      config.num_ranks = std::stoi(next());
+    } else if (arg == "--queue") {
+      const std::string q = next();
+      if (q == "fifo") {
+        config.policy = runtime::queue_policy::fifo;
+      } else if (q == "priority") {
+        config.policy = runtime::queue_policy::priority;
+      } else {
+        usage("unknown queue policy");
+      }
+    } else if (arg == "--refine") {
+      refine = true;
+    } else if (arg == "--certify") {
+      certify = true;
+    } else if (arg == "--dot") {
+      dot_path = next();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      usage(("unknown option " + arg).c_str());
+    }
+  }
+  if (graph_path.has_value() == dataset_key.has_value()) {
+    usage("exactly one of --graph / --dataset is required");
+  }
+  if (seed_list.has_value() == (num_seeds > 0)) {
+    usage("exactly one of --seeds / --num-seeds is required");
+  }
+
+  // Load the graph.
+  util::timer load_timer;
+  graph::csr_graph g;
+  if (graph_path) {
+    graph::edge_list edges = graph::edge_list::load_text(*graph_path);
+    edges.symmetrize();
+    g = graph::csr_graph(edges);
+  } else {
+    g = io::load_dataset(*dataset_key).graph;
+  }
+  std::fprintf(stderr, "loaded graph: %llu vertices, %llu arcs (%.2fs)\n",
+               static_cast<unsigned long long>(g.num_vertices()),
+               static_cast<unsigned long long>(g.num_arcs()),
+               load_timer.seconds());
+
+  // Assemble the seed set.
+  std::vector<graph::vertex_id> seeds;
+  if (seed_list) {
+    seeds = parse_seed_list(*seed_list);
+  } else {
+    seeds = seed::select_seeds(g, num_seeds, strategy, 0xd5ee);
+  }
+
+  // Solve.
+  config.validate = true;
+  util::timer solve_timer;
+  const auto result = core::solve_steiner_tree(g, seeds, config);
+  std::printf("steiner tree: %zu edges, D(GS) = %llu  (%.3fs wall)\n",
+              result.tree_edges.size(),
+              static_cast<unsigned long long>(result.total_distance),
+              solve_timer.seconds());
+
+  if (!quiet) {
+    util::table table({"phase", "messages", "sim time", "wall"});
+    for (const auto& [name, m] : result.phases.by_name()) {
+      table.add_row({name, util::with_commas(m.messages_total()),
+                     util::format_duration(m.sim_seconds(config.costs)),
+                     util::format_duration(m.wall_seconds)});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+
+  std::vector<graph::weighted_edge> final_tree = result.tree_edges;
+  graph::weight_t final_distance = result.total_distance;
+  if (refine) {
+    const auto improved =
+        baselines::improve_steiner_tree(g, seeds, result.tree_edges);
+    std::printf("refined: D(GS) %llu -> %llu (%llu exchanges, %.3fs)\n",
+                static_cast<unsigned long long>(result.total_distance),
+                static_cast<unsigned long long>(improved.total_distance),
+                static_cast<unsigned long long>(improved.exchanges),
+                improved.seconds);
+    final_tree = improved.tree_edges;
+    final_distance = improved.total_distance;
+  }
+  if (certify) {
+    const auto lb = baselines::dual_ascent_lower_bound(g, seeds);
+    std::printf(
+        "dual-ascent lower bound: %llu  => certified ratio <= %.4f\n",
+        static_cast<unsigned long long>(lb.lower_bound),
+        static_cast<double>(final_distance) /
+            static_cast<double>(lb.lower_bound));
+  }
+  if (dot_path) {
+    graph::write_dot_file(*dot_path, final_tree, seeds);
+    std::printf("wrote %s\n", dot_path->c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Rectilinear net routing on a VLSI-style grid — the classic Steiner tree
+// application the paper cites first ([4], [5]: class Steiner trees and VLSI
+// design, wirelength estimation for placement).
+//
+// Pins of a net sit on a routing grid; wire cost is per-segment (here:
+// congestion-weighted). The Steiner tree is the minimum-wirelength routing.
+// The demo prints an ASCII rendering of the routed net, compares the
+// distributed solver against the Takahashi-Matsuyama heuristic, and — for
+// small pin counts — against the exact optimum.
+//
+//   $ ./vlsi_grid [rows cols pins]    (default 16 32 7)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "baselines/exact.hpp"
+#include "baselines/takahashi.hpp"
+#include "core/steiner_solver.hpp"
+#include "graph/generators.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace dsteiner;
+
+void render_ascii(graph::vertex_id rows, graph::vertex_id cols,
+                  const std::vector<graph::weighted_edge>& tree,
+                  const std::vector<graph::vertex_id>& pins) {
+  // Character canvas: cells at (2r, 2c), wires between them.
+  std::vector<std::string> canvas(2 * rows - 1, std::string(2 * cols - 1, ' '));
+  for (graph::vertex_id r = 0; r < rows; ++r) {
+    for (graph::vertex_id c = 0; c < cols; ++c) canvas[2 * r][2 * c] = '.';
+  }
+  std::unordered_set<graph::vertex_id> on_net;
+  for (const auto& e : tree) {
+    on_net.insert(e.source);
+    on_net.insert(e.target);
+    const auto r1 = e.source / cols, c1 = e.source % cols;
+    const auto r2 = e.target / cols, c2 = e.target % cols;
+    if (r1 == r2) {
+      canvas[2 * r1][2 * std::min(c1, c2) + 1] = '-';
+    } else {
+      canvas[2 * std::min(r1, r2) + 1][2 * c1] = '|';
+    }
+  }
+  for (const auto v : on_net) canvas[2 * (v / cols)][2 * (v % cols)] = '+';
+  for (const auto p : pins) canvas[2 * (p / cols)][2 * (p % cols)] = 'O';
+  for (const auto& line : canvas) std::printf("  %s\n", line.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dsteiner;
+  const graph::vertex_id rows = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 16;
+  const graph::vertex_id cols = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 32;
+  const std::size_t pins = argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 7;
+
+  // Routing grid with congestion weights: a hot region in the middle makes
+  // straight-through routing expensive.
+  graph::edge_list grid = graph::generate_grid(rows, cols);
+  for (auto& e : grid.edges()) {
+    const auto r = (e.source / cols + e.target / cols) / 2;
+    const auto c = (e.source % cols + e.target % cols) / 2;
+    const bool hot = r > rows / 3 && r < 2 * rows / 3 && c > cols / 3 &&
+                     c < 2 * cols / 3;
+    e.weight = hot ? 6 : 2;
+  }
+  const graph::csr_graph g(grid);
+
+  // Random pin placement.
+  util::rng gen(4242);
+  const auto picks =
+      util::sample_without_replacement(g.num_vertices(), pins, gen);
+  const std::vector<graph::vertex_id> pin_list(picks.begin(), picks.end());
+
+  core::solver_config config;
+  config.num_ranks = 8;
+  config.validate = true;
+  const auto routed = core::solve_steiner_tree(g, pin_list, config);
+  const auto heuristic = baselines::takahashi_steiner_tree(g, pin_list);
+
+  std::printf("net with %zu pins on a %llux%llu grid\n", pins,
+              static_cast<unsigned long long>(rows),
+              static_cast<unsigned long long>(cols));
+  std::printf("  dsteiner wirelength cost : %llu (%zu segments)\n",
+              static_cast<unsigned long long>(routed.total_distance),
+              routed.tree_edges.size());
+  std::printf("  Takahashi-Matsuyama cost : %llu (%zu segments)\n",
+              static_cast<unsigned long long>(heuristic.total_distance),
+              heuristic.tree_edges.size());
+  if (pins <= 10) {
+    const auto exact = baselines::exact_steiner_tree(g, pin_list);
+    std::printf("  exact optimum            : %llu  (dsteiner ratio %.4f)\n",
+                static_cast<unsigned long long>(exact.optimal_distance),
+                static_cast<double>(routed.total_distance) /
+                    static_cast<double>(exact.optimal_distance));
+  }
+  std::printf("\nrouted net (O = pin, + = Steiner point, -| = wire):\n");
+  render_ascii(rows, cols, routed.tree_edges, pin_list);
+  return 0;
+}

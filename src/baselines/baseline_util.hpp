@@ -1,0 +1,100 @@
+// Shared machinery for the sequential baselines: canonical edge sets, path
+// expansion, and the KMB step-5 leaf pruning ("delete edges so that no
+// leaves are Steiner vertices").
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/hash.hpp"
+
+namespace dsteiner::baselines {
+
+/// Deduplicated set of undirected weighted edges in canonical (u < v) form.
+class edge_set {
+ public:
+  /// Returns true if the edge was newly inserted.
+  bool insert(graph::vertex_id u, graph::vertex_id v, graph::weight_t w) {
+    const auto key = canonical(u, v);
+    if (!members_.insert(key).second) return false;
+    edges_.push_back({key.first, key.second, w});
+    return true;
+  }
+
+  [[nodiscard]] bool contains(graph::vertex_id u, graph::vertex_id v) const {
+    return members_.contains(canonical(u, v));
+  }
+
+  [[nodiscard]] const std::vector<graph::weighted_edge>& edges() const noexcept {
+    return edges_;
+  }
+  [[nodiscard]] std::vector<graph::weighted_edge> take() && {
+    return std::move(edges_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return edges_.size(); }
+
+ private:
+  static std::pair<graph::vertex_id, graph::vertex_id> canonical(
+      graph::vertex_id u, graph::vertex_id v) {
+    return {std::min(u, v), std::max(u, v)};
+  }
+
+  std::unordered_set<std::pair<graph::vertex_id, graph::vertex_id>,
+                     util::pair_hash>
+      members_;
+  std::vector<graph::weighted_edge> edges_;
+};
+
+/// Iteratively removes degree-1 vertices that are not seeds (KMB Alg. 1
+/// step 5). Returns the pruned edge list.
+[[nodiscard]] inline std::vector<graph::weighted_edge> prune_steiner_leaves(
+    std::vector<graph::weighted_edge> edges,
+    std::span<const graph::vertex_id> seeds) {
+  const std::unordered_set<graph::vertex_id> seed_set(seeds.begin(), seeds.end());
+  bool changed = true;
+  while (changed && !edges.empty()) {
+    changed = false;
+    std::unordered_map<graph::vertex_id, std::size_t> degree;
+    for (const auto& e : edges) {
+      ++degree[e.source];
+      ++degree[e.target];
+    }
+    std::vector<graph::weighted_edge> kept;
+    kept.reserve(edges.size());
+    for (const auto& e : edges) {
+      const bool source_prunable =
+          degree[e.source] == 1 && !seed_set.contains(e.source);
+      const bool target_prunable =
+          degree[e.target] == 1 && !seed_set.contains(e.target);
+      if (source_prunable || target_prunable) {
+        changed = true;
+      } else {
+        kept.push_back(e);
+      }
+    }
+    edges.swap(kept);
+  }
+  return edges;
+}
+
+/// Sorts edges canonically for comparisons and stable output.
+inline void sort_edges(std::vector<graph::weighted_edge>& edges) {
+  std::sort(edges.begin(), edges.end(),
+            [](const graph::weighted_edge& a, const graph::weighted_edge& b) {
+              return std::tuple{a.source, a.target, a.weight} <
+                     std::tuple{b.source, b.target, b.weight};
+            });
+}
+
+/// Result type common to every baseline solver.
+struct approx_result {
+  std::vector<graph::weighted_edge> tree_edges;
+  graph::weight_t total_distance = 0;
+  double seconds = 0.0;
+};
+
+}  // namespace dsteiner::baselines

@@ -1,0 +1,142 @@
+#include "baselines/dual_ascent.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace dsteiner::baselines {
+
+namespace {
+
+using graph::vertex_id;
+using graph::weight_t;
+
+/// For every directed arc index i = (u -> v), the index of (v -> u).
+/// Symmetric graphs guarantee existence; rows are target-sorted so the
+/// reverse arc is found by binary search within v's row.
+std::vector<std::uint64_t> build_reverse_arc_index(const graph::csr_graph& g) {
+  const auto& offsets = g.offsets();
+  const auto& targets = g.targets();
+  std::vector<std::uint64_t> reverse(targets.size());
+  for (vertex_id u = 0; u + 1 < offsets.size(); ++u) {
+    for (std::uint64_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+      const vertex_id v = targets[i];
+      const auto row_begin = targets.begin() + static_cast<std::ptrdiff_t>(offsets[v]);
+      const auto row_end = targets.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]);
+      const auto it = std::lower_bound(row_begin, row_end, u);
+      if (it == row_end || *it != u) {
+        throw std::invalid_argument(
+            "dual_ascent: graph is not symmetric (missing reverse arc)");
+      }
+      reverse[i] = static_cast<std::uint64_t>(it - targets.begin());
+    }
+  }
+  return reverse;
+}
+
+}  // namespace
+
+dual_ascent_result dual_ascent_lower_bound(
+    const graph::csr_graph& g, std::span<const graph::vertex_id> seeds,
+    const dual_ascent_options& options) {
+  util::timer wall;
+  dual_ascent_result result;
+
+  std::vector<vertex_id> terminals(seeds.begin(), seeds.end());
+  std::sort(terminals.begin(), terminals.end());
+  terminals.erase(std::unique(terminals.begin(), terminals.end()),
+                  terminals.end());
+  if (terminals.size() <= 1) {
+    result.converged = true;
+    return result;
+  }
+
+  const auto& offsets = g.offsets();
+  const auto& targets = g.targets();
+  const auto reverse = build_reverse_arc_index(g);
+  // Reduced costs per *directed* arc.
+  std::vector<weight_t> reduced(g.arc_weights().begin(), g.arc_weights().end());
+
+  const vertex_id root = terminals.front();
+  std::vector<bool> reached(terminals.size(), false);
+  reached[0] = true;  // the root is trivially connected to itself
+
+  // Scratch for the W-growing BFS.
+  std::vector<bool> in_w(g.num_vertices(), false);
+  std::vector<vertex_id> w_members;
+  std::deque<vertex_id> frontier;
+
+  std::size_t unreached = terminals.size() - 1;
+  std::size_t cursor = 1;  // round-robin over terminals
+  while (unreached > 0) {
+    if (options.max_iterations != 0 &&
+        result.iterations >= options.max_iterations) {
+      break;  // the accumulated bound remains valid
+    }
+    // Next unreached terminal.
+    while (reached[cursor]) cursor = (cursor + 1) % terminals.size();
+    const vertex_id t = terminals[cursor];
+
+    // Grow W = vertices with a zero-reduced-cost path *to* t: traverse from
+    // t along incoming zero arcs (u -> v in W) via the reverse index.
+    for (const vertex_id v : w_members) in_w[v] = false;
+    w_members.clear();
+    frontier.clear();
+    in_w[t] = true;
+    w_members.push_back(t);
+    frontier.push_back(t);
+    bool hits_root = false;
+    while (!frontier.empty() && !hits_root) {
+      const vertex_id v = frontier.front();
+      frontier.pop_front();
+      for (std::uint64_t j = offsets[v]; j < offsets[v + 1]; ++j) {
+        const std::uint64_t incoming = reverse[j];  // (targets[j] -> v)
+        if (reduced[incoming] != 0) continue;
+        const vertex_id u = targets[j];
+        if (in_w[u]) continue;
+        in_w[u] = true;
+        w_members.push_back(u);
+        frontier.push_back(u);
+        if (u == root) {
+          hits_root = true;
+          break;
+        }
+      }
+    }
+    if (hits_root) {
+      reached[cursor] = true;
+      --unreached;
+      continue;
+    }
+
+    // Minimum reduced cost over arcs entering W.
+    weight_t delta = graph::k_inf_distance;
+    for (const vertex_id v : w_members) {
+      for (std::uint64_t j = offsets[v]; j < offsets[v + 1]; ++j) {
+        const vertex_id u = targets[j];
+        if (in_w[u]) continue;
+        delta = std::min(delta, reduced[reverse[j]]);  // arc (u -> v)
+      }
+    }
+    if (delta == graph::k_inf_distance) {
+      throw std::runtime_error(
+          "dual_ascent_lower_bound: seeds not mutually reachable");
+    }
+    for (const vertex_id v : w_members) {
+      for (std::uint64_t j = offsets[v]; j < offsets[v + 1]; ++j) {
+        if (in_w[targets[j]]) continue;
+        reduced[reverse[j]] -= delta;
+      }
+    }
+    result.lower_bound += delta;
+    ++result.iterations;
+  }
+  result.converged = unreached == 0;
+  result.seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace dsteiner::baselines

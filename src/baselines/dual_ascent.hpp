@@ -1,0 +1,46 @@
+// Dual ascent lower bound for the Steiner minimal tree (Wong 1984).
+//
+// The paper's related-work survey covers dual ascent twice: Winter & Smith's
+// path-distance heuristics [37] and the distributed dual ascent of Drummond
+// et al. [51]. Here it serves the evaluation: Table VII needs Dmin, and at
+// |S| >= 100 no exact solver is tractable in this environment — the dual
+// ascent bound certifies `LB <= Dmin`, so D(GS)/LB is a true upper bound on
+// the approximation ratio at any seed count.
+//
+// Method: on the bidirected graph rooted at the first terminal, repeatedly
+// pick an unreached terminal t, grow the set W of vertices with a
+// zero-reduced-cost path to t, and raise the dual of W by the minimum
+// reduced cost over arcs entering W. Every intermediate value is a valid
+// lower bound, so the iteration cap trades tightness for time, never
+// correctness.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace dsteiner::baselines {
+
+struct dual_ascent_options {
+  /// Hard cap on ascent iterations (0 = no cap). The bound returned under a
+  /// cap is still valid, just weaker.
+  std::uint64_t max_iterations = 0;
+};
+
+struct dual_ascent_result {
+  graph::weight_t lower_bound = 0;
+  std::uint64_t iterations = 0;
+  bool converged = false;  ///< all terminals reached the root
+  double seconds = 0.0;
+};
+
+/// Lower bound on the total distance of any Steiner tree for `seeds`.
+/// Requires >= 2 distinct seeds and mutual reachability (throws otherwise,
+/// unless the iteration cap stops the ascent first).
+[[nodiscard]] dual_ascent_result dual_ascent_lower_bound(
+    const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds,
+    const dual_ascent_options& options = {});
+
+}  // namespace dsteiner::baselines

@@ -1,0 +1,214 @@
+#include "baselines/exact.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/mst.hpp"
+#include "util/timer.hpp"
+
+namespace dsteiner::baselines {
+
+namespace {
+
+using mask_t = std::uint32_t;
+
+/// Reconstruction breadcrumbs: how dp[mask][v] was achieved.
+struct choice {
+  mask_t split = 0;                          ///< nonzero: merge of split / mask^split at v
+  graph::vertex_id pred = graph::k_no_vertex;  ///< else: edge (pred -> v)
+};
+
+}  // namespace
+
+exact_result exact_steiner_tree(const graph::csr_graph& graph,
+                                std::span<const graph::vertex_id> seeds,
+                                const exact_options& options) {
+  util::timer wall;
+  exact_result result;
+
+  std::vector<graph::vertex_id> terminals(seeds.begin(), seeds.end());
+  std::sort(terminals.begin(), terminals.end());
+  terminals.erase(std::unique(terminals.begin(), terminals.end()),
+                  terminals.end());
+  if (terminals.size() <= 1) return result;
+  if (terminals.size() > options.max_terminals) {
+    throw std::invalid_argument("exact_steiner_tree: too many terminals");
+  }
+
+  const std::size_t k = terminals.size();
+  const graph::vertex_id n = graph.num_vertices();
+  const std::size_t num_masks = std::size_t{1} << k;
+  const std::uint64_t table_bytes =
+      static_cast<std::uint64_t>(num_masks) * n *
+      (sizeof(graph::weight_t) + (options.reconstruct ? sizeof(choice) : 0));
+  if (table_bytes > options.max_memory_bytes) {
+    throw std::invalid_argument("exact_steiner_tree: dp table exceeds memory cap");
+  }
+
+  // dp[mask * n + v]: min tree weight connecting terminals(mask) U {v}.
+  std::vector<graph::weight_t> dp(num_masks * n, graph::k_inf_distance);
+  std::vector<choice> how;
+  if (options.reconstruct) how.assign(num_masks * n, {});
+
+  using heap_entry = std::pair<graph::weight_t, graph::vertex_id>;
+  std::priority_queue<heap_entry, std::vector<heap_entry>, std::greater<>> heap;
+
+  // Grow dp[mask][.] over the graph: multi-source Dijkstra seeded with the
+  // post-merge values (the EMV "tree-growing" relaxation).
+  const auto relax_over_graph = [&](mask_t mask) {
+    graph::weight_t* row = dp.data() + static_cast<std::size_t>(mask) * n;
+    for (graph::vertex_id v = 0; v < n; ++v) {
+      if (row[v] != graph::k_inf_distance) heap.push({row[v], v});
+    }
+    while (!heap.empty()) {
+      const auto [d, v] = heap.top();
+      heap.pop();
+      if (d != row[v]) continue;
+      const auto nbrs = graph.neighbors(v);
+      const auto wts = graph.weights(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const graph::weight_t candidate = d + wts[i];
+        if (candidate < row[nbrs[i]]) {
+          row[nbrs[i]] = candidate;
+          if (options.reconstruct) {
+            how[static_cast<std::size_t>(mask) * n + nbrs[i]] = {0, v};
+          }
+          heap.push({candidate, nbrs[i]});
+        }
+      }
+    }
+  };
+
+  // Base cases: singleton masks reach their terminal at distance 0.
+  for (std::size_t i = 0; i < k; ++i) {
+    const mask_t mask = mask_t{1} << i;
+    dp[static_cast<std::size_t>(mask) * n + terminals[i]] = 0;
+    relax_over_graph(mask);
+  }
+
+  // Masks in increasing order (all proper submasks precede their supersets).
+  for (mask_t mask = 1; mask < num_masks; ++mask) {
+    if ((mask & (mask - 1)) == 0) continue;  // singletons done
+    graph::weight_t* row = dp.data() + static_cast<std::size_t>(mask) * n;
+    // Merge step: combine two subtrees meeting at v. Enumerate submasks that
+    // contain the lowest set bit to visit each unordered split once.
+    const mask_t low = mask & (~mask + 1);
+    for (mask_t sub = (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask) {
+      if ((sub & low) == 0) continue;
+      const mask_t rest = mask ^ sub;
+      const graph::weight_t* a = dp.data() + static_cast<std::size_t>(sub) * n;
+      const graph::weight_t* b = dp.data() + static_cast<std::size_t>(rest) * n;
+      for (graph::vertex_id v = 0; v < n; ++v) {
+        if (a[v] == graph::k_inf_distance || b[v] == graph::k_inf_distance) {
+          continue;
+        }
+        const graph::weight_t candidate = a[v] + b[v];
+        if (candidate < row[v]) {
+          row[v] = candidate;
+          if (options.reconstruct) {
+            how[static_cast<std::size_t>(mask) * n + v] = {sub,
+                                                           graph::k_no_vertex};
+          }
+        }
+      }
+    }
+    relax_over_graph(mask);
+  }
+
+  const mask_t full = static_cast<mask_t>(num_masks - 1);
+  const graph::weight_t best =
+      dp[static_cast<std::size_t>(full) * n + terminals[0]];
+  if (best == graph::k_inf_distance) {
+    throw std::runtime_error("exact_steiner_tree: seeds not mutually reachable");
+  }
+  result.optimal_distance = best;
+
+  if (options.reconstruct) {
+    // Unwind the breadcrumbs: a stack of (mask, v) states to expand.
+    edge_set edges;
+    std::vector<std::pair<mask_t, graph::vertex_id>> stack{{full, terminals[0]}};
+    while (!stack.empty()) {
+      const auto [mask, v] = stack.back();
+      stack.pop_back();
+      if ((mask & (mask - 1)) == 0) {
+        // Singleton: walk the Dijkstra chain back to the terminal.
+        graph::vertex_id x = v;
+        while (true) {
+          const choice& c = how[static_cast<std::size_t>(mask) * n + x];
+          if (c.pred == graph::k_no_vertex) break;
+          const graph::weight_t w =
+              dp[static_cast<std::size_t>(mask) * n + x] -
+              dp[static_cast<std::size_t>(mask) * n + c.pred];
+          edges.insert(c.pred, x, w);
+          x = c.pred;
+        }
+        continue;
+      }
+      const choice& c = how[static_cast<std::size_t>(mask) * n + v];
+      if (c.pred != graph::k_no_vertex) {
+        // Edge step: record (pred, v), continue at pred with the same mask.
+        const graph::weight_t w = dp[static_cast<std::size_t>(mask) * n + v] -
+                                  dp[static_cast<std::size_t>(mask) * n + c.pred];
+        edges.insert(c.pred, v, w);
+        stack.push_back({mask, c.pred});
+      } else if (c.split != 0) {
+        stack.push_back({c.split, v});
+        stack.push_back({static_cast<mask_t>(mask ^ c.split), v});
+      }
+      // else: v is the merge point with no incoming edge (a terminal anchor).
+    }
+    result.tree_edges = std::move(edges).take();
+    sort_edges(result.tree_edges);
+  }
+  result.seconds = wall.seconds();
+  return result;
+}
+
+graph::weight_t brute_force_steiner_distance(
+    const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds) {
+  const graph::vertex_id n = graph.num_vertices();
+  if (n > 20) {
+    throw std::invalid_argument("brute_force_steiner_distance: graph too large");
+  }
+  const std::unordered_set<graph::vertex_id> seed_set(seeds.begin(), seeds.end());
+  if (seed_set.size() <= 1) return 0;
+
+  std::vector<graph::vertex_id> optional_vertices;
+  for (graph::vertex_id v = 0; v < n; ++v) {
+    if (!seed_set.contains(v)) optional_vertices.push_back(v);
+  }
+
+  graph::weight_t best = graph::k_inf_distance;
+  const std::size_t subsets = std::size_t{1} << optional_vertices.size();
+  for (std::size_t subset = 0; subset < subsets; ++subset) {
+    std::unordered_set<graph::vertex_id> chosen(seed_set);
+    for (std::size_t i = 0; i < optional_vertices.size(); ++i) {
+      if (subset & (std::size_t{1} << i)) chosen.insert(optional_vertices[i]);
+    }
+    // MST of the induced subgraph; candidate when it spans every chosen
+    // vertex (the optimal tree's vertex set appears as some subset).
+    graph::edge_list induced(n);
+    for (const graph::vertex_id u : chosen) {
+      const auto nbrs = graph.neighbors(u);
+      const auto wts = graph.weights(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (u < nbrs[i] && chosen.contains(nbrs[i])) {
+          induced.add_undirected_edge(u, nbrs[i], wts[i]);
+        }
+      }
+    }
+    const graph::mst_result mst = graph::kruskal_mst(induced);
+    if (mst.edges.size() + 1 != chosen.size()) continue;  // induced disconnected
+    best = std::min(best, mst.total_weight);
+  }
+  if (best == graph::k_inf_distance) {
+    throw std::runtime_error(
+        "brute_force_steiner_distance: seeds not mutually reachable");
+  }
+  return best;
+}
+
+}  // namespace dsteiner::baselines

@@ -1,0 +1,50 @@
+// Exact Steiner minimal tree solvers — the stand-in for SCIP-Jack [20].
+//
+// SCIP-Jack (branch-and-cut LP) is closed infrastructure we cannot run here;
+// Tables VI/VII need exact optima, so we provide:
+//  1. `exact_steiner_tree` — the Dreyfus–Wagner / Erickson–Monma–Veinott
+//     dynamic program: dp[mask][v] = min weight of a tree connecting the
+//     terminal subset `mask` plus vertex v. Exponential in |S|
+//     (O(3^k V + 2^k (V log V + E))) but exact and graph-size friendly; used
+//     for |S| <= ~12.
+//  2. `brute_force_steiner_distance` — subset enumeration over Steiner
+//     vertices for tiny graphs; an independent oracle the DP is tested
+//     against.
+// Large-|S| optima come from planted-optimum instances (planted.hpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "baselines/baseline_util.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace dsteiner::baselines {
+
+struct exact_options {
+  std::size_t max_terminals = 14;
+  /// Guard against accidental multi-GB dp tables.
+  std::uint64_t max_memory_bytes = std::uint64_t{1} << 31;
+  /// Reconstruct the optimal tree edges (adds choice tables of similar size).
+  bool reconstruct = true;
+};
+
+struct exact_result {
+  graph::weight_t optimal_distance = 0;
+  std::vector<graph::weighted_edge> tree_edges;  ///< empty unless reconstruct
+  double seconds = 0.0;
+};
+
+/// Exact Steiner minimal tree. Throws std::invalid_argument when |S| exceeds
+/// max_terminals or the dp table would exceed max_memory_bytes, and
+/// std::runtime_error when the seeds are not mutually reachable.
+[[nodiscard]] exact_result exact_steiner_tree(
+    const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds,
+    const exact_options& options = {});
+
+/// Exact optimum by enumerating every subset of candidate Steiner vertices
+/// and taking the best induced MST. Only for tiny graphs (|V| <= ~16).
+[[nodiscard]] graph::weight_t brute_force_steiner_distance(
+    const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds);
+
+}  // namespace dsteiner::baselines

@@ -1,0 +1,202 @@
+#include "baselines/key_path_improvement.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "baselines/baseline_util.hpp"
+#include "graph/union_find.hpp"
+#include "util/hash.hpp"
+#include "util/timer.hpp"
+
+namespace dsteiner::baselines {
+
+namespace {
+
+using graph::vertex_id;
+using graph::weight_t;
+using graph::weighted_edge;
+
+/// Adjacency view of the current tree (small: |ES| edges).
+using tree_adjacency =
+    std::unordered_map<vertex_id, std::vector<std::pair<vertex_id, weight_t>>>;
+
+tree_adjacency build_adjacency(std::span<const weighted_edge> edges) {
+  tree_adjacency adj;
+  for (const auto& e : edges) {
+    adj[e.source].push_back({e.target, e.weight});
+    adj[e.target].push_back({e.source, e.weight});
+  }
+  return adj;
+}
+
+/// A key path: sequence of tree vertices whose interior has degree 2 and is
+/// not a seed; endpoints are key vertices (seed or degree != 2).
+struct key_path {
+  std::vector<vertex_id> vertices;
+  weight_t cost = 0;
+};
+
+std::vector<key_path> enumerate_key_paths(
+    const tree_adjacency& adj,
+    const std::unordered_set<vertex_id>& seed_set) {
+  const auto is_key = [&](vertex_id v) {
+    return seed_set.contains(v) || adj.at(v).size() != 2;
+  };
+  std::vector<key_path> paths;
+  std::unordered_set<std::pair<vertex_id, vertex_id>, util::pair_hash> seen;
+  for (const auto& [v, neighbors] : adj) {
+    if (!is_key(v)) continue;
+    for (const auto& [first_hop, first_weight] : neighbors) {
+      key_path path;
+      path.vertices.push_back(v);
+      path.cost = first_weight;
+      vertex_id prev = v;
+      vertex_id cur = first_hop;
+      while (!is_key(cur)) {
+        path.vertices.push_back(cur);
+        const auto& outs = adj.at(cur);
+        const auto& next = outs[0].first == prev ? outs[1] : outs[0];
+        path.cost += next.second;
+        prev = cur;
+        cur = next.first;
+      }
+      path.vertices.push_back(cur);
+      // Each key path is found from both endpoints; keep one orientation.
+      const auto id = std::pair{std::min(path.vertices.front(), path.vertices.back()),
+                                std::max(path.vertices.front(), path.vertices.back())};
+      // Parallel key paths between the same endpoints are possible in
+      // principle; the seen-set keeps one, the other survives as tree edges
+      // and is revisited next round.
+      if (seen.insert(id).second) paths.push_back(std::move(path));
+    }
+  }
+  return paths;
+}
+
+}  // namespace
+
+improvement_result improve_steiner_tree(
+    const graph::csr_graph& g, std::span<const graph::vertex_id> seeds,
+    std::span<const weighted_edge> tree, const improvement_options& options) {
+  util::timer wall;
+  improvement_result result;
+  result.tree_edges.assign(tree.begin(), tree.end());
+  for (const auto& e : result.tree_edges) result.initial_distance += e.weight;
+  result.total_distance = result.initial_distance;
+  if (result.tree_edges.empty()) return result;
+
+  const std::unordered_set<vertex_id> seed_set(seeds.begin(), seeds.end());
+
+  bool improved = true;
+  while (improved && result.rounds < options.max_rounds) {
+    improved = false;
+    ++result.rounds;
+    const tree_adjacency adj = build_adjacency(result.tree_edges);
+    const auto paths = enumerate_key_paths(adj, seed_set);
+    for (const auto& path : paths) {
+      // Split: tree vertices reachable from one endpoint without using the
+      // key path; everything else (tree-side) is the other component.
+      std::unordered_set<vertex_id> side_a;
+      {
+        std::queue<vertex_id> frontier;
+        frontier.push(path.vertices.front());
+        side_a.insert(path.vertices.front());
+        const vertex_id blocked = path.vertices[1];
+        while (!frontier.empty()) {
+          const vertex_id v = frontier.front();
+          frontier.pop();
+          for (const auto& [u, w] : adj.at(v)) {
+            if (v == path.vertices.front() && u == blocked) continue;
+            if (side_a.insert(u).second) frontier.push(u);
+          }
+        }
+        // Exclude the key path interior (it is being removed).
+        for (std::size_t i = 1; i + 1 < path.vertices.size(); ++i) {
+          side_a.erase(path.vertices[i]);
+        }
+      }
+      // Tree vertices of side B = all tree vertices minus side A minus the
+      // removed interior.
+      std::unordered_set<vertex_id> side_b;
+      for (const auto& [v, unused] : adj) {
+        if (side_a.contains(v)) continue;
+        side_b.insert(v);
+      }
+      for (std::size_t i = 1; i + 1 < path.vertices.size(); ++i) {
+        side_b.erase(path.vertices[i]);
+      }
+      if (side_b.empty() || side_a.empty()) continue;
+
+      // Cheapest reconnection: multi-source Dijkstra from side A, stop at
+      // the first side-B vertex, early-exit when cost reaches path.cost.
+      std::unordered_map<vertex_id, weight_t> dist;
+      std::unordered_map<vertex_id, vertex_id> parent;
+      using entry = std::pair<weight_t, vertex_id>;
+      std::priority_queue<entry, std::vector<entry>, std::greater<>> heap;
+      for (const vertex_id v : side_a) {
+        dist[v] = 0;
+        heap.push({0, v});
+      }
+      vertex_id meet = graph::k_no_vertex;
+      while (!heap.empty()) {
+        const auto [d, v] = heap.top();
+        heap.pop();
+        if (d >= path.cost) break;  // cannot improve
+        const auto it = dist.find(v);
+        if (it == dist.end() || it->second != d) continue;
+        if (side_b.contains(v)) {
+          meet = v;
+          break;
+        }
+        const auto nbrs = g.neighbors(v);
+        const auto wts = g.weights(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          const weight_t candidate = d + wts[i];
+          const auto [slot, inserted] = dist.try_emplace(nbrs[i], candidate);
+          if (!inserted && slot->second <= candidate) continue;
+          slot->second = candidate;
+          parent[nbrs[i]] = v;
+          heap.push({candidate, nbrs[i]});
+        }
+      }
+      if (meet == graph::k_no_vertex) continue;  // no cheaper reconnection
+
+      // Apply the exchange: drop the key path edges, add the new path.
+      edge_set next;
+      std::unordered_set<std::pair<vertex_id, vertex_id>, util::pair_hash>
+          removed;
+      for (std::size_t i = 0; i + 1 < path.vertices.size(); ++i) {
+        removed.insert({std::min(path.vertices[i], path.vertices[i + 1]),
+                        std::max(path.vertices[i], path.vertices[i + 1])});
+      }
+      for (const auto& e : result.tree_edges) {
+        if (removed.contains({e.source, e.target})) continue;
+        next.insert(e.source, e.target, e.weight);
+      }
+      for (vertex_id v = meet; parent.contains(v); v = parent.at(v)) {
+        next.insert(parent.at(v), v, *g.edge_weight(parent.at(v), v));
+      }
+      std::vector<weighted_edge> candidate_tree = std::move(next).take();
+      // The new path may have stranded old interior vertices; prune any
+      // non-seed leaves it left behind.
+      candidate_tree = prune_steiner_leaves(std::move(candidate_tree), seeds);
+      weight_t candidate_cost = 0;
+      for (const auto& e : candidate_tree) candidate_cost += e.weight;
+      if (candidate_cost >= result.total_distance) continue;
+
+      result.tree_edges = std::move(candidate_tree);
+      result.total_distance = candidate_cost;
+      ++result.exchanges;
+      improved = true;
+      break;  // adjacency is stale; restart the round
+    }
+  }
+  sort_edges(result.tree_edges);
+  result.seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace dsteiner::baselines

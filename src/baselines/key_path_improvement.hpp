@@ -1,0 +1,42 @@
+// Key-path exchange local search.
+//
+// The paper's related work (§VI) notes that algorithms beating the
+// 2-approximation ratio ([38] 1.598, [39] 1.55, [40] ln4+eps) "iteratively
+// refine a base-solution which is typically computed using a
+// 2-approximation algorithm" [41]. This module implements the canonical
+// refinement move: a *key path* is a maximal tree path whose interior
+// vertices are degree-2 Steiner vertices; removing it splits the tree in
+// two, and if a cheaper reconnecting path exists in the graph the exchange
+// strictly improves the tree. Iterated to a local optimum.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace dsteiner::baselines {
+
+struct improvement_options {
+  std::uint64_t max_rounds = 32;  ///< full passes over all key paths
+};
+
+struct improvement_result {
+  std::vector<graph::weighted_edge> tree_edges;
+  graph::weight_t total_distance = 0;
+  graph::weight_t initial_distance = 0;
+  std::uint64_t exchanges = 0;  ///< improving moves applied
+  std::uint64_t rounds = 0;
+  double seconds = 0.0;
+};
+
+/// Refines a valid Steiner tree by key-path exchanges. The result is always
+/// a valid Steiner tree with total_distance <= the input's.
+[[nodiscard]] improvement_result improve_steiner_tree(
+    const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds,
+    std::span<const graph::weighted_edge> tree,
+    const improvement_options& options = {});
+
+}  // namespace dsteiner::baselines

@@ -1,0 +1,63 @@
+#include "baselines/kmb.hpp"
+
+#include <stdexcept>
+
+#include "graph/dijkstra.hpp"
+#include "graph/mst.hpp"
+#include "util/timer.hpp"
+
+namespace dsteiner::baselines {
+
+approx_result kmb_steiner_tree(const graph::csr_graph& graph,
+                               std::span<const graph::vertex_id> seeds) {
+  util::timer wall;
+  approx_result result;
+  if (seeds.size() <= 1) return result;
+
+  // Step 1: complete distance graph G1 via one Dijkstra per seed (APSP over
+  // the seed set), keeping each shortest-path tree for step 3.
+  std::vector<std::vector<graph::vertex_id>> parents;
+  const auto distances = graph::apsp_over_seeds(graph, seeds, &parents);
+
+  // Step 2: MST G2 of G1.
+  graph::edge_list g1(static_cast<graph::vertex_id>(seeds.size()));
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    for (std::size_t j = i + 1; j < seeds.size(); ++j) {
+      if (distances[i][j] == graph::k_inf_distance) {
+        throw std::runtime_error("kmb_steiner_tree: seeds not mutually reachable");
+      }
+      g1.add_undirected_edge(static_cast<graph::vertex_id>(i),
+                             static_cast<graph::vertex_id>(j), distances[i][j]);
+    }
+  }
+  const graph::mst_result g2 = graph::prim_mst(graph::csr_graph(g1), 0);
+
+  // Step 3: G3 = union of the shortest paths realizing each MST edge.
+  edge_set g3_edges;
+  for (const auto& e : g2.edges) {
+    const std::size_t i = e.source;  // seed indices
+    const graph::vertex_id s = seeds[i];
+    const auto path = graph::reconstruct_path(parents[i], s, seeds[e.target]);
+    for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+      const auto w = graph.edge_weight(path[k], path[k + 1]);
+      g3_edges.insert(path[k], path[k + 1], *w);
+    }
+  }
+
+  // Step 4: MST G4 of G3.
+  graph::edge_list g3;
+  g3.set_num_vertices(graph.num_vertices());
+  for (const auto& e : g3_edges.edges()) {
+    g3.add_undirected_edge(e.source, e.target, e.weight);
+  }
+  graph::mst_result g4 = graph::kruskal_mst(g3);
+
+  // Step 5: delete edges until no leaf is a Steiner vertex.
+  result.tree_edges = prune_steiner_leaves(std::move(g4.edges), seeds);
+  sort_edges(result.tree_edges);
+  for (const auto& e : result.tree_edges) result.total_distance += e.weight;
+  result.seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace dsteiner::baselines

@@ -1,0 +1,19 @@
+// The KMB algorithm (Kou, Markowsky, Berman [14]) — paper Alg. 1, the
+// classic 2-approximation every later algorithm improves upon. Its step 1
+// (all-pair shortest paths among the seeds) is the expensive phase the
+// Voronoi-cell formulation replaces; Table I quantifies that cost.
+#pragma once
+
+#include <span>
+
+#include "baselines/baseline_util.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace dsteiner::baselines {
+
+/// Runs Alg. 1: complete seed distance graph G1 -> MST G2 -> path expansion
+/// G3 -> MST G4 -> leaf pruning G5. O(|S| |V|^2)-ish (|S| Dijkstras).
+[[nodiscard]] approx_result kmb_steiner_tree(
+    const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds);
+
+}  // namespace dsteiner::baselines

@@ -1,0 +1,105 @@
+#include "baselines/mehlhorn.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "graph/dijkstra.hpp"
+#include "graph/mst.hpp"
+#include "util/hash.hpp"
+#include "util/timer.hpp"
+
+namespace dsteiner::baselines {
+
+approx_result mehlhorn_steiner_tree(const graph::csr_graph& graph,
+                                    std::span<const graph::vertex_id> seeds) {
+  util::timer wall;
+  approx_result result;
+  if (seeds.size() <= 1) return result;
+
+  // (1) Voronoi cells via one multi-source Dijkstra.
+  const graph::voronoi_assignment cells = graph::multi_source_voronoi(graph, seeds);
+
+  // (2) Distance graph G'1: minimum bridge per cell pair, scanning each
+  // undirected edge once (u < v).
+  struct bridge {
+    graph::weight_t total;
+    graph::vertex_id u, v;
+    graph::weight_t w;
+  };
+  std::unordered_map<std::pair<graph::vertex_id, graph::vertex_id>, bridge,
+                     util::pair_hash>
+      g1;
+  for (graph::vertex_id u = 0; u < graph.num_vertices(); ++u) {
+    if (cells.src[u] == graph::k_no_vertex) continue;
+    const auto nbrs = graph.neighbors(u);
+    const auto wts = graph.weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const graph::vertex_id v = nbrs[i];
+      if (u >= v) continue;
+      if (cells.src[v] == graph::k_no_vertex) continue;
+      if (cells.src[u] == cells.src[v]) continue;
+      const auto key = std::pair{std::min(cells.src[u], cells.src[v]),
+                                 std::max(cells.src[u], cells.src[v])};
+      const bridge candidate{cells.distance[u] + wts[i] + cells.distance[v],
+                             std::min(u, v), std::max(u, v), wts[i]};
+      const auto [it, inserted] = g1.emplace(key, candidate);
+      if (!inserted) {
+        const auto better = [](const bridge& a, const bridge& b) {
+          return std::tuple{a.total, a.u, a.v} < std::tuple{b.total, b.u, b.v};
+        };
+        if (better(candidate, it->second)) it->second = candidate;
+      }
+    }
+  }
+
+  // (3) MST of G'1 over seed indices.
+  std::unordered_map<graph::vertex_id, graph::vertex_id> seed_index;
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    seed_index.emplace(seeds[i], static_cast<graph::vertex_id>(i));
+  }
+  graph::edge_list g1_list(static_cast<graph::vertex_id>(seeds.size()));
+  for (const auto& [key, b] : g1) {
+    g1_list.add_undirected_edge(seed_index.at(key.first),
+                                seed_index.at(key.second), b.total);
+  }
+  const graph::mst_result g2 = graph::prim_mst(graph::csr_graph(g1_list), 0);
+  if (!g2.spanning) {
+    throw std::runtime_error(
+        "mehlhorn_steiner_tree: seeds are not mutually reachable");
+  }
+
+  // (4) Expand each MST edge into bridge + predecessor paths.
+  edge_set expanded;
+  const auto walk_to_seed = [&](graph::vertex_id x) {
+    while (x != cells.src[x]) {
+      const graph::vertex_id p = cells.pred[x];
+      const graph::weight_t w = cells.distance[x] - cells.distance[p];
+      if (!expanded.insert(p, x, w)) break;  // rest of the chain already added
+      x = p;
+    }
+  };
+  for (const auto& e : g2.edges) {
+    const graph::vertex_id s = seeds[e.source];
+    const graph::vertex_id t = seeds[e.target];
+    const bridge& b = g1.at({std::min(s, t), std::max(s, t)});
+    expanded.insert(b.u, b.v, b.w);
+    walk_to_seed(b.u);
+    walk_to_seed(b.v);
+  }
+
+  // (5) Final MST over the expanded subgraph + Steiner-leaf pruning
+  // (KMB steps 4-5).
+  graph::edge_list g3;
+  g3.set_num_vertices(graph.num_vertices());
+  for (const auto& e : expanded.edges()) {
+    g3.add_undirected_edge(e.source, e.target, e.weight);
+  }
+  graph::mst_result g4 = graph::kruskal_mst(g3);
+  result.tree_edges = prune_steiner_leaves(std::move(g4.edges), seeds);
+  sort_edges(result.tree_edges);
+  for (const auto& e : result.tree_edges) result.total_distance += e.weight;
+  result.seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace dsteiner::baselines

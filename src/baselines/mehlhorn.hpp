@@ -1,0 +1,21 @@
+// Sequential Mehlhorn 2-approximation [17] — the algorithm the paper's
+// distributed solution parallelizes, and the "M" column of Table VI.
+//
+// Steps: (1) one multi-source Dijkstra grows all Voronoi cells,
+// (2) a single arc scan builds the distance graph G'1 (min bridge per cell
+// pair), (3) MST of G'1, (4) MST edges are expanded into their underlying
+// paths, (5) a final MST + leaf pruning over the expanded subgraph (KMB
+// steps 4-5). O(|V| log |V| + |E|) ignoring the small G'1 terms.
+#pragma once
+
+#include <span>
+
+#include "baselines/baseline_util.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace dsteiner::baselines {
+
+[[nodiscard]] approx_result mehlhorn_steiner_tree(
+    const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds);
+
+}  // namespace dsteiner::baselines

@@ -1,0 +1,142 @@
+#include "baselines/planted.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "baselines/baseline_util.hpp"
+#include "util/hash.hpp"
+#include "util/random.hpp"
+
+namespace dsteiner::baselines {
+
+tree_distance_oracle::tree_distance_oracle(
+    const std::vector<graph::vertex_id>& parent,
+    const std::vector<graph::weight_t>& parent_weight) {
+  const std::size_t n = parent.size();
+  if (n == 0) throw std::invalid_argument("tree_distance_oracle: empty tree");
+  assert(parent[0] == 0);
+
+  depth_.assign(n, 0);
+  root_distance_.assign(n, 0);
+  for (std::size_t v = 1; v < n; ++v) {
+    assert(parent[v] < v);
+    depth_[v] = depth_[parent[v]] + 1;
+    root_distance_[v] = root_distance_[parent[v]] + parent_weight[v];
+  }
+
+  const int levels = std::max(
+      1, static_cast<int>(std::bit_width(static_cast<std::uint64_t>(n))) + 1);
+  up_.assign(static_cast<std::size_t>(levels),
+             std::vector<graph::vertex_id>(n, 0));
+  for (std::size_t v = 0; v < n; ++v) up_[0][v] = parent[v];
+  for (int level = 1; level < levels; ++level) {
+    for (std::size_t v = 0; v < n; ++v) {
+      up_[static_cast<std::size_t>(level)][v] =
+          up_[static_cast<std::size_t>(level - 1)]
+             [up_[static_cast<std::size_t>(level - 1)][v]];
+    }
+  }
+}
+
+graph::vertex_id tree_distance_oracle::lca(graph::vertex_id u,
+                                           graph::vertex_id v) const {
+  if (depth_[u] < depth_[v]) std::swap(u, v);
+  std::uint32_t lift = depth_[u] - depth_[v];
+  for (std::size_t level = 0; lift != 0; ++level, lift >>= 1) {
+    if (lift & 1) u = up_[level][u];
+  }
+  if (u == v) return u;
+  for (std::size_t level = up_.size(); level-- > 0;) {
+    if (up_[level][u] != up_[level][v]) {
+      u = up_[level][u];
+      v = up_[level][v];
+    }
+  }
+  return up_[0][u];
+}
+
+graph::weight_t tree_distance_oracle::distance(graph::vertex_id u,
+                                               graph::vertex_id v) const {
+  const graph::vertex_id a = lca(u, v);
+  return root_distance_[u] + root_distance_[v] - 2 * root_distance_[a];
+}
+
+planted_instance make_planted_instance(const planted_params& params) {
+  if (params.num_vertices < 2) {
+    throw std::invalid_argument("make_planted_instance: need >= 2 vertices");
+  }
+  if (params.num_seeds < 2 || params.num_seeds > params.num_vertices) {
+    throw std::invalid_argument("make_planted_instance: bad seed count");
+  }
+  util::rng gen(params.seed);
+
+  // (1) Random attachment tree: parent[v] < v, uniform among predecessors.
+  const graph::vertex_id n = params.num_vertices;
+  std::vector<graph::vertex_id> parent(n, 0);
+  std::vector<graph::weight_t> parent_weight(n, 0);
+  graph::edge_list edges(n);
+  for (graph::vertex_id v = 1; v < n; ++v) {
+    parent[v] = gen.uniform(0, v - 1);
+    parent_weight[v] =
+        gen.uniform(params.tree_weight_lo, params.tree_weight_hi);
+    edges.add_undirected_edge(parent[v], v, parent_weight[v]);
+  }
+
+  // (2) Noise edges strictly heavier than their tree-path distance.
+  const tree_distance_oracle oracle(parent, parent_weight);
+  std::unordered_set<std::pair<graph::vertex_id, graph::vertex_id>,
+                     util::pair_hash>
+      used;
+  for (graph::vertex_id v = 1; v < n; ++v) {
+    used.insert({std::min(parent[v], v), std::max(parent[v], v)});
+  }
+  std::uint64_t added = 0;
+  std::uint64_t attempts = 0;
+  const std::uint64_t max_attempts = params.num_noise_edges * 20 + 1000;
+  while (added < params.num_noise_edges && attempts < max_attempts) {
+    ++attempts;
+    const graph::vertex_id u = gen.uniform(0, n - 1);
+    const graph::vertex_id v = gen.uniform(0, n - 1);
+    if (u == v) continue;
+    const auto key = std::pair{std::min(u, v), std::max(u, v)};
+    if (!used.insert(key).second) continue;
+    const graph::weight_t d_tree = oracle.distance(u, v);
+    const double factor =
+        params.factor_lo +
+        gen.uniform_real() * (params.factor_hi - params.factor_lo);
+    const auto scaled = static_cast<graph::weight_t>(
+        std::ceil(static_cast<double>(d_tree) * factor));
+    const graph::weight_t w = std::max<graph::weight_t>(scaled, d_tree + 1);
+    edges.add_undirected_edge(u, v, w);
+    ++added;
+  }
+
+  // (3) Seeds + the analytically known optimum.
+  planted_instance instance;
+  const auto samples =
+      util::sample_without_replacement(n, params.num_seeds, gen);
+  instance.seeds.assign(samples.begin(), samples.end());
+  std::sort(instance.seeds.begin(), instance.seeds.end());
+
+  std::vector<graph::weighted_edge> tree_edges;
+  tree_edges.reserve(n - 1);
+  for (graph::vertex_id v = 1; v < n; ++v) {
+    tree_edges.push_back(
+        {std::min(parent[v], v), std::max(parent[v], v), parent_weight[v]});
+  }
+  instance.optimal_edges = prune_steiner_leaves(std::move(tree_edges),
+                                                instance.seeds);
+  for (const auto& e : instance.optimal_edges) {
+    instance.optimal_distance += e.weight;
+  }
+
+  edges.canonicalize();
+  instance.graph = graph::csr_graph(edges);
+  return instance;
+}
+
+}  // namespace dsteiner::baselines

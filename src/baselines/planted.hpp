@@ -1,0 +1,70 @@
+// Planted-optimum Steiner instances — known exact optima at any |S|.
+//
+// The paper's Table VII measures D(GS)/Dmin using SCIP-Jack optima at
+// |S| up to 1000. No exact solver available here is tractable at that scale,
+// so we construct instances whose optimum is known analytically:
+//
+//   1. Plant a random spanning tree T with light edge weights.
+//   2. Add noise edges (u, v) whose weight strictly exceeds the weighted
+//      tree-path distance d_T(u, v) (computed exactly via LCA).
+//
+// Exchange argument: any Steiner tree containing a noise edge (u, v) can
+// swap it for the tree path between u and v, strictly reducing total weight
+// (dropping surplus cycle edges only helps). Hence the optimum uses tree
+// edges only, and the unique minimal tree-only Steiner tree is the minimal
+// subtree of T spanning S — obtained by pruning non-seed leaves from T.
+//
+// The noise edges still act as real shortcut candidates for approximation
+// algorithms (their Voronoi bridges may route through them), so measured
+// ratios are informative, not trivially 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace dsteiner::baselines {
+
+struct planted_params {
+  graph::vertex_id num_vertices = 1000;
+  std::size_t num_seeds = 10;
+  std::uint64_t num_noise_edges = 4000;
+  graph::weight_t tree_weight_lo = 1;
+  graph::weight_t tree_weight_hi = 100;
+  /// Noise edge weight = ceil(d_T(u,v) * factor), factor uniform in
+  /// [factor_lo, factor_hi]; clamped to >= d_T(u,v) + 1.
+  double factor_lo = 1.05;
+  double factor_hi = 3.0;
+  std::uint64_t seed = 1;
+};
+
+struct planted_instance {
+  graph::csr_graph graph;
+  std::vector<graph::vertex_id> seeds;
+  graph::weight_t optimal_distance = 0;
+  std::vector<graph::weighted_edge> optimal_edges;
+};
+
+[[nodiscard]] planted_instance make_planted_instance(const planted_params& params);
+
+/// Exact weighted tree-path distances on an explicit parent representation;
+/// exposed for tests. parent[0] must be 0 (root); parent[v] < v.
+class tree_distance_oracle {
+ public:
+  tree_distance_oracle(const std::vector<graph::vertex_id>& parent,
+                       const std::vector<graph::weight_t>& parent_weight);
+
+  [[nodiscard]] graph::weight_t distance(graph::vertex_id u,
+                                         graph::vertex_id v) const;
+  [[nodiscard]] graph::vertex_id lca(graph::vertex_id u, graph::vertex_id v) const;
+
+ private:
+  std::vector<std::vector<graph::vertex_id>> up_;  // binary lifting table
+  std::vector<std::uint32_t> depth_;
+  std::vector<graph::weight_t> root_distance_;
+};
+
+}  // namespace dsteiner::baselines

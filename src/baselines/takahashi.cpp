@@ -1,0 +1,83 @@
+#include "baselines/takahashi.hpp"
+
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace dsteiner::baselines {
+
+approx_result takahashi_steiner_tree(const graph::csr_graph& graph,
+                                     std::span<const graph::vertex_id> seeds) {
+  util::timer wall;
+  approx_result result;
+  if (seeds.size() <= 1) return result;
+
+  const graph::vertex_id n = graph.num_vertices();
+  std::unordered_set<graph::vertex_id> remaining(seeds.begin() + 1, seeds.end());
+  remaining.erase(seeds.front());
+
+  std::vector<bool> in_tree(n, false);
+  in_tree[seeds.front()] = true;
+  edge_set tree;
+
+  // Each round: multi-source Dijkstra from the current tree until the nearest
+  // remaining seed settles, then splice its path in.
+  std::vector<graph::weight_t> dist(n);
+  std::vector<graph::vertex_id> pred(n);
+  while (!remaining.empty()) {
+    std::fill(dist.begin(), dist.end(), graph::k_inf_distance);
+    std::fill(pred.begin(), pred.end(), graph::k_no_vertex);
+    using entry = std::pair<graph::weight_t, graph::vertex_id>;
+    std::priority_queue<entry, std::vector<entry>, std::greater<>> heap;
+    for (graph::vertex_id v = 0; v < n; ++v) {
+      if (in_tree[v]) {
+        dist[v] = 0;
+        heap.push({0, v});
+      }
+    }
+    graph::vertex_id found = graph::k_no_vertex;
+    while (!heap.empty()) {
+      const auto [d, v] = heap.top();
+      heap.pop();
+      if (d != dist[v]) continue;
+      if (remaining.contains(v)) {
+        found = v;
+        break;
+      }
+      const auto nbrs = graph.neighbors(v);
+      const auto wts = graph.weights(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const graph::weight_t candidate = d + wts[i];
+        if (candidate < dist[nbrs[i]]) {
+          dist[nbrs[i]] = candidate;
+          pred[nbrs[i]] = v;
+          heap.push({candidate, nbrs[i]});
+        }
+      }
+    }
+    if (found == graph::k_no_vertex) {
+      throw std::runtime_error(
+          "takahashi_steiner_tree: seeds not mutually reachable");
+    }
+    remaining.erase(found);
+    // Splice the path from the tree to the new seed.
+    graph::vertex_id x = found;
+    while (!in_tree[x]) {
+      in_tree[x] = true;
+      const graph::vertex_id p = pred[x];
+      tree.insert(p, x, dist[x] - dist[p]);
+      x = p;
+    }
+  }
+
+  result.tree_edges = std::move(tree).take();
+  sort_edges(result.tree_edges);
+  for (const auto& e : result.tree_edges) result.total_distance += e.weight;
+  result.seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace dsteiner::baselines

@@ -1,0 +1,18 @@
+// Takahashi–Matsuyama shortest-path heuristic [13] — the earliest of the
+// 2-approximation family the paper surveys (bound 2(1 - 1/|S|)). Grows the
+// tree seed-by-seed: repeatedly attach the seed closest to the current tree
+// via its shortest path. Also commonly used as the base solution refined by
+// the < 2-ratio algorithms the paper cites ([38]-[40]).
+#pragma once
+
+#include <span>
+
+#include "baselines/baseline_util.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace dsteiner::baselines {
+
+[[nodiscard]] approx_result takahashi_steiner_tree(
+    const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds);
+
+}  // namespace dsteiner::baselines

@@ -1,0 +1,124 @@
+#include "baselines/www.hpp"
+
+#include <queue>
+#include <stdexcept>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/dijkstra.hpp"
+#include "graph/mst.hpp"
+#include "graph/union_find.hpp"
+#include "util/timer.hpp"
+
+namespace dsteiner::baselines {
+
+namespace {
+
+/// Event-driven front growth. Two event kinds share one queue ordered by
+/// "time" (distance for settle events, half the bridging distance for merge
+/// events, matching the continuous front-growth intuition of [15]).
+struct event {
+  graph::weight_t time;   // x2 to keep half-distances integral
+  std::uint8_t kind;      // 0 = settle, 1 = merge (merges after settles on ties)
+  graph::weight_t dist;   // settle: tentative distance of vertex
+  graph::vertex_id vertex;
+  graph::vertex_id from;  // settle: predecessor; merge: endpoint u
+  graph::vertex_id other; // merge: endpoint v
+  graph::weight_t w;      // merge: weight of the meeting edge
+
+  [[nodiscard]] auto order() const noexcept {
+    return std::tuple{time, kind, dist, vertex, from, other};
+  }
+  friend bool operator>(const event& a, const event& b) noexcept {
+    return a.order() > b.order();
+  }
+};
+
+}  // namespace
+
+approx_result www_steiner_tree(const graph::csr_graph& graph,
+                               std::span<const graph::vertex_id> seeds) {
+  util::timer wall;
+  approx_result result;
+  if (seeds.size() <= 1) return result;
+
+  const graph::vertex_id n = graph.num_vertices();
+  std::vector<graph::weight_t> dist(n, graph::k_inf_distance);
+  std::vector<graph::vertex_id> src(n, graph::k_no_vertex);
+  std::vector<graph::vertex_id> pred(n, graph::k_no_vertex);
+
+  std::unordered_map<graph::vertex_id, std::size_t> seed_index;
+  for (std::size_t i = 0; i < seeds.size(); ++i) seed_index.emplace(seeds[i], i);
+  graph::union_find components(seeds.size());
+  std::size_t merges_remaining = seeds.size() - 1;
+
+  std::priority_queue<event, std::vector<event>, std::greater<>> queue;
+  for (const graph::vertex_id s : seeds) {
+    queue.push(event{0, 0, 0, s, s, 0, 0});
+  }
+
+  edge_set tree;
+  const auto walk_to_seed = [&](graph::vertex_id x) {
+    while (x != src[x]) {
+      const graph::vertex_id p = pred[x];
+      const graph::weight_t w = dist[x] - dist[p];
+      if (!tree.insert(p, x, w)) break;
+      x = p;
+    }
+  };
+
+  while (!queue.empty() && merges_remaining > 0) {
+    const event ev = queue.top();
+    queue.pop();
+    if (ev.kind == 1) {
+      // Merge event: endpoints may have been re-parented since scheduling.
+      const std::size_t a = components.find(seed_index.at(src[ev.from]));
+      const std::size_t b = components.find(seed_index.at(src[ev.other]));
+      if (a == b) continue;
+      components.unite(a, b);
+      --merges_remaining;
+      tree.insert(ev.from, ev.other, ev.w);
+      walk_to_seed(ev.from);
+      walk_to_seed(ev.other);
+      continue;
+    }
+    // Settle event.
+    const graph::vertex_id v = ev.vertex;
+    if (ev.dist >= dist[v]) continue;  // already settled cheaper
+    dist[v] = ev.dist;
+    src[v] = ev.from == v ? v : src[ev.from];
+    pred[v] = ev.from;
+    const auto nbrs = graph.neighbors(v);
+    const auto wts = graph.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const graph::vertex_id u = nbrs[i];
+      const graph::weight_t candidate = ev.dist + wts[i];
+      if (dist[u] == graph::k_inf_distance) {
+        queue.push(event{candidate * 2, 0, candidate, u, v, 0, 0});
+      } else if (src[u] != src[v]) {
+        // Fronts touch: schedule a component merge at the meeting time.
+        const graph::weight_t bridge = dist[v] + wts[i] + dist[u];
+        queue.push(event{bridge, 1, 0, 0, v, u, wts[i]});
+      }
+    }
+  }
+  if (merges_remaining > 0) {
+    throw std::runtime_error("www_steiner_tree: seeds not mutually reachable");
+  }
+
+  // Cleanup per [15]: MST over the union of paths, then leaf pruning.
+  graph::edge_list expanded;
+  expanded.set_num_vertices(n);
+  for (const auto& e : tree.edges()) {
+    expanded.add_undirected_edge(e.source, e.target, e.weight);
+  }
+  graph::mst_result mst = graph::kruskal_mst(expanded);
+  result.tree_edges = prune_steiner_leaves(std::move(mst.edges), seeds);
+  sort_edges(result.tree_edges);
+  for (const auto& e : result.tree_edges) result.total_distance += e.weight;
+  result.seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace dsteiner::baselines

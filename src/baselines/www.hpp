@@ -1,0 +1,21 @@
+// The WWW algorithm (Wu, Widmayer, Wong [15]) — the "W" column of Table VI.
+//
+// A generalized-MST formulation: shortest-path fronts grow from every seed
+// simultaneously; when fronts of two different tree components meet, the
+// components merge through the connecting path (a generalized Kruskal whose
+// merge order follows meeting time = half the bridging distance).
+// O(|E| log |V|), same 2(1 - 1/l) bound as KMB. The paper chose against
+// parallelizing this family because component merging serializes (§III).
+#pragma once
+
+#include <span>
+
+#include "baselines/baseline_util.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace dsteiner::baselines {
+
+[[nodiscard]] approx_result www_steiner_tree(
+    const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds);
+
+}  // namespace dsteiner::baselines

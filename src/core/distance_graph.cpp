@@ -1,0 +1,165 @@
+#include "core/distance_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace dsteiner::core {
+
+namespace {
+
+class cross_edge_handler {
+ public:
+  cross_edge_handler(const runtime::dist_graph& dgraph,
+                     const steiner_state& state,
+                     std::vector<cross_edge_map>& per_rank_en)
+      : dgraph_(&dgraph), state_(&state), en_(&per_rank_en) {}
+
+  bool pre_visit(const cross_edge_visitor&, int) { return true; }
+
+  template <typename Emitter>
+  bool visit(const cross_edge_visitor& v, int rank, Emitter& out) {
+    switch (v.kind) {
+      case cross_edge_visitor::kind_t::scan: {
+        const graph::vertex_id u = v.routed;
+        if (!state_->reached(u)) return true;  // isolated from every seed
+        if (dgraph_->is_delegate(u)) {
+          cross_edge_visitor relay{u, u, state_->src[u], state_->distance[u],
+                                   0, cross_edge_visitor::kind_t::relay};
+          for (int q = 0; q < dgraph_->num_ranks(); ++q) out.to_rank(q, relay);
+          return true;
+        }
+        emit_probes(u, state_->src[u], state_->distance[u], rank, out,
+                    /*slice_only=*/false);
+        return true;
+      }
+      case cross_edge_visitor::kind_t::relay:
+        emit_probes(v.u, v.src_u, v.d_u, rank, out, /*slice_only=*/true);
+        return true;
+      case cross_edge_visitor::kind_t::probe: {
+        const graph::vertex_id vt = v.routed;
+        if (!state_->reached(vt)) return true;
+        const graph::vertex_id src_v = state_->src[vt];
+        if (src_v == v.src_u) return true;  // same cell: not a cross edge
+        const seed_pair key{std::min(v.src_u, src_v), std::max(v.src_u, src_v)};
+        const cross_edge_entry candidate{
+            v.d_u + v.w + state_->distance[vt], std::min(v.u, vt),
+            std::max(v.u, vt), v.w};
+        auto& local = (*en_)[static_cast<std::size_t>(rank)];
+        const auto [it, inserted] = local.emplace(key, candidate);
+        if (!inserted) it->second = min_entry(it->second, candidate);
+        return true;
+      }
+    }
+    return true;
+  }
+
+ private:
+  /// Probes each arc (u, vt) with u < vt — one probe per undirected edge.
+  template <typename Emitter>
+  void emit_probes(graph::vertex_id u, graph::vertex_id src_u,
+                   graph::weight_t d_u, int rank, Emitter& out,
+                   bool slice_only) {
+    const auto probe_arc = [&](graph::vertex_id vt, graph::weight_t w) {
+      if (u >= vt) return;
+      out.to_vertex(cross_edge_visitor{vt, u, src_u, d_u, w,
+                                       cross_edge_visitor::kind_t::probe});
+    };
+    if (slice_only) {
+      dgraph_->for_each_arc_in_slice(u, rank, probe_arc);
+    } else {
+      dgraph_->for_each_arc(u, probe_arc);
+    }
+  }
+
+  const runtime::dist_graph* dgraph_;
+  const steiner_state* state_;
+  std::vector<cross_edge_map>* en_;
+};
+
+}  // namespace
+
+runtime::phase_metrics find_local_min_edges(
+    const runtime::dist_graph& dgraph, const steiner_state& state,
+    std::vector<cross_edge_map>& per_rank_en,
+    const runtime::engine_config& config) {
+  per_rank_en.assign(static_cast<std::size_t>(dgraph.num_ranks()), {});
+  cross_edge_handler handler(dgraph, state, per_rank_en);
+  // do_traversal(init_all): one scan visitor per vertex, seeded at its owner.
+  std::vector<cross_edge_visitor> initial;
+  initial.reserve(dgraph.graph().num_vertices());
+  for (graph::vertex_id u = 0; u < dgraph.graph().num_vertices(); ++u) {
+    initial.push_back(cross_edge_visitor{u});
+  }
+  return runtime::run_visitors(dgraph.parts(), handler, std::move(initial),
+                               config);
+}
+
+std::size_t dense_pair_index(std::size_t i, std::size_t j,
+                             std::size_t num_seeds) noexcept {
+  assert(i < j && j < num_seeds);
+  // Row-major upper triangle: row i starts after i rows of shrinking length.
+  return i * (2 * num_seeds - i - 1) / 2 + (j - i - 1);
+}
+
+runtime::phase_metrics reduce_global_min_edges(
+    const runtime::communicator& comm, std::vector<cross_edge_map>& per_rank_en,
+    const global_reduce_options& options) {
+  runtime::phase_metrics metrics;
+  util::timer wall;
+  if (!options.dense) {
+    comm.allreduce_map(per_rank_en,
+                       [](const cross_edge_entry& a, const cross_edge_entry& b) {
+                         return min_entry(a, b);
+                       },
+                       metrics);
+    metrics.wall_seconds = wall.seconds();
+    return metrics;
+  }
+
+  // Dense mode: materialise the (|S| choose 2) buffer of Alg. 3 line 2.
+  const std::span<const graph::vertex_id> seeds = options.seeds;
+  if (seeds.empty()) {
+    throw std::invalid_argument(
+        "reduce_global_min_edges: dense mode requires the seed list");
+  }
+  std::unordered_map<graph::vertex_id, std::size_t> seed_index;
+  seed_index.reserve(seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) seed_index.emplace(seeds[i], i);
+
+  const std::size_t slots = seeds.size() * (seeds.size() - 1) / 2;
+  std::vector<std::vector<cross_edge_entry>> dense(per_rank_en.size());
+  for (std::size_t r = 0; r < per_rank_en.size(); ++r) {
+    dense[r].assign(slots, cross_edge_entry{});
+    for (const auto& [key, entry] : per_rank_en[r]) {
+      const std::size_t i = seed_index.at(key.first);
+      const std::size_t j = seed_index.at(key.second);
+      const std::size_t slot =
+          dense_pair_index(std::min(i, j), std::max(i, j), seeds.size());
+      dense[r][slot] = min_entry(dense[r][slot], entry);
+    }
+  }
+  comm.allreduce(dense,
+                 [](const cross_edge_entry& a, const cross_edge_entry& b) {
+                   return min_entry(a, b);
+                 },
+                 metrics, options.chunk_items);
+  // Rebuild the (now identical) per-rank maps from the reduced buffer.
+  for (std::size_t r = 0; r < per_rank_en.size(); ++r) {
+    per_rank_en[r].clear();
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      for (std::size_t j = i + 1; j < seeds.size(); ++j) {
+        const cross_edge_entry& entry =
+            dense[r][dense_pair_index(i, j, seeds.size())];
+        if (entry.bridge_distance == graph::k_inf_distance) continue;
+        const seed_pair key{std::min(seeds[i], seeds[j]),
+                            std::max(seeds[i], seeds[j])};
+        per_rank_en[r].emplace(key, entry);
+      }
+    }
+  }
+  metrics.wall_seconds = wall.seconds();
+  return metrics;
+}
+
+}  // namespace dsteiner::core

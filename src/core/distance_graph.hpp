@@ -1,0 +1,107 @@
+// Distance graph G'1 construction (paper Alg. 5 and Alg. 3 lines 13-16).
+//
+// After Voronoi cells are known, every edge (u, v) in E with src(u) != src(v)
+// is a *cross-cell* edge bridging cells N(s) and N(t); its bridging cost is
+// d1(s,u) + d(u,v) + d1(v,t). Mehlhorn's G'1 keeps, per cell pair, only the
+// minimum-cost bridge:
+//   1. LOCAL_MIN_DIST_EDGE_ASYNC — a vertex-centric scan: each vertex probes
+//      its neighbours with (src, d1) payloads; the receiving owner updates
+//      its partition-local EN map. One probe per undirected edge.
+//   2. GLOBAL_MIN_DIST_EDGE_COLL — MPI_Allreduce(MPI_MIN) over the per-rank
+//      EN copies. Sparse map-merge by default; a dense (|S| choose 2) buffer
+//      mode (optionally chunked) reproduces the paper's Fig. 8 memory
+//      behaviour.
+//
+// Deterministic tie-break: entries are ordered by (bridge distance, u, v), so
+// the global minimum per cell pair is unique.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/steiner_state.hpp"
+#include "graph/types.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/dist_graph.hpp"
+#include "runtime/perf_model.hpp"
+#include "runtime/visitor_engine.hpp"
+#include "util/hash.hpp"
+
+namespace dsteiner::core {
+
+/// Seed-id pair identifying a Voronoi cell pair; canonical first < second.
+using seed_pair = std::pair<graph::vertex_id, graph::vertex_id>;
+
+/// The minimum-distance bridge between one cell pair.
+struct cross_edge_entry {
+  graph::weight_t bridge_distance = graph::k_inf_distance;  ///< d1(s,u)+d(u,v)+d1(v,t)
+  graph::vertex_id u = graph::k_no_vertex;  ///< cross-edge endpoint, u < v
+  graph::vertex_id v = graph::k_no_vertex;
+  graph::weight_t edge_weight = 0;  ///< d(u, v)
+
+  friend bool operator==(const cross_edge_entry&, const cross_edge_entry&) = default;
+};
+
+/// Lexicographic (distance, u, v) minimum — the library-wide tie-break.
+[[nodiscard]] inline const cross_edge_entry& min_entry(
+    const cross_edge_entry& a, const cross_edge_entry& b) noexcept {
+  if (a.bridge_distance != b.bridge_distance) {
+    return a.bridge_distance < b.bridge_distance ? a : b;
+  }
+  if (a.u != b.u) return a.u < b.u ? a : b;
+  return a.v <= b.v ? a : b;
+}
+
+/// Per-rank map EN: cell pair -> best bridge seen by this rank.
+using cross_edge_map =
+    std::unordered_map<seed_pair, cross_edge_entry, util::pair_hash>;
+
+/// Visitor for the local scan: `scan` enumerates a vertex's arcs, `relay`
+/// enumerates a delegate's per-rank slice, `probe` delivers one endpoint's
+/// (src, d1) to the other endpoint's owner.
+struct cross_edge_visitor {
+  enum class kind_t : std::uint8_t { scan, relay, probe };
+
+  graph::vertex_id routed = 0;  ///< routing target (u for scan/relay, v for probe)
+  graph::vertex_id u = 0;       ///< probing endpoint
+  graph::vertex_id src_u = graph::k_no_vertex;
+  graph::weight_t d_u = graph::k_inf_distance;
+  graph::weight_t w = 0;        ///< d(u, v) carried by probes
+  kind_t kind = kind_t::scan;
+
+  [[nodiscard]] graph::vertex_id target() const noexcept { return routed; }
+  [[nodiscard]] std::uint64_t priority() const noexcept { return 0; }
+};
+
+/// Step 1: fills `per_rank_en` (size = num ranks) with partition-local
+/// minima. `state` must hold converged Voronoi cells.
+[[nodiscard]] runtime::phase_metrics find_local_min_edges(
+    const runtime::dist_graph& dgraph, const steiner_state& state,
+    std::vector<cross_edge_map>& per_rank_en,
+    const runtime::engine_config& config);
+
+/// Options for the global reduction.
+struct global_reduce_options {
+  /// Use a dense (|S| choose 2) buffer instead of the sparse map merge;
+  /// requires `seeds`. Reproduces the paper's Alg. 3 line 2 representation.
+  bool dense = false;
+  std::span<const graph::vertex_id> seeds;
+  /// When dense: items per collective chunk; 0 = one monolithic call (§V-F).
+  std::size_t chunk_items = 0;
+};
+
+/// Step 2: MPI_Allreduce(MPI_MIN); afterwards every rank's EN holds the
+/// global minima.
+[[nodiscard]] runtime::phase_metrics reduce_global_min_edges(
+    const runtime::communicator& comm, std::vector<cross_edge_map>& per_rank_en,
+    const global_reduce_options& options = {});
+
+/// Dense-buffer index of the pair (i, j), i < j, among (|S| choose 2) slots.
+[[nodiscard]] std::size_t dense_pair_index(std::size_t i, std::size_t j,
+                                           std::size_t num_seeds) noexcept;
+
+}  // namespace dsteiner::core

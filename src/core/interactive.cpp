@@ -1,0 +1,80 @@
+#include "core/interactive.hpp"
+
+#include <stdexcept>
+
+namespace dsteiner::core {
+
+exploration_session::exploration_session(graph::csr_graph graph,
+                                         solver_config config)
+    : graph_(std::move(graph)), config_(config) {
+  // Interactive editing routinely disconnects seeds; return forests instead
+  // of throwing mid-session.
+  config_.allow_disconnected_seeds = true;
+}
+
+bool exploration_session::add_seed(graph::vertex_id v) {
+  if (v >= graph_.num_vertices()) {
+    throw std::out_of_range("exploration_session: seed id out of range");
+  }
+  if (!seeds_.insert(v).second) return false;
+  invalidate();
+  return true;
+}
+
+bool exploration_session::remove_seed(graph::vertex_id v) {
+  if (seeds_.erase(v) == 0) return false;
+  invalidate();
+  return true;
+}
+
+void exploration_session::set_seeds(std::span<const graph::vertex_id> seeds) {
+  seeds_.clear();
+  for (const graph::vertex_id v : seeds) {
+    if (v >= graph_.num_vertices()) {
+      throw std::out_of_range("exploration_session: seed id out of range");
+    }
+    seeds_.insert(v);
+  }
+  invalidate();
+}
+
+void exploration_session::clear_seeds() {
+  seeds_.clear();
+  invalidate();
+}
+
+void exploration_session::filter_edges_above(graph::weight_t cutoff) {
+  graph::edge_list kept;
+  kept.set_num_vertices(graph_.num_vertices());
+  for (graph::vertex_id u = 0; u < graph_.num_vertices(); ++u) {
+    const auto nbrs = graph_.neighbors(u);
+    const auto wts = graph_.weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (u < nbrs[i] && wts[i] <= cutoff) {
+        kept.add_undirected_edge(u, nbrs[i], wts[i]);
+      }
+    }
+  }
+  graph_ = graph::csr_graph(kept);
+  invalidate();
+}
+
+void exploration_session::set_ranks(int num_ranks) {
+  if (num_ranks <= 0) {
+    throw std::invalid_argument("exploration_session: ranks must be positive");
+  }
+  if (config_.num_ranks == num_ranks) return;
+  config_.num_ranks = num_ranks;
+  invalidate();
+}
+
+const steiner_result& exploration_session::tree() {
+  if (!cached_) {
+    const std::vector<graph::vertex_id> seed_list(seeds_.begin(), seeds_.end());
+    cached_ = solve_steiner_tree(graph_, seed_list, config_);
+    ++recomputes_;
+  }
+  return *cached_;
+}
+
+}  // namespace dsteiner::core

@@ -1,0 +1,91 @@
+// Interactive exploration session — the paper's motivating workflow (§I):
+// "a user will interact with such computation in various ways, exploring the
+// relationships ... adding or removing classes of edges and/or vertices and
+// adjusting edge distance functions based on investigating the output."
+//
+// A session owns a graph and a mutable seed set; every edit (add/remove
+// seeds, re-weight, filter edges) invalidates the cached result, which is
+// recomputed lazily on the next query. The paper's strong-scaling argument
+// is exactly that such recomputations must be fast and scale with added
+// resources; the session exposes the rank count as a knob for that.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "core/steiner_solver.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace dsteiner::core {
+
+class exploration_session {
+ public:
+  explicit exploration_session(graph::csr_graph graph, solver_config config = {});
+
+  /// Seed-set edits (idempotent; return true if the set changed).
+  bool add_seed(graph::vertex_id v);
+  bool remove_seed(graph::vertex_id v);
+  void set_seeds(std::span<const graph::vertex_id> seeds);
+  void clear_seeds();
+
+  [[nodiscard]] std::vector<graph::vertex_id> seeds() const {
+    return {seeds_.begin(), seeds_.end()};
+  }
+  [[nodiscard]] std::size_t seed_count() const noexcept { return seeds_.size(); }
+
+  /// Rebuilds the graph keeping only edges with weight <= cutoff — the §I
+  /// "removing classes of edges" interaction. Seeds are preserved; the next
+  /// query may legitimately find them disconnected (a Steiner forest is
+  /// returned because the session enables allow_disconnected_seeds).
+  void filter_edges_above(graph::weight_t cutoff);
+
+  /// Replaces every edge weight via fn(u, v, w) — "adjusting edge distance
+  /// functions". fn must return a weight >= 1.
+  template <typename Fn>
+  void reweight(Fn&& fn) {
+    graph::edge_list edges;
+    edges.set_num_vertices(graph_.num_vertices());
+    for (graph::vertex_id u = 0; u < graph_.num_vertices(); ++u) {
+      const auto nbrs = graph_.neighbors(u);
+      const auto wts = graph_.weights(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (u < nbrs[i]) {
+          edges.add_undirected_edge(u, nbrs[i], fn(u, nbrs[i], wts[i]));
+        }
+      }
+    }
+    graph_ = graph::csr_graph(edges);
+    invalidate();
+  }
+
+  /// Scale-out knob: change the simulated rank count for future queries.
+  void set_ranks(int num_ranks);
+
+  /// The Steiner tree for the current seed set; cached until the next edit.
+  /// Empty result (no edges) for fewer than two seeds.
+  const steiner_result& tree();
+
+  /// True if the cache is valid (no recompute pending).
+  [[nodiscard]] bool up_to_date() const noexcept { return cached_.has_value(); }
+
+  /// Number of solver runs performed so far (observability for tests/UX).
+  [[nodiscard]] std::uint64_t recompute_count() const noexcept {
+    return recomputes_;
+  }
+
+  [[nodiscard]] const graph::csr_graph& graph() const noexcept { return graph_; }
+
+ private:
+  void invalidate() noexcept { cached_.reset(); }
+
+  graph::csr_graph graph_;
+  solver_config config_;
+  std::set<graph::vertex_id> seeds_;
+  std::optional<steiner_result> cached_;
+  std::uint64_t recomputes_ = 0;
+};
+
+}  // namespace dsteiner::core

@@ -1,0 +1,4 @@
+#include "core/metrics.hpp"
+
+// memory_accounting is header-only; this translation unit keeps the build
+// layout uniform (one object per core module).

@@ -1,0 +1,74 @@
+#include "core/mst_prim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "graph/edge_list.hpp"
+#include "graph/mst.hpp"
+#include "util/timer.hpp"
+
+namespace dsteiner::core {
+
+distance_graph_mst compute_distance_graph_mst(
+    const cross_edge_map& global_en, std::span<const graph::vertex_id> seeds,
+    const runtime::communicator& comm, runtime::phase_metrics& metrics) {
+  util::timer wall;
+  distance_graph_mst result;
+  result.num_g1_vertices = seeds.size();
+  result.num_g1_edges = global_en.size();
+
+  // G'1 over seed indices 0..|S|-1; edge weight = bridge distance.
+  std::unordered_map<graph::vertex_id, graph::vertex_id> seed_index;
+  seed_index.reserve(seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    seed_index.emplace(seeds[i], static_cast<graph::vertex_id>(i));
+  }
+  graph::edge_list g1(static_cast<graph::vertex_id>(seeds.size()));
+  for (const auto& [pair, entry] : global_en) {
+    g1.add_undirected_edge(seed_index.at(pair.first), seed_index.at(pair.second),
+                           entry.bridge_distance);
+  }
+
+  // Prim from seed 0 (the paper's choice); repeated from unreached seeds to
+  // produce a forest when seeds span multiple components.
+  const graph::csr_graph g1_csr(g1);
+  std::vector<bool> covered(seeds.size(), false);
+  std::size_t covered_count = 0;
+  std::size_t tree_components = 0;
+  for (std::size_t root = 0; root < seeds.size(); ++root) {
+    if (covered[root]) continue;
+    ++tree_components;
+    const graph::mst_result mst =
+        graph::prim_mst(g1_csr, static_cast<graph::vertex_id>(root));
+    covered[root] = true;
+    ++covered_count;
+    for (const auto& e : mst.edges) {
+      for (const graph::vertex_id endpoint : {e.source, e.target}) {
+        if (!covered[endpoint]) {
+          covered[endpoint] = true;
+          ++covered_count;
+        }
+      }
+      const graph::vertex_id s = seeds[e.source];
+      const graph::vertex_id t = seeds[e.target];
+      result.mst_pairs.emplace_back(std::min(s, t), std::max(s, t));
+      result.total_weight += e.weight;
+    }
+    // prim_mst only spans root's component; the outer loop catches the rest.
+  }
+  result.spans_all_seeds = tree_components <= 1 && covered_count == seeds.size();
+  std::sort(result.mst_pairs.begin(), result.mst_pairs.end());
+
+  // Simulated cost: every rank runs the same sequential Prim concurrently.
+  const double s = static_cast<double>(seeds.size());
+  const double heap_ops =
+      static_cast<double>(result.num_g1_edges) * std::max(1.0, std::log2(std::max(2.0, s)));
+  metrics.sim_units += heap_ops * comm.costs().sequential_unit;
+  // Result redistribution (the "moving results" component of the MST bar).
+  comm.charge_collective(result.mst_pairs.size() * sizeof(seed_pair), metrics);
+  metrics.wall_seconds += wall.seconds();
+  return result;
+}
+
+}  // namespace dsteiner::core

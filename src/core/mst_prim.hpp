@@ -1,0 +1,38 @@
+// Sequential MST of the distance graph G'1 (paper Alg. 3 line 17).
+//
+// G'1 has at most (|S| choose 2) edges — orders of magnitude smaller than the
+// data graph — so the paper replicates it on every rank and runs a
+// *sequential* Prim locally, avoiding both distributed MST and remote memory
+// copies. The simulated clock is charged the sequential Prim cost once (all
+// ranks compute concurrently) plus a collective charge for moving the result
+// into the distributed structures, mirroring the paper's note that the MST
+// step time "includes time spent in moving results from the sequential code
+// to the distributed data structure".
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/distance_graph.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/perf_model.hpp"
+
+namespace dsteiner::core {
+
+struct distance_graph_mst {
+  /// Cell pairs (canonical seed-id pairs) kept by the MST G'2.
+  std::vector<seed_pair> mst_pairs;
+  graph::weight_t total_weight = 0;
+  bool spans_all_seeds = false;
+  std::size_t num_g1_edges = 0;  ///< |E'1|
+  std::size_t num_g1_vertices = 0;
+};
+
+/// Computes G'2 = MST(G'1) from the globally-reduced EN map. When G'1 is
+/// disconnected (seeds in different components) the result is a minimum
+/// spanning forest and `spans_all_seeds` is false.
+[[nodiscard]] distance_graph_mst compute_distance_graph_mst(
+    const cross_edge_map& global_en, std::span<const graph::vertex_id> seeds,
+    const runtime::communicator& comm, runtime::phase_metrics& metrics);
+
+}  // namespace dsteiner::core

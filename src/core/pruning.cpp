@@ -1,0 +1,59 @@
+#include "core/pruning.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/hash.hpp"
+#include "util/timer.hpp"
+
+namespace dsteiner::core {
+
+runtime::phase_metrics prune_cross_edges(
+    const runtime::communicator& comm,
+    std::vector<cross_edge_map>& per_rank_en,
+    std::span<const seed_pair> mst_pairs) {
+  runtime::phase_metrics metrics;
+  util::timer wall;
+
+  const std::unordered_set<seed_pair, util::pair_hash> keep(mst_pairs.begin(),
+                                                            mst_pairs.end());
+  for (auto& local : per_rank_en) {
+    std::erase_if(local, [&](const auto& item) {
+      return !keep.contains(item.first);
+    });
+  }
+
+  // Uniqueness collective: Allreduce(MIN) over the surviving entries' ids
+  // (Alg. 5 lines 13-15). The maps were already globally reduced, so this is
+  // a fidelity/accounting step; the element-wise minimum also re-asserts the
+  // deterministic winner should per-rank copies ever diverge.
+  std::vector<std::vector<cross_edge_entry>> buffers(per_rank_en.size());
+  for (std::size_t r = 0; r < per_rank_en.size(); ++r) {
+    std::vector<std::pair<seed_pair, cross_edge_entry>> sorted(
+        per_rank_en[r].begin(), per_rank_en[r].end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    buffers[r].reserve(sorted.size());
+    for (const auto& [key, entry] : sorted) buffers[r].push_back(entry);
+  }
+  comm.allreduce(buffers,
+                 [](const cross_edge_entry& a, const cross_edge_entry& b) {
+                   return min_entry(a, b);
+                 },
+                 metrics);
+  // Write the reduced winners back into the per-rank maps.
+  for (std::size_t r = 0; r < per_rank_en.size(); ++r) {
+    std::vector<std::pair<seed_pair, cross_edge_entry>> sorted(
+        per_rank_en[r].begin(), per_rank_en[r].end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      per_rank_en[r][sorted[i].first] = buffers[r][i];
+    }
+  }
+
+  metrics.wall_seconds = wall.seconds();
+  return metrics;
+}
+
+}  // namespace dsteiner::core

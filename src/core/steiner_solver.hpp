@@ -1,0 +1,82 @@
+// The distributed 2-approximation Steiner minimal tree solver — the paper's
+// primary contribution (Alg. 2 / Alg. 3).
+//
+// Pipeline (each step maps to a phase in the Figs. 3-6 breakdown):
+//   1. VORONOI_CELL_ASYNC        — asynchronous multi-cell Bellman-Ford
+//   2. LOCAL_MIN_DIST_EDGE_ASYNC — per-partition min cross-cell bridges
+//   3. GLOBAL_MIN_DIST_EDGE_COLL — Allreduce(MIN) -> distance graph G'1
+//   4. MST_SEQUENTIAL            — replicated sequential Prim -> G'2
+//   5. EDGE_PRUNING_COLL         — keep only MST-selected bridges
+//   6. TREE_EDGE_ASYNC           — pred walk-backs -> Steiner tree GS
+//
+// Guarantee: D(GS)/Dmin(G) <= 2(1 - 1/l) where l is the minimum number of
+// leaves in any Steiner minimal tree (Mehlhorn's proof, §II-III). The output
+// is deterministic — independent of queue policy, execution mode, rank count
+// and partitioning — because all state updates are lexicographic minima.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+#include "runtime/dist_graph.hpp"
+#include "runtime/mailbox.hpp"
+#include "runtime/perf_model.hpp"
+#include "runtime/visitor_engine.hpp"
+
+namespace dsteiner::core {
+
+struct solver_config {
+  /// Simulated MPI processes (the paper runs 16 per node).
+  int num_ranks = 16;
+  runtime::queue_policy policy = runtime::queue_policy::priority;
+  runtime::execution_mode mode = runtime::execution_mode::async;
+  runtime::partition_scheme scheme = runtime::partition_scheme::hash;
+  bool use_delegates = true;
+  std::uint64_t delegate_threshold = 1024;
+  /// Visitors a rank drains per scheduling round.
+  std::size_t batch_size = 64;
+  runtime::cost_model costs{};
+
+  /// Distance-graph reduction: sparse map merge (default) or the paper's
+  /// dense (|S| choose 2) buffer, optionally chunked (§V-F).
+  bool dense_distance_graph = false;
+  std::size_t allreduce_chunk_items = 0;
+
+  /// When false (default), seeds in different components raise
+  /// std::runtime_error; when true the solver returns a Steiner forest and
+  /// flags spans_all_seeds = false.
+  bool allow_disconnected_seeds = false;
+
+  /// Run validate_steiner_tree on the output (cheap; asserts invariants).
+  bool validate = false;
+};
+
+struct steiner_result {
+  std::vector<graph::weighted_edge> tree_edges;  ///< GS, canonical u < v per edge
+  graph::weight_t total_distance = 0;            ///< D(GS)
+  std::size_t num_seeds = 0;                     ///< |S| after deduplication
+  bool spans_all_seeds = true;
+
+  runtime::phase_breakdown phases;  ///< per-phase wall/simulated time + messages
+  memory_accounting memory;
+
+  std::size_t distance_graph_edges = 0;  ///< |E'1|
+  std::uint64_t delegate_count = 0;      ///< high-degree vertices split across ranks
+
+  [[nodiscard]] double wall_seconds() const { return phases.total().wall_seconds; }
+  [[nodiscard]] std::uint64_t total_messages() const {
+    return phases.total().messages_total();
+  }
+};
+
+/// Runs Alg. 3 on `graph` for `seeds`. Seeds are deduplicated; each must be a
+/// valid vertex id. |S| <= 1 yields an empty tree.
+[[nodiscard]] steiner_result solve_steiner_tree(
+    const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds,
+    const solver_config& config = {});
+
+}  // namespace dsteiner::core

@@ -1,0 +1,56 @@
+// Distributed per-vertex state for the Steiner tree computation.
+//
+// Every vertex maintains src(v) (the seed owning its Voronoi cell), pred(v)
+// (its predecessor on the shortest path towards src(v)) and d1(src(v), v)
+// (Alg. 2 step 1 / Alg. 3 INITIALIZATION). The arrays are global in this
+// simulation but obey owner discipline: only the owning rank mutates a
+// vertex's slots.
+//
+// Library-wide deterministic tie-break: a vertex's state is the lexicographic
+// minimum achievable (distance, src, pred) triple, making the final Voronoi
+// assignment (and therefore the Steiner tree) independent of message
+// scheduling, queue policy and rank count.
+#pragma once
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace dsteiner::core {
+
+class steiner_state {
+ public:
+  steiner_state() = default;
+
+  /// Alg. 3 INITIALIZATION: every vertex starts unreached
+  /// (src = pred = d1 = infinity); seed bootstrap happens via visitors.
+  explicit steiner_state(graph::vertex_id num_vertices) {
+    distance.assign(num_vertices, graph::k_inf_distance);
+    src.assign(num_vertices, graph::k_no_vertex);
+    pred.assign(num_vertices, graph::k_no_vertex);
+  }
+
+  std::vector<graph::weight_t> distance;
+  std::vector<graph::vertex_id> src;
+  std::vector<graph::vertex_id> pred;
+
+  /// The tie-break tuple; updates must strictly decrease it.
+  [[nodiscard]] std::tuple<graph::weight_t, graph::vertex_id, graph::vertex_id>
+  tuple_of(graph::vertex_id v) const noexcept {
+    return {distance[v], src[v], pred[v]};
+  }
+
+  [[nodiscard]] bool reached(graph::vertex_id v) const noexcept {
+    return src[v] != graph::k_no_vertex;
+  }
+
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept {
+    return distance.size() * sizeof(graph::weight_t) +
+           src.size() * sizeof(graph::vertex_id) +
+           pred.size() * sizeof(graph::vertex_id);
+  }
+};
+
+}  // namespace dsteiner::core

@@ -1,0 +1,80 @@
+#include "core/tree_edges.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dsteiner::core {
+
+namespace {
+
+class tree_edge_handler {
+ public:
+  tree_edge_handler(const runtime::dist_graph& dgraph,
+                    const steiner_state& state,
+                    std::vector<std::vector<graph::weighted_edge>>& per_rank_es)
+      : dgraph_(&dgraph),
+        state_(&state),
+        es_(&per_rank_es),
+        in_tree_(dgraph.graph().num_vertices(), false) {}
+
+  bool pre_visit(const tree_edge_visitor& v, int) {
+    // Arrival check: a walk into an already-collected vertex carries no new
+    // work (its chain to the seed is already in ES).
+    return !in_tree_[v.vj];
+  }
+
+  template <typename Emitter>
+  bool visit(const tree_edge_visitor& v, int rank, Emitter& out) {
+    const graph::vertex_id vj = v.vj;
+    if (in_tree_[vj]) return false;  // raced with another walk this round
+    in_tree_[vj] = true;
+    if (vj == state_->src[vj]) return true;  // reached the cell's seed
+    const graph::vertex_id p = state_->pred[vj];
+    assert(p != graph::k_no_vertex);
+    // The arc (vj -> pred) lives in vj's adjacency, so its weight is local.
+    const auto w = dgraph_->graph().edge_weight(vj, p);
+    assert(w.has_value());
+    (*es_)[static_cast<std::size_t>(rank)].push_back(
+        {std::min(p, vj), std::max(p, vj), *w});
+    // Alg. 6 lines 12-13: continue the walk only while pred is not the seed.
+    if (p != state_->src[vj]) out.to_vertex(tree_edge_visitor{p});
+    return true;
+  }
+
+ private:
+  const runtime::dist_graph* dgraph_;
+  const steiner_state* state_;
+  std::vector<std::vector<graph::weighted_edge>>* es_;
+  std::vector<bool> in_tree_;
+};
+
+}  // namespace
+
+runtime::phase_metrics collect_tree_edges(
+    const runtime::dist_graph& dgraph, const steiner_state& state,
+    const cross_edge_map& pruned_en,
+    std::vector<std::vector<graph::weighted_edge>>& per_rank_es,
+    const runtime::engine_config& config) {
+  per_rank_es.assign(static_cast<std::size_t>(dgraph.num_ranks()), {});
+  tree_edge_handler handler(dgraph, state, per_rank_es);
+
+  // Deterministic seeding order: sort the pruned bridges by cell pair.
+  std::vector<std::pair<seed_pair, cross_edge_entry>> bridges(pruned_en.begin(),
+                                                              pruned_en.end());
+  std::sort(bridges.begin(), bridges.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::vector<tree_edge_visitor> initial;
+  initial.reserve(bridges.size() * 2);
+  for (const auto& [pair, entry] : bridges) {
+    // Alg. 6 lines 3-4: the cross edge itself joins ES at u's home partition.
+    per_rank_es[static_cast<std::size_t>(dgraph.owner(entry.u))].push_back(
+        {entry.u, entry.v, entry.edge_weight});
+    initial.push_back(tree_edge_visitor{entry.u});
+    initial.push_back(tree_edge_visitor{entry.v});
+  }
+  return runtime::run_visitors(dgraph.parts(), handler, std::move(initial),
+                               config);
+}
+
+}  // namespace dsteiner::core

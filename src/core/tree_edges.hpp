@@ -1,0 +1,40 @@
+// Steiner-tree edge identification (paper Alg. 6, TREE_EDGE_ASYNC).
+//
+// After pruning, every surviving cross-cell edge (u, v) belongs to the final
+// tree. Starting from u and v, asynchronous walk visitors follow pred
+// pointers back to each cell's seed, adding each traversed edge. An in-tree
+// bitmap stops walks that reach an already-collected vertex — this is why the
+// phase's message count is proportional to |ES|, "orders of magnitude
+// smaller" than |E| (§IV, Table IV).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/distance_graph.hpp"
+#include "core/steiner_state.hpp"
+#include "graph/types.hpp"
+#include "runtime/dist_graph.hpp"
+#include "runtime/perf_model.hpp"
+#include "runtime/visitor_engine.hpp"
+
+namespace dsteiner::core {
+
+/// TREE_EDGE_VISITOR of Alg. 6: carries only the vertex being visited.
+struct tree_edge_visitor {
+  graph::vertex_id vj = 0;
+
+  [[nodiscard]] graph::vertex_id target() const noexcept { return vj; }
+  [[nodiscard]] std::uint64_t priority() const noexcept { return 0; }
+};
+
+/// Runs Alg. 6: seeds walks from every pruned cross-cell edge, collects tree
+/// edges into `per_rank_es` (one list per rank, Alg. 6 lines 3-4 place each
+/// cross edge at u's home partition). `in_tree` must be empty or |V| wide.
+[[nodiscard]] runtime::phase_metrics collect_tree_edges(
+    const runtime::dist_graph& dgraph, const steiner_state& state,
+    const cross_edge_map& pruned_en,
+    std::vector<std::vector<graph::weighted_edge>>& per_rank_es,
+    const runtime::engine_config& config);
+
+}  // namespace dsteiner::core

@@ -1,0 +1,108 @@
+#include "core/validation.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/union_find.hpp"
+#include "graph/types.hpp"
+#include "util/hash.hpp"
+
+namespace dsteiner::core {
+
+namespace {
+
+validation_result fail(const std::string& message) {
+  return {false, message};
+}
+
+}  // namespace
+
+validation_result validate_steiner_tree(
+    const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds,
+    std::span<const graph::weighted_edge> edges) {
+  const std::unordered_set<graph::vertex_id> seed_set(seeds.begin(), seeds.end());
+
+  if (seed_set.size() <= 1) {
+    if (!edges.empty()) return fail("single-seed query must yield an empty tree");
+    return {true, {}};
+  }
+  if (edges.empty()) return fail("empty edge set cannot span multiple seeds");
+
+  // Edge existence, weights, duplicates; collect tree vertices and degrees.
+  std::unordered_set<std::pair<graph::vertex_id, graph::vertex_id>, util::pair_hash>
+      seen;
+  std::unordered_map<graph::vertex_id, std::size_t> degree;
+  for (const auto& e : edges) {
+    if (e.source >= graph.num_vertices() || e.target >= graph.num_vertices()) {
+      return fail("edge endpoint outside the graph");
+    }
+    if (e.source == e.target) return fail("self-loop in tree");
+    const auto key = std::pair{std::min(e.source, e.target),
+                               std::max(e.source, e.target)};
+    if (!seen.insert(key).second) {
+      std::ostringstream msg;
+      msg << "duplicate edge (" << key.first << ", " << key.second << ")";
+      return fail(msg.str());
+    }
+    const auto w = graph.edge_weight(e.source, e.target);
+    if (!w) {
+      std::ostringstream msg;
+      msg << "edge (" << e.source << ", " << e.target << ") not in graph";
+      return fail(msg.str());
+    }
+    if (*w != e.weight) {
+      std::ostringstream msg;
+      msg << "edge (" << e.source << ", " << e.target << ") weight " << e.weight
+          << " != graph weight " << *w;
+      return fail(msg.str());
+    }
+    ++degree[e.source];
+    ++degree[e.target];
+  }
+
+  // Acyclic + connected: |vertices| == |edges| + 1 and no union-find cycle.
+  std::unordered_map<graph::vertex_id, std::size_t> compact;
+  for (const auto& [v, d] : degree) {
+    compact.emplace(v, compact.size());
+  }
+  if (compact.size() != edges.size() + 1) {
+    return fail("edge set is not a single tree (|V| != |E| + 1)");
+  }
+  graph::union_find sets(compact.size());
+  for (const auto& e : edges) {
+    if (!sets.unite(compact.at(e.source), compact.at(e.target))) {
+      return fail("cycle detected in tree edges");
+    }
+  }
+
+  // Spans every seed.
+  for (const graph::vertex_id s : seed_set) {
+    if (!compact.contains(s)) {
+      std::ostringstream msg;
+      msg << "seed " << s << " missing from tree";
+      return fail(msg.str());
+    }
+  }
+
+  // No non-seed leaves.
+  for (const auto& [v, d] : degree) {
+    if (d == 1 && !seed_set.contains(v)) {
+      std::ostringstream msg;
+      msg << "leaf " << v << " is a Steiner vertex";
+      return fail(msg.str());
+    }
+  }
+
+  return {true, {}};
+}
+
+graph::weight_t tree_distance(
+    std::span<const graph::weighted_edge> edges) noexcept {
+  graph::weight_t total = 0;
+  for (const auto& e : edges) total += e.weight;
+  return total;
+}
+
+}  // namespace dsteiner::core

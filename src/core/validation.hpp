@@ -1,0 +1,37 @@
+// Steiner tree validation — the invariants every solver output must satisfy.
+// Used by the test suite's property checks and (optionally) by the solver
+// itself after each run.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace dsteiner::core {
+
+struct validation_result {
+  bool valid = false;
+  std::string error;  ///< empty when valid
+
+  explicit operator bool() const noexcept { return valid; }
+};
+
+/// Checks that `edges` forms a valid Steiner tree of `graph` for `seeds`:
+///  - every edge exists in the graph with the stated weight,
+///  - no duplicate (undirected) edges,
+///  - the edge set is acyclic and connected (a single tree),
+///  - the tree contains every seed,
+///  - every leaf is a seed (no dangling Steiner vertices — KMB step 5).
+/// A single-seed query is valid with an empty edge set.
+[[nodiscard]] validation_result validate_steiner_tree(
+    const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds,
+    std::span<const graph::weighted_edge> edges);
+
+/// Total distance D(GS) = sum of edge weights.
+[[nodiscard]] graph::weight_t tree_distance(
+    std::span<const graph::weighted_edge> edges) noexcept;
+
+}  // namespace dsteiner::core

@@ -1,0 +1,82 @@
+#include "core/voronoi.hpp"
+
+#include <cassert>
+#include <tuple>
+#include <vector>
+
+namespace dsteiner::core {
+
+namespace {
+
+/// Handler implementing Alg. 4's visit() in the pre_visit/visit split of the
+/// engine: pre_visit performs the state relaxation (lines 5-9), visit the
+/// neighbour scatter (lines 10-13) unless a better update superseded it.
+class voronoi_handler {
+ public:
+  voronoi_handler(const runtime::dist_graph& dgraph, steiner_state& state)
+      : dgraph_(&dgraph), state_(&state) {}
+
+  // Arrival-time admission check only: a visitor that cannot improve the
+  // target's *current* state is dropped. The relaxation itself happens at
+  // processing time (Alg. 4 lines 5-9 live in visit()), so a FIFO queue
+  // exhibits the label-correcting cascades the paper measures in Fig. 6 and
+  // the priority queue approximates Dijkstra's settling order.
+  bool pre_visit(const voronoi_visitor& v, int rank) {
+    if (v.kind == voronoi_visitor::kind_t::relay) return true;
+    assert(dgraph_->owner(v.vj) == rank);
+    (void)rank;
+    return std::tuple{v.r, v.t, v.vp} < state_->tuple_of(v.vj);
+  }
+
+  template <typename Emitter>
+  bool visit(const voronoi_visitor& v, int rank, Emitter& out) {
+    if (v.kind == voronoi_visitor::kind_t::relay) {
+      // Enumerate this rank's slice of the delegate's adjacency and scatter.
+      dgraph_->for_each_arc_in_slice(
+          v.vj, rank, [&](graph::vertex_id vi, graph::weight_t w) {
+            out.to_vertex(voronoi_visitor{vi, v.vj, v.t, v.r + w});
+          });
+      return true;
+    }
+    // Alg. 4 lines 5-9: relax at processing time; skip if superseded.
+    if (std::tuple{v.r, v.t, v.vp} >= state_->tuple_of(v.vj)) return false;
+    state_->distance[v.vj] = v.r;
+    state_->src[v.vj] = v.t;
+    state_->pred[v.vj] = v.vp;
+    if (dgraph_->is_delegate(v.vj)) {
+      // Broadcast relays: each rank scatters its slice of the hub's edges.
+      const int slices = dgraph_->num_ranks();
+      for (int q = 0; q < slices; ++q) {
+        voronoi_visitor relay{v.vj, v.vp, v.t, v.r,
+                              voronoi_visitor::kind_t::relay};
+        out.to_rank(q, relay);
+      }
+      return true;
+    }
+    dgraph_->for_each_arc(v.vj, [&](graph::vertex_id vi, graph::weight_t w) {
+      out.to_vertex(voronoi_visitor{vi, v.vj, v.t, v.r + w});
+    });
+    return true;
+  }
+
+ private:
+  const runtime::dist_graph* dgraph_;
+  steiner_state* state_;
+};
+
+}  // namespace
+
+runtime::phase_metrics compute_voronoi_cells(
+    const runtime::dist_graph& dgraph, std::span<const graph::vertex_id> seeds,
+    steiner_state& state, const runtime::engine_config& config) {
+  voronoi_handler handler(dgraph, state);
+  std::vector<voronoi_visitor> initial;
+  initial.reserve(seeds.size());
+  for (const graph::vertex_id s : seeds) {
+    initial.push_back(voronoi_visitor{s, s, s, 0});
+  }
+  return runtime::run_visitors(dgraph.parts(), handler, std::move(initial),
+                               config);
+}
+
+}  // namespace dsteiner::core

@@ -1,0 +1,46 @@
+// Distributed Voronoi-cell computation (paper Alg. 4, "VORONOI_CELL_ASYNC").
+//
+// All |S| cells grow concurrently through asynchronous Bellman-Ford
+// relaxations: when vertex vj is visited by neighbour vp from cell t with
+// tentative distance r, vj joins N(t) if (r, t, vp) improves its state, then
+// notifies its neighbours. Message prioritization (priority mailbox keyed on
+// r) approximates Dijkstra's settling order and is the paper's headline
+// optimization (§V-C).
+//
+// Vertex delegates: a high-degree vertex's scatter is split into per-rank
+// relay visitors, each enumerating only that rank's slice of the adjacency.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/steiner_state.hpp"
+#include "graph/types.hpp"
+#include "runtime/dist_graph.hpp"
+#include "runtime/perf_model.hpp"
+#include "runtime/visitor_engine.hpp"
+
+namespace dsteiner::core {
+
+/// The VORONOI_CELL_VISITOR of Alg. 4 (lines 14-18), extended with a relay
+/// kind for delegate scatter.
+struct voronoi_visitor {
+  graph::vertex_id vj = 0;  ///< vertex being visited
+  graph::vertex_id vp = 0;  ///< vertex that sent the visitor (pred candidate)
+  graph::vertex_id t = 0;   ///< seed owning vp's cell
+  graph::weight_t r = 0;    ///< proposed distance d1(t, vj)
+
+  enum class kind_t : std::uint8_t { normal, relay };
+  kind_t kind = kind_t::normal;
+
+  [[nodiscard]] graph::vertex_id target() const noexcept { return vj; }
+  [[nodiscard]] std::uint64_t priority() const noexcept { return r; }
+};
+
+/// Runs Alg. 4 to quiescence, filling `state`. Seeds bootstrap themselves:
+/// each s in S receives (r=0, t=s, vp=s).
+[[nodiscard]] runtime::phase_metrics compute_voronoi_cells(
+    const runtime::dist_graph& dgraph, std::span<const graph::vertex_id> seeds,
+    steiner_state& state, const runtime::engine_config& config);
+
+}  // namespace dsteiner::core

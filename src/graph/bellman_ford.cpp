@@ -1,0 +1,40 @@
+#include "graph/bellman_ford.hpp"
+
+#include <cassert>
+
+namespace dsteiner::graph {
+
+bellman_ford_result bellman_ford(const csr_graph& graph, vertex_id source) {
+  assert(source < graph.num_vertices());
+  bellman_ford_result result;
+  const vertex_id n = graph.num_vertices();
+  result.distance.assign(n, k_inf_distance);
+  result.parent.assign(n, k_no_vertex);
+  result.distance[source] = 0;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.rounds;
+    for (vertex_id v = 0; v < n; ++v) {
+      const weight_t base = result.distance[v];
+      if (base == k_inf_distance) continue;
+      const auto nbrs = graph.neighbors(v);
+      const auto wts = graph.weights(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const vertex_id u = nbrs[i];
+        const weight_t candidate = base + wts[i];
+        ++result.relaxations;
+        if (candidate < result.distance[u] ||
+            (candidate == result.distance[u] && v < result.parent[u])) {
+          result.distance[u] = candidate;
+          result.parent[u] = v;
+          changed = true;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dsteiner::graph

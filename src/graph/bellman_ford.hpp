@@ -1,0 +1,29 @@
+// Sequential Bellman-Ford SSSP. The distributed Voronoi phase (§III) is
+// "based on Bellman-Ford's algorithm" because relaxation tolerates arbitrary
+// message orderings; this sequential version documents the baseline the
+// asynchronous engine generalizes, and the tests cross-check both against
+// Dijkstra.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/types.hpp"
+
+namespace dsteiner::graph {
+
+struct bellman_ford_result {
+  std::vector<weight_t> distance;
+  std::vector<vertex_id> parent;
+  std::uint64_t rounds = 0;       ///< full relaxation sweeps until fixpoint
+  std::uint64_t relaxations = 0;  ///< total edge relaxations attempted
+};
+
+/// Queue-less Bellman-Ford: sweeps all arcs until no distance changes.
+/// O(V * E) worst case; weights are non-negative so no cycle detection needed.
+[[nodiscard]] bellman_ford_result bellman_ford(const csr_graph& graph,
+                                               vertex_id source);
+
+}  // namespace dsteiner::graph

@@ -1,0 +1,33 @@
+#include "graph/bfs.hpp"
+
+#include <cassert>
+#include <deque>
+
+namespace dsteiner::graph {
+
+bfs_result breadth_first_search(const csr_graph& graph, vertex_id source) {
+  assert(source < graph.num_vertices());
+  bfs_result result;
+  result.levels.assign(graph.num_vertices(), k_unreached_level);
+  result.parent.assign(graph.num_vertices(), k_no_vertex);
+
+  std::deque<vertex_id> frontier{source};
+  result.levels[source] = 0;
+  result.reached = 1;
+  while (!frontier.empty()) {
+    const vertex_id v = frontier.front();
+    frontier.pop_front();
+    const bfs_level next = result.levels[v] + 1;
+    for (const vertex_id u : graph.neighbors(v)) {
+      if (result.levels[u] != k_unreached_level) continue;
+      result.levels[u] = next;
+      result.parent[u] = v;
+      result.max_level = next;
+      ++result.reached;
+      frontier.push_back(u);
+    }
+  }
+  return result;
+}
+
+}  // namespace dsteiner::graph

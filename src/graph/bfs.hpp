@@ -1,0 +1,30 @@
+// Breadth-first search over hop counts (ignores edge weights). The paper's
+// seed-selection methodology (§V "Seed Vertex Selection", §V-E) is built on
+// BFS levels within the largest connected component.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace dsteiner::graph {
+
+/// Hop distance used by BFS levels; k_unreached_level marks unreachable
+/// vertices.
+using bfs_level = std::uint32_t;
+inline constexpr bfs_level k_unreached_level = ~bfs_level{0};
+
+struct bfs_result {
+  std::vector<bfs_level> levels;  ///< per-vertex hop count from the source
+  std::vector<vertex_id> parent;  ///< BFS-tree parent (k_no_vertex at source/unreached)
+  bfs_level max_level = 0;        ///< eccentricity of the source within its component
+  std::uint64_t reached = 0;      ///< vertices visited (component size)
+};
+
+/// Standard queue-based BFS from `source`.
+[[nodiscard]] bfs_result breadth_first_search(const csr_graph& graph,
+                                              vertex_id source);
+
+}  // namespace dsteiner::graph

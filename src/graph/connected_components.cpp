@@ -1,0 +1,51 @@
+#include "graph/connected_components.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace dsteiner::graph {
+
+components_result connected_components(const csr_graph& graph) {
+  components_result result;
+  const vertex_id n = graph.num_vertices();
+  constexpr std::uint32_t unlabelled = ~std::uint32_t{0};
+  result.labels.assign(n, unlabelled);
+
+  std::deque<vertex_id> frontier;
+  for (vertex_id root = 0; root < n; ++root) {
+    if (result.labels[root] != unlabelled) continue;
+    const std::uint32_t label = result.component_count++;
+    result.sizes.push_back(0);
+    result.labels[root] = label;
+    frontier.push_back(root);
+    while (!frontier.empty()) {
+      const vertex_id v = frontier.front();
+      frontier.pop_front();
+      ++result.sizes[label];
+      for (const vertex_id u : graph.neighbors(v)) {
+        if (result.labels[u] != unlabelled) continue;
+        result.labels[u] = label;
+        frontier.push_back(u);
+      }
+    }
+  }
+  if (result.component_count > 0) {
+    const auto it = std::max_element(result.sizes.begin(), result.sizes.end());
+    result.largest_component =
+        static_cast<std::uint32_t>(it - result.sizes.begin());
+  }
+  return result;
+}
+
+std::vector<vertex_id> largest_component_vertices(const csr_graph& graph) {
+  const auto cc = connected_components(graph);
+  std::vector<vertex_id> vertices;
+  if (cc.component_count == 0) return vertices;
+  vertices.reserve(cc.sizes[cc.largest_component]);
+  for (vertex_id v = 0; v < graph.num_vertices(); ++v) {
+    if (cc.labels[v] == cc.largest_component) vertices.push_back(v);
+  }
+  return vertices;
+}
+
+}  // namespace dsteiner::graph

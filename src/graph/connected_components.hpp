@@ -1,0 +1,28 @@
+// Connected-component labelling; the evaluation methodology restricts all
+// seed sampling to the largest connected component ("first, we identify the
+// largest connected component using BFS", §V).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace dsteiner::graph {
+
+struct components_result {
+  std::vector<std::uint32_t> labels;   ///< per-vertex component id (dense, 0-based)
+  std::vector<std::uint64_t> sizes;    ///< per-component vertex count
+  std::uint32_t component_count = 0;
+  std::uint32_t largest_component = 0; ///< id of the largest component
+};
+
+/// Labels components by repeated BFS.
+[[nodiscard]] components_result connected_components(const csr_graph& graph);
+
+/// Vertices of the largest component, ascending order.
+[[nodiscard]] std::vector<vertex_id> largest_component_vertices(
+    const csr_graph& graph);
+
+}  // namespace dsteiner::graph

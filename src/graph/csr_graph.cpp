@@ -1,0 +1,51 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dsteiner::graph {
+
+csr_graph::csr_graph(const edge_list& list) {
+  const vertex_id n = list.num_vertices();
+  offsets_.assign(n + 1, 0);
+  for (const auto& e : list.edges()) ++offsets_[e.source + 1];
+  std::partial_sum(offsets_.begin(), offsets_.end(), offsets_.begin());
+
+  targets_.resize(list.size());
+  weights_.resize(list.size());
+  std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& e : list.edges()) {
+    const std::uint64_t slot = cursor[e.source]++;
+    targets_[slot] = e.target;
+    weights_[slot] = e.weight;
+  }
+
+  // Sort each adjacency row by (target, weight) so neighbor scans are ordered
+  // and edge_weight() can early-exit deterministically.
+  for (vertex_id v = 0; v < n; ++v) {
+    const std::uint64_t begin = offsets_[v], end = offsets_[v + 1];
+    std::vector<std::pair<vertex_id, weight_t>> row;
+    row.reserve(end - begin);
+    for (std::uint64_t i = begin; i < end; ++i) row.emplace_back(targets_[i], weights_[i]);
+    std::sort(row.begin(), row.end());
+    for (std::uint64_t i = begin; i < end; ++i) {
+      targets_[i] = row[i - begin].first;
+      weights_[i] = row[i - begin].second;
+    }
+  }
+}
+
+std::optional<weight_t> csr_graph::edge_weight(vertex_id u, vertex_id v) const noexcept {
+  const auto nbrs = neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return std::nullopt;
+  // Rows are sorted by (target, weight): the first hit is the minimum weight.
+  return weights(u)[static_cast<std::size_t>(it - nbrs.begin())];
+}
+
+std::uint64_t csr_graph::memory_bytes() const noexcept {
+  return offsets_.size() * sizeof(std::uint64_t) +
+         targets_.size() * sizeof(vertex_id) + weights_.size() * sizeof(weight_t);
+}
+
+}  // namespace dsteiner::graph

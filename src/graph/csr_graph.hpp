@@ -1,0 +1,74 @@
+// Compressed sparse row (CSR) weighted graph — the cache-friendly structure
+// the paper uses for its sequential baselines ("cache friendly CSR graph data
+// structure", §V-G) and that backs each distributed partition here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace dsteiner::graph {
+
+/// Immutable CSR adjacency with per-edge weights. Directed representation:
+/// undirected graphs carry both arc directions (2|E| entries).
+class csr_graph {
+ public:
+  csr_graph() = default;
+
+  /// Builds from a (not necessarily canonical) edge list. The input is copied
+  /// and counting-sorted by source; parallel edges and self-loops are
+  /// preserved as given — call edge_list::canonicalize() first if undesired.
+  explicit csr_graph(const edge_list& list);
+
+  [[nodiscard]] vertex_id num_vertices() const noexcept {
+    return offsets_.empty() ? 0 : static_cast<vertex_id>(offsets_.size() - 1);
+  }
+
+  /// Number of stored arcs (2|E| for symmetric graphs).
+  [[nodiscard]] std::uint64_t num_arcs() const noexcept { return targets_.size(); }
+
+  [[nodiscard]] std::uint64_t degree(vertex_id v) const noexcept {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  [[nodiscard]] std::span<const vertex_id> neighbors(vertex_id v) const noexcept {
+    return {targets_.data() + offsets_[v], targets_.data() + offsets_[v + 1]};
+  }
+
+  [[nodiscard]] std::span<const weight_t> weights(vertex_id v) const noexcept {
+    return {weights_.data() + offsets_[v], weights_.data() + offsets_[v + 1]};
+  }
+
+  /// Weight of arc (u, v) if present; minimum across parallel arcs.
+  [[nodiscard]] std::optional<weight_t> edge_weight(vertex_id u,
+                                                    vertex_id v) const noexcept;
+
+  [[nodiscard]] bool has_edge(vertex_id u, vertex_id v) const noexcept {
+    return edge_weight(u, v).has_value();
+  }
+
+  /// Bytes held by the CSR arrays (used by the Fig. 8 memory accounting).
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept;
+
+  /// Raw arrays, exposed for kernels that iterate all arcs edge-centrically.
+  [[nodiscard]] const std::vector<std::uint64_t>& offsets() const noexcept {
+    return offsets_;
+  }
+  [[nodiscard]] const std::vector<vertex_id>& targets() const noexcept {
+    return targets_;
+  }
+  [[nodiscard]] const std::vector<weight_t>& arc_weights() const noexcept {
+    return weights_;
+  }
+
+ private:
+  std::vector<std::uint64_t> offsets_;  // size |V|+1
+  std::vector<vertex_id> targets_;      // size = num_arcs
+  std::vector<weight_t> weights_;       // size = num_arcs
+};
+
+}  // namespace dsteiner::graph

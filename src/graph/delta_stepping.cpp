@@ -1,0 +1,93 @@
+#include "graph/delta_stepping.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace dsteiner::graph {
+
+delta_stepping_result delta_stepping(const csr_graph& graph, vertex_id source,
+                                     weight_t delta) {
+  assert(source < graph.num_vertices());
+  delta_stepping_result result;
+  const vertex_id n = graph.num_vertices();
+  result.distance.assign(n, k_inf_distance);
+  result.parent.assign(n, k_no_vertex);
+
+  if (delta == 0) {
+    // Heuristic width: the average edge weight (Meyer & Sanders suggest
+    // Theta(max_weight / max_degree); the mean works well on our inputs).
+    if (graph.num_arcs() > 0) {
+      unsigned __int128 sum = 0;
+      for (const weight_t w : graph.arc_weights()) sum += w;
+      delta = std::max<weight_t>(
+          1, static_cast<weight_t>(sum / graph.num_arcs()));
+    } else {
+      delta = 1;
+    }
+  }
+
+  std::vector<std::deque<vertex_id>> buckets;
+  const auto bucket_of = [&](weight_t dist) {
+    return static_cast<std::size_t>(dist / delta);
+  };
+  const auto place = [&](vertex_id v, weight_t dist) {
+    const std::size_t b = bucket_of(dist);
+    if (b >= buckets.size()) buckets.resize(b + 1);
+    buckets[b].push_back(v);
+  };
+
+  const auto relax = [&](vertex_id from, vertex_id to, weight_t dist) {
+    if (dist < result.distance[to] ||
+        (dist == result.distance[to] && from < result.parent[to])) {
+      const bool improved_distance = dist < result.distance[to];
+      result.distance[to] = dist;
+      result.parent[to] = from;
+      if (improved_distance) place(to, dist);
+      return true;
+    }
+    return false;
+  };
+
+  result.distance[source] = 0;
+  result.parent[source] = k_no_vertex;
+  place(source, 0);
+
+  std::vector<vertex_id> settled;  // bucket members for the heavy pass
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    settled.clear();
+    // Light-edge phase: re-process the bucket until it stops refilling.
+    while (!buckets[b].empty()) {
+      std::deque<vertex_id> frontier;
+      frontier.swap(buckets[b]);
+      for (const vertex_id v : frontier) {
+        if (bucket_of(result.distance[v]) != b) continue;  // moved earlier
+        settled.push_back(v);
+        const auto nbrs = graph.neighbors(v);
+        const auto wts = graph.weights(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          if (wts[i] >= delta) continue;
+          ++result.light_relaxations;
+          relax(v, nbrs[i], result.distance[v] + wts[i]);
+        }
+      }
+    }
+    // Heavy-edge phase: each settled vertex relaxes its heavy edges once.
+    std::sort(settled.begin(), settled.end());
+    settled.erase(std::unique(settled.begin(), settled.end()), settled.end());
+    for (const vertex_id v : settled) {
+      if (bucket_of(result.distance[v]) != b) continue;
+      const auto nbrs = graph.neighbors(v);
+      const auto wts = graph.weights(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (wts[i] < delta) continue;
+        ++result.heavy_relaxations;
+        relax(v, nbrs[i], result.distance[v] + wts[i]);
+      }
+    }
+    ++result.buckets_processed;
+  }
+  return result;
+}
+
+}  // namespace dsteiner::graph

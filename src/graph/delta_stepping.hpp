@@ -1,0 +1,35 @@
+// Delta-stepping SSSP (Meyer & Sanders) — the work-efficient parallel
+// shortest-path algorithm the paper discusses as the alternative to its
+// Bellman-Ford formulation (§III: Ceccarello et al. [25] use Delta-stepping
+// for multi-source distance computation; Wang et al. [26] adapt it on GPUs
+// but "the technique does not naturally extend to distributed memory").
+//
+// Provided as a substrate kernel for comparison: buckets of width delta are
+// processed in order; light edges (w < delta) are relaxed iteratively within
+// a bucket, heavy edges once on bucket settlement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace dsteiner::graph {
+
+struct delta_stepping_result {
+  std::vector<weight_t> distance;
+  std::vector<vertex_id> parent;
+  std::uint64_t buckets_processed = 0;
+  std::uint64_t light_relaxations = 0;
+  std::uint64_t heavy_relaxations = 0;
+};
+
+/// SSSP from `source` with bucket width `delta` (0 picks a heuristic width:
+/// average edge weight). Distances equal Dijkstra's; parents use the same
+/// (distance, parent-id) tie-break as the rest of the library.
+[[nodiscard]] delta_stepping_result delta_stepping(const csr_graph& graph,
+                                                   vertex_id source,
+                                                   weight_t delta = 0);
+
+}  // namespace dsteiner::graph

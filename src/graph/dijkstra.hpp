@@ -1,0 +1,63 @@
+// Sequential shortest-path kernels.
+//
+// Three roles in this repository:
+//  1. `sssp` / `apsp_over_seeds` implement the expensive distance phase of the
+//     KMB baseline (Alg. 1 step 1) and the APSP column of Table I.
+//  2. `multi_source_voronoi` is the sequential Voronoi-cell oracle (the VC
+//     column of Table I, the core of the sequential Mehlhorn baseline, and
+//     the ground truth the distributed implementation is tested against).
+//  3. Both use the library-wide deterministic tie-break: a vertex's state is
+//     the lexicographic minimum of (distance, seed, predecessor), so results
+//     are scheduling-independent.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace dsteiner::graph {
+
+struct sssp_result {
+  std::vector<weight_t> distance;  ///< k_inf_distance where unreachable
+  std::vector<vertex_id> parent;   ///< shortest-path-tree parent; k_no_vertex at source
+  std::uint64_t relaxations = 0;   ///< edge relaxations performed (work metric)
+};
+
+/// Binary-heap Dijkstra from a single source. O((V + E) log V).
+[[nodiscard]] sssp_result dijkstra(const csr_graph& graph, vertex_id source);
+
+/// Per-vertex Voronoi assignment: the nearest seed (`src`), the distance to
+/// it, and the shortest-path-tree predecessor within the cell.
+/// Matches the paper's per-vertex state (Alg. 2 step 1).
+struct voronoi_assignment {
+  std::vector<weight_t> distance;  ///< d1(src(v), v)
+  std::vector<vertex_id> src;      ///< owning seed; k_no_vertex if unreachable
+  std::vector<vertex_id> pred;     ///< predecessor towards src; seeds point to themselves
+  std::uint64_t relaxations = 0;
+};
+
+/// Multi-source Dijkstra growing all Voronoi cells at once. Ties are broken
+/// by (distance, seed id, predecessor id) ascending, which makes the
+/// assignment unique. O((V + E) log V) total, independent of |S|.
+[[nodiscard]] voronoi_assignment multi_source_voronoi(
+    const csr_graph& graph, std::span<const vertex_id> seeds);
+
+/// Distances between every pair of seeds: runs one Dijkstra per seed
+/// (the KMB distance-graph construction). result[i][j] is the shortest-path
+/// distance from seeds[i] to seeds[j].
+///
+/// `parents`, if non-null, receives each seed's full shortest-path tree for
+/// path reconstruction (|S| x |V| memory — intended for the small mirrors).
+[[nodiscard]] std::vector<std::vector<weight_t>> apsp_over_seeds(
+    const csr_graph& graph, std::span<const vertex_id> seeds,
+    std::vector<std::vector<vertex_id>>* parents = nullptr);
+
+/// Reconstructs the path from `source`'s shortest-path tree to `target` as a
+/// sequence of vertices source..target. Empty if unreachable.
+[[nodiscard]] std::vector<vertex_id> reconstruct_path(
+    std::span<const vertex_id> parent, vertex_id source, vertex_id target);
+
+}  // namespace dsteiner::graph

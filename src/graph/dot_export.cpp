@@ -1,0 +1,44 @@
+#include "graph/dot_export.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace dsteiner::graph {
+
+void write_dot(std::ostream& out, std::span<const weighted_edge> edges,
+               std::span<const vertex_id> seeds, const dot_options& options) {
+  const std::unordered_set<vertex_id> seed_set(seeds.begin(), seeds.end());
+  std::unordered_set<vertex_id> vertices;
+  for (const auto& e : edges) {
+    vertices.insert(e.source);
+    vertices.insert(e.target);
+  }
+  for (const vertex_id s : seeds) vertices.insert(s);
+
+  out << "graph " << options.graph_name << " {\n";
+  out << "  node [shape=circle, style=filled, width=0.2, fixedsize=true"
+      << (options.show_labels ? "" : ", label=\"\"") << "];\n";
+  for (const vertex_id v : vertices) {
+    out << "  v" << v << " [fillcolor="
+        << (seed_set.contains(v) ? options.seed_color : options.steiner_color);
+    if (options.show_labels) out << ", label=\"" << v << "\"";
+    out << "];\n";
+  }
+  for (const auto& e : edges) {
+    out << "  v" << e.source << " -- v" << e.target;
+    if (options.show_weights) out << " [label=\"" << e.weight << "\"]";
+    out << ";\n";
+  }
+  out << "}\n";
+}
+
+void write_dot_file(const std::string& path, std::span<const weighted_edge> edges,
+                    std::span<const vertex_id> seeds, const dot_options& options) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_dot_file: cannot write " + path);
+  write_dot(out, edges, seeds, options);
+}
+
+}  // namespace dsteiner::graph

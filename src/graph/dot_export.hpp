@@ -1,0 +1,32 @@
+// Graphviz DOT export for Steiner trees — used to regenerate the paper's
+// Fig. 9 (MiCo Steiner trees with seed vertices in red and Steiner vertices
+// in blue).
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace dsteiner::graph {
+
+struct dot_options {
+  std::string graph_name = "steiner_tree";
+  std::string seed_color = "red";
+  std::string steiner_color = "lightblue";
+  bool show_weights = true;
+  bool show_labels = false;  ///< vertex-id labels on nodes
+};
+
+/// Writes the subgraph formed by `edges` (typically a Steiner tree); vertices
+/// in `seeds` are filled with seed_color, all others with steiner_color.
+void write_dot(std::ostream& out, std::span<const weighted_edge> edges,
+               std::span<const vertex_id> seeds, const dot_options& options = {});
+
+void write_dot_file(const std::string& path, std::span<const weighted_edge> edges,
+                    std::span<const vertex_id> seeds,
+                    const dot_options& options = {});
+
+}  // namespace dsteiner::graph

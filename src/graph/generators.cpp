@@ -1,0 +1,193 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/connected_components.hpp"
+#include "util/hash.hpp"
+
+namespace dsteiner::graph {
+
+edge_list generate_rmat(const rmat_params& params) {
+  if (params.a + params.b + params.c > 1.0) {
+    throw std::invalid_argument("generate_rmat: a + b + c must be <= 1");
+  }
+  const vertex_id n = vertex_id{1} << params.scale;
+  const std::uint64_t samples = params.edge_factor * n;
+  util::rng gen(params.seed);
+
+  edge_list list(n);
+  list.edges().reserve(samples * 2);
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    vertex_id u = 0, v = 0;
+    for (std::uint64_t level = 0; level < params.scale; ++level) {
+      // Perturb quadrant probabilities per level so degree correlation decays
+      // (standard RMAT noise trick).
+      const double jitter = 1.0 + params.noise * (gen.uniform_real() - 0.5);
+      const double a = params.a * jitter;
+      const double b = params.b * jitter;
+      const double c = params.c * jitter;
+      const double total = a + b + c + (1.0 - params.a - params.b - params.c) * jitter;
+      const double draw = gen.uniform_real() * total;
+      u <<= 1;
+      v <<= 1;
+      if (draw < a) {
+        // top-left: no bit set
+      } else if (draw < a + b) {
+        v |= 1;
+      } else if (draw < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u != v) list.add_edge(u, v, 1);
+  }
+  list.symmetrize();
+  return list;
+}
+
+edge_list generate_erdos_renyi(vertex_id num_vertices, std::uint64_t num_edges,
+                               std::uint64_t seed) {
+  const std::uint64_t max_edges = num_vertices * (num_vertices - 1) / 2;
+  if (num_edges > max_edges) {
+    throw std::invalid_argument("generate_erdos_renyi: too many edges requested");
+  }
+  util::rng gen(seed);
+  std::unordered_set<std::pair<vertex_id, vertex_id>, util::pair_hash> chosen;
+  chosen.reserve(num_edges * 2);
+  edge_list list(num_vertices);
+  while (chosen.size() < num_edges) {
+    vertex_id u = gen.uniform(0, num_vertices - 1);
+    vertex_id v = gen.uniform(0, num_vertices - 1);
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (chosen.emplace(u, v).second) list.add_undirected_edge(u, v, 1);
+  }
+  list.canonicalize();
+  return list;
+}
+
+edge_list generate_grid(vertex_id rows, vertex_id cols) {
+  edge_list list(rows * cols);
+  for (vertex_id r = 0; r < rows; ++r) {
+    for (vertex_id c = 0; c < cols; ++c) {
+      const vertex_id v = r * cols + c;
+      if (c + 1 < cols) list.add_undirected_edge(v, v + 1, 1);
+      if (r + 1 < rows) list.add_undirected_edge(v, v + cols, 1);
+    }
+  }
+  return list;
+}
+
+edge_list generate_path(vertex_id num_vertices) {
+  edge_list list(num_vertices);
+  for (vertex_id v = 0; v + 1 < num_vertices; ++v) {
+    list.add_undirected_edge(v, v + 1, 1);
+  }
+  return list;
+}
+
+edge_list generate_cycle(vertex_id num_vertices) {
+  edge_list list = generate_path(num_vertices);
+  if (num_vertices >= 3) list.add_undirected_edge(num_vertices - 1, 0, 1);
+  return list;
+}
+
+edge_list generate_star(vertex_id num_vertices) {
+  edge_list list(num_vertices);
+  for (vertex_id v = 1; v < num_vertices; ++v) list.add_undirected_edge(0, v, 1);
+  return list;
+}
+
+edge_list generate_complete(vertex_id num_vertices) {
+  edge_list list(num_vertices);
+  for (vertex_id u = 0; u < num_vertices; ++u) {
+    for (vertex_id v = u + 1; v < num_vertices; ++v) {
+      list.add_undirected_edge(u, v, 1);
+    }
+  }
+  return list;
+}
+
+edge_list generate_random_tree(vertex_id num_vertices, std::uint64_t seed) {
+  util::rng gen(seed);
+  edge_list list(num_vertices);
+  for (vertex_id v = 1; v < num_vertices; ++v) {
+    const vertex_id parent = gen.uniform(0, v - 1);
+    list.add_undirected_edge(parent, v, 1);
+  }
+  return list;
+}
+
+edge_list generate_watts_strogatz(vertex_id num_vertices, std::uint64_t k,
+                                  double beta, std::uint64_t seed) {
+  if (2 * k >= num_vertices) {
+    throw std::invalid_argument("generate_watts_strogatz: k too large");
+  }
+  util::rng gen(seed);
+  std::unordered_set<std::pair<vertex_id, vertex_id>, util::pair_hash> chosen;
+  const auto key = [](vertex_id u, vertex_id v) {
+    return u < v ? std::pair{u, v} : std::pair{v, u};
+  };
+  // Ring lattice...
+  for (vertex_id v = 0; v < num_vertices; ++v) {
+    for (std::uint64_t j = 1; j <= k; ++j) {
+      chosen.insert(key(v, (v + j) % num_vertices));
+    }
+  }
+  // ...with beta-probability rewiring of each lattice edge's far endpoint.
+  std::vector<std::pair<vertex_id, vertex_id>> lattice(chosen.begin(), chosen.end());
+  std::sort(lattice.begin(), lattice.end());
+  for (const auto& [u, v] : lattice) {
+    if (!gen.chance(beta)) continue;
+    const vertex_id w = gen.uniform(0, num_vertices - 1);
+    if (w == u || chosen.contains(key(u, w))) continue;
+    chosen.erase(key(u, v));
+    chosen.insert(key(u, w));
+  }
+  edge_list list(num_vertices);
+  for (const auto& [u, v] : chosen) list.add_undirected_edge(u, v, 1);
+  list.canonicalize();
+  return list;
+}
+
+void assign_uniform_weights(edge_list& list, weight_t lo, weight_t hi,
+                            std::uint64_t seed) {
+  assert(lo >= 1 && lo <= hi);
+  // Hash the canonical endpoint pair with the seed so both directions of an
+  // undirected edge deterministically agree, independent of edge order.
+  for (auto& e : list.edges()) {
+    const undirected_key k(e.source, e.target);
+    const std::uint64_t h =
+        util::mix64(util::mix64(k.lo ^ seed * 0x9e3779b97f4a7c15ULL) ^ k.hi);
+    e.weight = lo + h % (hi - lo + 1);
+  }
+}
+
+void connect_components(edge_list& list, weight_t bridge_weight,
+                        std::uint64_t seed) {
+  const csr_graph graph(list);
+  const auto cc = connected_components(graph);
+  if (cc.component_count <= 1) return;
+  util::rng gen(seed);
+  // Collect one random member per component, then chain them onto the first.
+  std::vector<std::vector<vertex_id>> members(cc.component_count);
+  for (vertex_id v = 0; v < graph.num_vertices(); ++v) {
+    members[cc.labels[v]].push_back(v);
+  }
+  std::vector<vertex_id> representative(cc.component_count);
+  for (std::size_t c = 0; c < members.size(); ++c) {
+    representative[c] = members[c][gen.uniform(0, members[c].size() - 1)];
+  }
+  for (std::size_t c = 1; c < representative.size(); ++c) {
+    list.add_undirected_edge(representative[0], representative[c], bridge_weight);
+  }
+  list.canonicalize();
+}
+
+}  // namespace dsteiner::graph

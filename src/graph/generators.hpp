@@ -1,0 +1,77 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on proprietary/large web, social and citation graphs
+// (Table III). Those are unavailable here, so the dataset registry
+// (io/dataset.hpp) builds scaled-down mirrors from these generators: RMAT
+// reproduces the skewed degree distributions of web/social graphs; the
+// regular families (grid, path, star, ...) serve tests and examples.
+// All generators are deterministic in the provided seed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+#include "util/random.hpp"
+
+namespace dsteiner::graph {
+
+/// RMAT parameters. Defaults follow the Graph500 skew (a=0.57, b=c=0.19),
+/// which yields web/social-like power-law degree distributions.
+struct rmat_params {
+  std::uint64_t scale = 10;        ///< |V| = 2^scale
+  std::uint64_t edge_factor = 16;  ///< directed edge samples = edge_factor * |V|
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;                 ///< d = 1 - a - b - c
+  double noise = 0.05;             ///< per-level probability perturbation
+  std::uint64_t seed = 1;
+};
+
+/// Scale-free RMAT graph; output is symmetrized and canonicalized (self-loops
+/// and duplicate arcs removed), weights uninitialised to 1.
+[[nodiscard]] edge_list generate_rmat(const rmat_params& params);
+
+/// Erdős–Rényi G(n, m): m distinct undirected edges chosen uniformly.
+[[nodiscard]] edge_list generate_erdos_renyi(vertex_id num_vertices,
+                                             std::uint64_t num_edges,
+                                             std::uint64_t seed);
+
+/// rows x cols 4-neighbour grid; vertex (r, c) has id r * cols + c.
+[[nodiscard]] edge_list generate_grid(vertex_id rows, vertex_id cols);
+
+/// Simple path 0 - 1 - ... - (n-1).
+[[nodiscard]] edge_list generate_path(vertex_id num_vertices);
+
+/// Cycle through vertices 0..n-1.
+[[nodiscard]] edge_list generate_cycle(vertex_id num_vertices);
+
+/// Star with hub 0 and leaves 1..n-1.
+[[nodiscard]] edge_list generate_star(vertex_id num_vertices);
+
+/// Complete graph K_n (use only for small n).
+[[nodiscard]] edge_list generate_complete(vertex_id num_vertices);
+
+/// Uniform random spanning tree over n vertices (random attachment).
+[[nodiscard]] edge_list generate_random_tree(vertex_id num_vertices,
+                                             std::uint64_t seed);
+
+/// Watts–Strogatz small world: ring lattice with k neighbours per side,
+/// each edge rewired with probability beta.
+[[nodiscard]] edge_list generate_watts_strogatz(vertex_id num_vertices,
+                                                std::uint64_t k, double beta,
+                                                std::uint64_t seed);
+
+/// Assigns every arc a uniform random weight in [lo, hi]; the two directions
+/// of an undirected edge always receive the same weight (Table III lists the
+/// per-dataset weight ranges, e.g. LiveJournal [1, 5K]).
+void assign_uniform_weights(edge_list& list, weight_t lo, weight_t hi,
+                            std::uint64_t seed);
+
+/// Adds minimum-weight edges joining distinct connected components until the
+/// graph is connected (keeps synthetic mirrors usable for Steiner queries
+/// whose seeds must be mutually reachable).
+void connect_components(edge_list& list, weight_t bridge_weight,
+                        std::uint64_t seed);
+
+}  // namespace dsteiner::graph

@@ -1,0 +1,94 @@
+#include "graph/graph_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "graph/edge_list.hpp"
+
+namespace dsteiner::graph {
+
+namespace {
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void write_vector(std::ostream& out, const std::vector<T>& values) {
+  write_pod(out, static_cast<std::uint64_t>(values.size()));
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(T)));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("binary graph: truncated stream");
+  return value;
+}
+
+template <typename T>
+std::vector<T> read_vector(std::istream& in) {
+  const auto count = read_pod<std::uint64_t>(in);
+  std::vector<T> values(count);
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  if (!in) throw std::runtime_error("binary graph: truncated stream");
+  return values;
+}
+
+}  // namespace
+
+void save_binary_graph(std::ostream& out, const csr_graph& graph) {
+  write_pod(out, k_binary_graph_magic);
+  write_pod(out, std::uint64_t{1});  // version
+  write_vector(out, graph.offsets());
+  write_vector(out, graph.targets());
+  write_vector(out, graph.arc_weights());
+  if (!out) throw std::runtime_error("binary graph: write failure");
+}
+
+csr_graph load_binary_graph(std::istream& in) {
+  if (read_pod<std::uint64_t>(in) != k_binary_graph_magic) {
+    throw std::runtime_error("binary graph: bad magic");
+  }
+  if (read_pod<std::uint64_t>(in) != 1) {
+    throw std::runtime_error("binary graph: unsupported version");
+  }
+  const auto offsets = read_vector<std::uint64_t>(in);
+  const auto targets = read_vector<vertex_id>(in);
+  const auto weights = read_vector<weight_t>(in);
+  if (offsets.empty() || targets.size() != weights.size() ||
+      offsets.back() != targets.size()) {
+    throw std::runtime_error("binary graph: inconsistent arrays");
+  }
+  // Rebuild through the edge list so the class invariants (sorted rows) are
+  // re-established by construction rather than trusted from the file.
+  edge_list list(static_cast<vertex_id>(offsets.size() - 1));
+  list.edges().reserve(targets.size());
+  for (vertex_id v = 0; v + 1 < offsets.size(); ++v) {
+    for (std::uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      list.edges().push_back({v, targets[i], weights[i]});
+    }
+  }
+  list.set_num_vertices(static_cast<vertex_id>(offsets.size() - 1));
+  return csr_graph(list);
+}
+
+void save_binary_graph_file(const std::string& path, const csr_graph& graph) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("binary graph: cannot write " + path);
+  save_binary_graph(out, graph);
+}
+
+csr_graph load_binary_graph_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("binary graph: cannot open " + path);
+  return load_binary_graph(in);
+}
+
+}  // namespace dsteiner::graph

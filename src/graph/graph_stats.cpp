@@ -1,0 +1,47 @@
+#include "graph/graph_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/connected_components.hpp"
+#include "util/format.hpp"
+
+namespace dsteiner::graph {
+
+graph_statistics compute_statistics(const csr_graph& graph) {
+  graph_statistics stats;
+  stats.num_vertices = graph.num_vertices();
+  stats.num_arcs = graph.num_arcs();
+  stats.memory_bytes = graph.memory_bytes();
+  if (stats.num_vertices > 0) {
+    stats.avg_degree =
+        static_cast<double>(stats.num_arcs) / static_cast<double>(stats.num_vertices);
+  }
+  for (vertex_id v = 0; v < graph.num_vertices(); ++v) {
+    stats.max_degree = std::max(stats.max_degree, graph.degree(v));
+  }
+  if (stats.num_arcs > 0) {
+    const auto& weights = graph.arc_weights();
+    const auto [lo, hi] = std::minmax_element(weights.begin(), weights.end());
+    stats.min_weight = *lo;
+    stats.max_weight = *hi;
+  }
+  const auto cc = connected_components(graph);
+  stats.num_components = cc.component_count;
+  stats.largest_component_size =
+      cc.component_count > 0 ? cc.sizes[cc.largest_component] : 0;
+  return stats;
+}
+
+std::string describe(const graph_statistics& stats) {
+  std::ostringstream out;
+  out << "|V|=" << util::format_count(static_cast<double>(stats.num_vertices))
+      << " 2|E|=" << util::format_count(static_cast<double>(stats.num_arcs))
+      << " maxdeg=" << util::format_count(static_cast<double>(stats.max_degree))
+      << " avgdeg=" << util::format_fixed(stats.avg_degree, 1) << " weights=["
+      << stats.min_weight << ", " << stats.max_weight << "]"
+      << " mem=" << util::format_bytes(stats.memory_bytes);
+  return out.str();
+}
+
+}  // namespace dsteiner::graph

@@ -1,0 +1,30 @@
+// Dataset characterization — reproduces the columns of the paper's Table III
+// (|V|, 2|E|, max degree, average degree, edge-weight range, storage size).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace dsteiner::graph {
+
+struct graph_statistics {
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_arcs = 0;  ///< 2|E| for symmetric graphs
+  std::uint64_t max_degree = 0;
+  double avg_degree = 0.0;
+  weight_t min_weight = 0;
+  weight_t max_weight = 0;
+  std::uint64_t memory_bytes = 0;  ///< CSR in-memory footprint
+  std::uint64_t num_components = 0;
+  std::uint64_t largest_component_size = 0;
+};
+
+[[nodiscard]] graph_statistics compute_statistics(const csr_graph& graph);
+
+/// One-line human-readable summary ("|V|=4.8M 2|E|=85.7M maxdeg=20.3K ...").
+[[nodiscard]] std::string describe(const graph_statistics& stats);
+
+}  // namespace dsteiner::graph

@@ -1,0 +1,167 @@
+#include "graph/k_shortest_paths.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <set>
+#include <unordered_set>
+
+#include "util/hash.hpp"
+
+namespace dsteiner::graph {
+
+namespace {
+
+/// Dijkstra that ignores a set of banned vertices and banned (directed)
+/// edges — the spur computation inside Yen's loop.
+[[nodiscard]] weighted_path restricted_shortest_path(
+    const csr_graph& graph, vertex_id source, vertex_id target,
+    const std::vector<bool>& banned_vertex,
+    const std::unordered_set<std::pair<vertex_id, vertex_id>, util::pair_hash>&
+        banned_edge) {
+  const vertex_id n = graph.num_vertices();
+  std::vector<weight_t> dist(n, k_inf_distance);
+  std::vector<vertex_id> parent(n, k_no_vertex);
+  using entry = std::pair<weight_t, vertex_id>;
+  std::priority_queue<entry, std::vector<entry>, std::greater<>> heap;
+  dist[source] = 0;
+  heap.push({0, source});
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d != dist[v]) continue;
+    if (v == target) break;
+    const auto nbrs = graph.neighbors(v);
+    const auto wts = graph.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vertex_id u = nbrs[i];
+      if (banned_vertex[u]) continue;
+      if (banned_edge.contains({v, u})) continue;
+      const weight_t candidate = d + wts[i];
+      if (candidate < dist[u] ||
+          (candidate == dist[u] && v < parent[u])) {
+        dist[u] = candidate;
+        parent[u] = v;
+        heap.push({candidate, u});
+      }
+    }
+  }
+  weighted_path path;
+  if (dist[target] == k_inf_distance) return path;
+  path.total_distance = dist[target];
+  for (vertex_id v = target; v != k_no_vertex; v = parent[v]) {
+    path.vertices.push_back(v);
+    if (v == source) break;
+  }
+  std::reverse(path.vertices.begin(), path.vertices.end());
+  return path;
+}
+
+/// Candidate ordering: (distance, vertex sequence) — deterministic.
+struct path_less {
+  bool operator()(const weighted_path& a, const weighted_path& b) const {
+    if (a.total_distance != b.total_distance) {
+      return a.total_distance < b.total_distance;
+    }
+    return a.vertices < b.vertices;
+  }
+};
+
+}  // namespace
+
+std::vector<weighted_path> yen_k_shortest_paths(const csr_graph& graph,
+                                                vertex_id source,
+                                                vertex_id target,
+                                                std::size_t k) {
+  assert(source < graph.num_vertices() && target < graph.num_vertices());
+  std::vector<weighted_path> accepted;
+  if (k == 0) return accepted;
+
+  std::vector<bool> no_banned_vertices(graph.num_vertices(), false);
+  const weighted_path first = restricted_shortest_path(
+      graph, source, target, no_banned_vertices, {});
+  if (first.vertices.empty()) return accepted;
+  accepted.push_back(first);
+
+  std::set<weighted_path, path_less> candidates;
+  std::vector<bool> banned_vertex(graph.num_vertices(), false);
+  while (accepted.size() < k) {
+    const weighted_path& previous = accepted.back();
+    // Each prefix of the last accepted path spawns a spur candidate.
+    for (std::size_t spur = 0; spur + 1 < previous.vertices.size(); ++spur) {
+      const vertex_id spur_vertex = previous.vertices[spur];
+
+      // Ban the outgoing edge of every accepted path sharing this prefix.
+      std::unordered_set<std::pair<vertex_id, vertex_id>, util::pair_hash>
+          banned_edge;
+      for (const auto& path : accepted) {
+        if (path.vertices.size() <= spur + 1) continue;
+        if (std::equal(path.vertices.begin(),
+                       path.vertices.begin() + static_cast<std::ptrdiff_t>(spur + 1),
+                       previous.vertices.begin())) {
+          banned_edge.insert({path.vertices[spur], path.vertices[spur + 1]});
+        }
+      }
+      // Ban the prefix vertices (loopless requirement).
+      std::fill(banned_vertex.begin(), banned_vertex.end(), false);
+      for (std::size_t i = 0; i < spur; ++i) {
+        banned_vertex[previous.vertices[i]] = true;
+      }
+
+      const weighted_path spur_path = restricted_shortest_path(
+          graph, spur_vertex, target, banned_vertex, banned_edge);
+      if (spur_path.vertices.empty()) continue;
+
+      // Stitch prefix + spur path.
+      weighted_path candidate;
+      candidate.vertices.assign(
+          previous.vertices.begin(),
+          previous.vertices.begin() + static_cast<std::ptrdiff_t>(spur));
+      candidate.vertices.insert(candidate.vertices.end(),
+                                spur_path.vertices.begin(),
+                                spur_path.vertices.end());
+      candidate.total_distance = spur_path.total_distance;
+      for (std::size_t i = 0; i < spur; ++i) {
+        candidate.total_distance +=
+            *graph.edge_weight(previous.vertices[i], previous.vertices[i + 1]);
+      }
+      candidates.insert(std::move(candidate));
+    }
+    // Accept the best unseen candidate.
+    bool found = false;
+    while (!candidates.empty()) {
+      weighted_path best = *candidates.begin();
+      candidates.erase(candidates.begin());
+      if (std::find(accepted.begin(), accepted.end(), best) ==
+          accepted.end()) {
+        accepted.push_back(std::move(best));
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;  // fewer than k simple paths exist
+  }
+  return accepted;
+}
+
+std::vector<weighted_edge> path_union_subgraph(
+    const csr_graph& graph, const std::vector<weighted_path>& paths) {
+  std::set<std::pair<vertex_id, vertex_id>> seen;
+  std::vector<weighted_edge> edges;
+  for (const auto& path : paths) {
+    for (std::size_t i = 0; i + 1 < path.vertices.size(); ++i) {
+      const vertex_id u = std::min(path.vertices[i], path.vertices[i + 1]);
+      const vertex_id v = std::max(path.vertices[i], path.vertices[i + 1]);
+      if (!seen.insert({u, v}).second) continue;
+      edges.push_back({u, v, *graph.edge_weight(u, v)});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const weighted_edge& a, const weighted_edge& b) {
+              return std::tuple{a.source, a.target} <
+                     std::tuple{b.source, b.target};
+            });
+  return edges;
+}
+
+}  // namespace dsteiner::graph

@@ -1,0 +1,37 @@
+// K shortest loopless paths (Yen's algorithm).
+//
+// The paper's §I frames |S| = 2 exploration through "sets of edges that
+// exist in shortest weighted paths and near-shortest weighted paths (low
+// total distance paths)" with augmenting-path refinement; Steiner trees are
+// the |S| > 2 generalization. This module provides that |S| = 2 framework:
+// the k lowest-distance simple paths between a vertex pair, whose edge union
+// forms the "near-shortest path subgraph" a user explores.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace dsteiner::graph {
+
+struct weighted_path {
+  std::vector<vertex_id> vertices;  ///< source .. target
+  weight_t total_distance = 0;
+
+  friend bool operator==(const weighted_path&, const weighted_path&) = default;
+};
+
+/// Up to k shortest simple paths from source to target, ordered by
+/// (total distance, lexicographic vertex sequence). Fewer than k paths are
+/// returned when the graph does not contain k simple paths.
+[[nodiscard]] std::vector<weighted_path> yen_k_shortest_paths(
+    const csr_graph& graph, vertex_id source, vertex_id target, std::size_t k);
+
+/// Union of the edges of `paths` (canonical u < v) — the near-shortest-path
+/// subgraph of §I.
+[[nodiscard]] std::vector<weighted_edge> path_union_subgraph(
+    const csr_graph& graph, const std::vector<weighted_path>& paths);
+
+}  // namespace dsteiner::graph

@@ -1,0 +1,71 @@
+#include "graph/mst.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <tuple>
+
+#include "graph/union_find.hpp"
+
+namespace dsteiner::graph {
+
+mst_result prim_mst(const csr_graph& graph, vertex_id root) {
+  mst_result result;
+  const vertex_id n = graph.num_vertices();
+  if (n == 0) {
+    result.spanning = true;
+    return result;
+  }
+  assert(root < n);
+
+  // (weight, attach-from, vertex): lexicographic order makes tie-breaking
+  // deterministic across runs and platforms.
+  using entry = std::tuple<weight_t, vertex_id, vertex_id>;
+  std::priority_queue<entry, std::vector<entry>, std::greater<>> heap;
+  std::vector<bool> in_tree(n, false);
+
+  heap.push({0, k_no_vertex, root});
+  while (!heap.empty()) {
+    const auto [w, from, v] = heap.top();
+    heap.pop();
+    if (in_tree[v]) continue;
+    in_tree[v] = true;
+    if (from != k_no_vertex) {
+      result.edges.push_back({std::min(from, v), std::max(from, v), w});
+      result.total_weight += w;
+    }
+    const auto nbrs = graph.neighbors(v);
+    const auto wts = graph.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (!in_tree[nbrs[i]]) heap.push({wts[i], v, nbrs[i]});
+    }
+  }
+  result.spanning =
+      result.edges.size() + 1 == static_cast<std::size_t>(n);
+  return result;
+}
+
+mst_result kruskal_mst(const edge_list& list) {
+  mst_result result;
+  const vertex_id n = list.num_vertices();
+  std::vector<weighted_edge> sorted(list.edges());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const weighted_edge& a, const weighted_edge& b) {
+              return std::tuple{a.weight, std::min(a.source, a.target),
+                                std::max(a.source, a.target)} <
+                     std::tuple{b.weight, std::min(b.source, b.target),
+                                std::max(b.source, b.target)};
+            });
+  union_find sets(n);
+  for (const auto& e : sorted) {
+    if (e.source == e.target) continue;
+    if (!sets.unite(e.source, e.target)) continue;
+    result.edges.push_back(
+        {std::min(e.source, e.target), std::max(e.source, e.target), e.weight});
+    result.total_weight += e.weight;
+  }
+  result.spanning = n == 0 || result.edges.size() + 1 == static_cast<std::size_t>(n);
+  return result;
+}
+
+}  // namespace dsteiner::graph

@@ -1,0 +1,36 @@
+// Sequential minimum-spanning-tree algorithms.
+//
+// The paper argues distributed MST on the whole graph (the WWW/Widmayer
+// approach) has poor parallel efficiency and instead runs a *sequential* MST
+// only on the small distance graph G'1 (Alg. 3 line 17, "Boost's
+// implementation of Prim's algorithm"). This module provides that Prim as
+// well as Kruskal (used by tests as an independent cross-check and by the
+// WWW baseline).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace dsteiner::graph {
+
+struct mst_result {
+  std::vector<weighted_edge> edges;  ///< tree/forest edges, source < target
+  weight_t total_weight = 0;
+  bool spanning = false;  ///< true if a single tree spans every vertex
+};
+
+/// Prim with a binary heap, started from `root`. Spans root's connected
+/// component only; `spanning` reports whether that covered the whole graph.
+/// Deterministic: ties are broken by (weight, endpoint id).
+[[nodiscard]] mst_result prim_mst(const csr_graph& graph, vertex_id root = 0);
+
+/// Kruskal over an edge list; produces a minimum spanning forest on
+/// disconnected inputs. Deterministic: edges sorted by (weight, source,
+/// target).
+[[nodiscard]] mst_result kruskal_mst(const edge_list& list);
+
+}  // namespace dsteiner::graph

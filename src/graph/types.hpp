@@ -1,0 +1,47 @@
+// Fundamental graph types shared across the library.
+//
+// Following the paper's notation (§II, Table II): the background graph is
+// G(V, E, d) with a distance function d : E -> Z+ \ {0}; smaller weights mean
+// stronger relationships. Vertex ids are 64-bit to match the paper's
+// billion-edge framing even though the bundled synthetic mirrors are smaller.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dsteiner::graph {
+
+using vertex_id = std::uint64_t;
+using weight_t = std::uint64_t;
+
+/// Sentinel for "no vertex" (src/pred of unreached vertices, paper Alg. 3
+/// initialises these to infinity).
+inline constexpr vertex_id k_no_vertex = std::numeric_limits<vertex_id>::max();
+
+/// Sentinel distance: greater than any achievable path distance.
+inline constexpr weight_t k_inf_distance = std::numeric_limits<weight_t>::max();
+
+/// A weighted, directed edge record. Undirected graphs store both directions
+/// ("symmetric edges, 2|E|" in the paper's Table III).
+struct weighted_edge {
+  vertex_id source = 0;
+  vertex_id target = 0;
+  weight_t weight = 1;
+
+  friend bool operator==(const weighted_edge&, const weighted_edge&) = default;
+};
+
+/// Canonical undirected key for an edge: (min endpoint, max endpoint).
+struct undirected_key {
+  vertex_id lo = 0;
+  vertex_id hi = 0;
+
+  undirected_key() = default;
+  undirected_key(vertex_id u, vertex_id v) noexcept
+      : lo(u < v ? u : v), hi(u < v ? v : u) {}
+
+  friend bool operator==(const undirected_key&, const undirected_key&) = default;
+  friend auto operator<=>(const undirected_key&, const undirected_key&) = default;
+};
+
+}  // namespace dsteiner::graph

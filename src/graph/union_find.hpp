@@ -1,0 +1,55 @@
+// Disjoint-set union with union by rank and path compression; used by
+// Kruskal's MST, connectivity checks, and the WWW baseline's component
+// merging.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace dsteiner::graph {
+
+class union_find {
+ public:
+  explicit union_find(std::size_t count) : parent_(count), rank_(count, 0) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  [[nodiscard]] std::size_t find(std::size_t x) noexcept {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets containing a and b; returns false if already merged.
+  bool unite(std::size_t a, std::size_t b) noexcept {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (rank_[a] < rank_[b]) std::swap(a, b);
+    parent_[b] = a;
+    if (rank_[a] == rank_[b]) ++rank_[a];
+    --set_count_adjustment_;
+    return true;
+  }
+
+  [[nodiscard]] bool connected(std::size_t a, std::size_t b) noexcept {
+    return find(a) == find(b);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return parent_.size(); }
+
+  /// Number of disjoint sets remaining.
+  [[nodiscard]] std::size_t set_count() const noexcept {
+    return parent_.size() + set_count_adjustment_;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::uint8_t> rank_;
+  std::ptrdiff_t set_count_adjustment_ = 0;  // decremented per successful unite
+};
+
+}  // namespace dsteiner::graph

@@ -1,0 +1,51 @@
+#include "io/dataset.hpp"
+
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+
+namespace dsteiner::io {
+
+const std::vector<dataset_spec>& dataset_specs() {
+  // Scales chosen so the whole benchmark suite runs on one core in minutes
+  // while preserving Table III's size ordering and weight ranges.
+  static const std::vector<dataset_spec> specs = {
+      {"WDC", "WebDataCommons12", 17, 16, 1, 500000, 0x10dc, 3.5e9, 257e9},
+      {"CLW", "ClueWeb12", 16, 16, 1, 100000, 0x20c1, 978e6, 85e9},
+      {"UKW", "UKWeb07", 15, 18, 1, 75000, 0x3007, 105e6, 7.5e9},
+      {"FRS", "Friendster", 15, 12, 1, 50000, 0x40f5, 66e6, 3.6e9},
+      {"LVJ", "LiveJournal", 14, 9, 1, 5000, 0x5017, 4.8e6, 85.7e6},
+      {"PTN", "Patent", 14, 5, 1, 5000, 0x6097, 2.7e6, 28e6},
+      {"MCO", "MiCo", 12, 11, 1, 2000, 0x70c0, 100e3, 2.2e6},
+      {"CTS", "CiteSeer", 11, 2, 1, 1000, 0x80c7, 3.3e3, 9.4e3},
+  };
+  return specs;
+}
+
+const dataset_spec& spec_for(std::string_view key) {
+  for (const auto& spec : dataset_specs()) {
+    if (spec.key == key) return spec;
+  }
+  throw std::out_of_range("unknown dataset key: " + std::string(key));
+}
+
+graph::edge_list build_topology(const dataset_spec& spec, int scale_adjust) {
+  graph::rmat_params params;
+  const std::int64_t scale =
+      static_cast<std::int64_t>(spec.scale) + scale_adjust;
+  if (scale < 4) throw std::invalid_argument("dataset scale adjusted below 4");
+  params.scale = static_cast<std::uint64_t>(scale);
+  params.edge_factor = spec.edge_factor;
+  params.seed = spec.rmat_seed;
+  return graph::generate_rmat(params);
+}
+
+dataset load_dataset(std::string_view key, int scale_adjust) {
+  const dataset_spec& spec = spec_for(key);
+  graph::edge_list edges = build_topology(spec, scale_adjust);
+  graph::assign_uniform_weights(edges, spec.weight_lo, spec.weight_hi,
+                                spec.rmat_seed ^ 0x5eedULL);
+  return {spec, graph::csr_graph(edges)};
+}
+
+}  // namespace dsteiner::io

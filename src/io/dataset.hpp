@@ -1,0 +1,59 @@
+// Synthetic mirrors of the paper's Table III datasets.
+//
+// The original graphs (Web Data Commons 2012 at 257 B directed edges,
+// ClueWeb12, UK Web 2007, Friendster, LiveJournal, Patent, MiCo, CiteSeer)
+// are multi-terabyte and/or license-gated; none are available offline. Each
+// mirror is an RMAT graph (Graph500 skew — the same family used to model
+// web/social degree distributions) scaled ~3 orders of magnitude down, with
+// the paper's per-dataset edge-weight range applied. Relative size ordering,
+// skewed degrees and weight ranges are preserved; see DESIGN.md §2 for the
+// substitution rationale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace dsteiner::io {
+
+struct dataset_spec {
+  std::string key;         ///< paper abbreviation: WDC, CLW, UKW, FRS, LVJ, PTN, MCO, CTS
+  std::string paper_name;  ///< e.g. "LiveJournal"
+  std::uint64_t scale;     ///< RMAT scale: |V| = 2^scale
+  std::uint64_t edge_factor;
+  graph::weight_t weight_lo;
+  graph::weight_t weight_hi;  ///< Table III per-dataset range upper bound
+  std::uint64_t rmat_seed;
+
+  /// Paper-reported full-size numbers (for the Table III comparison print).
+  double paper_vertices;
+  double paper_arcs;  ///< 2|E|
+};
+
+/// All eight mirrors, ordered largest to smallest as in Table III.
+[[nodiscard]] const std::vector<dataset_spec>& dataset_specs();
+
+/// Spec lookup by key ("LVJ"); throws std::out_of_range for unknown keys.
+[[nodiscard]] const dataset_spec& spec_for(std::string_view key);
+
+/// A loaded dataset: weighted symmetric CSR graph.
+struct dataset {
+  dataset_spec spec;
+  graph::csr_graph graph;
+};
+
+/// Generates the mirror graph (deterministic per spec).
+/// `scale_adjust` shifts the RMAT scale (e.g. -1 halves |V|) for quick tests.
+[[nodiscard]] dataset load_dataset(std::string_view key, int scale_adjust = 0);
+
+/// Topology only (weights all 1): used by the Fig. 7 experiment, which
+/// re-assigns weight ranges over a fixed topology.
+[[nodiscard]] graph::edge_list build_topology(const dataset_spec& spec,
+                                              int scale_adjust = 0);
+
+}  // namespace dsteiner::io

@@ -1,0 +1,33 @@
+#include "runtime/dist_graph.hpp"
+
+namespace dsteiner::runtime {
+
+dist_graph::dist_graph(const graph::csr_graph& graph,
+                       const dist_graph_config& config)
+    : graph_(&graph),
+      parts_(graph.num_vertices(), config.num_ranks, config.scheme) {
+  local_vertices_.resize(static_cast<std::size_t>(config.num_ranks));
+  for (graph::vertex_id v = 0; v < graph.num_vertices(); ++v) {
+    local_vertices_[static_cast<std::size_t>(parts_.owner(v))].push_back(v);
+  }
+  if (config.use_delegates && config.delegate_threshold > 0) {
+    delegate_.assign(graph.num_vertices(), false);
+    for (graph::vertex_id v = 0; v < graph.num_vertices(); ++v) {
+      if (graph.degree(v) >= config.delegate_threshold) {
+        delegate_[v] = true;
+        ++delegate_count_;
+      }
+    }
+    if (delegate_count_ == 0) delegate_.clear();
+  }
+}
+
+std::uint64_t dist_graph::memory_bytes() const noexcept {
+  std::uint64_t bytes = delegate_.empty() ? 0 : graph_->num_vertices() / 8;
+  for (const auto& locals : local_vertices_) {
+    bytes += locals.size() * sizeof(graph::vertex_id);
+  }
+  return bytes;
+}
+
+}  // namespace dsteiner::runtime

@@ -1,0 +1,4 @@
+#include "runtime/partition.hpp"
+
+// partitioner is header-only; this translation unit exists so the build
+// graph mirrors one compiled object per runtime module.

@@ -1,0 +1,57 @@
+// Vertex partitioning for the simulated distributed runtime.
+//
+// The paper's scale-out design assigns each graph partition to an MPI
+// process; "partitions have approximately equal share of vertices" (§IV).
+// HavoqGT additionally load-balances scale-free graphs by distributing the
+// edges of high-degree vertices across partitions (vertex delegates); the
+// delegate mechanics live in dist_graph.hpp on top of this vertex->rank map.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "graph/types.hpp"
+#include "util/hash.hpp"
+
+namespace dsteiner::runtime {
+
+enum class partition_scheme {
+  block,  ///< contiguous vertex ranges (locality-preserving, imbalance-prone)
+  hash,   ///< hashed assignment (HavoqGT-style, degree-agnostic balance)
+};
+
+/// Maps vertices to ranks. Cheap value type copied freely into kernels.
+class partitioner {
+ public:
+  partitioner() = default;
+
+  partitioner(graph::vertex_id num_vertices, int num_ranks,
+              partition_scheme scheme = partition_scheme::hash)
+      : num_vertices_(num_vertices), num_ranks_(num_ranks), scheme_(scheme) {
+    if (num_ranks <= 0) throw std::invalid_argument("partitioner: ranks must be > 0");
+    block_size_ = num_ranks_ > 0
+                      ? (num_vertices_ + static_cast<graph::vertex_id>(num_ranks_) - 1) /
+                            static_cast<graph::vertex_id>(num_ranks_)
+                      : 1;
+    if (block_size_ == 0) block_size_ = 1;
+  }
+
+  [[nodiscard]] int num_ranks() const noexcept { return num_ranks_; }
+  [[nodiscard]] graph::vertex_id num_vertices() const noexcept { return num_vertices_; }
+  [[nodiscard]] partition_scheme scheme() const noexcept { return scheme_; }
+
+  [[nodiscard]] int owner(graph::vertex_id v) const noexcept {
+    if (scheme_ == partition_scheme::block) {
+      return static_cast<int>(v / block_size_);
+    }
+    return static_cast<int>(util::mix64(v) % static_cast<std::uint64_t>(num_ranks_));
+  }
+
+ private:
+  graph::vertex_id num_vertices_ = 0;
+  int num_ranks_ = 1;
+  partition_scheme scheme_ = partition_scheme::hash;
+  graph::vertex_id block_size_ = 1;
+};
+
+}  // namespace dsteiner::runtime

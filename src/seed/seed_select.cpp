@@ -1,0 +1,154 @@
+#include "seed/seed_select.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "graph/bfs.hpp"
+#include "graph/connected_components.hpp"
+#include "util/random.hpp"
+
+namespace dsteiner::seed {
+
+namespace {
+
+using graph::vertex_id;
+
+[[nodiscard]] std::vector<vertex_id> bfs_level_seeds(
+    const graph::csr_graph& graph, const std::vector<vertex_id>& component,
+    std::size_t count, util::rng& gen) {
+  // BFS from a random component vertex; bucket vertices by level.
+  const vertex_id start = component[gen.uniform(0, component.size() - 1)];
+  const graph::bfs_result bfs = graph::breadth_first_search(graph, start);
+  std::vector<std::vector<vertex_id>> buckets(bfs.max_level + 1);
+  for (const vertex_id v : component) buckets[bfs.levels[v]].push_back(v);
+
+  // Proportional allocation: "a higher percentage of vertices are selected
+  // from a level with higher vertex frequency" (§V). Largest-remainder
+  // rounding keeps the total exactly `count`.
+  const double total = static_cast<double>(component.size());
+  std::vector<std::size_t> quota(buckets.size(), 0);
+  std::vector<std::pair<double, std::size_t>> remainders;
+  std::size_t allocated = 0;
+  for (std::size_t level = 0; level < buckets.size(); ++level) {
+    const double share =
+        static_cast<double>(count) * static_cast<double>(buckets[level].size()) / total;
+    quota[level] = std::min<std::size_t>(static_cast<std::size_t>(share),
+                                         buckets[level].size());
+    allocated += quota[level];
+    remainders.push_back({share - static_cast<double>(quota[level]), level});
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (const auto& [frac, level] : remainders) {
+    if (allocated >= count) break;
+    if (quota[level] < buckets[level].size()) {
+      ++quota[level];
+      ++allocated;
+    }
+  }
+  // Rounding can still fall short when some buckets saturate; top up anywhere.
+  for (std::size_t level = 0; allocated < count && level < buckets.size(); ++level) {
+    while (allocated < count && quota[level] < buckets[level].size()) {
+      ++quota[level];
+      ++allocated;
+    }
+  }
+
+  std::vector<vertex_id> seeds;
+  seeds.reserve(count);
+  for (std::size_t level = 0; level < buckets.size(); ++level) {
+    if (quota[level] == 0) continue;
+    const auto picks =
+        util::sample_without_replacement(buckets[level].size(), quota[level], gen);
+    for (const std::uint64_t index : picks) seeds.push_back(buckets[level][index]);
+  }
+  return seeds;
+}
+
+/// k-BFS of [31]: each subsequent source extremizes the cumulative BFS-level
+/// sum over all previous rounds (max -> eccentric, min -> proximate).
+[[nodiscard]] std::vector<vertex_id> k_bfs_seeds(
+    const graph::csr_graph& graph, const std::vector<vertex_id>& component,
+    std::size_t count, bool maximize, util::rng& gen) {
+  std::vector<vertex_id> seeds;
+  seeds.reserve(count);
+  std::unordered_set<vertex_id> chosen;
+  std::vector<std::uint64_t> level_sum(graph.num_vertices(), 0);
+
+  vertex_id source = component[gen.uniform(0, component.size() - 1)];
+  seeds.push_back(source);
+  chosen.insert(source);
+  while (seeds.size() < count) {
+    const graph::bfs_result bfs = graph::breadth_first_search(graph, source);
+    for (const vertex_id v : component) level_sum[v] += bfs.levels[v];
+    vertex_id best = graph::k_no_vertex;
+    for (const vertex_id v : component) {
+      if (chosen.contains(v)) continue;
+      if (best == graph::k_no_vertex) {
+        best = v;
+        continue;
+      }
+      const bool better = maximize ? level_sum[v] > level_sum[best]
+                                   : level_sum[v] < level_sum[best];
+      if (better) best = v;
+    }
+    assert(best != graph::k_no_vertex);
+    seeds.push_back(best);
+    chosen.insert(best);
+    source = best;
+  }
+  return seeds;
+}
+
+}  // namespace
+
+std::string to_string(seed_strategy strategy) {
+  switch (strategy) {
+    case seed_strategy::bfs_level: return "BFS-level";
+    case seed_strategy::uniform_random: return "Uniform Random";
+    case seed_strategy::eccentric: return "Eccentric";
+    case seed_strategy::proximate: return "Proximate";
+  }
+  return "?";
+}
+
+std::vector<graph::vertex_id> select_seeds(const graph::csr_graph& graph,
+                                           std::size_t count,
+                                           seed_strategy strategy,
+                                           std::uint64_t rng_seed) {
+  const std::vector<vertex_id> component = graph::largest_component_vertices(graph);
+  if (component.size() < count) {
+    throw std::invalid_argument(
+        "select_seeds: largest component smaller than requested seed count");
+  }
+  util::rng gen(rng_seed);
+  std::vector<vertex_id> seeds;
+  switch (strategy) {
+    case seed_strategy::bfs_level:
+      seeds = bfs_level_seeds(graph, component, count, gen);
+      break;
+    case seed_strategy::uniform_random: {
+      const auto picks =
+          util::sample_without_replacement(component.size(), count, gen);
+      seeds.reserve(count);
+      for (const std::uint64_t index : picks) seeds.push_back(component[index]);
+      break;
+    }
+    case seed_strategy::eccentric:
+      seeds = k_bfs_seeds(graph, component, count, /*maximize=*/true, gen);
+      break;
+    case seed_strategy::proximate:
+      seeds = k_bfs_seeds(graph, component, count, /*maximize=*/false, gen);
+      break;
+  }
+  std::sort(seeds.begin(), seeds.end());
+  assert(seeds.size() == count);
+  return seeds;
+}
+
+}  // namespace dsteiner::seed

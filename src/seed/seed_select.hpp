@@ -1,0 +1,37 @@
+// Seed-vertex selection strategies (paper §V "Seed Vertex Selection" and
+// §V-E "Studying Seed Selection Alternatives").
+//
+// All strategies sample from the largest connected component so the Steiner
+// tree exists. The paper's default methodology ("BFS-level") samples vertices
+// across BFS levels proportionally to level population, avoiding seed sets
+// dominated by directly-connected vertices; uniform-random, eccentric
+// (k-BFS max, far-apart seeds) and proximate (k-BFS min, clustered seeds)
+// are the §V-E alternatives.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace dsteiner::seed {
+
+enum class seed_strategy {
+  bfs_level,       ///< paper default: proportional sampling across BFS levels
+  uniform_random,  ///< uniform over the largest component
+  eccentric,       ///< k-BFS picking mutually faraway vertices
+  proximate,       ///< k-BFS picking mutually close vertices
+};
+
+[[nodiscard]] std::string to_string(seed_strategy strategy);
+
+/// Selects `count` distinct seed vertices from the largest connected
+/// component of `graph`. Deterministic in `rng_seed`. Throws
+/// std::invalid_argument if the component has fewer than `count` vertices.
+[[nodiscard]] std::vector<graph::vertex_id> select_seeds(
+    const graph::csr_graph& graph, std::size_t count, seed_strategy strategy,
+    std::uint64_t rng_seed);
+
+}  // namespace dsteiner::seed

@@ -1,0 +1,110 @@
+#include "util/format.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace dsteiner::util {
+
+std::string with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int counter = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (counter != 0 && counter % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++counter;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  constexpr std::uint64_t kib = 1024, mib = kib * 1024, gib = mib * 1024,
+                          tib = gib * 1024;
+  if (bytes >= tib) {
+    std::snprintf(buf, sizeof buf, "%.1fTB", static_cast<double>(bytes) / static_cast<double>(tib));
+  } else if (bytes >= gib) {
+    std::snprintf(buf, sizeof buf, "%.1fGB", static_cast<double>(bytes) / static_cast<double>(gib));
+  } else if (bytes >= mib) {
+    std::snprintf(buf, sizeof buf, "%.1fMB", static_cast<double>(bytes) / static_cast<double>(mib));
+  } else if (bytes >= kib) {
+    std::snprintf(buf, sizeof buf, "%.1fKB", static_cast<double>(bytes) / static_cast<double>(kib));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lluB", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string format_count(double value) {
+  char buf[64];
+  if (value >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.1fB", value / 1e9);
+  } else if (value >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1fM", value / 1e6);
+  } else if (value >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1fK", value / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f", value);
+  }
+  return buf;
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+table::table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void table::add_rule() { rows_.emplace_back(); }
+
+std::string table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto rule = [&] {
+    std::string line = "+";
+    for (const std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    line += "\n";
+    return line;
+  }();
+
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::ostringstream out;
+  out << rule << emit_row(header_) << rule;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].empty()) {
+      // Skip a trailing rule: the closing rule below covers it.
+      if (i + 1 < rows_.size()) out << rule;
+    } else {
+      out << emit_row(rows_[i]);
+    }
+  }
+  out << rule;
+  return out.str();
+}
+
+}  // namespace dsteiner::util

@@ -1,0 +1,47 @@
+// Plain-text table rendering for the benchmark harnesses. Every bench binary
+// prints the same rows/series the paper reports; this module keeps them
+// aligned and readable without any external dependency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsteiner::util {
+
+/// Thousands separator: 1234567 -> "1,234,567".
+[[nodiscard]] std::string with_commas(std::uint64_t value);
+
+/// Human-readable byte count: 1536 -> "1.5KB".
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+/// Large-count shorthand matching the paper's style: 3.5e9 -> "3.5B",
+/// 85.7e6 -> "85.7M", 9400 -> "9.4K".
+[[nodiscard]] std::string format_count(double value);
+
+/// Fixed-point with the given number of decimals.
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+/// Column-aligned plain-text table. Usage:
+///   table t({"graph", "|S|", "time"});
+///   t.add_row({"LVJ-mini", "100", "6.4s"});
+///   std::cout << t.render();
+class table {
+ public:
+  explicit table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal rule before the next row.
+  void add_rule();
+
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row vector == rule
+};
+
+}  // namespace dsteiner::util

@@ -1,0 +1,31 @@
+// Hash helpers for pair-keyed maps (cross-cell edge maps are keyed by
+// (seed, seed) pairs).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace dsteiner::util {
+
+/// 64-bit finalizer (murmur3 fmix64); good avalanche for integer keys.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Hash functor for std::pair of integral types.
+struct pair_hash {
+  template <typename A, typename B>
+  [[nodiscard]] std::size_t operator()(const std::pair<A, B>& p) const noexcept {
+    const auto a = static_cast<std::uint64_t>(p.first);
+    const auto b = static_cast<std::uint64_t>(p.second);
+    return static_cast<std::size_t>(mix64(a * 0x9e3779b97f4a7c15ULL ^ mix64(b)));
+  }
+};
+
+}  // namespace dsteiner::util

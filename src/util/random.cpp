@@ -1,0 +1,80 @@
+#include "util/random.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace dsteiner::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+[[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+rng::rng(std::uint64_t seed) noexcept {
+  // Expand the seed so that even seed=0 yields a well-mixed state.
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+rng::result_type rng::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t rng::uniform(std::uint64_t lo, std::uint64_t hi) noexcept {
+  assert(lo <= hi);
+  const std::uint64_t span = hi - lo + 1;  // span==0 means the full 2^64 range
+  if (span == 0) return (*this)();
+  // Debiased modulo (rejection sampling on the tail).
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t draw = (*this)();
+  while (draw >= limit) draw = (*this)();
+  return lo + draw % span;
+}
+
+double rng::uniform_real() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool rng::chance(double p) noexcept { return uniform_real() < p; }
+
+std::vector<std::uint64_t> sample_without_replacement(std::uint64_t population,
+                                                      std::uint64_t count,
+                                                      rng& gen) {
+  assert(count <= population);
+  std::unordered_set<std::uint64_t> chosen;
+  std::vector<std::uint64_t> result;
+  result.reserve(count);
+  // Floyd's algorithm: for j in [population-count, population), pick t in
+  // [0, j]; insert t unless taken, else insert j. Guarantees uniformity.
+  for (std::uint64_t j = population - count; j < population; ++j) {
+    const std::uint64_t t = gen.uniform(0, j);
+    if (chosen.insert(t).second) {
+      result.push_back(t);
+    } else {
+      chosen.insert(j);
+      result.push_back(j);
+    }
+  }
+  return result;
+}
+
+}  // namespace dsteiner::util

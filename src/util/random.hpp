@@ -1,0 +1,63 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All stochastic components of the library (graph generators, weight
+// assignment, seed-vertex sampling) draw from `rng`, a xoshiro256** engine
+// seeded via splitmix64. Runs with the same seed are bit-identical across
+// platforms, which the test suite relies on.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace dsteiner::util {
+
+/// splitmix64 step; used to expand a single 64-bit seed into engine state.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit PRNG.
+/// Satisfies std::uniform_random_bit_generator.
+class rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform real in [0, 1).
+  [[nodiscard]] double uniform_real() noexcept;
+
+  /// Bernoulli trial with probability p of returning true.
+  [[nodiscard]] bool chance(double p) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Fisher-Yates shuffle with the library engine (std::shuffle is not
+/// guaranteed to be reproducible across standard library implementations).
+template <typename T>
+void shuffle(std::vector<T>& items, rng& gen) noexcept {
+  if (items.empty()) return;
+  for (std::size_t i = items.size() - 1; i > 0; --i) {
+    const std::size_t j = static_cast<std::size_t>(gen.uniform(0, i));
+    using std::swap;
+    swap(items[i], items[j]);
+  }
+}
+
+/// Sample `count` distinct values from [0, population) without replacement.
+/// Uses Floyd's algorithm: O(count) expected draws, no O(population) scratch.
+[[nodiscard]] std::vector<std::uint64_t> sample_without_replacement(
+    std::uint64_t population, std::uint64_t count, rng& gen);
+
+}  // namespace dsteiner::util

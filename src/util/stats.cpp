@@ -1,0 +1,47 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dsteiner::util {
+
+void summary_stats::add(double sample) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+}
+
+double summary_stats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double summary_stats::stddev() const noexcept { return std::sqrt(variance()); }
+
+summary_stats summarize(const std::vector<double>& samples) noexcept {
+  summary_stats s;
+  for (const double x : samples) s.add(x);
+  return s;
+}
+
+double percentile(std::vector<double> samples, double p) {
+  assert(!samples.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples.front();
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+}  // namespace dsteiner::util

@@ -1,0 +1,38 @@
+// Summary statistics accumulator, used for repeated-run benches (Fig. 7
+// reports means and standard deviations across edge-weight distributions).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dsteiner::util {
+
+/// Online accumulator (Welford) with min/max tracking.
+class summary_stats {
+ public:
+  void add(double sample) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Population variance (n denominator). Zero for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Convenience: stats over a whole sample vector.
+[[nodiscard]] summary_stats summarize(const std::vector<double>& samples) noexcept;
+
+/// Exact percentile by sorting a copy (fine for bench-sized inputs).
+/// `p` in [0, 100]; linear interpolation between closest ranks.
+[[nodiscard]] double percentile(std::vector<double> samples, double p);
+
+}  // namespace dsteiner::util

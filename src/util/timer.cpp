@@ -1,0 +1,24 @@
+#include "util/timer.hpp"
+
+#include <cstdio>
+
+namespace dsteiner::util {
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds < 0) seconds = 0;
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.1fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.1fms", seconds * 1e3);
+  } else if (seconds < 60.0) {
+    std::snprintf(buf, sizeof buf, "%.2fs", seconds);
+  } else if (seconds < 3600.0) {
+    std::snprintf(buf, sizeof buf, "%.1fm", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fh", seconds / 3600.0);
+  }
+  return buf;
+}
+
+}  // namespace dsteiner::util

@@ -1,0 +1,32 @@
+// Wall-clock timing helpers used by the benchmark harnesses and the solver's
+// per-phase breakdown.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace dsteiner::util {
+
+/// Monotonic stopwatch. Constructed running; `seconds()` reads elapsed time
+/// without stopping; `restart()` zeroes it.
+class timer {
+ public:
+  timer() noexcept : start_(clock::now()) {}
+
+  void restart() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Formats a duration the way the paper's tables do: "5,813.3s", "85ms", "1.0h".
+[[nodiscard]] std::string format_duration(double seconds);
+
+}  // namespace dsteiner::util

@@ -1,0 +1,192 @@
+// Tests for the sequential baselines (KMB, Mehlhorn, WWW, Takahashi) and the
+// exact solvers (Dreyfus-Wagner DP vs brute force).
+#include <gtest/gtest.h>
+
+#include <span>
+#include <tuple>
+
+#include "baselines/exact.hpp"
+#include "graph/dijkstra.hpp"
+#include "baselines/kmb.hpp"
+#include "baselines/mehlhorn.hpp"
+#include "baselines/takahashi.hpp"
+#include "baselines/www.hpp"
+#include "core/validation.hpp"
+#include "graph/generators.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace dsteiner;
+using namespace dsteiner::baselines;
+using graph::vertex_id;
+using graph::weight_t;
+
+graph::csr_graph make_connected_graph(int n, weight_t w_hi, std::uint64_t seed) {
+  graph::edge_list list =
+      graph::generate_erdos_renyi(n, static_cast<std::uint64_t>(n) * 3, seed);
+  graph::assign_uniform_weights(list, 1, w_hi, seed ^ 0x5a5a);
+  graph::connect_components(list, w_hi + 1, seed);
+  return graph::csr_graph(list);
+}
+
+std::vector<vertex_id> pick_seeds(const graph::csr_graph& g, std::size_t count,
+                                  std::uint64_t seed) {
+  util::rng gen(seed);
+  const auto picks =
+      util::sample_without_replacement(g.num_vertices(), count, gen);
+  return {picks.begin(), picks.end()};
+}
+
+// ---- Exact solvers first (they anchor everything else).
+
+TEST(Exact, TrivialCases) {
+  const auto g = make_connected_graph(20, 10, 1);
+  EXPECT_EQ(exact_steiner_tree(g, std::vector<vertex_id>{4}).optimal_distance, 0u);
+  const auto two = exact_steiner_tree(g, std::vector<vertex_id>{0, 11});
+  const auto sp = graph::dijkstra(g, 0);
+  EXPECT_EQ(two.optimal_distance, sp.distance[11]);
+}
+
+TEST(Exact, RejectsTooManyTerminals) {
+  const auto g = make_connected_graph(30, 10, 2);
+  exact_options options;
+  options.max_terminals = 4;
+  EXPECT_THROW(
+      (void)exact_steiner_tree(g, pick_seeds(g, 5, 3), options),
+      std::invalid_argument);
+}
+
+TEST(Exact, RejectsUnreachableSeeds) {
+  graph::edge_list list(4);
+  list.add_undirected_edge(0, 1, 1);
+  list.add_undirected_edge(2, 3, 1);
+  const graph::csr_graph g(list);
+  EXPECT_THROW((void)exact_steiner_tree(g, std::vector<vertex_id>{0, 2}),
+               std::runtime_error);
+}
+
+TEST(Exact, ReconstructedTreeIsValidAndMatchesDistance) {
+  const auto g = make_connected_graph(40, 15, 4);
+  const auto seeds = pick_seeds(g, 5, 5);
+  const auto result = exact_steiner_tree(g, seeds);
+  const auto check = core::validate_steiner_tree(g, seeds, result.tree_edges);
+  EXPECT_TRUE(check.valid) << check.error;
+  EXPECT_EQ(core::tree_distance(result.tree_edges), result.optimal_distance);
+}
+
+class ExactVsBruteForce
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ExactVsBruteForce, DpMatchesSubsetEnumeration) {
+  const auto [n, num_seeds, seed] = GetParam();
+  graph::edge_list list = graph::generate_erdos_renyi(
+      n, static_cast<std::uint64_t>(n) * 2, seed);
+  graph::assign_uniform_weights(list, 1, 20, seed ^ 0x123);
+  graph::connect_components(list, 21, seed);
+  const graph::csr_graph g(list);
+  const auto seeds = pick_seeds(g, num_seeds, seed + 7);
+
+  const auto dp = exact_steiner_tree(g, seeds);
+  const auto brute = brute_force_steiner_distance(g, seeds);
+  EXPECT_EQ(dp.optimal_distance, brute);
+}
+
+INSTANTIATE_TEST_SUITE_P(TinyGraphs, ExactVsBruteForce,
+                         ::testing::Combine(::testing::Values(8, 11, 14),
+                                            ::testing::Values(2, 3, 4),
+                                            ::testing::Values(1, 2, 3, 4)));
+
+// ---- 2-approximation baselines: validity + bound on random instances.
+
+using solver_fn = approx_result (*)(const graph::csr_graph&,
+                                    std::span<const vertex_id>);
+
+struct named_solver {
+  const char* name;
+  solver_fn run;
+};
+
+class ApproxBaselines
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+ protected:
+  static constexpr named_solver solvers[] = {
+      {"KMB", &kmb_steiner_tree},
+      {"Mehlhorn", &mehlhorn_steiner_tree},
+      {"WWW", &www_steiner_tree},
+      {"Takahashi", &takahashi_steiner_tree},
+  };
+};
+
+TEST_P(ApproxBaselines, ValidTreesWithinBound) {
+  const auto [n, num_seeds, seed] = GetParam();
+  const auto g = make_connected_graph(n, 25, seed);
+  const auto seeds = pick_seeds(g, num_seeds, seed + 31);
+  const auto exact = exact_steiner_tree(g, seeds);
+
+  for (const auto& solver : solvers) {
+    const auto result = solver.run(g, seeds);
+    const auto check = core::validate_steiner_tree(g, seeds, result.tree_edges);
+    EXPECT_TRUE(check.valid) << solver.name << ": " << check.error;
+    EXPECT_EQ(core::tree_distance(result.tree_edges), result.total_distance)
+        << solver.name;
+    EXPECT_GE(result.total_distance, exact.optimal_distance) << solver.name;
+    EXPECT_LE(result.total_distance, 2 * exact.optimal_distance) << solver.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ApproxBaselines,
+                         ::testing::Combine(::testing::Values(30, 60, 120),
+                                            ::testing::Values(3, 6, 9),
+                                            ::testing::Values(41, 42, 43)));
+
+TEST(ApproxBaselinesEdgeCases, SingleSeed) {
+  const auto g = make_connected_graph(30, 10, 6);
+  const std::vector<vertex_id> one{5};
+  EXPECT_TRUE(kmb_steiner_tree(g, one).tree_edges.empty());
+  EXPECT_TRUE(mehlhorn_steiner_tree(g, one).tree_edges.empty());
+  EXPECT_TRUE(www_steiner_tree(g, one).tree_edges.empty());
+  EXPECT_TRUE(takahashi_steiner_tree(g, one).tree_edges.empty());
+}
+
+TEST(ApproxBaselinesEdgeCases, UnreachableSeedsThrow) {
+  graph::edge_list list(4);
+  list.add_undirected_edge(0, 1, 1);
+  list.add_undirected_edge(2, 3, 1);
+  const graph::csr_graph g(list);
+  const std::vector<vertex_id> seeds{0, 2};
+  EXPECT_THROW((void)kmb_steiner_tree(g, seeds), std::runtime_error);
+  EXPECT_THROW((void)mehlhorn_steiner_tree(g, seeds), std::runtime_error);
+  EXPECT_THROW((void)www_steiner_tree(g, seeds), std::runtime_error);
+  EXPECT_THROW((void)takahashi_steiner_tree(g, seeds), std::runtime_error);
+}
+
+TEST(ApproxBaselinesEdgeCases, TwoSeedsGiveShortestPath) {
+  const auto g = make_connected_graph(80, 20, 8);
+  const std::vector<vertex_id> seeds{0, 60};
+  const auto sp = graph::dijkstra(g, 0).distance[60];
+  EXPECT_EQ(kmb_steiner_tree(g, seeds).total_distance, sp);
+  EXPECT_EQ(mehlhorn_steiner_tree(g, seeds).total_distance, sp);
+  EXPECT_EQ(www_steiner_tree(g, seeds).total_distance, sp);
+  EXPECT_EQ(takahashi_steiner_tree(g, seeds).total_distance, sp);
+}
+
+TEST(ApproxBaselines, SeedsOnPathGraphRecoverSubpath) {
+  // On a path, the Steiner tree is exactly the sub-path between the extreme
+  // seeds; every algorithm must find it.
+  graph::edge_list list = graph::generate_path(20);
+  graph::assign_uniform_weights(list, 1, 9, 77);
+  const graph::csr_graph g(list);
+  const std::vector<vertex_id> seeds{3, 10, 15};
+  graph::weight_t expected = 0;
+  for (vertex_id v = 3; v < 15; ++v) expected += *g.edge_weight(v, v + 1);
+
+  EXPECT_EQ(kmb_steiner_tree(g, seeds).total_distance, expected);
+  EXPECT_EQ(mehlhorn_steiner_tree(g, seeds).total_distance, expected);
+  EXPECT_EQ(www_steiner_tree(g, seeds).total_distance, expected);
+  EXPECT_EQ(takahashi_steiner_tree(g, seeds).total_distance, expected);
+  const auto exact = exact_steiner_tree(g, seeds);
+  EXPECT_EQ(exact.optimal_distance, expected);
+}
+
+}  // namespace

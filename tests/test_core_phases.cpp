@@ -1,0 +1,262 @@
+// Integration tests for the core algorithm phases: distributed Voronoi
+// against the sequential oracle, distance-graph construction, MST, pruning
+// and tree-edge collection.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/distance_graph.hpp"
+#include "core/mst_prim.hpp"
+#include "core/pruning.hpp"
+#include "core/steiner_state.hpp"
+#include "core/tree_edges.hpp"
+#include "core/voronoi.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/generators.hpp"
+#include "runtime/comm.hpp"
+#include "seed/seed_select.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace dsteiner;
+using namespace dsteiner::core;
+using namespace dsteiner::runtime;
+using graph::vertex_id;
+using graph::weight_t;
+
+graph::csr_graph make_test_graph(int n, std::uint64_t seed) {
+  graph::edge_list list =
+      graph::generate_erdos_renyi(n, static_cast<std::uint64_t>(n) * 3, seed);
+  graph::assign_uniform_weights(list, 1, 40, seed ^ 0x77);
+  graph::connect_components(list, 41, seed);
+  return graph::csr_graph(list);
+}
+
+std::vector<vertex_id> pick_seeds(const graph::csr_graph& g, std::size_t count,
+                                  std::uint64_t seed) {
+  util::rng gen(seed);
+  const auto picks =
+      util::sample_without_replacement(g.num_vertices(), count, gen);
+  return {picks.begin(), picks.end()};
+}
+
+// ---- Distributed Voronoi equals the sequential oracle under every
+// combination of ranks, queue policy, execution mode and delegate setting.
+
+class VoronoiDistributed
+    : public ::testing::TestWithParam<
+          std::tuple<int, queue_policy, execution_mode, bool>> {};
+
+TEST_P(VoronoiDistributed, MatchesSequentialOracle) {
+  const auto [ranks, policy, mode, delegates] = GetParam();
+  const auto g = make_test_graph(150, 7);
+  const auto seeds = pick_seeds(g, 8, 21);
+
+  const dist_graph dgraph(
+      g, {ranks, partition_scheme::hash, delegates, delegates ? 8u : 0u});
+  steiner_state state(g.num_vertices());
+  const engine_config config{policy, mode, 16, cost_model{}};
+  const auto metrics = compute_voronoi_cells(dgraph, seeds, state, config);
+
+  const auto oracle = graph::multi_source_voronoi(g, seeds);
+  EXPECT_EQ(state.distance, oracle.distance);
+  EXPECT_EQ(state.src, oracle.src);
+  EXPECT_EQ(state.pred, oracle.pred);
+  EXPECT_GT(metrics.visitors_processed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, VoronoiDistributed,
+    ::testing::Combine(::testing::Values(1, 4, 16),
+                       ::testing::Values(queue_policy::fifo,
+                                         queue_policy::priority),
+                       ::testing::Values(execution_mode::async,
+                                         execution_mode::bsp),
+                       ::testing::Values(false, true)));
+
+TEST(VoronoiDistributed, PriorityQueueSendsFewerMessages) {
+  // The paper's core claim (Fig. 6): message prioritization cuts traffic.
+  graph::edge_list list = graph::generate_erdos_renyi(600, 2400, 3);
+  graph::assign_uniform_weights(list, 1, 1000, 5);
+  graph::connect_components(list, 1001, 3);
+  const graph::csr_graph g(list);
+  const auto seeds = pick_seeds(g, 6, 9);
+  const dist_graph dgraph(g, {4, partition_scheme::hash, false, 0});
+
+  steiner_state fifo_state(g.num_vertices());
+  steiner_state prio_state(g.num_vertices());
+  const auto fifo_metrics = compute_voronoi_cells(
+      dgraph, seeds, fifo_state,
+      {queue_policy::fifo, execution_mode::async, 16, cost_model{}});
+  const auto prio_metrics = compute_voronoi_cells(
+      dgraph, seeds, prio_state,
+      {queue_policy::priority, execution_mode::async, 16, cost_model{}});
+
+  EXPECT_EQ(fifo_state.distance, prio_state.distance);  // result identical
+  EXPECT_LT(prio_metrics.messages_total(), fifo_metrics.messages_total());
+}
+
+// ---- Distance graph construction.
+
+class DistanceGraphPhase
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(DistanceGraphPhase, MatchesSequentialScan) {
+  const auto [ranks, dense] = GetParam();
+  const auto g = make_test_graph(120, 11);
+  const auto seeds = pick_seeds(g, 6, 13);
+
+  const dist_graph dgraph(g, {ranks, partition_scheme::hash, true, 16});
+  steiner_state state(g.num_vertices());
+  const engine_config config{queue_policy::priority, execution_mode::async, 16,
+                             cost_model{}};
+  (void)compute_voronoi_cells(dgraph, seeds, state, config);
+
+  std::vector<cross_edge_map> per_rank;
+  (void)find_local_min_edges(dgraph, state, per_rank, config);
+  const communicator comm(ranks, cost_model{});
+  global_reduce_options options;
+  options.dense = dense;
+  options.seeds = seeds;
+  (void)reduce_global_min_edges(comm, per_rank, options);
+
+  // Sequential reference: scan all undirected edges once.
+  cross_edge_map reference;
+  for (vertex_id u = 0; u < g.num_vertices(); ++u) {
+    if (state.src[u] == graph::k_no_vertex) continue;
+    const auto nbrs = g.neighbors(u);
+    const auto wts = g.weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vertex_id v = nbrs[i];
+      if (u >= v || state.src[v] == graph::k_no_vertex) continue;
+      if (state.src[u] == state.src[v]) continue;
+      const seed_pair key{std::min(state.src[u], state.src[v]),
+                          std::max(state.src[u], state.src[v])};
+      const cross_edge_entry candidate{
+          state.distance[u] + wts[i] + state.distance[v], std::min(u, v),
+          std::max(u, v), wts[i]};
+      const auto [it, inserted] = reference.emplace(key, candidate);
+      if (!inserted) it->second = min_entry(it->second, candidate);
+    }
+  }
+
+  for (int r = 0; r < ranks; ++r) {
+    const auto& map = per_rank[static_cast<std::size_t>(r)];
+    ASSERT_EQ(map.size(), reference.size()) << "rank " << r;
+    for (const auto& [key, entry] : reference) {
+      const auto it = map.find(key);
+      ASSERT_NE(it, map.end());
+      EXPECT_EQ(it->second, entry);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SparseAndDense, DistanceGraphPhase,
+                         ::testing::Combine(::testing::Values(1, 3, 8),
+                                            ::testing::Values(false, true)));
+
+TEST(DistanceGraphPhase, ChunkedDenseMatchesMonolithic) {
+  const auto g = make_test_graph(100, 17);
+  const auto seeds = pick_seeds(g, 7, 19);
+  const dist_graph dgraph(g, {4, partition_scheme::hash, false, 0});
+  steiner_state state(g.num_vertices());
+  const engine_config config{};
+  (void)compute_voronoi_cells(dgraph, seeds, state, config);
+
+  std::vector<cross_edge_map> mono, chunked;
+  (void)find_local_min_edges(dgraph, state, mono, config);
+  chunked = mono;
+  const communicator comm(4, cost_model{});
+  global_reduce_options mono_opts{true, seeds, 0};
+  global_reduce_options chunk_opts{true, seeds, 3};
+  (void)reduce_global_min_edges(comm, mono, mono_opts);
+  (void)reduce_global_min_edges(comm, chunked, chunk_opts);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(mono[r].size(), chunked[r].size());
+    for (const auto& [key, entry] : mono[r]) {
+      EXPECT_EQ(chunked[r].at(key), entry);
+    }
+  }
+}
+
+TEST(DensePairIndex, IsABijection) {
+  const std::size_t n = 9;
+  std::vector<bool> hit(n * (n - 1) / 2, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const std::size_t slot = dense_pair_index(i, j, n);
+      ASSERT_LT(slot, hit.size());
+      EXPECT_FALSE(hit[slot]);
+      hit[slot] = true;
+    }
+  }
+  for (const bool h : hit) EXPECT_TRUE(h);
+}
+
+// ---- MST of G'1 and pruning.
+
+TEST(DistanceGraphMst, SpansSeedsOnConnectedGraph) {
+  const auto g = make_test_graph(80, 23);
+  const auto seeds = pick_seeds(g, 5, 29);
+  const dist_graph dgraph(g, {4, partition_scheme::hash, false, 0});
+  steiner_state state(g.num_vertices());
+  const engine_config config{};
+  (void)compute_voronoi_cells(dgraph, seeds, state, config);
+  std::vector<cross_edge_map> per_rank;
+  (void)find_local_min_edges(dgraph, state, per_rank, config);
+  const communicator comm(4, cost_model{});
+  (void)reduce_global_min_edges(comm, per_rank, {});
+
+  runtime::phase_metrics metrics;
+  const auto mst = compute_distance_graph_mst(per_rank.front(), seeds, comm,
+                                              metrics);
+  EXPECT_TRUE(mst.spans_all_seeds);
+  EXPECT_EQ(mst.mst_pairs.size(), seeds.size() - 1);
+  EXPECT_GT(metrics.sim_units, 0.0);
+}
+
+TEST(DistanceGraphMst, ForestWhenSeedsDisconnected) {
+  graph::edge_list list(6);
+  list.add_undirected_edge(0, 1, 1);
+  list.add_undirected_edge(2, 3, 1);
+  const graph::csr_graph g(list);
+  const std::vector<vertex_id> seeds{0, 1, 2, 3};
+  const dist_graph dgraph(g, {2, partition_scheme::hash, false, 0});
+  steiner_state state(g.num_vertices());
+  (void)compute_voronoi_cells(dgraph, seeds, state, engine_config{});
+  std::vector<cross_edge_map> per_rank;
+  (void)find_local_min_edges(dgraph, state, per_rank, engine_config{});
+  const communicator comm(2, cost_model{});
+  (void)reduce_global_min_edges(comm, per_rank, {});
+  runtime::phase_metrics metrics;
+  const auto mst = compute_distance_graph_mst(per_rank.front(), seeds, comm,
+                                              metrics);
+  EXPECT_FALSE(mst.spans_all_seeds);
+  EXPECT_EQ(mst.mst_pairs.size(), 2u);  // one bridge per component
+}
+
+TEST(Pruning, KeepsExactlyMstPairs) {
+  const auto g = make_test_graph(100, 31);
+  const auto seeds = pick_seeds(g, 8, 37);
+  const dist_graph dgraph(g, {4, partition_scheme::hash, false, 0});
+  steiner_state state(g.num_vertices());
+  (void)compute_voronoi_cells(dgraph, seeds, state, engine_config{});
+  std::vector<cross_edge_map> per_rank;
+  (void)find_local_min_edges(dgraph, state, per_rank, engine_config{});
+  const communicator comm(4, cost_model{});
+  (void)reduce_global_min_edges(comm, per_rank, {});
+  runtime::phase_metrics metrics;
+  const auto mst =
+      compute_distance_graph_mst(per_rank.front(), seeds, comm, metrics);
+
+  const std::size_t before = per_rank.front().size();
+  (void)prune_cross_edges(comm, per_rank, mst.mst_pairs);
+  for (const auto& map : per_rank) {
+    EXPECT_EQ(map.size(), mst.mst_pairs.size());
+    for (const auto& pair : mst.mst_pairs) EXPECT_TRUE(map.contains(pair));
+  }
+  EXPECT_GE(before, mst.mst_pairs.size());
+}
+
+}  // namespace

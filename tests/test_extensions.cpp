@@ -1,0 +1,316 @@
+// Tests for the extension modules: delta-stepping, binary graph IO, Yen's
+// k-shortest paths, dual-ascent lower bounds and key-path improvement.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <tuple>
+
+#include "baselines/dual_ascent.hpp"
+#include "baselines/exact.hpp"
+#include "baselines/key_path_improvement.hpp"
+#include "baselines/mehlhorn.hpp"
+#include "core/steiner_solver.hpp"
+#include "core/validation.hpp"
+#include "graph/delta_stepping.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_io.hpp"
+#include "graph/k_shortest_paths.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace dsteiner;
+using graph::vertex_id;
+using graph::weight_t;
+
+graph::csr_graph make_connected_graph(int n, weight_t w_hi, std::uint64_t seed) {
+  graph::edge_list list =
+      graph::generate_erdos_renyi(n, static_cast<std::uint64_t>(n) * 3, seed);
+  graph::assign_uniform_weights(list, 1, w_hi, seed ^ 0x44);
+  graph::connect_components(list, w_hi + 1, seed);
+  return graph::csr_graph(list);
+}
+
+std::vector<vertex_id> pick_seeds(const graph::csr_graph& g, std::size_t count,
+                                  std::uint64_t seed) {
+  util::rng gen(seed);
+  const auto picks =
+      util::sample_without_replacement(g.num_vertices(), count, gen);
+  return {picks.begin(), picks.end()};
+}
+
+// ---- Delta stepping.
+
+class DeltaStepping
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DeltaStepping, MatchesDijkstra) {
+  const auto [n, delta, seed] = GetParam();
+  const auto g = make_connected_graph(n, 60, seed);
+  const auto reference = graph::dijkstra(g, 0);
+  const auto ds = graph::delta_stepping(g, 0, static_cast<weight_t>(delta));
+  EXPECT_EQ(ds.distance, reference.distance);
+  EXPECT_EQ(ds.parent, reference.parent);
+  EXPECT_GT(ds.buckets_processed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DeltaStepping,
+    ::testing::Combine(::testing::Values(40, 150),
+                       ::testing::Values(0, 1, 7, 64, 10000),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(DeltaStepping, LightHeavySplitObserved) {
+  const auto g = make_connected_graph(200, 100, 5);
+  const auto ds = graph::delta_stepping(g, 0, 50);
+  EXPECT_GT(ds.light_relaxations, 0u);
+  EXPECT_GT(ds.heavy_relaxations, 0u);
+}
+
+TEST(DeltaStepping, UnreachableStaysInfinite) {
+  graph::edge_list list(3);
+  list.add_undirected_edge(0, 1, 4);
+  const auto ds = graph::delta_stepping(graph::csr_graph(list), 0, 2);
+  EXPECT_EQ(ds.distance[2], graph::k_inf_distance);
+}
+
+// ---- Binary graph IO.
+
+TEST(GraphIo, RoundTripPreservesEverything) {
+  const auto g = make_connected_graph(120, 40, 7);
+  std::stringstream buffer;
+  graph::save_binary_graph(buffer, g);
+  const auto loaded = graph::load_binary_graph(buffer);
+  EXPECT_EQ(loaded.num_vertices(), g.num_vertices());
+  EXPECT_EQ(loaded.num_arcs(), g.num_arcs());
+  EXPECT_EQ(loaded.offsets(), g.offsets());
+  EXPECT_EQ(loaded.targets(), g.targets());
+  EXPECT_EQ(loaded.arc_weights(), g.arc_weights());
+}
+
+TEST(GraphIo, RejectsBadMagic) {
+  std::stringstream buffer("not a graph at all, definitely");
+  EXPECT_THROW((void)graph::load_binary_graph(buffer), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsTruncation) {
+  const auto g = make_connected_graph(50, 10, 9);
+  std::stringstream buffer;
+  graph::save_binary_graph(buffer, g);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW((void)graph::load_binary_graph(truncated), std::runtime_error);
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  const auto g = make_connected_graph(30, 10, 11);
+  const std::string path = "/tmp/dsteiner_io_test.bin";
+  graph::save_binary_graph_file(path, g);
+  const auto loaded = graph::load_binary_graph_file(path);
+  EXPECT_EQ(loaded.targets(), g.targets());
+  EXPECT_THROW((void)graph::load_binary_graph_file("/nonexistent/x.bin"),
+               std::runtime_error);
+}
+
+// ---- Yen's k shortest paths.
+
+TEST(Yen, FirstPathIsShortest) {
+  const auto g = make_connected_graph(80, 30, 13);
+  const auto paths = graph::yen_k_shortest_paths(g, 0, 50, 5);
+  ASSERT_FALSE(paths.empty());
+  const auto sp = graph::dijkstra(g, 0);
+  EXPECT_EQ(paths.front().total_distance, sp.distance[50]);
+}
+
+TEST(Yen, PathsAreSortedDistinctAndSimple) {
+  const auto g = make_connected_graph(60, 20, 17);
+  const auto paths = graph::yen_k_shortest_paths(g, 1, 40, 8);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const auto& p = paths[i];
+    EXPECT_EQ(p.vertices.front(), 1u);
+    EXPECT_EQ(p.vertices.back(), 40u);
+    // Simple: no repeated vertices.
+    std::set<vertex_id> unique(p.vertices.begin(), p.vertices.end());
+    EXPECT_EQ(unique.size(), p.vertices.size());
+    // Edges exist and sum to the claimed distance.
+    weight_t total = 0;
+    for (std::size_t j = 0; j + 1 < p.vertices.size(); ++j) {
+      const auto w = g.edge_weight(p.vertices[j], p.vertices[j + 1]);
+      ASSERT_TRUE(w.has_value());
+      total += *w;
+    }
+    EXPECT_EQ(total, p.total_distance);
+    if (i > 0) {
+      EXPECT_GE(p.total_distance, paths[i - 1].total_distance);
+      EXPECT_NE(p.vertices, paths[i - 1].vertices);
+    }
+  }
+}
+
+TEST(Yen, ExhaustsSmallGraphs) {
+  // A 4-cycle has exactly two simple paths between opposite corners.
+  graph::edge_list list = graph::generate_cycle(4);
+  graph::assign_uniform_weights(list, 1, 9, 3);
+  const graph::csr_graph g(list);
+  const auto paths = graph::yen_k_shortest_paths(g, 0, 2, 10);
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+TEST(Yen, NoPathReturnsEmpty) {
+  graph::edge_list list(4);
+  list.add_undirected_edge(0, 1, 1);
+  const auto paths =
+      graph::yen_k_shortest_paths(graph::csr_graph(list), 0, 3, 4);
+  EXPECT_TRUE(paths.empty());
+}
+
+TEST(Yen, PathUnionSubgraphDeduplicates) {
+  const auto g = make_connected_graph(60, 20, 19);
+  const auto paths = graph::yen_k_shortest_paths(g, 0, 30, 6);
+  const auto subgraph = graph::path_union_subgraph(g, paths);
+  std::set<std::pair<vertex_id, vertex_id>> keys;
+  for (const auto& e : subgraph) {
+    EXPECT_LT(e.source, e.target);
+    EXPECT_TRUE(keys.insert({e.source, e.target}).second);
+    EXPECT_EQ(g.edge_weight(e.source, e.target), e.weight);
+  }
+}
+
+// ---- Dual ascent lower bound.
+
+class DualAscentProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DualAscentProperty, BoundsExactOptimumFromBelow) {
+  const auto [n, num_seeds, seed] = GetParam();
+  const auto g = make_connected_graph(n, 25, seed);
+  const auto seeds = pick_seeds(g, num_seeds, seed + 3);
+  const auto lb = baselines::dual_ascent_lower_bound(g, seeds);
+  const auto exact = baselines::exact_steiner_tree(g, seeds);
+  EXPECT_TRUE(lb.converged);
+  EXPECT_GT(lb.lower_bound, 0u);
+  EXPECT_LE(lb.lower_bound, exact.optimal_distance);
+  // Dual ascent is typically within ~2x of optimal; sanity-check usefulness.
+  EXPECT_GE(2 * lb.lower_bound, exact.optimal_distance);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallInstances, DualAscentProperty,
+                         ::testing::Combine(::testing::Values(40, 100),
+                                            ::testing::Values(3, 6, 10),
+                                            ::testing::Values(21, 22, 23)));
+
+TEST(DualAscent, TwoSeedsEqualsShortestPath) {
+  // With |S| = 2 dual ascent converges to the exact shortest-path distance.
+  const auto g = make_connected_graph(80, 20, 29);
+  const std::vector<vertex_id> seeds{3, 60};
+  const auto lb = baselines::dual_ascent_lower_bound(g, seeds);
+  const auto sp = graph::dijkstra(g, 3);
+  EXPECT_TRUE(lb.converged);
+  EXPECT_LE(lb.lower_bound, sp.distance[60]);
+  EXPECT_GE(lb.lower_bound, sp.distance[60] / 2);
+}
+
+TEST(DualAscent, IterationCapStillValid) {
+  const auto g = make_connected_graph(100, 25, 31);
+  const auto seeds = pick_seeds(g, 8, 33);
+  baselines::dual_ascent_options options;
+  options.max_iterations = 3;
+  const auto capped = baselines::dual_ascent_lower_bound(g, seeds, options);
+  const auto full = baselines::dual_ascent_lower_bound(g, seeds);
+  EXPECT_LE(capped.lower_bound, full.lower_bound);
+  EXPECT_LE(capped.iterations, 3u);
+}
+
+TEST(DualAscent, SingleSeedIsZero) {
+  const auto g = make_connected_graph(20, 10, 35);
+  const auto lb =
+      baselines::dual_ascent_lower_bound(g, std::vector<vertex_id>{4});
+  EXPECT_EQ(lb.lower_bound, 0u);
+  EXPECT_TRUE(lb.converged);
+}
+
+TEST(DualAscent, UnreachableSeedsThrow) {
+  graph::edge_list list(4);
+  list.add_undirected_edge(0, 1, 1);
+  list.add_undirected_edge(2, 3, 1);
+  const graph::csr_graph g(list);
+  EXPECT_THROW((void)baselines::dual_ascent_lower_bound(
+                   g, std::vector<vertex_id>{0, 2}),
+               std::runtime_error);
+}
+
+// ---- Key-path improvement.
+
+class KeyPathImprovement
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(KeyPathImprovement, NeverWorsensAndStaysValid) {
+  const auto [n, num_seeds, seed] = GetParam();
+  const auto g = make_connected_graph(n, 25, seed);
+  const auto seeds = pick_seeds(g, num_seeds, seed + 5);
+  const auto base = core::solve_steiner_tree(g, seeds, {});
+  const auto improved =
+      baselines::improve_steiner_tree(g, seeds, base.tree_edges);
+  EXPECT_LE(improved.total_distance, base.total_distance);
+  EXPECT_EQ(improved.initial_distance, base.total_distance);
+  const auto check = core::validate_steiner_tree(g, seeds, improved.tree_edges);
+  EXPECT_TRUE(check.valid) << check.error;
+  // The improved tree can never beat the exact optimum.
+  const auto exact = baselines::exact_steiner_tree(g, seeds);
+  EXPECT_GE(improved.total_distance, exact.optimal_distance);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, KeyPathImprovement,
+                         ::testing::Combine(::testing::Values(40, 100, 180),
+                                            ::testing::Values(4, 8),
+                                            ::testing::Values(41, 42, 43)));
+
+TEST(KeyPathImprovementEdge, RepairsObviousDetour) {
+  // Triangle with a cheap bypass: tree through the expensive edge must be
+  // exchanged for the two cheap ones.
+  graph::edge_list list;
+  list.add_undirected_edge(0, 1, 10);
+  list.add_undirected_edge(0, 2, 2);
+  list.add_undirected_edge(2, 1, 2);
+  const graph::csr_graph g(list);
+  const std::vector<vertex_id> seeds{0, 1};
+  const std::vector<graph::weighted_edge> bad_tree{{0, 1, 10}};
+  const auto improved = baselines::improve_steiner_tree(g, seeds, bad_tree);
+  EXPECT_EQ(improved.total_distance, 4u);
+  EXPECT_EQ(improved.exchanges, 1u);
+}
+
+TEST(KeyPathImprovementEdge, EmptyTreePassesThrough) {
+  const auto g = make_connected_graph(20, 10, 51);
+  const auto improved = baselines::improve_steiner_tree(
+      g, std::vector<vertex_id>{5}, {});
+  EXPECT_TRUE(improved.tree_edges.empty());
+  EXPECT_EQ(improved.total_distance, 0u);
+}
+
+TEST(KeyPathImprovementEdge, LocalOptimumIsStable) {
+  const auto g = make_connected_graph(80, 20, 53);
+  const auto seeds = pick_seeds(g, 6, 55);
+  const auto base = core::solve_steiner_tree(g, seeds, {});
+  const auto once = baselines::improve_steiner_tree(g, seeds, base.tree_edges);
+  const auto twice =
+      baselines::improve_steiner_tree(g, seeds, once.tree_edges);
+  EXPECT_EQ(twice.total_distance, once.total_distance);
+  EXPECT_EQ(twice.exchanges, 0u);
+}
+
+TEST(Integration, RefinedTreeBracketedByDualAscent) {
+  // End-to-end: LB <= refined <= base <= 2 * LB ties four modules together.
+  const auto g = make_connected_graph(150, 30, 57);
+  const auto seeds = pick_seeds(g, 12, 59);
+  const auto base = core::solve_steiner_tree(g, seeds, {});
+  const auto improved =
+      baselines::improve_steiner_tree(g, seeds, base.tree_edges);
+  const auto lb = baselines::dual_ascent_lower_bound(g, seeds);
+  EXPECT_LE(lb.lower_bound, improved.total_distance);
+  EXPECT_LE(improved.total_distance, base.total_distance);
+  EXPECT_LE(base.total_distance, 2 * lb.lower_bound * 2);  // loose sanity
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Unit tests for graph generators and weight assignment.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/connected_components.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_stats.hpp"
+
+namespace {
+
+using namespace dsteiner;
+using namespace dsteiner::graph;
+
+TEST(Generators, PathShape) {
+  const csr_graph g(generate_path(5));
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_arcs(), 8u);  // 4 undirected edges
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+}
+
+TEST(Generators, CycleShape) {
+  const csr_graph g(generate_cycle(6));
+  for (vertex_id v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(Generators, StarShape) {
+  const csr_graph g(generate_star(7));
+  EXPECT_EQ(g.degree(0), 6u);
+  for (vertex_id v = 1; v < 7; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(Generators, GridShape) {
+  const csr_graph g(generate_grid(3, 4));
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.num_arcs(), 2u * (3 * 3 + 2 * 4));  // 17 undirected edges
+  EXPECT_EQ(g.degree(0), 2u);   // corner
+  EXPECT_EQ(g.degree(5), 4u);   // interior (row 1, col 1)
+}
+
+TEST(Generators, CompleteShape) {
+  const csr_graph g(generate_complete(5));
+  for (vertex_id v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Generators, RandomTreeIsSpanningTree) {
+  const edge_list list = generate_random_tree(50, 3);
+  EXPECT_EQ(list.size(), 2u * 49u);
+  const csr_graph g(list);
+  const auto cc = connected_components(g);
+  EXPECT_EQ(cc.component_count, 1u);
+}
+
+TEST(Generators, ErdosRenyiEdgeCount) {
+  const edge_list list = generate_erdos_renyi(100, 250, 7);
+  EXPECT_EQ(list.size(), 500u);  // 250 undirected edges
+  EXPECT_THROW((void)generate_erdos_renyi(4, 100, 7), std::invalid_argument);
+}
+
+TEST(Generators, ErdosRenyiDeterministic) {
+  const edge_list a = generate_erdos_renyi(64, 128, 9);
+  const edge_list b = generate_erdos_renyi(64, 128, 9);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(Generators, RmatDeterministicAndSkewed) {
+  rmat_params params;
+  params.scale = 10;
+  params.edge_factor = 8;
+  params.seed = 5;
+  const edge_list a = generate_rmat(params);
+  const edge_list b = generate_rmat(params);
+  EXPECT_EQ(a.edges(), b.edges());
+
+  const csr_graph g(a);
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  const auto stats = compute_statistics(g);
+  // Scale-free-ish: the max degree dwarfs the average.
+  EXPECT_GT(static_cast<double>(stats.max_degree), 5.0 * stats.avg_degree);
+}
+
+TEST(Generators, RmatRejectsBadProbabilities) {
+  rmat_params params;
+  params.a = 0.8;
+  params.b = 0.2;
+  params.c = 0.2;
+  EXPECT_THROW((void)generate_rmat(params), std::invalid_argument);
+}
+
+TEST(Generators, WattsStrogatzDegreeSum) {
+  const edge_list list = generate_watts_strogatz(100, 3, 0.1, 11);
+  // Rewiring never changes the edge count (k per side).
+  EXPECT_EQ(list.size(), 2u * 300u);
+  EXPECT_THROW((void)generate_watts_strogatz(10, 5, 0.1, 1), std::invalid_argument);
+}
+
+TEST(Generators, UniformWeightsInRangeAndSymmetric) {
+  edge_list list = generate_grid(8, 8);
+  assign_uniform_weights(list, 5, 50, 99);
+  const csr_graph g(list);
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto wts = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_GE(wts[i], 5u);
+      EXPECT_LE(wts[i], 50u);
+      // Both directions of an undirected edge agree.
+      EXPECT_EQ(g.edge_weight(nbrs[i], v), wts[i]);
+    }
+  }
+}
+
+TEST(Generators, UniformWeightsDeterministicPerSeed) {
+  edge_list a = generate_grid(4, 4);
+  edge_list b = generate_grid(4, 4);
+  assign_uniform_weights(a, 1, 100, 42);
+  assign_uniform_weights(b, 1, 100, 42);
+  EXPECT_EQ(a.edges(), b.edges());
+  assign_uniform_weights(b, 1, 100, 43);
+  EXPECT_NE(a.edges(), b.edges());
+}
+
+TEST(Generators, ConnectComponentsBridgesEverything) {
+  edge_list list(9);
+  list.add_undirected_edge(0, 1, 1);
+  list.add_undirected_edge(3, 4, 1);
+  list.add_undirected_edge(6, 7, 1);
+  connect_components(list, 99, 1);
+  const auto cc = connected_components(csr_graph(list));
+  EXPECT_EQ(cc.component_count, 1u);
+}
+
+TEST(Generators, ConnectComponentsNoopWhenConnected) {
+  edge_list list = generate_path(5);
+  const std::size_t before = list.size();
+  connect_components(list, 99, 1);
+  EXPECT_EQ(list.size(), before);
+}
+
+}  // namespace

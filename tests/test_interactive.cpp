@@ -1,0 +1,132 @@
+// Tests for the interactive exploration session (§I workflow).
+#include <gtest/gtest.h>
+
+#include "core/interactive.hpp"
+#include "core/validation.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace dsteiner;
+using graph::vertex_id;
+using graph::weight_t;
+
+graph::csr_graph make_graph(std::uint64_t seed) {
+  graph::edge_list list = graph::generate_erdos_renyi(200, 600, seed);
+  graph::assign_uniform_weights(list, 1, 30, seed ^ 0x31);
+  graph::connect_components(list, 31, seed);
+  return graph::csr_graph(list);
+}
+
+TEST(Interactive, LazyRecomputeAndCaching) {
+  core::exploration_session session(make_graph(1));
+  EXPECT_FALSE(session.up_to_date());
+  session.add_seed(3);
+  session.add_seed(77);
+  session.add_seed(150);
+  const auto& first = session.tree();
+  EXPECT_EQ(session.recompute_count(), 1u);
+  EXPECT_TRUE(session.up_to_date());
+  // Repeated queries hit the cache.
+  (void)session.tree();
+  (void)session.tree();
+  EXPECT_EQ(session.recompute_count(), 1u);
+  EXPECT_FALSE(first.tree_edges.empty());
+}
+
+TEST(Interactive, MatchesFreshSolve) {
+  const auto g = make_graph(2);
+  core::exploration_session session(g);
+  const std::vector<vertex_id> seeds{5, 60, 120, 199};
+  session.set_seeds(seeds);
+  const auto& via_session = session.tree();
+  core::solver_config config;
+  config.allow_disconnected_seeds = true;
+  const auto fresh = core::solve_steiner_tree(g, seeds, config);
+  EXPECT_EQ(via_session.tree_edges, fresh.tree_edges);
+  EXPECT_EQ(via_session.total_distance, fresh.total_distance);
+}
+
+TEST(Interactive, EditsInvalidate) {
+  core::exploration_session session(make_graph(3));
+  session.set_seeds(std::vector<vertex_id>{1, 50});
+  (void)session.tree();
+  EXPECT_TRUE(session.up_to_date());
+  EXPECT_TRUE(session.add_seed(100));
+  EXPECT_FALSE(session.up_to_date());
+  (void)session.tree();
+  EXPECT_TRUE(session.remove_seed(100));
+  EXPECT_FALSE(session.up_to_date());
+  EXPECT_EQ(session.recompute_count(), 2u);
+}
+
+TEST(Interactive, IdempotentEditsDoNotInvalidate) {
+  core::exploration_session session(make_graph(4));
+  session.set_seeds(std::vector<vertex_id>{1, 2});
+  (void)session.tree();
+  EXPECT_FALSE(session.add_seed(1));     // already present
+  EXPECT_FALSE(session.remove_seed(9));  // never present
+  EXPECT_TRUE(session.up_to_date());
+}
+
+TEST(Interactive, AddRemoveRoundTripRestoresTree) {
+  core::exploration_session session(make_graph(5));
+  session.set_seeds(std::vector<vertex_id>{10, 90, 170});
+  const auto baseline = session.tree().tree_edges;
+  session.add_seed(42);
+  (void)session.tree();
+  session.remove_seed(42);
+  EXPECT_EQ(session.tree().tree_edges, baseline);  // deterministic solver
+}
+
+TEST(Interactive, SingleOrNoSeedsYieldEmptyTree) {
+  core::exploration_session session(make_graph(6));
+  EXPECT_TRUE(session.tree().tree_edges.empty());
+  session.add_seed(7);
+  EXPECT_TRUE(session.tree().tree_edges.empty());
+}
+
+TEST(Interactive, FilterEdgesMayProduceForest) {
+  core::exploration_session session(make_graph(7));
+  session.set_seeds(std::vector<vertex_id>{0, 100, 180});
+  const auto before = session.tree().total_distance;
+  session.filter_edges_above(5);  // keep only the strongest relationships
+  const auto& after = session.tree();
+  // Either a (possibly partial) forest or an empty tree; never an exception.
+  if (after.spans_all_seeds) {
+    const auto check = core::validate_steiner_tree(
+        session.graph(), session.seeds(), after.tree_edges);
+    EXPECT_TRUE(check.valid) << check.error;
+  }
+  EXPECT_GE(before, 1u);
+}
+
+TEST(Interactive, ReweightChangesDistances) {
+  core::exploration_session session(make_graph(8));
+  session.set_seeds(std::vector<vertex_id>{3, 140});
+  const auto before = session.tree().total_distance;
+  session.reweight([](vertex_id, vertex_id, weight_t w) { return w * 10; });
+  const auto after = session.tree().total_distance;
+  EXPECT_EQ(after, before * 10);  // uniform scaling preserves the tree shape
+}
+
+TEST(Interactive, RankKnobPreservesResult) {
+  core::exploration_session session(make_graph(9));
+  session.set_seeds(std::vector<vertex_id>{11, 44, 99, 160});
+  const auto with_16 = session.tree().tree_edges;
+  session.set_ranks(64);
+  EXPECT_FALSE(session.up_to_date());
+  EXPECT_EQ(session.tree().tree_edges, with_16);
+  session.set_ranks(64);  // no-op: same value
+  EXPECT_TRUE(session.up_to_date());
+}
+
+TEST(Interactive, RejectsBadInput) {
+  core::exploration_session session(make_graph(10));
+  EXPECT_THROW(session.add_seed(10000), std::out_of_range);
+  EXPECT_THROW(session.set_seeds(std::vector<vertex_id>{1, 10000}),
+               std::out_of_range);
+  EXPECT_THROW(session.set_ranks(0), std::invalid_argument);
+}
+
+}  // namespace

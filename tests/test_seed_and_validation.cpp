@@ -1,0 +1,216 @@
+// Tests for seed-selection strategies, tree validation and the dataset
+// registry.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/validation.hpp"
+#include "graph/bfs.hpp"
+#include "graph/connected_components.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_stats.hpp"
+#include "io/dataset.hpp"
+#include "seed/seed_select.hpp"
+
+namespace {
+
+using namespace dsteiner;
+using graph::vertex_id;
+using graph::weight_t;
+using seed::seed_strategy;
+
+graph::csr_graph make_test_graph() {
+  graph::edge_list list =
+      graph::generate_erdos_renyi(400, 1200, 5);
+  graph::assign_uniform_weights(list, 1, 50, 6);
+  return graph::csr_graph(list);  // intentionally possibly disconnected
+}
+
+class SeedStrategies : public ::testing::TestWithParam<seed_strategy> {};
+
+TEST_P(SeedStrategies, ReturnsDistinctSeedsInLargestComponent) {
+  const auto g = make_test_graph();
+  const auto component = graph::largest_component_vertices(g);
+  const std::set<vertex_id> in_component(component.begin(), component.end());
+
+  const auto seeds = seed::select_seeds(g, 25, GetParam(), 42);
+  ASSERT_EQ(seeds.size(), 25u);
+  std::set<vertex_id> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), 25u);
+  for (const auto s : seeds) EXPECT_TRUE(in_component.contains(s));
+}
+
+TEST_P(SeedStrategies, DeterministicPerRngSeed) {
+  const auto g = make_test_graph();
+  const auto a = seed::select_seeds(g, 10, GetParam(), 7);
+  const auto b = seed::select_seeds(g, 10, GetParam(), 7);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(SeedStrategies, ThrowsWhenComponentTooSmall) {
+  const graph::csr_graph g(graph::generate_path(5));
+  EXPECT_THROW((void)seed::select_seeds(g, 10, GetParam(), 1),
+               std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, SeedStrategies,
+                         ::testing::Values(seed_strategy::bfs_level,
+                                           seed_strategy::uniform_random,
+                                           seed_strategy::eccentric,
+                                           seed_strategy::proximate),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case seed_strategy::bfs_level: return "BfsLevel";
+                             case seed_strategy::uniform_random: return "UniformRandom";
+                             case seed_strategy::eccentric: return "Eccentric";
+                             case seed_strategy::proximate: return "Proximate";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(SeedStrategies, EccentricSpreadsFartherThanProximate) {
+  // On a long path the eccentric strategy must pick well-spread vertices and
+  // proximate tightly-clustered ones; compare pairwise hop spans.
+  const graph::csr_graph g(graph::generate_path(400));
+  const auto eccentric =
+      seed::select_seeds(g, 6, seed_strategy::eccentric, 3);
+  const auto proximate =
+      seed::select_seeds(g, 6, seed_strategy::proximate, 3);
+  const auto span = [](const std::vector<vertex_id>& seeds) {
+    return *std::max_element(seeds.begin(), seeds.end()) -
+           *std::min_element(seeds.begin(), seeds.end());
+  };
+  EXPECT_GT(span(eccentric), span(proximate));
+  EXPECT_GT(span(eccentric), 300u);  // near the full path
+}
+
+TEST(SeedStrategies, StringNames) {
+  EXPECT_EQ(seed::to_string(seed_strategy::bfs_level), "BFS-level");
+  EXPECT_EQ(seed::to_string(seed_strategy::proximate), "Proximate");
+}
+
+// ---- validate_steiner_tree rejection cases.
+
+TEST(Validation, AcceptsSingleSeedEmptyTree) {
+  const graph::csr_graph g(graph::generate_path(4));
+  EXPECT_TRUE(core::validate_steiner_tree(g, std::vector<vertex_id>{2}, {}));
+}
+
+TEST(Validation, RejectsEmptyTreeForMultipleSeeds) {
+  const graph::csr_graph g(graph::generate_path(4));
+  const auto r = core::validate_steiner_tree(g, std::vector<vertex_id>{0, 3}, {});
+  EXPECT_FALSE(r.valid);
+}
+
+TEST(Validation, RejectsNonGraphEdge) {
+  const graph::csr_graph g(graph::generate_path(4));
+  const std::vector<graph::weighted_edge> edges{{0, 2, 1}};
+  EXPECT_FALSE(core::validate_steiner_tree(g, std::vector<vertex_id>{0, 2}, edges));
+}
+
+TEST(Validation, RejectsWrongWeight) {
+  graph::edge_list list;
+  list.add_undirected_edge(0, 1, 7);
+  const graph::csr_graph g(list);
+  const std::vector<graph::weighted_edge> edges{{0, 1, 8}};
+  const auto r =
+      core::validate_steiner_tree(g, std::vector<vertex_id>{0, 1}, edges);
+  EXPECT_FALSE(r.valid);
+  EXPECT_NE(r.error.find("weight"), std::string::npos);
+}
+
+TEST(Validation, RejectsCycle) {
+  const graph::csr_graph g(graph::generate_cycle(3));
+  const std::vector<graph::weighted_edge> edges{{0, 1, 1}, {1, 2, 1}, {0, 2, 1}};
+  const auto r =
+      core::validate_steiner_tree(g, std::vector<vertex_id>{0, 1, 2}, edges);
+  EXPECT_FALSE(r.valid);
+}
+
+TEST(Validation, RejectsDisconnectedForest) {
+  const graph::csr_graph g(graph::generate_path(6));
+  const std::vector<graph::weighted_edge> edges{{0, 1, 1}, {3, 4, 1}};
+  EXPECT_FALSE(
+      core::validate_steiner_tree(g, std::vector<vertex_id>{0, 1, 3, 4}, edges));
+}
+
+TEST(Validation, RejectsMissingSeed) {
+  const graph::csr_graph g(graph::generate_path(6));
+  const std::vector<graph::weighted_edge> edges{{0, 1, 1}};
+  const auto r =
+      core::validate_steiner_tree(g, std::vector<vertex_id>{0, 1, 5}, edges);
+  EXPECT_FALSE(r.valid);
+  EXPECT_NE(r.error.find("seed"), std::string::npos);
+}
+
+TEST(Validation, RejectsSteinerLeaf) {
+  const graph::csr_graph g(graph::generate_path(4));
+  // 0-1-2-3 with seeds {0, 2}: edge (2,3) dangles a non-seed leaf 3.
+  const std::vector<graph::weighted_edge> edges{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}};
+  const auto r =
+      core::validate_steiner_tree(g, std::vector<vertex_id>{0, 2}, edges);
+  EXPECT_FALSE(r.valid);
+  EXPECT_NE(r.error.find("leaf"), std::string::npos);
+}
+
+TEST(Validation, RejectsDuplicateEdge) {
+  const graph::csr_graph g(graph::generate_path(3));
+  const std::vector<graph::weighted_edge> edges{{0, 1, 1}, {1, 2, 1}, {0, 1, 1}};
+  EXPECT_FALSE(
+      core::validate_steiner_tree(g, std::vector<vertex_id>{0, 2}, edges));
+}
+
+TEST(Validation, RejectsSelfLoop) {
+  const graph::csr_graph g(graph::generate_path(3));
+  const std::vector<graph::weighted_edge> edges{{1, 1, 1}};
+  EXPECT_FALSE(
+      core::validate_steiner_tree(g, std::vector<vertex_id>{0, 1}, edges));
+}
+
+TEST(Validation, TreeDistanceSumsWeights) {
+  const std::vector<graph::weighted_edge> edges{{0, 1, 5}, {1, 2, 7}};
+  EXPECT_EQ(core::tree_distance(edges), 12u);
+  EXPECT_EQ(core::tree_distance({}), 0u);
+}
+
+// ---- Dataset registry.
+
+TEST(Dataset, RegistryHasAllEightMirrors) {
+  const auto& specs = io::dataset_specs();
+  ASSERT_EQ(specs.size(), 8u);
+  EXPECT_EQ(specs.front().key, "WDC");
+  EXPECT_EQ(specs.back().key, "CTS");
+  // Size ordering preserved (Table III, largest to smallest).
+  for (std::size_t i = 1; i < specs.size(); ++i) {
+    EXPECT_GE(specs[i - 1].scale, specs[i].scale);
+  }
+}
+
+TEST(Dataset, SpecLookup) {
+  EXPECT_EQ(io::spec_for("LVJ").paper_name, "LiveJournal");
+  EXPECT_THROW((void)io::spec_for("NOPE"), std::out_of_range);
+}
+
+TEST(Dataset, LoadsSmallestMirrorWithPaperWeightRange) {
+  const auto ds = io::load_dataset("CTS");
+  EXPECT_EQ(ds.graph.num_vertices(), 2048u);
+  const auto stats = graph::compute_statistics(ds.graph);
+  EXPECT_GE(stats.min_weight, ds.spec.weight_lo);
+  EXPECT_LE(stats.max_weight, ds.spec.weight_hi);
+  EXPECT_GT(stats.num_arcs, 0u);
+}
+
+TEST(Dataset, ScaleAdjustShrinks) {
+  const auto full = io::load_dataset("CTS");
+  const auto half = io::load_dataset("CTS", -1);
+  EXPECT_EQ(half.graph.num_vertices() * 2, full.graph.num_vertices());
+  EXPECT_THROW((void)io::load_dataset("CTS", -20), std::invalid_argument);
+}
+
+TEST(Dataset, DeterministicTopology) {
+  const auto a = io::build_topology(io::spec_for("CTS"));
+  const auto b = io::build_topology(io::spec_for("CTS"));
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+}  // namespace

@@ -1,0 +1,245 @@
+// Unit + property tests for BFS, connected components, Dijkstra,
+// Bellman-Ford, multi-source Voronoi and MST.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/bellman_ford.hpp"
+#include "graph/bfs.hpp"
+#include "graph/connected_components.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/generators.hpp"
+#include "graph/mst.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace dsteiner;
+using namespace dsteiner::graph;
+
+edge_list weighted_random_graph(vertex_id n, std::uint64_t edges,
+                                weight_t w_hi, std::uint64_t seed) {
+  edge_list list = generate_erdos_renyi(n, edges, seed);
+  assign_uniform_weights(list, 1, w_hi, seed ^ 0xabcdULL);
+  return list;
+}
+
+TEST(Bfs, LevelsOnPath) {
+  const csr_graph g(generate_path(6));
+  const auto bfs = breadth_first_search(g, 0);
+  for (vertex_id v = 0; v < 6; ++v) EXPECT_EQ(bfs.levels[v], v);
+  EXPECT_EQ(bfs.max_level, 5u);
+  EXPECT_EQ(bfs.reached, 6u);
+  EXPECT_EQ(bfs.parent[3], 2u);
+  EXPECT_EQ(bfs.parent[0], k_no_vertex);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  edge_list list(4);
+  list.add_undirected_edge(0, 1, 1);
+  const csr_graph g(list);
+  const auto bfs = breadth_first_search(g, 0);
+  EXPECT_EQ(bfs.levels[3], k_unreached_level);
+  EXPECT_EQ(bfs.reached, 2u);
+}
+
+TEST(ConnectedComponents, CountsAndLargest) {
+  edge_list list(10);
+  list.add_undirected_edge(0, 1, 1);
+  list.add_undirected_edge(1, 2, 1);
+  list.add_undirected_edge(4, 5, 1);
+  const csr_graph g(list);
+  const auto cc = connected_components(g);
+  // {0,1,2}, {4,5}, and isolated 3,6,7,8,9.
+  EXPECT_EQ(cc.component_count, 7u);
+  EXPECT_EQ(cc.sizes[cc.largest_component], 3u);
+  const auto largest = largest_component_vertices(g);
+  EXPECT_EQ(largest, (std::vector<vertex_id>{0, 1, 2}));
+}
+
+TEST(Dijkstra, KnownSmallGraph) {
+  edge_list list;
+  list.add_undirected_edge(0, 1, 4);
+  list.add_undirected_edge(0, 2, 1);
+  list.add_undirected_edge(2, 1, 2);
+  list.add_undirected_edge(1, 3, 5);
+  const csr_graph g(list);
+  const auto r = dijkstra(g, 0);
+  EXPECT_EQ(r.distance[1], 3u);  // 0-2-1
+  EXPECT_EQ(r.distance[3], 8u);
+  EXPECT_EQ(r.parent[1], 2u);
+}
+
+TEST(Dijkstra, UnreachableIsInfinity) {
+  edge_list list(3);
+  list.add_undirected_edge(0, 1, 1);
+  const auto r = dijkstra(csr_graph(list), 0);
+  EXPECT_EQ(r.distance[2], k_inf_distance);
+  EXPECT_EQ(r.parent[2], k_no_vertex);
+}
+
+TEST(ReconstructPath, RecoverVertexSequence) {
+  const csr_graph g(generate_path(5));
+  const auto r = dijkstra(g, 0);
+  const auto path = reconstruct_path(r.parent, 0, 4);
+  EXPECT_EQ(path, (std::vector<vertex_id>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(reconstruct_path(r.parent, 0, 0),
+            (std::vector<vertex_id>{0}));
+}
+
+TEST(ReconstructPath, EmptyWhenUnreachable) {
+  edge_list list(3);
+  list.add_undirected_edge(0, 1, 1);
+  const auto r = dijkstra(csr_graph(list), 0);
+  EXPECT_TRUE(reconstruct_path(r.parent, 0, 2).empty());
+}
+
+// ---- Property sweep: Dijkstra == Bellman-Ford on random weighted graphs.
+
+class ShortestPathProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ShortestPathProperty, DijkstraMatchesBellmanFord) {
+  const auto [n, seed] = GetParam();
+  const auto list =
+      weighted_random_graph(n, static_cast<std::uint64_t>(n) * 3, 50, seed);
+  const csr_graph g(list);
+  const auto dj = dijkstra(g, 0);
+  const auto bf = bellman_ford(g, 0);
+  EXPECT_EQ(dj.distance, bf.distance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, ShortestPathProperty,
+    ::testing::Combine(::testing::Values(20, 60, 150),
+                       ::testing::Values(1, 2, 3, 4, 5)));
+
+// ---- Multi-source Voronoi properties.
+
+class VoronoiOracleProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(VoronoiOracleProperty, CellDistancesAreMinOverSeeds) {
+  const auto [n, num_seeds, seed] = GetParam();
+  const auto list =
+      weighted_random_graph(n, static_cast<std::uint64_t>(n) * 3, 30, seed);
+  const csr_graph g(list);
+  util::rng gen(seed);
+  const auto picks = util::sample_without_replacement(n, num_seeds, gen);
+  std::vector<vertex_id> seeds(picks.begin(), picks.end());
+
+  const auto cells = multi_source_voronoi(g, seeds);
+
+  // Per-seed Dijkstra gives the reference minimum.
+  std::vector<sssp_result> runs;
+  for (const auto s : seeds) runs.push_back(dijkstra(g, s));
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    weight_t best = k_inf_distance;
+    vertex_id best_seed = k_no_vertex;
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      if (runs[i].distance[v] < best ||
+          (runs[i].distance[v] == best && seeds[i] < best_seed)) {
+        best = runs[i].distance[v];
+        best_seed = seeds[i];
+      }
+    }
+    EXPECT_EQ(cells.distance[v], best) << "vertex " << v;
+    if (best != k_inf_distance) {
+      // Tie-break: the owning seed is the smallest among the closest.
+      EXPECT_EQ(cells.src[v], best_seed) << "vertex " << v;
+    }
+  }
+}
+
+TEST_P(VoronoiOracleProperty, PredecessorChainsAreConsistent) {
+  const auto [n, num_seeds, seed] = GetParam();
+  const auto list =
+      weighted_random_graph(n, static_cast<std::uint64_t>(n) * 3, 30, seed);
+  const csr_graph g(list);
+  util::rng gen(seed + 100);
+  const auto picks = util::sample_without_replacement(n, num_seeds, gen);
+  std::vector<vertex_id> seeds(picks.begin(), picks.end());
+  const auto cells = multi_source_voronoi(g, seeds);
+
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    if (cells.src[v] == k_no_vertex) continue;
+    if (v == cells.src[v]) {
+      EXPECT_EQ(cells.distance[v], 0u);
+      EXPECT_EQ(cells.pred[v], v);
+      continue;
+    }
+    const vertex_id p = cells.pred[v];
+    ASSERT_NE(p, k_no_vertex);
+    // Same cell, distance decreases by exactly the connecting edge weight.
+    EXPECT_EQ(cells.src[p], cells.src[v]);
+    const auto w = g.edge_weight(p, v);
+    ASSERT_TRUE(w.has_value());
+    EXPECT_EQ(cells.distance[p] + *w, cells.distance[v]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, VoronoiOracleProperty,
+    ::testing::Combine(::testing::Values(40, 120), ::testing::Values(2, 5, 12),
+                       ::testing::Values(1, 2, 3)));
+
+// ---- MST.
+
+TEST(Mst, KnownSmallGraph) {
+  edge_list list;
+  list.add_undirected_edge(0, 1, 1);
+  list.add_undirected_edge(1, 2, 2);
+  list.add_undirected_edge(0, 2, 10);
+  const csr_graph g(list);
+  const auto prim = prim_mst(g, 0);
+  EXPECT_TRUE(prim.spanning);
+  EXPECT_EQ(prim.total_weight, 3u);
+  EXPECT_EQ(prim.edges.size(), 2u);
+}
+
+TEST(Mst, PrimNotSpanningOnDisconnected) {
+  edge_list list(4);
+  list.add_undirected_edge(0, 1, 1);
+  list.add_undirected_edge(2, 3, 1);
+  const auto prim = prim_mst(csr_graph(list), 0);
+  EXPECT_FALSE(prim.spanning);
+  EXPECT_EQ(prim.edges.size(), 1u);
+}
+
+TEST(Mst, KruskalForestOnDisconnected) {
+  edge_list list(4);
+  list.add_undirected_edge(0, 1, 1);
+  list.add_undirected_edge(2, 3, 2);
+  const auto forest = kruskal_mst(list);
+  EXPECT_FALSE(forest.spanning);
+  EXPECT_EQ(forest.edges.size(), 2u);
+  EXPECT_EQ(forest.total_weight, 3u);
+}
+
+TEST(Mst, EmptyGraph) {
+  const auto prim = prim_mst(csr_graph(edge_list{}), 0);
+  EXPECT_TRUE(prim.spanning);
+  EXPECT_TRUE(prim.edges.empty());
+}
+
+class MstProperty : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MstProperty, PrimEqualsKruskalWeight) {
+  const auto [n, seed] = GetParam();
+  auto list = weighted_random_graph(n, static_cast<std::uint64_t>(n) * 2, 100,
+                                    seed);
+  connect_components(list, 101, seed);
+  const csr_graph g(list);
+  const auto prim = prim_mst(g, 0);
+  const auto kruskal = kruskal_mst(list);
+  EXPECT_TRUE(prim.spanning);
+  EXPECT_TRUE(kruskal.spanning);
+  EXPECT_EQ(prim.total_weight, kruskal.total_weight);
+  EXPECT_EQ(prim.edges.size(), kruskal.edges.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, MstProperty,
+                         ::testing::Combine(::testing::Values(10, 50, 200),
+                                            ::testing::Values(1, 2, 3, 4)));
+
+}  // namespace

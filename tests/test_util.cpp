@@ -1,0 +1,202 @@
+// Unit tests for util: PRNG, stats, formatting, hashing, timer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/format.hpp"
+#include "util/hash.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace dsteiner;
+
+TEST(Random, DeterministicAcrossInstances) {
+  util::rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Random, DifferentSeedsDiverge) {
+  util::rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b();
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Random, UniformRespectsBounds) {
+  util::rng gen(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = gen.uniform(10, 20);
+    EXPECT_GE(x, 10u);
+    EXPECT_LE(x, 20u);
+  }
+}
+
+TEST(Random, UniformSingletonRange) {
+  util::rng gen(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(gen.uniform(5, 5), 5u);
+}
+
+TEST(Random, UniformCoversRange) {
+  util::rng gen(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(gen.uniform(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Random, UniformRealInUnitInterval) {
+  util::rng gen(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = gen.uniform_real();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Random, ChanceExtremes) {
+  util::rng gen(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(gen.chance(0.0));
+    EXPECT_TRUE(gen.chance(1.0));
+  }
+}
+
+TEST(Random, SampleWithoutReplacementDistinct) {
+  util::rng gen(5);
+  const auto sample = util::sample_without_replacement(100, 30, gen);
+  ASSERT_EQ(sample.size(), 30u);
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const auto v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(Random, SampleWholePopulation) {
+  util::rng gen(5);
+  const auto sample = util::sample_without_replacement(10, 10, gen);
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Random, SampleZero) {
+  util::rng gen(5);
+  EXPECT_TRUE(util::sample_without_replacement(10, 0, gen).empty());
+}
+
+TEST(Random, ShuffleIsPermutation) {
+  util::rng gen(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  util::shuffle(shuffled, gen);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), shuffled.begin()));
+}
+
+TEST(Random, SplitMixAvalanche) {
+  std::uint64_t s1 = 0, s2 = 1;
+  const auto a = util::splitmix64(s1);
+  const auto b = util::splitmix64(s2);
+  EXPECT_NE(a, b);
+}
+
+TEST(Stats, EmptyDefaults) {
+  util::summary_stats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, KnownValues) {
+  util::summary_stats s = util::summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);  // classic population-stddev example
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, SingleSample) {
+  util::summary_stats s = util::summarize({3.5});
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(util::percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(util::percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(util::percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(util::percentile(v, 25), 2.0);
+}
+
+TEST(Format, WithCommas) {
+  EXPECT_EQ(util::with_commas(0), "0");
+  EXPECT_EQ(util::with_commas(999), "999");
+  EXPECT_EQ(util::with_commas(1000), "1,000");
+  EXPECT_EQ(util::with_commas(1234567), "1,234,567");
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(util::format_bytes(512), "512B");
+  EXPECT_EQ(util::format_bytes(1536), "1.5KB");
+  EXPECT_EQ(util::format_bytes(std::uint64_t{3} << 30), "3.0GB");
+}
+
+TEST(Format, Count) {
+  EXPECT_EQ(util::format_count(950), "950");
+  EXPECT_EQ(util::format_count(9400), "9.4K");
+  EXPECT_EQ(util::format_count(85.7e6), "85.7M");
+  EXPECT_EQ(util::format_count(3.5e9), "3.5B");
+}
+
+TEST(Format, TableRendersAllCells) {
+  util::table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_rule();
+  t.add_row({"333", "4"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("333"), std::string::npos);
+  EXPECT_NE(out.find("bb"), std::string::npos);
+  EXPECT_EQ(t.rows(), 3u);  // two data rows + one rule
+}
+
+TEST(Format, DurationUnits) {
+  EXPECT_EQ(util::format_duration(0.0005), "500.0us");
+  EXPECT_EQ(util::format_duration(0.005), "5.0ms");
+  EXPECT_EQ(util::format_duration(5.25), "5.25s");
+  EXPECT_EQ(util::format_duration(120), "2.0m");
+  EXPECT_EQ(util::format_duration(7200), "2.00h");
+}
+
+TEST(Hash, PairHashSpreads) {
+  util::pair_hash h;
+  std::set<std::size_t> values;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    values.insert(h(std::pair{i, i + 1}));
+  }
+  EXPECT_GT(values.size(), 95u);
+}
+
+TEST(Hash, Mix64Injective) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(util::mix64(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Timer, MeasuresElapsed) {
+  util::timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.milliseconds(), 15.0);
+  t.restart();
+  EXPECT_LT(t.milliseconds(), 15.0);
+}
+
+}  // namespace

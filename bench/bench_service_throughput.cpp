@@ -1,0 +1,219 @@
+// bench_service_throughput — serving-layer benchmark for the concurrent
+// Steiner query service (src/service/), beyond the paper's single-query
+// experiments.
+//
+// Reports:
+//   1. queries/sec over a mixed multi-query workload as the worker-thread
+//      count grows (wall-clock scaling of the service layer; actual speedup
+//      depends on the physical cores available to this process);
+//   2. per-path latency distributions (p50/p99): cold solve vs result-cache
+//      hit vs warm-start repair, plus the cache-hit and warm-start speedups;
+//   3. phase-1 work done by warm-start repairs vs cold solves (visitors
+//      processed and messages from phase_metrics) — the mechanism behind the
+//      latency win.
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "service/steiner_service.hpp"
+
+namespace {
+
+using namespace dsteiner;
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(idx, values.size() - 1)];
+}
+
+double sum(const std::vector<double>& values) {
+  double total = 0.0;
+  for (const double v : values) total += v;
+  return total;
+}
+
+struct workload {
+  std::vector<service::query> queries;
+  std::size_t uniques = 0;
+};
+
+/// Mixed serving workload over `g`: `sessions` analysts x (1 cold + repeats +
+/// seed-delta edits), interleaved round-robin so concurrent workers contend
+/// for the cache the way independent users would.
+workload build_workload(const graph::csr_graph& g, std::size_t sessions,
+                        std::size_t repeats, std::size_t edits) {
+  workload w;
+  std::vector<std::vector<service::query>> per_session(sessions);
+  for (std::uint64_t s = 0; s < sessions; ++s) {
+    service::query q;
+    q.seeds = bench::default_seeds(g, 12, /*salt=*/s);
+    per_session[s].push_back(q);
+    ++w.uniques;
+    for (std::size_t r = 0; r < repeats; ++r) per_session[s].push_back(q);
+    service::query edit = q;
+    for (std::uint64_t e = 0; e < edits; ++e) {
+      edit.seeds.push_back((q.seeds[e % q.seeds.size()] + 313 * (e + 1)) %
+                           g.num_vertices());
+      per_session[s].push_back(edit);
+      ++w.uniques;
+    }
+  }
+  bool any = true;
+  for (std::size_t i = 0; any; ++i) {
+    any = false;
+    for (auto& session : per_session) {
+      if (i < session.size()) {
+        w.queries.push_back(session[i]);
+        any = true;
+      }
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Service throughput: queries/sec and per-path latency",
+      "the serving-layer extension (beyond the paper's single-query runs)",
+      "Paths: cold = full Alg. 3, hit = result cache, warm = seed-delta "
+      "repair.\nAll paths return bit-identical trees (determinism).");
+
+  const io::dataset data = io::load_dataset("CTS");
+  const graph::csr_graph& g = data.graph;
+  std::printf("dataset: %s mirror, %llu vertices, %llu arcs\n\n",
+              data.spec.paper_name.c_str(),
+              static_cast<unsigned long long>(g.num_vertices()),
+              static_cast<unsigned long long>(g.num_arcs()));
+
+  core::solver_config solver;
+  solver.num_ranks = 8;
+  // Edit deltas may pick seeds outside the largest component; serve forests
+  // rather than failing the query (the interactive sessions do the same).
+  solver.allow_disconnected_seeds = true;
+
+  // ---- 1. throughput vs worker threads -------------------------------------
+  {
+    std::printf("-- throughput vs worker threads (mixed workload) --\n");
+    util::table table({"threads", "queries", "wall", "queries/sec", "cold",
+                       "warm", "hits", "coalesced"});
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{4}, std::size_t{8}}) {
+      const workload w = build_workload(g, /*sessions=*/6, /*repeats=*/4,
+                                        /*edits=*/3);
+      service::service_config config;
+      config.solver = solver;
+      config.exec.num_threads = threads;
+      config.exec.queue_capacity = w.queries.size();
+      service::steiner_service svc(graph::csr_graph(g), config);
+
+      util::timer wall;
+      std::vector<std::future<service::query_result>> futures;
+      futures.reserve(w.queries.size());
+      for (const auto& q : w.queries) futures.push_back(svc.submit(q));
+      for (auto& f : futures) (void)f.get();
+      const double seconds = wall.seconds();
+
+      const auto stats = svc.stats();
+      table.add_row(
+          {std::to_string(threads), std::to_string(stats.queries),
+           util::format_duration(seconds),
+           util::format_fixed(static_cast<double>(stats.queries) / seconds, 1),
+           std::to_string(stats.cold_solves), std::to_string(stats.warm_solves),
+           std::to_string(stats.cache_hits), std::to_string(stats.coalesced)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  // ---- 2. per-path latency -------------------------------------------------
+  {
+    std::printf("-- per-path latency (single worker, back-to-back) --\n");
+    service::service_config config;
+    config.solver = solver;
+    config.exec.num_threads = 1;
+    config.exec.queue_capacity = 64;
+    config.cache.capacity = 256;
+    config.donor_history = 16;
+    service::steiner_service svc(graph::csr_graph(g), config);
+
+    std::vector<double> cold_s, hit_s, warm_s;
+    std::uint64_t cold_visitors = 0, warm_visitors = 0;
+    std::uint64_t cold_messages = 0, warm_messages = 0;
+    const std::size_t rounds = 24;
+    for (std::uint64_t i = 0; i < rounds; ++i) {
+      service::query q;
+      q.seeds = bench::default_seeds(g, 12, /*salt=*/100 + i);
+
+      auto cold = svc.solve(q);
+      if (cold.kind != service::solve_kind::cold) continue;  // donor overlap
+      cold_s.push_back(cold.solve_seconds);
+      if (const auto* m =
+              cold.result.phases.find(runtime::phase_names::voronoi)) {
+        cold_visitors += m->visitors_processed;
+        cold_messages += m->messages_total();
+      }
+
+      auto hit = svc.solve(q);
+      if (hit.kind == service::solve_kind::cache_hit) {
+        hit_s.push_back(hit.total_seconds);
+      }
+
+      service::query edited = q;
+      edited.seeds.push_back((q.seeds.front() + 271 * (i + 1)) %
+                             g.num_vertices());
+      auto warm = svc.solve(edited);
+      if (warm.kind == service::solve_kind::warm_start) {
+        warm_s.push_back(warm.solve_seconds);
+        if (const auto* m =
+                warm.result.phases.find(runtime::phase_names::voronoi)) {
+          warm_visitors += m->visitors_processed;
+          warm_messages += m->messages_total();
+        }
+      }
+    }
+
+    util::table table({"path", "samples", "mean", "p50", "p99"});
+    const auto add = [&table](const char* name, const std::vector<double>& v) {
+      table.add_row({name, std::to_string(v.size()),
+                     util::format_duration(v.empty() ? 0.0
+                                                     : sum(v) / double(v.size())),
+                     util::format_duration(percentile(v, 0.50)),
+                     util::format_duration(percentile(v, 0.99))});
+    };
+    add("cold solve", cold_s);
+    add("cache hit", hit_s);
+    add("warm start", warm_s);
+    std::printf("%s", table.render().c_str());
+
+    const double cold_p50 = percentile(cold_s, 0.50);
+    const double hit_p50 = percentile(hit_s, 0.50);
+    const double warm_p50 = percentile(warm_s, 0.50);
+    if (hit_p50 > 0.0) {
+      std::printf("cache-hit speedup vs cold (p50): %.1fx\n",
+                  cold_p50 / hit_p50);
+    }
+    if (warm_p50 > 0.0) {
+      std::printf("warm-start speedup vs cold (p50): %.1fx\n",
+                  cold_p50 / warm_p50);
+    }
+    if (warm_visitors > 0 && !warm_s.empty() && !cold_s.empty()) {
+      std::printf(
+          "phase-1 work per query (Voronoi Cell): cold %s visitors / %s msgs, "
+          "warm %s visitors / %s msgs (%.1f%% of cold)\n",
+          util::with_commas(cold_visitors / cold_s.size()).c_str(),
+          util::with_commas(cold_messages / cold_s.size()).c_str(),
+          util::with_commas(warm_visitors / warm_s.size()).c_str(),
+          util::with_commas(warm_messages / warm_s.size()).c_str(),
+          100.0 * static_cast<double>(warm_visitors / warm_s.size()) /
+              static_cast<double>(cold_visitors / cold_s.size()));
+    }
+  }
+  return 0;
+}

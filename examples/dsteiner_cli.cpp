@@ -18,8 +18,10 @@
 //   --certify            print a dual-ascent lower bound + certified ratio
 //   --dot PATH           write the tree as Graphviz DOT
 //   --quiet              suppress the phase table
+#include <charconv>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
@@ -49,13 +51,39 @@ using namespace dsteiner;
   std::exit(2);
 }
 
+/// Strict numeric parsing: the whole string must be a base-10 number, no
+/// partial prefixes ("4abc"), signs or empties — anything else is a usage
+/// error, never a silent fallback to a default.
+std::uint64_t parse_u64(const std::string& text, const char* flag) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size() || text.empty()) {
+    usage((std::string(flag) + " expects an unsigned integer, got '" + text +
+           "'").c_str());
+  }
+  return value;
+}
+
+int parse_positive_int(const std::string& text, const char* flag) {
+  const std::uint64_t value = parse_u64(text, flag);
+  // No artificial upper bound: the paper's largest setup simulates 8192
+  // ranks (512 nodes x 16) and the solver accepts any positive int.
+  if (value == 0 || value > static_cast<std::uint64_t>(
+                                std::numeric_limits<int>::max())) {
+    usage((std::string(flag) + " must be a positive integer, got '" + text +
+           "'").c_str());
+  }
+  return static_cast<int>(value);
+}
+
 std::vector<graph::vertex_id> parse_seed_list(const std::string& text) {
   std::vector<graph::vertex_id> seeds;
   std::size_t begin = 0;
-  while (begin < text.size()) {
+  while (begin <= text.size()) {
     std::size_t end = text.find(',', begin);
     if (end == std::string::npos) end = text.size();
-    seeds.push_back(std::stoull(text.substr(begin, end - begin)));
+    seeds.push_back(parse_u64(text.substr(begin, end - begin), "--seeds"));
     begin = end + 1;
   }
   return seeds;
@@ -71,7 +99,7 @@ seed::seed_strategy parse_strategy(const std::string& name) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   std::optional<std::string> graph_path, dataset_key, seed_list, dot_path;
   std::size_t num_seeds = 0;
   seed::seed_strategy strategy = seed::seed_strategy::bfs_level;
@@ -91,11 +119,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--seeds") {
       seed_list = next();
     } else if (arg == "--num-seeds") {
-      num_seeds = std::stoull(next());
+      num_seeds = parse_u64(next(), "--num-seeds");
     } else if (arg == "--strategy") {
       strategy = parse_strategy(next());
     } else if (arg == "--ranks") {
-      config.num_ranks = std::stoi(next());
+      config.num_ranks = parse_positive_int(next(), "--ranks");
     } else if (arg == "--queue") {
       const std::string q = next();
       if (q == "fifo") {
@@ -192,4 +220,13 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", dot_path->c_str());
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -1,0 +1,117 @@
+// query_service — the multi-user serving workflow on top of the Steiner
+// query service (src/service/).
+//
+// Simulates the paper's §I interactive-exploration scenario at serving
+// scale: several "analysts" issue queries against one shared graph —
+//   - hot queries: the same seed sets re-requested again and again
+//     (dashboards, page reloads)            -> result-cache hits;
+//   - edit sessions: a seed set evolving by small add/remove deltas
+//     (interactive refinement)              -> warm-start repairs;
+//   - cold queries: fresh seed sets         -> full Alg. 3 solves.
+//
+// Every query returns a tree bit-identical to a cold solve; the printout
+// shows how much latency each path saved.
+//
+//   $ ./query_service
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "io/dataset.hpp"
+#include "seed/seed_select.hpp"
+#include "service/steiner_service.hpp"
+#include "util/format.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace dsteiner;
+
+  // One shared graph: the CiteSeer mirror (smallest Table III dataset).
+  const io::dataset data = io::load_dataset("CTS");
+  std::printf("graph: %s mirror, %llu vertices, %llu arcs\n",
+              data.spec.paper_name.c_str(),
+              static_cast<unsigned long long>(data.graph.num_vertices()),
+              static_cast<unsigned long long>(data.graph.num_arcs()));
+
+  service::service_config config;
+  config.exec.num_threads = 4;
+  config.exec.queue_capacity = 128;
+  config.solver.num_ranks = 8;
+  // Edit deltas may pick seeds outside the largest component; serve forests
+  // rather than failing the query (the interactive sessions do the same).
+  config.solver.allow_disconnected_seeds = true;
+  service::steiner_service svc(data.graph, config);
+
+  // Three analysts start from different seed sets.
+  std::vector<std::vector<graph::vertex_id>> base_sets;
+  for (std::uint64_t analyst = 0; analyst < 3; ++analyst) {
+    base_sets.push_back(seed::select_seeds(
+        svc.graph(), 12, seed::seed_strategy::bfs_level, 0x5eed + analyst));
+  }
+
+  // Mixed workload: per analyst, one cold query, three hot repeats, then an
+  // edit session of four single-seed deltas (each re-queried twice).
+  std::vector<service::query> workload;
+  for (const auto& base : base_sets) {
+    service::query q;
+    q.seeds = base;
+    workload.push_back(q);                        // cold
+    for (int hot = 0; hot < 3; ++hot) workload.push_back(q);  // cache hits
+
+    service::query edit = q;
+    for (std::uint64_t step = 0; step < 4; ++step) {
+      if (step % 2 == 0) {
+        edit.seeds.push_back((base.front() + 101 * (step + 1)) %
+                             svc.graph().num_vertices());
+      } else {
+        edit.seeds.pop_back();
+        edit.seeds.erase(edit.seeds.begin());
+      }
+      workload.push_back(edit);                   // warm-start repair
+      workload.push_back(edit);                   // immediate re-query: hit
+    }
+  }
+
+  std::printf("submitting %zu queries over %zu worker threads...\n\n",
+              workload.size(), config.exec.num_threads);
+  util::timer wall;
+  std::vector<std::future<service::query_result>> futures;
+  futures.reserve(workload.size());
+  for (auto& q : workload) futures.push_back(svc.submit(q));
+
+  util::table table({"id", "path", "|S|", "tree edges", "D(GS)", "queue wait",
+                     "solve", "total"});
+  for (auto& f : futures) {
+    const auto qr = f.get();
+    table.add_row({std::to_string(qr.query_id), to_string(qr.kind),
+                   std::to_string(qr.result.num_seeds),
+                   std::to_string(qr.result.tree_edges.size()),
+                   util::with_commas(qr.result.total_distance),
+                   util::format_duration(qr.queue_wait_seconds),
+                   util::format_duration(qr.solve_seconds),
+                   util::format_duration(qr.total_seconds)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const auto stats = svc.stats();
+  std::printf("completed %llu queries in %s\n",
+              static_cast<unsigned long long>(stats.queries),
+              util::format_duration(wall.seconds()).c_str());
+  std::printf("  cold solves : %llu\n",
+              static_cast<unsigned long long>(stats.cold_solves));
+  std::printf("  warm starts : %llu\n",
+              static_cast<unsigned long long>(stats.warm_solves));
+  std::printf("  coalesced   : %llu  (waited on an identical in-flight query)\n",
+              static_cast<unsigned long long>(stats.coalesced));
+  std::printf("  cache hits  : %llu  (cache: %llu hits / %llu misses, "
+              "%zu entries, %llu evictions)\n",
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.cache.hits),
+              static_cast<unsigned long long>(stats.cache.misses),
+              stats.cache.entries,
+              static_cast<unsigned long long>(stats.cache.evictions));
+  std::printf("  executor    : peak queue depth %llu, max queue wait %s\n",
+              static_cast<unsigned long long>(stats.exec.peak_queue_depth),
+              util::format_duration(stats.exec.max_queue_wait_seconds).c_str());
+  return 0;
+}

@@ -12,8 +12,10 @@ class cross_edge_handler {
  public:
   cross_edge_handler(const runtime::dist_graph& dgraph,
                      const steiner_state& state,
-                     std::vector<cross_edge_map>& per_rank_en)
-      : dgraph_(&dgraph), state_(&state), en_(&per_rank_en) {}
+                     std::vector<cross_edge_map>& per_rank_en,
+                     bool probe_both_directions = false)
+      : dgraph_(&dgraph), state_(&state), en_(&per_rank_en),
+        probe_both_directions_(probe_both_directions) {}
 
   bool pre_visit(const cross_edge_visitor&, int) { return true; }
 
@@ -56,12 +58,15 @@ class cross_edge_handler {
 
  private:
   /// Probes each arc (u, vt) with u < vt — one probe per undirected edge.
+  /// In both-directions mode (partial rescans) the ordering filter is lifted:
+  /// only self-loops are skipped, so edges towards unscanned vertices are
+  /// probed regardless of endpoint order.
   template <typename Emitter>
   void emit_probes(graph::vertex_id u, graph::vertex_id src_u,
                    graph::weight_t d_u, int rank, Emitter& out,
                    bool slice_only) {
     const auto probe_arc = [&](graph::vertex_id vt, graph::weight_t w) {
-      if (u >= vt) return;
+      if (probe_both_directions_ ? u == vt : u >= vt) return;
       out.to_vertex(cross_edge_visitor{vt, u, src_u, d_u, w,
                                        cross_edge_visitor::kind_t::probe});
     };
@@ -75,6 +80,7 @@ class cross_edge_handler {
   const runtime::dist_graph* dgraph_;
   const steiner_state* state_;
   std::vector<cross_edge_map>* en_;
+  bool probe_both_directions_;
 };
 
 }  // namespace
@@ -89,6 +95,23 @@ runtime::phase_metrics find_local_min_edges(
   std::vector<cross_edge_visitor> initial;
   initial.reserve(dgraph.graph().num_vertices());
   for (graph::vertex_id u = 0; u < dgraph.graph().num_vertices(); ++u) {
+    initial.push_back(cross_edge_visitor{u});
+  }
+  return runtime::run_visitors(dgraph.parts(), handler, std::move(initial),
+                               config);
+}
+
+runtime::phase_metrics find_local_min_edges_partial(
+    const runtime::dist_graph& dgraph, const steiner_state& state,
+    std::span<const graph::vertex_id> vertices,
+    std::vector<cross_edge_map>& per_rank_en,
+    const runtime::engine_config& config) {
+  per_rank_en.assign(static_cast<std::size_t>(dgraph.num_ranks()), {});
+  cross_edge_handler handler(dgraph, state, per_rank_en,
+                             /*probe_both_directions=*/true);
+  std::vector<cross_edge_visitor> initial;
+  initial.reserve(vertices.size());
+  for (const graph::vertex_id u : vertices) {
     initial.push_back(cross_edge_visitor{u});
   }
   return runtime::run_visitors(dgraph.parts(), handler, std::move(initial),
@@ -112,7 +135,7 @@ runtime::phase_metrics reduce_global_min_edges(
                        [](const cross_edge_entry& a, const cross_edge_entry& b) {
                          return min_entry(a, b);
                        },
-                       metrics);
+                       metrics, options.chunk_items);
     metrics.wall_seconds = wall.seconds();
     return metrics;
   }

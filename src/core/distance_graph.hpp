@@ -84,13 +84,28 @@ struct cross_edge_visitor {
     std::vector<cross_edge_map>& per_rank_en,
     const runtime::engine_config& config);
 
+/// Incremental variant of step 1 for warm starts: scans only `vertices`
+/// (members of Voronoi cells whose labels or membership changed since a
+/// cached solve). Unlike the full scan — which probes each undirected edge
+/// once from its lower endpoint — the partial scan probes *both* directions
+/// of every arc of a scanned vertex, so a bridge whose lower endpoint lies in
+/// an unchanged (unscanned) cell is still rediscovered. Entries between two
+/// unchanged cells are by definition unchanged and must be merged in from the
+/// cached solve by the caller.
+[[nodiscard]] runtime::phase_metrics find_local_min_edges_partial(
+    const runtime::dist_graph& dgraph, const steiner_state& state,
+    std::span<const graph::vertex_id> vertices,
+    std::vector<cross_edge_map>& per_rank_en,
+    const runtime::engine_config& config);
+
 /// Options for the global reduction.
 struct global_reduce_options {
   /// Use a dense (|S| choose 2) buffer instead of the sparse map merge;
   /// requires `seeds`. Reproduces the paper's Alg. 3 line 2 representation.
   bool dense = false;
   std::span<const graph::vertex_id> seeds;
-  /// When dense: items per collective chunk; 0 = one monolithic call (§V-F).
+  /// Items per collective chunk; 0 = one monolithic call (§V-F). Applies to
+  /// both the dense buffer and the sparse map merge.
   std::size_t chunk_items = 0;
 };
 

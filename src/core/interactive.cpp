@@ -1,19 +1,42 @@
 #include "core/interactive.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "service/steiner_service.hpp"
 
 namespace dsteiner::core {
 
 exploration_session::exploration_session(graph::csr_graph graph,
                                          solver_config config)
-    : graph_(std::move(graph)), config_(config) {
+    : config_(config) {
   // Interactive editing routinely disconnects seeds; return forests instead
   // of throwing mid-session.
   config_.allow_disconnected_seeds = true;
+  replace_graph(std::move(graph));
+}
+
+exploration_session::~exploration_session() = default;
+
+const graph::csr_graph& exploration_session::graph() const noexcept {
+  return service_->graph();
+}
+
+void exploration_session::replace_graph(graph::csr_graph next) {
+  service::service_config service_config;
+  service_config.solver = config_;
+  // One user, one in-flight query: a single worker keeps edits ordered while
+  // still buying the service's cache and warm-start repair. A graph edit
+  // changes the fingerprint, so a fresh service (empty cache) is correct.
+  service_config.exec.num_threads = 1;
+  service_config.exec.queue_capacity = 16;
+  service_ = std::make_unique<service::steiner_service>(std::move(next),
+                                                        service_config);
+  invalidate();
 }
 
 bool exploration_session::add_seed(graph::vertex_id v) {
-  if (v >= graph_.num_vertices()) {
+  if (v >= graph().num_vertices()) {
     throw std::out_of_range("exploration_session: seed id out of range");
   }
   if (!seeds_.insert(v).second) return false;
@@ -30,7 +53,7 @@ bool exploration_session::remove_seed(graph::vertex_id v) {
 void exploration_session::set_seeds(std::span<const graph::vertex_id> seeds) {
   seeds_.clear();
   for (const graph::vertex_id v : seeds) {
-    if (v >= graph_.num_vertices()) {
+    if (v >= graph().num_vertices()) {
       throw std::out_of_range("exploration_session: seed id out of range");
     }
     seeds_.insert(v);
@@ -44,19 +67,19 @@ void exploration_session::clear_seeds() {
 }
 
 void exploration_session::filter_edges_above(graph::weight_t cutoff) {
+  const graph::csr_graph& g = graph();
   graph::edge_list kept;
-  kept.set_num_vertices(graph_.num_vertices());
-  for (graph::vertex_id u = 0; u < graph_.num_vertices(); ++u) {
-    const auto nbrs = graph_.neighbors(u);
-    const auto wts = graph_.weights(u);
+  kept.set_num_vertices(g.num_vertices());
+  for (graph::vertex_id u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto wts = g.weights(u);
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
       if (u < nbrs[i] && wts[i] <= cutoff) {
         kept.add_undirected_edge(u, nbrs[i], wts[i]);
       }
     }
   }
-  graph_ = graph::csr_graph(kept);
-  invalidate();
+  replace_graph(graph::csr_graph(kept));
 }
 
 void exploration_session::set_ranks(int num_ranks) {
@@ -70,9 +93,13 @@ void exploration_session::set_ranks(int num_ranks) {
 
 const steiner_result& exploration_session::tree() {
   if (!cached_) {
-    const std::vector<graph::vertex_id> seed_list(seeds_.begin(), seeds_.end());
-    cached_ = solve_steiner_tree(graph_, seed_list, config_);
-    ++recomputes_;
+    service::query q;
+    q.seeds.assign(seeds_.begin(), seeds_.end());
+    q.config = config_;  // per-query override tracks set_ranks edits
+    auto qr = service_->solve(std::move(q));
+    last_kind_ = qr.kind;
+    if (qr.kind != service::solve_kind::cache_hit) ++recomputes_;
+    cached_ = std::move(qr.result);
   }
   return *cached_;
 }

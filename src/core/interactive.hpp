@@ -5,11 +5,15 @@
 //
 // A session owns a graph and a mutable seed set; every edit (add/remove
 // seeds, re-weight, filter edges) invalidates the cached result, which is
-// recomputed lazily on the next query. The paper's strong-scaling argument
-// is exactly that such recomputations must be fast and scale with added
-// resources; the session exposes the rank count as a knob for that.
+// recomputed lazily on the next query. Queries are delegated to a private
+// service::steiner_service, so a session gets the service's result cache and
+// warm-start repair for free: re-adding a previously queried seed set is a
+// cache hit, and a small seed delta repairs the previous solve instead of
+// recomputing phase 1 from scratch. Graph edits (re-weighting, filtering)
+// change the graph fingerprint and therefore start a fresh service.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <set>
 #include <span>
@@ -18,12 +22,18 @@
 #include "core/steiner_solver.hpp"
 #include "graph/csr_graph.hpp"
 #include "graph/types.hpp"
+#include "service/query.hpp"
+
+namespace dsteiner::service {
+class steiner_service;
+}  // namespace dsteiner::service
 
 namespace dsteiner::core {
 
 class exploration_session {
  public:
   explicit exploration_session(graph::csr_graph graph, solver_config config = {});
+  ~exploration_session();
 
   /// Seed-set edits (idempotent; return true if the set changed).
   bool add_seed(graph::vertex_id v);
@@ -46,19 +56,19 @@ class exploration_session {
   /// functions". fn must return a weight >= 1.
   template <typename Fn>
   void reweight(Fn&& fn) {
+    const graph::csr_graph& g = graph();
     graph::edge_list edges;
-    edges.set_num_vertices(graph_.num_vertices());
-    for (graph::vertex_id u = 0; u < graph_.num_vertices(); ++u) {
-      const auto nbrs = graph_.neighbors(u);
-      const auto wts = graph_.weights(u);
+    edges.set_num_vertices(g.num_vertices());
+    for (graph::vertex_id u = 0; u < g.num_vertices(); ++u) {
+      const auto nbrs = g.neighbors(u);
+      const auto wts = g.weights(u);
       for (std::size_t i = 0; i < nbrs.size(); ++i) {
         if (u < nbrs[i]) {
           edges.add_undirected_edge(u, nbrs[i], fn(u, nbrs[i], wts[i]));
         }
       }
     }
-    graph_ = graph::csr_graph(edges);
-    invalidate();
+    replace_graph(graph::csr_graph(edges));
   }
 
   /// Scale-out knob: change the simulated rank count for future queries.
@@ -71,21 +81,37 @@ class exploration_session {
   /// True if the cache is valid (no recompute pending).
   [[nodiscard]] bool up_to_date() const noexcept { return cached_.has_value(); }
 
-  /// Number of solver runs performed so far (observability for tests/UX).
+  /// Number of solver runs (cold or warm) performed so far; service cache
+  /// hits do not count (observability for tests/UX).
   [[nodiscard]] std::uint64_t recompute_count() const noexcept {
     return recomputes_;
   }
 
-  [[nodiscard]] const graph::csr_graph& graph() const noexcept { return graph_; }
+  /// How the backing service satisfied the most recent tree() recompute.
+  [[nodiscard]] service::solve_kind last_solve_kind() const noexcept {
+    return last_kind_;
+  }
+
+  /// The backing query service (stats: cache hit rates, warm-start counts).
+  [[nodiscard]] const service::steiner_service& service() const noexcept {
+    return *service_;
+  }
+
+  /// The session's graph lives in the backing service (one copy, not two).
+  /// The returned reference is invalidated by graph edits (reweight,
+  /// filter_edges_above), which replace the service — re-fetch after editing.
+  [[nodiscard]] const graph::csr_graph& graph() const noexcept;
 
  private:
   void invalidate() noexcept { cached_.reset(); }
+  void replace_graph(graph::csr_graph next);
 
-  graph::csr_graph graph_;
   solver_config config_;
+  std::unique_ptr<service::steiner_service> service_;
   std::set<graph::vertex_id> seeds_;
   std::optional<steiner_result> cached_;
   std::uint64_t recomputes_ = 0;
+  service::solve_kind last_kind_ = service::solve_kind::cold;
 };
 
 }  // namespace dsteiner::core

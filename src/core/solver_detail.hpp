@@ -1,0 +1,44 @@
+// Internal pipeline pieces shared by the cold solver (steiner_solver.cpp) and
+// the warm-start path (warm_start.cpp). Not part of the public API.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/distance_graph.hpp"
+#include "core/steiner_solver.hpp"
+#include "core/warm_start.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/dist_graph.hpp"
+#include "runtime/visitor_engine.hpp"
+
+namespace dsteiner::core::detail {
+
+/// Validates, deduplicates and sorts a user seed list. Throws
+/// std::out_of_range on ids >= |V|.
+[[nodiscard]] std::vector<graph::vertex_id> dedup_seeds(
+    const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds);
+
+/// Full cold solve, optionally capturing warm-start artifacts.
+[[nodiscard]] steiner_result solve_cold(const graph::csr_graph& graph,
+                                        std::span<const graph::vertex_id> seeds,
+                                        const solver_config& config,
+                                        solve_artifacts* capture);
+
+/// Phases 3-6 of Alg. 3 (MST, pruning, tree-edge collection, result
+/// assembly), shared between cold and warm solves. `per_rank_en` must hold
+/// the globally-reduced EN maps; `state` the converged Voronoi labelling.
+/// Fills the remaining phase metrics, the output tree, memory totals, runs
+/// optional validation, and captures (seed_list, state, pre-pruning EN) into
+/// `capture` when non-null.
+void finish_solve(const graph::csr_graph& graph,
+                  const runtime::dist_graph& dgraph,
+                  const runtime::communicator& comm,
+                  const runtime::engine_config& engine,
+                  const solver_config& config,
+                  std::span<const graph::vertex_id> seed_list,
+                  const steiner_state& state,
+                  std::vector<cross_edge_map>& per_rank_en,
+                  steiner_result& result, solve_artifacts* capture);
+
+}  // namespace dsteiner::core::detail

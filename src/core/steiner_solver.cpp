@@ -7,18 +7,20 @@
 #include "core/distance_graph.hpp"
 #include "core/mst_prim.hpp"
 #include "core/pruning.hpp"
+#include "core/solver_detail.hpp"
 #include "core/steiner_state.hpp"
 #include "core/tree_edges.hpp"
 #include "core/validation.hpp"
 #include "core/voronoi.hpp"
+#include "core/warm_start.hpp"
 #include "runtime/comm.hpp"
 #include "util/timer.hpp"
 
 namespace dsteiner::core {
 
-namespace {
+namespace detail {
 
-[[nodiscard]] std::vector<graph::vertex_id> dedup_seeds(
+std::vector<graph::vertex_id> dedup_seeds(
     const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds) {
   std::unordered_set<graph::vertex_id> unique;
   std::vector<graph::vertex_id> result;
@@ -33,55 +35,16 @@ namespace {
   return result;
 }
 
-}  // namespace
-
-steiner_result solve_steiner_tree(const graph::csr_graph& graph,
-                                  std::span<const graph::vertex_id> seeds,
-                                  const solver_config& config) {
-  steiner_result result;
-  const std::vector<graph::vertex_id> seed_list = dedup_seeds(graph, seeds);
-  result.num_seeds = seed_list.size();
-  result.memory.graph_bytes = graph.memory_bytes();
-  if (seed_list.size() <= 1) return result;
-
-  const runtime::dist_graph_config dconfig{
-      config.num_ranks, config.scheme, config.use_delegates,
-      config.delegate_threshold};
-  const runtime::dist_graph dgraph(graph, dconfig);
-  result.delegate_count = dgraph.delegate_count();
-  result.memory.partition_bytes = dgraph.memory_bytes();
-
-  const runtime::communicator comm(config.num_ranks, config.costs);
-  comm.reset_peak_buffer();
-  const runtime::engine_config engine{config.policy, config.mode,
-                                      config.batch_size, config.costs};
-
-  // Step 1: Voronoi cells (Alg. 3 line 12).
-  steiner_state state(graph.num_vertices());
-  result.memory.state_bytes = state.memory_bytes() + graph.num_vertices() / 8;
-  {
-    auto metrics = compute_voronoi_cells(dgraph, seed_list, state, engine);
-    result.phases.phase(runtime::phase_names::voronoi) = metrics;
-  }
-
-  // Step 2a: partition-local min cross-cell edges (line 13).
-  std::vector<cross_edge_map> per_rank_en;
-  {
-    auto metrics = find_local_min_edges(dgraph, state, per_rank_en, engine);
-    result.phases.phase(runtime::phase_names::local_min_edge) = metrics;
-  }
-
-  // Step 2b: global Allreduce(MIN) (line 14).
-  {
-    global_reduce_options options;
-    options.dense = config.dense_distance_graph;
-    options.seeds = seed_list;
-    options.chunk_items = config.allreduce_chunk_items;
-    auto metrics = reduce_global_min_edges(comm, per_rank_en, options);
-    result.phases.phase(runtime::phase_names::global_min_edge) = metrics;
-  }
-  const cross_edge_map& global_en = per_rank_en.front();
-  result.distance_graph_edges = global_en.size();
+void finish_solve(const graph::csr_graph& graph,
+                  const runtime::dist_graph& dgraph,
+                  const runtime::communicator& comm,
+                  const runtime::engine_config& engine,
+                  const solver_config& config,
+                  std::span<const graph::vertex_id> seed_list,
+                  const steiner_state& state,
+                  std::vector<cross_edge_map>& per_rank_en,
+                  steiner_result& result, solve_artifacts* capture) {
+  result.distance_graph_edges = per_rank_en.front().size();
   {
     std::uint64_t en_bytes = 0;
     for (const auto& local : per_rank_en) {
@@ -89,12 +52,15 @@ steiner_result solve_steiner_tree(const graph::csr_graph& graph,
     }
     result.memory.distance_graph_bytes = en_bytes;
   }
+  // Capture G'1 before pruning shrinks the per-rank maps in place.
+  if (capture != nullptr) capture->global_en = per_rank_en.front();
 
   // Step 3: sequential MST of G'1, replicated (line 17).
   distance_graph_mst mst;
   {
     runtime::phase_metrics metrics;
-    mst = compute_distance_graph_mst(global_en, seed_list, comm, metrics);
+    mst = compute_distance_graph_mst(per_rank_en.front(), seed_list, comm,
+                                     metrics);
     result.phases.phase(runtime::phase_names::mst) = metrics;
   }
   result.spans_all_seeds = mst.spans_all_seeds;
@@ -148,7 +114,72 @@ steiner_result solve_steiner_tree(const graph::csr_graph& graph,
                              check.error);
     }
   }
+  if (capture != nullptr) {
+    capture->seeds.assign(seed_list.begin(), seed_list.end());
+    capture->state = state;
+    capture->graph_fingerprint = graph.fingerprint();
+  }
+}
+
+steiner_result solve_cold(const graph::csr_graph& graph,
+                          std::span<const graph::vertex_id> seeds,
+                          const solver_config& config,
+                          solve_artifacts* capture) {
+  steiner_result result;
+  const std::vector<graph::vertex_id> seed_list = dedup_seeds(graph, seeds);
+  result.num_seeds = seed_list.size();
+  result.memory.graph_bytes = graph.memory_bytes();
+  if (seed_list.size() <= 1) return result;
+
+  const runtime::dist_graph_config dconfig{
+      config.num_ranks, config.scheme, config.use_delegates,
+      config.delegate_threshold};
+  const runtime::dist_graph dgraph(graph, dconfig);
+  result.delegate_count = dgraph.delegate_count();
+  result.memory.partition_bytes = dgraph.memory_bytes();
+
+  const runtime::communicator comm(config.num_ranks, config.costs);
+  comm.reset_peak_buffer();
+  const runtime::engine_config engine{config.policy, config.mode,
+                                      config.batch_size, config.costs};
+
+  // Step 1: Voronoi cells (Alg. 3 line 12).
+  steiner_state state(graph.num_vertices());
+  result.memory.state_bytes = state.memory_bytes() + graph.num_vertices() / 8;
+  {
+    auto metrics = compute_voronoi_cells(dgraph, seed_list, state, engine);
+    result.phases.phase(runtime::phase_names::voronoi) = metrics;
+  }
+
+  // Step 2a: partition-local min cross-cell edges (line 13).
+  std::vector<cross_edge_map> per_rank_en;
+  {
+    auto metrics = find_local_min_edges(dgraph, state, per_rank_en, engine);
+    result.phases.phase(runtime::phase_names::local_min_edge) = metrics;
+  }
+
+  // Step 2b: global Allreduce(MIN) (line 14).
+  {
+    global_reduce_options options;
+    options.dense = config.dense_distance_graph;
+    options.seeds = seed_list;
+    options.chunk_items = config.allreduce_chunk_items;
+    auto metrics = reduce_global_min_edges(comm, per_rank_en, options);
+    result.phases.phase(runtime::phase_names::global_min_edge) = metrics;
+  }
+
+  // Steps 3-6: MST, pruning, tree edges, assembly.
+  finish_solve(graph, dgraph, comm, engine, config, seed_list, state,
+               per_rank_en, result, capture);
   return result;
+}
+
+}  // namespace detail
+
+steiner_result solve_steiner_tree(const graph::csr_graph& graph,
+                                  std::span<const graph::vertex_id> seeds,
+                                  const solver_config& config) {
+  return detail::solve_cold(graph, seeds, config, nullptr);
 }
 
 }  // namespace dsteiner::core

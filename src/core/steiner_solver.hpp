@@ -42,7 +42,7 @@ struct solver_config {
   runtime::cost_model costs{};
 
   /// Distance-graph reduction: sparse map merge (default) or the paper's
-  /// dense (|S| choose 2) buffer, optionally chunked (§V-F).
+  /// dense (|S| choose 2) buffer; either path optionally chunked (§V-F).
   bool dense_distance_graph = false;
   std::size_t allreduce_chunk_items = 0;
 

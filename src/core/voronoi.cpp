@@ -69,12 +69,18 @@ class voronoi_handler {
 runtime::phase_metrics compute_voronoi_cells(
     const runtime::dist_graph& dgraph, std::span<const graph::vertex_id> seeds,
     steiner_state& state, const runtime::engine_config& config) {
-  voronoi_handler handler(dgraph, state);
   std::vector<voronoi_visitor> initial;
   initial.reserve(seeds.size());
   for (const graph::vertex_id s : seeds) {
     initial.push_back(voronoi_visitor{s, s, s, 0});
   }
+  return repair_voronoi_cells(dgraph, std::move(initial), state, config);
+}
+
+runtime::phase_metrics repair_voronoi_cells(
+    const runtime::dist_graph& dgraph, std::vector<voronoi_visitor> initial,
+    steiner_state& state, const runtime::engine_config& config) {
+  voronoi_handler handler(dgraph, state);
   return runtime::run_visitors(dgraph.parts(), handler, std::move(initial),
                                config);
 }

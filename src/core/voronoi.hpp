@@ -43,4 +43,16 @@ struct voronoi_visitor {
     const runtime::dist_graph& dgraph, std::span<const graph::vertex_id> seeds,
     steiner_state& state, const runtime::engine_config& config);
 
+/// Warm-start repair: re-runs Alg. 4 to quiescence from caller-chosen initial
+/// visitors over an existing (partially valid) `state`. Used after a seed-set
+/// delta: `initial` carries the bootstrap visitors of added seeds plus
+/// re-entry visitors along the boundary of reset (removed-cell) regions.
+/// Because every update strictly decreases the lexicographic (d1, src, pred)
+/// tuple and the fixed point is the unique minimum over all seed-to-vertex
+/// paths, repairing from a converged donor state reaches the same labelling a
+/// cold run would.
+[[nodiscard]] runtime::phase_metrics repair_voronoi_cells(
+    const runtime::dist_graph& dgraph, std::vector<voronoi_visitor> initial,
+    steiner_state& state, const runtime::engine_config& config);
+
 }  // namespace dsteiner::core

@@ -1,0 +1,179 @@
+#include "core/warm_start.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "core/solver_detail.hpp"
+#include "core/voronoi.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/dist_graph.hpp"
+
+namespace dsteiner::core {
+
+steiner_result solve_steiner_tree_capture(
+    const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds,
+    const solver_config& config, solve_artifacts& capture) {
+  return detail::solve_cold(graph, seeds, config, &capture);
+}
+
+std::vector<graph::vertex_id> canonicalize_seeds(
+    const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds) {
+  return detail::dedup_seeds(graph, seeds);
+}
+
+seed_delta compute_seed_delta(std::span<const graph::vertex_id> donor,
+                              std::span<const graph::vertex_id> target) {
+  seed_delta delta;
+  std::set_difference(target.begin(), target.end(), donor.begin(), donor.end(),
+                      std::back_inserter(delta.added));
+  std::set_difference(donor.begin(), donor.end(), target.begin(), target.end(),
+                      std::back_inserter(delta.removed));
+  return delta;
+}
+
+steiner_result solve_steiner_tree_warm(const graph::csr_graph& graph,
+                                       std::span<const graph::vertex_id> seeds,
+                                       const solve_artifacts& prev,
+                                       const solver_config& config,
+                                       solve_artifacts* capture,
+                                       warm_start_stats* stats_out) {
+  if (prev.empty() || prev.graph_fingerprint != graph.fingerprint()) {
+    throw std::invalid_argument(
+        "solve_steiner_tree_warm: donor artifacts do not match the graph");
+  }
+
+  steiner_result result;
+  const std::vector<graph::vertex_id> seed_list =
+      detail::dedup_seeds(graph, seeds);
+  result.num_seeds = seed_list.size();
+  result.memory.graph_bytes = graph.memory_bytes();
+  warm_start_stats stats;
+  if (seed_list.size() <= 1) {
+    if (stats_out != nullptr) *stats_out = stats;
+    return result;
+  }
+
+  const seed_delta delta = compute_seed_delta(prev.seeds, seed_list);
+  stats.added_seeds = delta.added.size();
+  stats.removed_seeds = delta.removed.size();
+
+  const runtime::dist_graph_config dconfig{
+      config.num_ranks, config.scheme, config.use_delegates,
+      config.delegate_threshold};
+  const runtime::dist_graph dgraph(graph, dconfig);
+  result.delegate_count = dgraph.delegate_count();
+  result.memory.partition_bytes = dgraph.memory_bytes();
+
+  const runtime::communicator comm(config.num_ranks, config.costs);
+  comm.reset_peak_buffer();
+  const runtime::engine_config engine{config.policy, config.mode,
+                                      config.batch_size, config.costs};
+
+  // Step 1 (repair): start from the donor labelling, reset removed cells,
+  // re-enter them from their boundary, bootstrap added seeds.
+  steiner_state state = prev.state;
+  const graph::vertex_id n = graph.num_vertices();
+
+  std::vector<graph::vertex_id> reset_list;
+  if (!delta.removed.empty()) {
+    const std::unordered_set<graph::vertex_id> removed(delta.removed.begin(),
+                                                       delta.removed.end());
+    for (graph::vertex_id v = 0; v < n; ++v) {
+      if (state.src[v] != graph::k_no_vertex && removed.contains(state.src[v])) {
+        state.distance[v] = graph::k_inf_distance;
+        state.src[v] = graph::k_no_vertex;
+        state.pred[v] = graph::k_no_vertex;
+        reset_list.push_back(v);
+      }
+    }
+  }
+  stats.reset_vertices = reset_list.size();
+
+  std::vector<voronoi_visitor> initial;
+  initial.reserve(delta.added.size() + reset_list.size());
+  for (const graph::vertex_id s : delta.added) {
+    initial.push_back(voronoi_visitor{s, s, s, 0});
+  }
+  // Boundary re-entry: the graph is symmetric, so a reset vertex's adjacency
+  // enumerates exactly the arcs entering the reset region from outside.
+  for (const graph::vertex_id v : reset_list) {
+    const auto nbrs = graph.neighbors(v);
+    const auto wts = graph.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const graph::vertex_id u = nbrs[i];
+      if (!state.reached(u)) continue;  // also inside the reset region
+      initial.push_back(
+          voronoi_visitor{v, u, state.src[u], state.distance[u] + wts[i]});
+    }
+  }
+  {
+    auto metrics = repair_voronoi_cells(dgraph, std::move(initial), state, engine);
+    result.phases.phase(runtime::phase_names::voronoi) = metrics;
+  }
+  result.memory.state_bytes = state.memory_bytes() + n / 8;
+
+  // Affected cells: any cell that gained or lost a member or whose labels
+  // moved, plus the delta seeds themselves. Only these can contribute
+  // distance-graph entries that differ from the donor's.
+  std::unordered_set<graph::vertex_id> affected(delta.added.begin(),
+                                                delta.added.end());
+  affected.insert(delta.removed.begin(), delta.removed.end());
+  std::size_t changed = 0;
+  for (graph::vertex_id v = 0; v < n; ++v) {
+    if (state.tuple_of(v) == prev.state.tuple_of(v)) continue;
+    ++changed;
+    if (prev.state.src[v] != graph::k_no_vertex) {
+      affected.insert(prev.state.src[v]);
+    }
+    if (state.src[v] != graph::k_no_vertex) affected.insert(state.src[v]);
+  }
+  stats.changed_vertices = changed;
+  stats.affected_cells = affected.size();
+
+  // Step 2a (incremental): rescan only members of affected cells.
+  std::vector<graph::vertex_id> scan;
+  for (graph::vertex_id v = 0; v < n; ++v) {
+    if (state.src[v] != graph::k_no_vertex && affected.contains(state.src[v])) {
+      scan.push_back(v);
+    }
+  }
+  stats.rescanned_vertices = scan.size();
+  std::vector<cross_edge_map> per_rank_en;
+  {
+    auto metrics =
+        find_local_min_edges_partial(dgraph, state, scan, per_rank_en, engine);
+    result.phases.phase(runtime::phase_names::local_min_edge) = metrics;
+  }
+
+  // Step 2b: global reduction over the rescanned entries only.
+  {
+    global_reduce_options options;
+    options.dense = config.dense_distance_graph;
+    options.seeds = seed_list;
+    options.chunk_items = config.allreduce_chunk_items;
+    auto metrics = reduce_global_min_edges(comm, per_rank_en, options);
+    result.phases.phase(runtime::phase_names::global_min_edge) = metrics;
+  }
+
+  // Reuse donor entries between two unaffected cells: their membership and
+  // labels are untouched, so their minimum bridge is unchanged. (Every rank
+  // already holds the donor's reduced EN — allreduce semantics — so this
+  // merge moves no data and charges nothing.)
+  for (const auto& [key, entry] : prev.global_en) {
+    if (affected.contains(key.first) || affected.contains(key.second)) continue;
+    ++stats.retained_entries;
+    for (auto& local : per_rank_en) {
+      const auto [it, inserted] = local.emplace(key, entry);
+      if (!inserted) it->second = min_entry(it->second, entry);
+    }
+  }
+
+  // Steps 3-6 are shared with the cold path.
+  detail::finish_solve(graph, dgraph, comm, engine, config, seed_list, state,
+                       per_rank_en, result, capture);
+  if (stats_out != nullptr) *stats_out = stats;
+  return result;
+}
+
+}  // namespace dsteiner::core

@@ -1,0 +1,107 @@
+// Warm-start recomputation for interactive seed-set edits (§I workflow).
+//
+// The interactive and service workloads re-query the same graph with seed
+// sets that differ by a small add/remove delta. A cold solve re-grows all |S|
+// Voronoi cells from scratch; the warm-start path instead *repairs* the
+// previous solve:
+//
+//   - Added seed s: inject s's bootstrap visitor (r=0, t=s, vp=s) over the
+//     converged donor labelling. Relaxations only ever decrease the
+//     lexicographic (d1, src, pred) tuple, and the fixed point is the unique
+//     per-vertex minimum over all seed-to-vertex paths, so repairing from the
+//     donor state converges to exactly the cold labelling for S u {s}.
+//   - Removed seed t: reset exactly t's cell {v : src(v) = t} to "unreached"
+//     (pred chains never leave a cell, so no other vertex references t's
+//     cell) and re-enter the region from its boundary: every arc (u, v) with
+//     u outside and v inside the reset region injects u's current label.
+//
+// Phase 2 is rebuilt incrementally: only cells whose labelling or membership
+// changed ("affected" cells) can contribute different distance-graph entries,
+// so the local scan covers only their members and entries between two
+// unaffected cells are reused from the donor. Phases 3-6 (MST, pruning,
+// tree-edge collection) run as usual — they are orders of magnitude cheaper
+// (Table IV). The result is bit-identical to a cold solve; the savings show
+// up in the Voronoi Cell / Local Min Dist. Edge phase metrics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/distance_graph.hpp"
+#include "core/steiner_solver.hpp"
+
+namespace dsteiner::core {
+
+/// Everything a later warm start (or the service result cache) needs from a
+/// finished solve. Captured between the global reduction and pruning, so
+/// `global_en` is the full distance graph G'1, not the pruned remnant.
+struct solve_artifacts {
+  std::vector<graph::vertex_id> seeds;  ///< canonical: deduplicated, sorted
+  steiner_state state;                  ///< converged Voronoi labelling
+  cross_edge_map global_en;             ///< reduced G'1 (pre-pruning)
+  /// Fingerprint of the graph these artifacts belong to; a warm start
+  /// against any other graph throws rather than repairing stale labels.
+  std::uint64_t graph_fingerprint = 0;
+
+  [[nodiscard]] bool empty() const noexcept { return state.distance.empty(); }
+
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept {
+    return seeds.size() * sizeof(graph::vertex_id) + state.memory_bytes() +
+           global_en.size() * (sizeof(seed_pair) + sizeof(cross_edge_entry));
+  }
+};
+
+/// Cold solve that additionally captures warm-start artifacts for `capture`.
+/// Identical output to solve_steiner_tree.
+[[nodiscard]] steiner_result solve_steiner_tree_capture(
+    const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds,
+    const solver_config& config, solve_artifacts& capture);
+
+/// Canonical form of a seed list: validated, deduplicated, sorted — the shape
+/// stored in solve_artifacts::seeds and used as a cache key.
+[[nodiscard]] std::vector<graph::vertex_id> canonicalize_seeds(
+    const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds);
+
+/// Add/remove delta between two canonical seed sets.
+struct seed_delta {
+  std::vector<graph::vertex_id> added;    ///< in target, not in donor
+  std::vector<graph::vertex_id> removed;  ///< in donor, not in target
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return added.size() + removed.size();
+  }
+};
+
+/// Symmetric difference `target \ donor` / `donor \ target`. Both inputs must
+/// be canonical (sorted, deduplicated).
+[[nodiscard]] seed_delta compute_seed_delta(
+    std::span<const graph::vertex_id> donor,
+    std::span<const graph::vertex_id> target);
+
+/// Observability for the repair: how much phase-1/2 work the warm start
+/// actually did versus a cold solve's full sweep.
+struct warm_start_stats {
+  std::size_t added_seeds = 0;
+  std::size_t removed_seeds = 0;
+  std::size_t reset_vertices = 0;    ///< members of removed cells cleared
+  std::size_t changed_vertices = 0;  ///< labels that differ from the donor
+  std::size_t affected_cells = 0;    ///< cells rescanned in phase 2
+  std::size_t rescanned_vertices = 0;  ///< phase-2 partial scan size
+  std::size_t retained_entries = 0;  ///< G'1 entries reused from the donor
+};
+
+/// Warm-start solve of `seeds` against `prev` (a finished solve on the same
+/// graph). Returns a result bit-identical to solve_steiner_tree(graph, seeds,
+/// config) — the solver's determinism guarantee makes the donor's labelling
+/// config-independent, so `prev` may come from a solve under any
+/// solver_config. Throws std::invalid_argument when `prev` does not belong to
+/// `graph` (callers such as the service fall back to a cold solve). Large
+/// deltas remain correct but do proportionally less saving; the caller
+/// decides the cutoff.
+[[nodiscard]] steiner_result solve_steiner_tree_warm(
+    const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds,
+    const solve_artifacts& prev, const solver_config& config,
+    solve_artifacts* capture = nullptr, warm_start_stats* stats = nullptr);
+
+}  // namespace dsteiner::core

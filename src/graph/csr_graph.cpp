@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/hash.hpp"
+
 namespace dsteiner::graph {
 
 csr_graph::csr_graph(const edge_list& list) {
@@ -33,6 +35,10 @@ csr_graph::csr_graph(const edge_list& list) {
       weights_[i] = row[i - begin].second;
     }
   }
+
+  fingerprint_ = util::hash_range(offsets_.data(), offsets_.size(), 0x5d5a);
+  fingerprint_ = util::hash_range(targets_.data(), targets_.size(), fingerprint_);
+  fingerprint_ = util::hash_range(weights_.data(), weights_.size(), fingerprint_);
 }
 
 std::optional<weight_t> csr_graph::edge_weight(vertex_id u, vertex_id v) const noexcept {

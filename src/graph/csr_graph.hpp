@@ -54,6 +54,11 @@ class csr_graph {
   /// Bytes held by the CSR arrays (used by the Fig. 8 memory accounting).
   [[nodiscard]] std::uint64_t memory_bytes() const noexcept;
 
+  /// Structural fingerprint over (offsets, targets, weights), computed once at
+  /// construction. Two graphs with equal fingerprints are treated as identical
+  /// by the query service's result cache and warm-start donor matching.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept { return fingerprint_; }
+
   /// Raw arrays, exposed for kernels that iterate all arcs edge-centrically.
   [[nodiscard]] const std::vector<std::uint64_t>& offsets() const noexcept {
     return offsets_;
@@ -69,6 +74,7 @@ class csr_graph {
   std::vector<std::uint64_t> offsets_;  // size |V|+1
   std::vector<vertex_id> targets_;      // size = num_arcs
   std::vector<weight_t> weights_;       // size = num_arcs
+  std::uint64_t fingerprint_ = 0;
 };
 
 }  // namespace dsteiner::graph

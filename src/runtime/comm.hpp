@@ -65,22 +65,32 @@ class communicator {
   /// Allreduce for sparse maps: the global result is the key-union with
   /// `value_min(a, b)` resolving duplicates; every rank receives a copy.
   /// This is the sparse realisation of Alg. 5's Allreduce over EN.
+  ///
+  /// Accounting mirrors the dense `allreduce` path: the payload is the merged
+  /// (reduced) map each rank ends up holding, charged per chunk with the
+  /// alpha-beta model and recorded as the per-chunk collective buffer.
+  /// `chunk_items == 0` is one monolithic collective over all merged entries.
   template <typename Key, typename Value, typename Hash, typename ValueMin>
   void allreduce_map(
       std::vector<std::unordered_map<Key, Value, Hash>>& per_rank,
-      ValueMin value_min, phase_metrics& metrics) const {
+      ValueMin value_min, phase_metrics& metrics,
+      std::size_t chunk_items = 0) const {
     std::unordered_map<Key, Value, Hash> merged;
-    std::uint64_t total_entries = 0;
     for (const auto& local : per_rank) {
-      total_entries += local.size();
       for (const auto& [key, value] : local) {
         const auto [it, inserted] = merged.emplace(key, value);
         if (!inserted) it->second = value_min(it->second, value);
       }
     }
-    const std::uint64_t bytes = total_entries * (sizeof(Key) + sizeof(Value));
-    charge_collective(bytes, metrics);
-    note_buffer_bytes(merged.size() * (sizeof(Key) + sizeof(Value)));
+    constexpr std::uint64_t entry_bytes = sizeof(Key) + sizeof(Value);
+    const std::size_t items = merged.size();
+    const std::size_t chunk = chunk_items == 0 ? items : chunk_items;
+    for (std::size_t begin = 0; begin < items; begin += chunk) {
+      const std::size_t end = begin + chunk < items ? begin + chunk : items;
+      const std::uint64_t bytes = (end - begin) * entry_bytes;
+      charge_collective(bytes, metrics);
+      note_buffer_bytes(bytes);
+    }
     for (auto& local : per_rank) local = merged;
   }
 

@@ -1,0 +1,99 @@
+#include "service/executor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace dsteiner::service {
+
+executor::executor(executor_config config) : config_(config) {
+  config_.num_threads = std::max<std::size_t>(1, config_.num_threads);
+  config_.queue_capacity = std::max<std::size_t>(1, config_.queue_capacity);
+  workers_.reserve(config_.num_threads);
+  for (std::size_t i = 0; i < config_.num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+executor::~executor() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void executor::post(task t) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_full_.wait(lock, [this] {
+    return stopping_ || queue_.size() < config_.queue_capacity;
+  });
+  if (stopping_) {
+    throw std::runtime_error("executor::post: executor is shutting down");
+  }
+  queue_.push_back(queued_task{util::timer{}, std::move(t)});
+  ++stats_.submitted;
+  stats_.peak_queue_depth = std::max<std::uint64_t>(stats_.peak_queue_depth,
+                                                    queue_.size());
+  lock.unlock();
+  not_empty_.notify_one();
+}
+
+bool executor::try_post(task t) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_) {
+    throw std::runtime_error("executor::try_post: executor is shutting down");
+  }
+  if (queue_.size() >= config_.queue_capacity) {
+    ++stats_.rejected;
+    return false;
+  }
+  queue_.push_back(queued_task{util::timer{}, std::move(t)});
+  ++stats_.submitted;
+  stats_.peak_queue_depth = std::max<std::uint64_t>(stats_.peak_queue_depth,
+                                                    queue_.size());
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+std::size_t executor::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+executor_stats executor::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void executor::worker_loop() {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping and fully drained
+    queued_task item = std::move(queue_.front());
+    queue_.pop_front();
+    const double wait = item.enqueued.seconds();
+    ++stats_.executed;
+    stats_.total_queue_wait_seconds += wait;
+    stats_.max_queue_wait_seconds =
+        std::max(stats_.max_queue_wait_seconds, wait);
+    lock.unlock();
+    not_full_.notify_one();
+    try {
+      item.work(wait);
+    } catch (...) {
+      // A task that lets an exception escape must not unwind the worker
+      // (std::terminate would take the whole process down). Tasks own their
+      // error reporting — the service's wrapper routes failures into the
+      // query future; a bare task that throws is counted and dropped.
+      const std::lock_guard<std::mutex> guard(mutex_);
+      ++stats_.tasks_failed;
+    }
+  }
+}
+
+}  // namespace dsteiner::service

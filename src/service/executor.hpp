@@ -1,0 +1,84 @@
+// Bounded worker-pool executor backing the Steiner query service.
+//
+// A fixed set of std::thread workers drains a bounded admission queue. The
+// bound is the service's backpressure mechanism: `post` blocks the producer
+// when the queue is full (interactive sessions), `try_post` refuses instead
+// (load-shedding front ends). Each task receives the queue wait it actually
+// experienced so the service can report per-query latency splits.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace dsteiner::service {
+
+struct executor_config {
+  std::size_t num_threads = 2;
+  /// Maximum tasks waiting for a worker (excludes the ones being executed).
+  std::size_t queue_capacity = 256;
+};
+
+struct executor_stats {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;  ///< try_post refusals while the queue was full
+  std::uint64_t executed = 0;
+  std::uint64_t tasks_failed = 0;  ///< tasks that let an exception escape
+  std::uint64_t peak_queue_depth = 0;
+  double total_queue_wait_seconds = 0.0;
+  double max_queue_wait_seconds = 0.0;
+};
+
+class executor {
+ public:
+  /// Task signature: invoked on a worker with the seconds the task spent
+  /// queued before pickup. Tasks should handle their own errors; an escaped
+  /// exception is swallowed and counted (tasks_failed), never propagated.
+  using task = std::function<void(double queue_wait_seconds)>;
+
+  explicit executor(executor_config config = {});
+
+  /// Drains every queued task, then joins the workers.
+  ~executor();
+
+  executor(const executor&) = delete;
+  executor& operator=(const executor&) = delete;
+
+  /// Enqueues `t`, blocking while the admission queue is full. Throws
+  /// std::runtime_error after shutdown began.
+  void post(task t);
+
+  /// Non-blocking admission: false (and the rejected counter) when full.
+  [[nodiscard]] bool try_post(task t);
+
+  [[nodiscard]] std::size_t num_threads() const noexcept {
+    return workers_.size();
+  }
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] executor_stats stats() const;
+
+ private:
+  struct queued_task {
+    util::timer enqueued;  ///< started at admission; read at pickup
+    task work;
+  };
+
+  void worker_loop();
+
+  executor_config config_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<queued_task> queue_;
+  executor_stats stats_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dsteiner::service

@@ -1,0 +1,50 @@
+// Query and result types for the concurrent Steiner query service.
+//
+// A query is a seed set plus optional solver-configuration overrides; the
+// service executes it cold, warm (repairing a recent solve with a similar
+// seed set) or straight from the result cache, and reports which path it
+// took along with admission-to-completion latency splits.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/steiner_solver.hpp"
+#include "core/warm_start.hpp"
+#include "graph/types.hpp"
+
+namespace dsteiner::service {
+
+struct query {
+  std::vector<graph::vertex_id> seeds;
+  /// Overrides the service-wide default solver configuration when set.
+  std::optional<core::solver_config> config;
+  /// Per-query opt-outs (e.g. to force fresh solves in benchmarks).
+  bool use_cache = true;
+  bool allow_warm_start = true;
+};
+
+/// How the service satisfied a query. The output tree is identical across all
+/// paths (the solver's determinism guarantee); only the work differs.
+/// `coalesced` = an identical query was already in flight on another worker
+/// and this one waited for its result instead of duplicating the solve
+/// (single-flight).
+enum class solve_kind : std::uint8_t { cold, warm_start, cache_hit, coalesced };
+
+[[nodiscard]] const char* to_string(solve_kind kind) noexcept;
+
+struct query_result {
+  core::steiner_result result;
+  solve_kind kind = solve_kind::cold;
+  std::uint64_t query_id = 0;
+
+  double queue_wait_seconds = 0.0;  ///< admission queue -> worker pickup
+  double solve_seconds = 0.0;       ///< inside the solver (0 for cache hits)
+  double total_seconds = 0.0;       ///< admission -> completion
+
+  /// Repair-size observability; populated when kind == warm_start.
+  core::warm_start_stats warm;
+};
+
+}  // namespace dsteiner::service

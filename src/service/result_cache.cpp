@@ -1,0 +1,94 @@
+#include "service/result_cache.hpp"
+
+#include <algorithm>
+
+#include "util/hash.hpp"
+
+namespace dsteiner::service {
+
+std::size_t cache_key_hash::operator()(const cache_key& key) const noexcept {
+  std::uint64_t h = util::hash_combine(key.graph_fingerprint, key.seed_hash);
+  h = util::hash_combine(h, key.config_hash);
+  return static_cast<std::size_t>(h);
+}
+
+result_cache::result_cache(config cfg) : config_(cfg) {
+  config_.shards = std::max<std::size_t>(1, config_.shards);
+  config_.capacity = std::max<std::size_t>(1, config_.capacity);
+  config_.shards = std::min(config_.shards, config_.capacity);
+  per_shard_capacity_ =
+      (config_.capacity + config_.shards - 1) / config_.shards;
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<shard>());
+  }
+}
+
+result_cache::shard& result_cache::shard_for(const cache_key& key) {
+  const std::size_t h = cache_key_hash{}(key);
+  // Mix again so shard choice is independent of the index's bucket choice.
+  return *shards_[util::mix64(h) % shards_.size()];
+}
+
+result_cache::entry_ptr result_cache::find(
+    const cache_key& key, std::span<const graph::vertex_id> canonical_seeds,
+    bool count_miss) {
+  shard& s = shard_for(key);
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.index.find(key);
+  if (it == s.index.end()) {
+    if (count_miss) ++s.counters.misses;
+    return nullptr;
+  }
+  const entry_ptr& entry = it->second->second;
+  if (!std::equal(entry->seeds.begin(), entry->seeds.end(),
+                  canonical_seeds.begin(), canonical_seeds.end())) {
+    if (count_miss) ++s.counters.misses;  // hash collision: treat as a miss
+    return nullptr;
+  }
+  s.lru.splice(s.lru.begin(), s.lru, it->second);
+  ++s.counters.hits;
+  return entry;
+}
+
+void result_cache::insert(const cache_key& key, entry_ptr entry) {
+  shard& s = shard_for(key);
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.index.find(key);
+  if (it != s.index.end()) {
+    it->second->second = std::move(entry);
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  s.lru.emplace_front(key, std::move(entry));
+  s.index.emplace(key, s.lru.begin());
+  ++s.counters.insertions;
+  if (s.lru.size() > per_shard_capacity_) {
+    s.index.erase(s.lru.back().first);
+    s.lru.pop_back();
+    ++s.counters.evictions;
+  }
+}
+
+result_cache::stats result_cache::snapshot() const {
+  stats total;
+  for (const auto& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s->mutex);
+    total.hits += s->counters.hits;
+    total.misses += s->counters.misses;
+    total.insertions += s->counters.insertions;
+    total.evictions += s->counters.evictions;
+    total.entries += s->lru.size();
+  }
+  return total;
+}
+
+void result_cache::clear() {
+  for (const auto& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s->mutex);
+    s->lru.clear();
+    s->index.clear();
+  }
+}
+
+}  // namespace dsteiner::service

@@ -1,0 +1,110 @@
+// Sharded LRU cache of finished Steiner solves.
+//
+// Keyed by (graph fingerprint, canonical seed set, solver-config hash): the
+// tree is a pure function of (graph, seeds) — the solver's determinism
+// guarantee — but the per-phase metrics a result carries depend on the
+// runtime configuration, so config participates in the key and two configs
+// never share an entry. (Within one config the cached metrics still reflect
+// whichever path — cold or warm repair — produced the entry; see
+// cached_solve.) Keys are 64-bit hashes; the stored canonical seed
+// list is compared on lookup so a hash collision degrades to a miss, never a
+// wrong tree.
+//
+// Sharding bounds lock contention under concurrent workers: a key's shard is
+// derived from its hash, each shard holds an independent LRU list + index
+// under its own mutex.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/steiner_solver.hpp"
+#include "core/warm_start.hpp"
+#include "graph/types.hpp"
+
+namespace dsteiner::service {
+
+struct cache_key {
+  std::uint64_t graph_fingerprint = 0;
+  std::uint64_t seed_hash = 0;    ///< over the canonical (sorted) seed list
+  std::uint64_t config_hash = 0;
+
+  friend bool operator==(const cache_key&, const cache_key&) = default;
+};
+
+struct cache_key_hash {
+  [[nodiscard]] std::size_t operator()(const cache_key& key) const noexcept;
+};
+
+/// A finished solve. Note the stored `result.phases` reflect the path that
+/// produced the entry (a warm-start repair caches its reduced repair
+/// metrics, not cold-equivalent ones); the tree itself is path-independent.
+/// Warm-start artifacts are deliberately *not* part of a cache entry — they
+/// are O(|V|) each and live only in the service's bounded donor registry.
+struct cached_solve {
+  std::vector<graph::vertex_id> seeds;  ///< canonical (sorted, deduplicated)
+  core::steiner_result result;
+};
+
+class result_cache {
+ public:
+  struct config {
+    std::size_t capacity = 64;  ///< entries across all shards
+    std::size_t shards = 4;
+  };
+
+  struct stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;  ///< current occupancy
+  };
+
+  using entry_ptr = std::shared_ptr<const cached_solve>;
+
+  result_cache() : result_cache(config{}) {}
+  explicit result_cache(config cfg);
+
+  /// Lookup; `canonical_seeds` guards against hash collisions. A hit
+  /// refreshes the entry's LRU position. Pass `count_miss = false` for
+  /// re-checks that already counted their miss (the service's single-flight
+  /// recheck), so the miss counter reflects queries, not probe attempts.
+  [[nodiscard]] entry_ptr find(const cache_key& key,
+                               std::span<const graph::vertex_id> canonical_seeds,
+                               bool count_miss = true);
+
+  /// Inserts (or refreshes) an entry, evicting the shard's least recently
+  /// used entry when over capacity.
+  void insert(const cache_key& key, entry_ptr entry);
+
+  [[nodiscard]] stats snapshot() const;
+  void clear();
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return config_.capacity; }
+  [[nodiscard]] std::size_t num_shards() const noexcept { return shards_.size(); }
+
+ private:
+  struct shard {
+    mutable std::mutex mutex;
+    std::list<std::pair<cache_key, entry_ptr>> lru;  ///< front = most recent
+    std::unordered_map<cache_key,
+                       std::list<std::pair<cache_key, entry_ptr>>::iterator,
+                       cache_key_hash>
+        index;
+    stats counters;
+  };
+
+  [[nodiscard]] shard& shard_for(const cache_key& key);
+
+  config config_;
+  std::size_t per_shard_capacity_ = 1;
+  std::vector<std::unique_ptr<shard>> shards_;
+};
+
+}  // namespace dsteiner::service

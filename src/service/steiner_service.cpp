@@ -1,0 +1,268 @@
+#include "service/steiner_service.hpp"
+
+#include <bit>
+#include <utility>
+
+#include "util/hash.hpp"
+
+namespace dsteiner::service {
+
+const char* to_string(solve_kind kind) noexcept {
+  switch (kind) {
+    case solve_kind::cold: return "cold";
+    case solve_kind::warm_start: return "warm-start";
+    case solve_kind::cache_hit: return "cache-hit";
+    case solve_kind::coalesced: return "coalesced";
+  }
+  return "?";
+}
+
+steiner_service::steiner_service(graph::csr_graph graph, service_config config)
+    : graph_(std::move(graph)),
+      config_(config),
+      cache_(config.cache),
+      exec_(config.exec) {}
+
+std::uint64_t steiner_service::config_hash(
+    const core::solver_config& config) noexcept {
+  // Every field of solver_config and cost_model must be hashed below — a
+  // field that drops out of the key lets two distinct configs share a cache
+  // entry. These asserts force this function to be revisited when either
+  // struct grows (update the expected size alongside the new hash line).
+  static_assert(sizeof(runtime::cost_model) == 8 * sizeof(double),
+                "cost_model changed: update config_hash");
+  static_assert(sizeof(core::solver_config) <= 64 + sizeof(runtime::cost_model),
+                "solver_config changed: update config_hash");
+  const auto f64 = [](double value) {
+    return std::bit_cast<std::uint64_t>(value);
+  };
+  std::uint64_t h = util::hash_combine(0xc0f1, config.num_ranks);
+  h = util::hash_combine(h, static_cast<std::uint64_t>(config.policy));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(config.mode));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(config.scheme));
+  h = util::hash_combine(h, config.use_delegates ? 1 : 0);
+  h = util::hash_combine(h, config.delegate_threshold);
+  h = util::hash_combine(h, config.batch_size);
+  h = util::hash_combine(h, config.dense_distance_graph ? 1 : 0);
+  h = util::hash_combine(h, config.allreduce_chunk_items);
+  h = util::hash_combine(h, config.allow_disconnected_seeds ? 1 : 0);
+  h = util::hash_combine(h, config.validate ? 1 : 0);
+  h = util::hash_combine(h, f64(config.costs.visit_cost));
+  h = util::hash_combine(h, f64(config.costs.reject_cost));
+  h = util::hash_combine(h, f64(config.costs.send_cost));
+  h = util::hash_combine(h, f64(config.costs.remote_msg_cost));
+  h = util::hash_combine(h, f64(config.costs.collective_alpha));
+  h = util::hash_combine(h, f64(config.costs.collective_per_byte));
+  h = util::hash_combine(h, f64(config.costs.sequential_unit));
+  h = util::hash_combine(h, f64(config.costs.unit_seconds));
+  return h;
+}
+
+executor::task steiner_service::make_task(
+    query q, std::shared_ptr<std::promise<query_result>> promise) {
+  util::timer admitted;
+  return [this, q = std::move(q), promise = std::move(promise),
+          admitted](double queue_wait) mutable {
+    try {
+      promise->set_value(execute(std::move(q), queue_wait, admitted));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  };
+}
+
+std::future<query_result> steiner_service::submit(query q) {
+  auto promise = std::make_shared<std::promise<query_result>>();
+  std::future<query_result> future = promise->get_future();
+  exec_.post(make_task(std::move(q), std::move(promise)));
+  return future;
+}
+
+std::optional<std::future<query_result>> steiner_service::try_submit(query q) {
+  auto promise = std::make_shared<std::promise<query_result>>();
+  std::future<query_result> future = promise->get_future();
+  if (!exec_.try_post(make_task(std::move(q), std::move(promise)))) {
+    return std::nullopt;
+  }
+  return future;
+}
+
+query_result steiner_service::solve(query q) {
+  return submit(std::move(q)).get();
+}
+
+steiner_service::donor_ptr steiner_service::find_donor(
+    std::span<const graph::vertex_id> canonical_seeds) {
+  const std::lock_guard<std::mutex> lock(donors_mutex_);
+  donor_ptr best;
+  std::size_t best_size = config_.warm_delta_limit + 1;
+  for (const auto& candidate : donors_) {
+    const auto delta =
+        core::compute_seed_delta(candidate->seeds, canonical_seeds);
+    if (delta.size() < best_size) {
+      best_size = delta.size();
+      best = candidate;
+      if (best_size == 0) break;
+    }
+  }
+  return best;
+}
+
+void steiner_service::remember_donor(donor_ptr donor) {
+  const std::lock_guard<std::mutex> lock(donors_mutex_);
+  // One donor per seed set: repeated solves of a hot set refresh its slot
+  // instead of flushing the other sets out of the bounded registry.
+  for (auto it = donors_.begin(); it != donors_.end(); ++it) {
+    if ((*it)->seeds == donor->seeds) {
+      donors_.erase(it);
+      break;
+    }
+  }
+  donors_.push_front(std::move(donor));
+  while (donors_.size() > config_.donor_history) donors_.pop_back();
+}
+
+query_result steiner_service::execute(query q, double queue_wait,
+                                      util::timer admitted) {
+  query_result out;
+  out.query_id = ++query_counter_;
+  out.queue_wait_seconds = queue_wait;
+
+  const core::solver_config solver_config = q.config.value_or(config_.solver);
+  const std::vector<graph::vertex_id> canonical =
+      core::canonicalize_seeds(graph_, q.seeds);
+  const cache_key key{
+      graph_.fingerprint(),
+      util::hash_range(canonical.data(), canonical.size(), 0x5eed),
+      config_hash(solver_config)};
+  const bool cacheable = config_.enable_cache && q.use_cache;
+
+  const auto finish_from_entry = [&](const cached_solve& entry,
+                                     solve_kind kind) {
+    out.result = entry.result;
+    out.kind = kind;
+    out.total_seconds = admitted.seconds();
+    return out;
+  };
+
+  // Single-flight admission for cacheable queries: serve from the cache,
+  // wait on an identical in-flight solve, or become the leader that solves.
+  std::promise<result_cache::entry_ptr> inflight_promise;
+  bool leader = false;
+  if (cacheable) {
+    if (const auto hit = cache_.find(key, canonical)) {
+      ++cache_hits_;
+      return finish_from_entry(*hit, solve_kind::cache_hit);
+    }
+    std::shared_future<result_cache::entry_ptr> waiter;
+    {
+      const std::lock_guard<std::mutex> lock(inflight_mutex_);
+      // Re-check under the lock: a leader publishes to the cache before it
+      // deregisters, so missing both cache and registry here is impossible.
+      // The outer lookup already counted this query's miss.
+      if (const auto hit = cache_.find(key, canonical, /*count_miss=*/false)) {
+        ++cache_hits_;
+        return finish_from_entry(*hit, solve_kind::cache_hit);
+      }
+      const auto it = inflight_.find(key);
+      if (it != inflight_.end()) {
+        waiter = it->second;
+      } else {
+        leader = true;
+        inflight_.emplace(key, inflight_promise.get_future().share());
+      }
+    }
+    if (!leader) {
+      const result_cache::entry_ptr entry = waiter.get();  // rethrows failures
+      if (entry != nullptr && entry->seeds == canonical) {
+        ++coalesced_;
+        return finish_from_entry(*entry, solve_kind::coalesced);
+      }
+      // 64-bit key collision with a different seed set: solve independently.
+    }
+  }
+
+  // From leadership registration to promise resolution, every throw —
+  // including allocation failures building the cache entry — must resolve
+  // the inflight promise and deregister, or coalesced waiters hang forever
+  // and the key stays poisoned.
+  util::timer solve_timer;
+  std::shared_ptr<core::solve_artifacts> artifacts;
+  result_cache::entry_ptr entry;
+  try {
+    // Artifacts are only worth their O(|V|) capture cost if warm starts can
+    // ever consume them.
+    if (config_.enable_warm_start) {
+      artifacts = std::make_shared<core::solve_artifacts>();
+    }
+    bool warmed = false;
+    if (config_.enable_warm_start && q.allow_warm_start &&
+        canonical.size() > 1) {
+      if (const auto donor = find_donor(canonical)) {
+        try {
+          out.result = core::solve_steiner_tree_warm(
+              graph_, canonical, *donor, solver_config, artifacts.get(),
+              &out.warm);
+          out.kind = solve_kind::warm_start;
+          ++warm_solves_;
+          warmed = true;
+        } catch (const std::invalid_argument&) {
+          // Donor did not match after all (defensive): cold solve below.
+          ++warm_fallbacks_;
+        }
+      }
+    }
+    if (!warmed) {
+      out.result =
+          artifacts != nullptr
+              ? core::solve_steiner_tree_capture(graph_, canonical,
+                                                 solver_config, *artifacts)
+              : core::solve_steiner_tree(graph_, canonical, solver_config);
+      out.kind = solve_kind::cold;
+      ++cold_solves_;
+    }
+    out.solve_seconds = solve_timer.seconds();
+
+    auto fresh = std::make_shared<cached_solve>();
+    fresh->seeds = canonical;
+    fresh->result = out.result;
+    entry = std::move(fresh);
+  } catch (...) {
+    if (leader) {
+      inflight_promise.set_exception(std::current_exception());
+      const std::lock_guard<std::mutex> lock(inflight_mutex_);
+      inflight_.erase(key);
+    }
+    throw;
+  }
+
+  if (leader) inflight_promise.set_value(entry);
+  if (cacheable) cache_.insert(key, entry);
+  if (leader) {
+    // Deregister only after the cache insert: queries that miss both the
+    // cache and this registry entry would otherwise race into extra solves.
+    const std::lock_guard<std::mutex> lock(inflight_mutex_);
+    inflight_.erase(key);
+  }
+  if (artifacts != nullptr && !artifacts->empty()) {
+    remember_donor(std::move(artifacts));
+  }
+
+  out.total_seconds = admitted.seconds();
+  return out;
+}
+
+service_stats steiner_service::stats() const {
+  service_stats s;
+  s.queries = query_counter_.load();
+  s.cold_solves = cold_solves_.load();
+  s.warm_solves = warm_solves_.load();
+  s.warm_fallbacks = warm_fallbacks_.load();
+  s.cache_hits = cache_hits_.load();
+  s.coalesced = coalesced_.load();
+  s.cache = cache_.snapshot();
+  s.exec = exec_.stats();
+  return s;
+}
+
+}  // namespace dsteiner::service

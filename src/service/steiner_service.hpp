@@ -1,0 +1,138 @@
+// Concurrent Steiner query service — the §I workflow at serving scale.
+//
+// One service owns one immutable graph and executes many Steiner queries
+// against it concurrently:
+//
+//   submit(query) -> future<query_result>
+//
+// Each query takes the cheapest correct path:
+//   1. result cache   — exact (graph, seeds, config) repeat: no solver work;
+//   2. warm start     — a recent solve's seed set differs by a small
+//                       add/remove delta: repair its Voronoi labelling and
+//                       distance graph instead of recomputing (warm_start.hpp);
+//   3. cold solve     — full Alg. 3 pipeline, capturing artifacts so later
+//                       queries can take paths 1-2.
+//
+// All three return bit-identical trees (the solver's determinism guarantee),
+// so concurrency, caching and warm starts are pure latency optimisations,
+// observable through per-query latency splits and service-wide counters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "core/steiner_solver.hpp"
+#include "core/warm_start.hpp"
+#include "graph/csr_graph.hpp"
+#include "service/executor.hpp"
+#include "service/query.hpp"
+#include "service/result_cache.hpp"
+
+namespace dsteiner::service {
+
+struct service_config {
+  /// Default solver configuration for queries without an override.
+  core::solver_config solver{};
+  executor_config exec{};
+  result_cache::config cache{};
+  bool enable_cache = true;
+  bool enable_warm_start = true;
+  /// Warm-start cutoff: largest seed-set symmetric difference worth
+  /// repairing instead of solving cold.
+  std::size_t warm_delta_limit = 8;
+  /// Finished solves kept as warm-start donor candidates.
+  std::size_t donor_history = 8;
+};
+
+struct service_stats {
+  std::uint64_t queries = 0;
+  std::uint64_t cold_solves = 0;
+  std::uint64_t warm_solves = 0;
+  std::uint64_t warm_fallbacks = 0;  ///< warm attempts that fell back to cold
+  std::uint64_t cache_hits = 0;
+  std::uint64_t coalesced = 0;  ///< waited on an identical in-flight query
+  result_cache::stats cache;
+  executor_stats exec;
+};
+
+class steiner_service {
+ public:
+  explicit steiner_service(graph::csr_graph graph, service_config config = {});
+
+  steiner_service(const steiner_service&) = delete;
+  steiner_service& operator=(const steiner_service&) = delete;
+
+  /// Asynchronous execution on the worker pool; blocks only while the
+  /// bounded admission queue is full. Invalid seeds surface as exceptions on
+  /// the future.
+  [[nodiscard]] std::future<query_result> submit(query q);
+
+  /// Load-shedding admission: nullopt (and the rejected counter) when the
+  /// queue is full.
+  [[nodiscard]] std::optional<std::future<query_result>> try_submit(query q);
+
+  /// Synchronous convenience: submit + wait. Do not call from a worker
+  /// thread (it would wait on its own pool).
+  [[nodiscard]] query_result solve(query q);
+
+  [[nodiscard]] const graph::csr_graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] std::uint64_t graph_fingerprint() const noexcept {
+    return graph_.fingerprint();
+  }
+  [[nodiscard]] const service_config& config() const noexcept { return config_; }
+  [[nodiscard]] service_stats stats() const;
+
+  /// Hash of every output- or metrics-affecting solver_config field; part of
+  /// the cache key.
+  [[nodiscard]] static std::uint64_t config_hash(
+      const core::solver_config& config) noexcept;
+
+ private:
+  using donor_ptr = std::shared_ptr<const core::solve_artifacts>;
+
+  /// Wraps a query into the promise-resolving executor task shared by
+  /// submit() and try_submit().
+  [[nodiscard]] executor::task make_task(
+      query q, std::shared_ptr<std::promise<query_result>> promise);
+  [[nodiscard]] query_result execute(query q, double queue_wait,
+                                     util::timer admitted);
+  [[nodiscard]] donor_ptr find_donor(
+      std::span<const graph::vertex_id> canonical_seeds);
+  void remember_donor(donor_ptr donor);
+
+  graph::csr_graph graph_;
+  service_config config_;
+  result_cache cache_;
+
+  /// Warm-start donor registry: the last few solves' artifacts. Bounded by
+  /// donor_history — artifacts are O(|V|) each, so they deliberately do not
+  /// ride along in result-cache entries.
+  std::mutex donors_mutex_;
+  std::deque<donor_ptr> donors_;  ///< front = most recent
+
+  /// Single-flight registry: cacheable queries that missed the cache register
+  /// here; identical queries arriving while one is being solved wait for its
+  /// entry instead of duplicating the work (thundering-herd protection).
+  std::mutex inflight_mutex_;
+  std::unordered_map<cache_key, std::shared_future<result_cache::entry_ptr>,
+                     cache_key_hash>
+      inflight_;
+
+  std::atomic<std::uint64_t> query_counter_{0};  ///< also the queries total
+  std::atomic<std::uint64_t> cold_solves_{0};
+  std::atomic<std::uint64_t> warm_solves_{0};
+  std::atomic<std::uint64_t> warm_fallbacks_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+
+  /// Last member: workers must stop before anything they touch is destroyed.
+  executor exec_;
+};
+
+}  // namespace dsteiner::service

@@ -18,6 +18,25 @@ namespace dsteiner::util {
   return x;
 }
 
+/// Order-dependent combiner for streaming hashes (fingerprints, cache keys).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                                   std::uint64_t value) noexcept {
+  return mix64(seed ^ (mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                       (seed >> 2)));
+}
+
+/// Streaming hash of a span of integral values (graph fingerprints, canonical
+/// seed sets). Deterministic across platforms for fixed-width types.
+template <typename T>
+[[nodiscard]] constexpr std::uint64_t hash_range(const T* data, std::size_t size,
+                                                 std::uint64_t seed = 0) noexcept {
+  std::uint64_t h = hash_combine(seed, size);
+  for (std::size_t i = 0; i < size; ++i) {
+    h = hash_combine(h, static_cast<std::uint64_t>(data[i]));
+  }
+  return h;
+}
+
 /// Hash functor for std::pair of integral types.
 struct pair_hash {
   template <typename A, typename B>

@@ -4,6 +4,7 @@
 #include "core/interactive.hpp"
 #include "core/validation.hpp"
 #include "graph/generators.hpp"
+#include "service/steiner_service.hpp"
 
 namespace {
 
@@ -119,6 +120,40 @@ TEST(Interactive, RankKnobPreservesResult) {
   EXPECT_EQ(session.tree().tree_edges, with_16);
   session.set_ranks(64);  // no-op: same value
   EXPECT_TRUE(session.up_to_date());
+}
+
+TEST(Interactive, SeedEditsUseWarmStartAndCacheHits) {
+  core::exploration_session session(make_graph(11));
+  session.set_seeds(std::vector<vertex_id>{10, 90, 170});
+  const auto baseline = session.tree().tree_edges;
+  EXPECT_EQ(session.last_solve_kind(), service::solve_kind::cold);
+  EXPECT_EQ(session.recompute_count(), 1u);
+
+  session.add_seed(42);  // small delta: repaired, not recomputed
+  (void)session.tree();
+  EXPECT_EQ(session.last_solve_kind(), service::solve_kind::warm_start);
+  EXPECT_EQ(session.recompute_count(), 2u);
+
+  session.remove_seed(42);  // back to a seed set the service has seen
+  EXPECT_EQ(session.tree().tree_edges, baseline);
+  EXPECT_EQ(session.last_solve_kind(), service::solve_kind::cache_hit);
+  EXPECT_EQ(session.recompute_count(), 2u);  // cache hits are not solver runs
+
+  const auto stats = session.service().stats();
+  EXPECT_EQ(stats.cold_solves, 1u);
+  EXPECT_EQ(stats.warm_solves, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+}
+
+TEST(Interactive, GraphEditsStartAFreshService) {
+  core::exploration_session session(make_graph(12));
+  session.set_seeds(std::vector<vertex_id>{3, 140});
+  (void)session.tree();
+  const auto fingerprint_before = session.service().graph_fingerprint();
+  session.reweight([](vertex_id, vertex_id, weight_t w) { return w + 1; });
+  EXPECT_NE(session.service().graph_fingerprint(), fingerprint_before);
+  (void)session.tree();
+  EXPECT_EQ(session.last_solve_kind(), service::solve_kind::cold);
 }
 
 TEST(Interactive, RejectsBadInput) {

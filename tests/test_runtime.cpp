@@ -128,6 +128,52 @@ TEST(Communicator, AllreduceMapMergesWithMin) {
   }
 }
 
+TEST(Communicator, AllreduceMapAccountingMatchesDensePath) {
+  // Regression: the map merge used to charge the *sum* of per-rank entry
+  // counts in one monolithic call and never recorded a per-chunk buffer. It
+  // must mirror the dense allreduce: the payload is the merged (reduced) map,
+  // charged per chunk, with note_buffer_bytes per chunk.
+  using map_t = std::unordered_map<std::pair<int, int>, int, util::pair_hash>;
+  constexpr std::uint64_t entry_bytes = sizeof(std::pair<int, int>) + sizeof(int);
+  const communicator comm(3, cost_model{});
+
+  const auto build_maps = [] {
+    std::vector<map_t> maps(3);
+    // 5 distinct keys; {0,1} duplicated across ranks resolves by min.
+    maps[0][{0, 1}] = 5;
+    maps[0][{0, 2}] = 7;
+    maps[1][{0, 1}] = 3;
+    maps[1][{1, 2}] = 9;
+    maps[2][{1, 3}] = 4;
+    maps[2][{2, 3}] = 6;
+    return maps;
+  };
+
+  auto mono = build_maps();
+  phase_metrics m_mono;
+  comm.reset_peak_buffer();
+  comm.allreduce_map(mono, [](int a, int b) { return std::min(a, b); }, m_mono);
+  EXPECT_EQ(m_mono.collective_calls, 1u);
+  EXPECT_EQ(m_mono.collective_bytes, 5 * entry_bytes);  // merged size, not 6
+  EXPECT_EQ(comm.peak_buffer_bytes(), 5 * entry_bytes);
+
+  auto chunked = build_maps();
+  phase_metrics m_chunked;
+  comm.reset_peak_buffer();
+  comm.allreduce_map(chunked, [](int a, int b) { return std::min(a, b); },
+                     m_chunked, 2);
+  EXPECT_EQ(m_chunked.collective_calls, 3u);  // ceil(5 / 2)
+  EXPECT_EQ(m_chunked.collective_bytes, m_mono.collective_bytes);
+  EXPECT_EQ(comm.peak_buffer_bytes(), 2 * entry_bytes);  // chunked peak shrinks
+  EXPECT_GT(m_chunked.sim_units, m_mono.sim_units);  // extra alpha charges
+  EXPECT_EQ(mono, chunked);  // accounting change never alters the reduction
+
+  for (const auto& map : mono) {
+    ASSERT_EQ(map.size(), 5u);
+    EXPECT_EQ(map.at({0, 1}), 3);
+  }
+}
+
 struct test_visitor {
   graph::vertex_id v = 0;
   std::uint64_t prio = 0;

@@ -1,0 +1,369 @@
+// Tests for the concurrent query service: executor pool semantics, sharded
+// LRU cache behaviour, and the service facade's three execution paths (cold,
+// warm start, cache hit) — including the determinism stress test: concurrent
+// queries must produce bit-identical trees to sequential cold solves.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/steiner_solver.hpp"
+#include "graph/generators.hpp"
+#include "service/executor.hpp"
+#include "service/result_cache.hpp"
+#include "service/steiner_service.hpp"
+
+namespace {
+
+using namespace dsteiner;
+using namespace dsteiner::service;
+using graph::vertex_id;
+using graph::weight_t;
+
+graph::csr_graph make_connected_graph(int n, weight_t w_hi, std::uint64_t seed) {
+  graph::edge_list list =
+      graph::generate_erdos_renyi(n, static_cast<std::uint64_t>(n) * 3, seed);
+  graph::assign_uniform_weights(list, 1, w_hi, seed ^ 0x99);
+  graph::connect_components(list, w_hi + 1, seed);
+  return graph::csr_graph(list);
+}
+
+// ---- executor ---------------------------------------------------------------
+
+TEST(Executor, RunsEveryPostedTask) {
+  std::atomic<int> ran{0};
+  {
+    executor exec({2, 16});
+    for (int i = 0; i < 50; ++i) {
+      exec.post([&ran](double) { ++ran; });
+    }
+  }  // destructor drains the queue
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(Executor, StatsCountExecutions) {
+  executor exec({1, 64});
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) exec.post([&ran](double) { ++ran; });
+  while (ran.load() < 10) std::this_thread::yield();
+  const auto stats = exec.stats();
+  EXPECT_EQ(stats.submitted, 10u);
+  EXPECT_EQ(stats.executed, 10u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_GE(stats.total_queue_wait_seconds, 0.0);
+}
+
+TEST(Executor, TryPostShedsLoadWhenFull) {
+  executor exec({1, 1});
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::atomic<int> ran{0};
+  // Occupy the single worker, then fill the single queue slot.
+  exec.post([gate, &ran](double) { gate.wait(); ++ran; });
+  while (exec.queue_depth() > 0) std::this_thread::yield();  // worker picked up
+  exec.post([gate, &ran](double) { gate.wait(); ++ran; });   // queued
+  bool accepted_extra = exec.try_post([&ran](double) { ++ran; });
+  EXPECT_FALSE(accepted_extra);
+  EXPECT_EQ(exec.stats().rejected, 1u);
+  release.set_value();
+}
+
+// ---- result cache -----------------------------------------------------------
+
+result_cache::entry_ptr make_entry(std::vector<vertex_id> seeds,
+                                   graph::weight_t distance) {
+  auto entry = std::make_shared<cached_solve>();
+  entry->seeds = std::move(seeds);
+  entry->result.total_distance = distance;
+  return entry;
+}
+
+TEST(ResultCache, HitMissAndLruEviction) {
+  result_cache cache({/*capacity=*/2, /*shards=*/1});
+  const cache_key a{1, 10, 0}, b{1, 20, 0}, c{1, 30, 0};
+  const std::vector<vertex_id> seeds_a{1}, seeds_b{2}, seeds_c{3};
+  cache.insert(a, make_entry(seeds_a, 100));
+  cache.insert(b, make_entry(seeds_b, 200));
+
+  ASSERT_NE(cache.find(a, seeds_a), nullptr);  // refreshes a: b is now LRU
+  cache.insert(c, make_entry(seeds_c, 300));   // evicts b
+
+  EXPECT_EQ(cache.find(b, seeds_b), nullptr);
+  ASSERT_NE(cache.find(a, seeds_a), nullptr);
+  ASSERT_NE(cache.find(c, seeds_c), nullptr);
+
+  const auto stats = cache.snapshot();
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(ResultCache, SeedMismatchIsAMissNotAWrongTree) {
+  result_cache cache({4, 1});
+  const cache_key key{1, 42, 0};
+  cache.insert(key, make_entry({1, 2, 3}, 100));
+  // Same 64-bit key, different canonical seeds (simulated hash collision).
+  const std::vector<vertex_id> other{4, 5, 6};
+  EXPECT_EQ(cache.find(key, other), nullptr);
+  EXPECT_EQ(cache.snapshot().misses, 1u);
+}
+
+TEST(ResultCache, OccupancyNeverExceedsCapacity) {
+  result_cache cache({8, 4});
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    cache.insert(cache_key{1, i, 0},
+                 make_entry({static_cast<vertex_id>(i)}, i));
+  }
+  const auto stats = cache.snapshot();
+  EXPECT_LE(stats.entries, 8u);
+  EXPECT_EQ(stats.insertions, 100u);
+  EXPECT_EQ(stats.insertions - stats.evictions, stats.entries);
+}
+
+// ---- service facade ---------------------------------------------------------
+
+service_config quiet_config(std::size_t threads) {
+  service_config config;
+  config.exec.num_threads = threads;
+  config.exec.queue_capacity = 64;
+  config.solver.num_ranks = 8;
+  return config;
+}
+
+TEST(Service, ColdThenCacheHit) {
+  steiner_service svc(make_connected_graph(150, 20, 21), quiet_config(2));
+  query q;
+  q.seeds = {3, 70, 120};
+  const auto first = svc.solve(q);
+  EXPECT_EQ(first.kind, solve_kind::cold);
+  const auto second = svc.solve(q);
+  EXPECT_EQ(second.kind, solve_kind::cache_hit);
+  EXPECT_EQ(second.result.tree_edges, first.result.tree_edges);
+  EXPECT_EQ(second.result.total_distance, first.result.total_distance);
+  EXPECT_EQ(second.solve_seconds, 0.0);
+
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_EQ(stats.cold_solves, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache.hits, 1u);
+}
+
+TEST(Service, SeedOrderAndDuplicatesShareACacheEntry) {
+  steiner_service svc(make_connected_graph(150, 20, 22), quiet_config(1));
+  query a, b;
+  a.seeds = {3, 70, 120};
+  b.seeds = {120, 3, 70, 3};  // same canonical set
+  (void)svc.solve(a);
+  const auto second = svc.solve(b);
+  EXPECT_EQ(second.kind, solve_kind::cache_hit);
+}
+
+TEST(Service, WarmStartOnSeedDelta) {
+  const auto g = make_connected_graph(200, 25, 23);
+  steiner_service svc(graph::csr_graph(g), quiet_config(2));
+  query base;
+  base.seeds = {5, 60, 110, 170};
+  (void)svc.solve(base);
+
+  query edited;
+  edited.seeds = {5, 60, 110, 170, 42};
+  const auto warm = svc.solve(edited);
+  EXPECT_EQ(warm.kind, solve_kind::warm_start);
+  EXPECT_EQ(warm.warm.added_seeds, 1u);
+
+  // Bit-identical to an independent cold solve.
+  core::solver_config reference = svc.config().solver;
+  const auto cold = core::solve_steiner_tree(g, edited.seeds, reference);
+  EXPECT_EQ(warm.result.tree_edges, cold.tree_edges);
+  EXPECT_EQ(warm.result.total_distance, cold.total_distance);
+  EXPECT_EQ(svc.stats().warm_solves, 1u);
+}
+
+TEST(Service, WarmStartRespectsDeltaLimit) {
+  auto config = quiet_config(1);
+  config.warm_delta_limit = 1;
+  steiner_service svc(make_connected_graph(200, 25, 24), config);
+  query base;
+  base.seeds = {5, 60, 110};
+  (void)svc.solve(base);
+
+  query far;  // delta 3 > limit 1: must solve cold
+  far.seeds = {5, 20, 80, 150};
+  const auto result = svc.solve(far);
+  EXPECT_EQ(result.kind, solve_kind::cold);
+}
+
+TEST(Service, QueryFlagsForceFreshColdSolves) {
+  steiner_service svc(make_connected_graph(150, 20, 25), quiet_config(1));
+  query q;
+  q.seeds = {3, 70, 120};
+  q.use_cache = false;
+  q.allow_warm_start = false;
+  const auto first = svc.solve(q);
+  const auto second = svc.solve(q);
+  EXPECT_EQ(first.kind, solve_kind::cold);
+  EXPECT_EQ(second.kind, solve_kind::cold);
+  EXPECT_EQ(svc.stats().cold_solves, 2u);
+  EXPECT_EQ(second.result.tree_edges, first.result.tree_edges);
+}
+
+TEST(Service, ConfigOverrideGetsItsOwnCacheEntry) {
+  steiner_service svc(make_connected_graph(150, 20, 26), quiet_config(1));
+  query q;
+  q.seeds = {3, 70, 120};
+  const auto with_default = svc.solve(q);
+
+  core::solver_config other = svc.config().solver;
+  other.num_ranks = 32;
+  q.config = other;
+  const auto with_override = svc.solve(q);
+  EXPECT_NE(with_override.kind, solve_kind::cache_hit);
+  // Determinism: different runtime config, same tree.
+  EXPECT_EQ(with_override.result.tree_edges, with_default.result.tree_edges);
+}
+
+TEST(Service, TrivialAndInvalidQueries) {
+  steiner_service svc(make_connected_graph(100, 15, 27), quiet_config(1));
+  query empty;
+  const auto none = svc.solve(empty);
+  EXPECT_TRUE(none.result.tree_edges.empty());
+
+  query single;
+  single.seeds = {7};
+  EXPECT_TRUE(svc.solve(single).result.tree_edges.empty());
+
+  query invalid;
+  invalid.seeds = {1, 100000};
+  auto future = svc.submit(invalid);
+  EXPECT_THROW((void)future.get(), std::out_of_range);
+}
+
+TEST(Service, TrySubmitShedsWhenSaturated) {
+  auto config = quiet_config(1);
+  config.exec.queue_capacity = 1;
+  steiner_service svc(make_connected_graph(300, 25, 28), config);
+  std::vector<std::future<query_result>> accepted;
+  std::size_t rejected = 0;
+  for (int i = 0; i < 12; ++i) {
+    query q;
+    q.seeds = {2, static_cast<vertex_id>(20 + i), 250};
+    q.use_cache = false;
+    q.allow_warm_start = false;
+    if (auto f = svc.try_submit(q)) {
+      accepted.push_back(std::move(*f));
+    } else {
+      ++rejected;
+    }
+  }
+  for (auto& f : accepted) (void)f.get();
+  EXPECT_EQ(accepted.size() + rejected, 12u);
+  EXPECT_EQ(svc.stats().exec.rejected, rejected);
+  // With a single worker and one queue slot, 12 back-to-back submissions
+  // cannot all be admitted.
+  EXPECT_GT(rejected, 0u);
+}
+
+// The determinism guarantee under concurrency: N worker threads x M
+// interleaved queries (shared seed sets, deltas, repeats) must produce trees
+// bit-identical to sequential cold solves, no matter which path (cold, warm,
+// cache) each query took.
+TEST(Service, ConcurrentQueriesMatchSequentialColdSolves) {
+  const auto g = make_connected_graph(250, 25, 29);
+  core::solver_config solver;
+  solver.num_ranks = 8;
+
+  std::vector<std::vector<vertex_id>> seed_sets = {
+      {3, 70, 120},          {3, 70, 120, 200},    {3, 120, 200},
+      {10, 50, 90, 130},     {10, 50, 90, 130, 170}, {50, 90, 130},
+      {3, 70, 120},          {10, 50, 90, 130},    {220, 40, 8},
+      {220, 40, 8, 111},     {3, 70, 120, 200},    {50, 90, 130},
+  };
+
+  // Sequential cold references.
+  std::vector<core::steiner_result> reference;
+  reference.reserve(seed_sets.size());
+  for (const auto& seeds : seed_sets) {
+    reference.push_back(core::solve_steiner_tree(g, seeds, solver));
+  }
+
+  service_config config;
+  config.solver = solver;
+  config.exec.num_threads = 4;
+  config.exec.queue_capacity = 64;
+  steiner_service svc(graph::csr_graph(g), config);
+
+  for (int round = 0; round < 2; ++round) {
+    std::vector<std::future<query_result>> futures;
+    futures.reserve(seed_sets.size());
+    for (const auto& seeds : seed_sets) {
+      query q;
+      q.seeds = seeds;
+      futures.push_back(svc.submit(q));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const auto qr = futures[i].get();
+      EXPECT_EQ(qr.result.tree_edges, reference[i].tree_edges)
+          << "query " << i << " via " << to_string(qr.kind);
+      EXPECT_EQ(qr.result.total_distance, reference[i].total_distance);
+    }
+  }
+
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.queries, 2 * seed_sets.size());
+  EXPECT_EQ(stats.cold_solves + stats.warm_solves + stats.cache_hits +
+                stats.coalesced,
+            stats.queries);
+  EXPECT_GT(stats.cache_hits + stats.coalesced, 0u);  // repeats get deduped
+}
+
+// Single-flight: N identical queries racing through a multi-worker pool must
+// trigger exactly one cold solve — the rest coalesce onto it or hit the cache
+// it populates.
+TEST(Service, IdenticalConcurrentQueriesCoalesceIntoOneSolve) {
+  service_config config;
+  config.solver.num_ranks = 8;
+  config.exec.num_threads = 4;
+  config.exec.queue_capacity = 32;
+  config.enable_warm_start = false;
+  steiner_service svc(make_connected_graph(300, 25, 30), config);
+
+  query q;
+  q.seeds = {5, 60, 110, 170, 230};
+  std::vector<std::future<query_result>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(svc.submit(q));
+
+  std::vector<query_result> results;
+  results.reserve(futures.size());
+  for (auto& f : futures) results.push_back(f.get());
+  for (const auto& r : results) {
+    EXPECT_EQ(r.result.tree_edges, results.front().result.tree_edges);
+  }
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.cold_solves, 1u);
+  EXPECT_EQ(stats.cache_hits + stats.coalesced, 7u);
+}
+
+// A failing leader must not strand coalesced waiters: everyone sees the
+// exception.
+TEST(Service, CoalescedQueriesPropagateLeaderFailure) {
+  graph::edge_list list(4);
+  list.add_undirected_edge(0, 1, 1);
+  list.add_undirected_edge(2, 3, 1);
+  service_config config;
+  config.exec.num_threads = 2;
+  steiner_service svc(graph::csr_graph(list), config);
+
+  query q;
+  q.seeds = {0, 2};  // disconnected; allow_disconnected_seeds is off
+  std::vector<std::future<query_result>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(svc.submit(q));
+  for (auto& f : futures) EXPECT_THROW((void)f.get(), std::runtime_error);
+}
+
+}  // namespace

@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,40 @@
 #include "util/timer.hpp"
 
 namespace dsteiner::bench {
+
+/// Strict `--threads N` flag shared by the engine benches: 0 (flag absent)
+/// keeps the cooperative single-thread engine; N >= 1 switches the solver to
+/// execution_mode::parallel_threads with N engine workers, making scaling
+/// curves reproducible from the CLI. Unknown arguments abort with usage.
+inline std::size_t parse_threads_flag(int argc, char** argv) {
+  std::size_t threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      const char* text = argv[++i];
+      char* end = nullptr;
+      // strtoull wraps negatives into huge values; reject them up front.
+      const unsigned long long value =
+          text[0] == '-' ? 0 : std::strtoull(text, &end, 10);
+      if (end == nullptr || *end != '\0' || value == 0) {
+        std::fprintf(stderr, "%s: --threads expects a positive integer\n",
+                     argv[0]);
+        std::exit(2);
+      }
+      threads = static_cast<std::size_t>(value);
+      continue;
+    }
+    std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+    std::exit(2);
+  }
+  return threads;
+}
+
+/// Applies a --threads value to a solver config (no-op for 0).
+inline void apply_threads(core::solver_config& config, std::size_t threads) {
+  if (threads == 0) return;
+  config.mode = runtime::execution_mode::parallel_threads;
+  config.num_threads = threads;
+}
 
 /// The paper's canonical phase order (chart legends of Figs. 3-6).
 inline const std::vector<std::string>& phase_order() {

@@ -79,12 +79,15 @@ workload build_workload(const graph::csr_graph& g, std::size_t sessions,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t engine_threads = bench::parse_threads_flag(argc, argv);
   bench::print_header(
       "Service throughput: queries/sec and per-path latency",
       "the serving-layer extension (beyond the paper's single-query runs)",
       "Paths: cold = full Alg. 3, hit = result cache, warm = seed-delta "
-      "repair.\nAll paths return bit-identical trees (determinism).");
+      "repair.\nAll paths return bit-identical trees (determinism). Pass "
+      "--threads N to\ngive each solve N threaded-engine workers "
+      "(intra-query parallelism).");
 
   const io::dataset data = io::load_dataset("CTS");
   const graph::csr_graph& g = data.graph;
@@ -98,6 +101,7 @@ int main() {
   // Edit deltas may pick seeds outside the largest component; serve forests
   // rather than failing the query (the interactive sessions do the same).
   solver.allow_disconnected_seeds = true;
+  bench::apply_threads(solver, engine_threads);
 
   // ---- 1. throughput vs worker threads -------------------------------------
   {

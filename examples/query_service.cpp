@@ -93,7 +93,8 @@ int main() {
   }
   std::printf("%s\n", table.render().c_str());
 
-  const auto stats = svc.stats();
+  const auto snap = svc.snapshot();
+  const auto& stats = snap.stats;
   std::printf("completed %llu queries in %s\n",
               static_cast<unsigned long long>(stats.queries),
               util::format_duration(wall.seconds()).c_str());
@@ -113,5 +114,25 @@ int main() {
   std::printf("  executor    : peak queue depth %llu, max queue wait %s\n",
               static_cast<unsigned long long>(stats.exec.peak_queue_depth),
               util::format_duration(stats.exec.max_queue_wait_seconds).c_str());
+
+  // Per-stage latency histograms from the metrics snapshot: what a scraping
+  // dashboard would chart (log2 buckets; quantiles are bucket estimates).
+  std::printf("\nlatency snapshot (service::snapshot()):\n");
+  util::table latency({"stage", "samples", "mean", "p50", "p90", "p99"});
+  const auto add_stage = [&latency](const char* name,
+                                    const service::latency_histogram::
+                                        snapshot_data& h) {
+    latency.add_row({name, std::to_string(h.count),
+                     util::format_duration(h.mean()),
+                     util::format_duration(h.quantile(0.50)),
+                     util::format_duration(h.quantile(0.90)),
+                     util::format_duration(h.quantile(0.99))});
+  };
+  add_stage("queue wait", snap.queue_wait);
+  add_stage("cold solve", snap.cold_solve);
+  add_stage("warm solve", snap.warm_solve);
+  add_stage("cache hit (total)", snap.cache_hit_total);
+  add_stage("total (all paths)", snap.total);
+  std::printf("%s", latency.render().c_str());
   return 0;
 }

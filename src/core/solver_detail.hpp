@@ -2,6 +2,8 @@
 // the warm-start path (warm_start.cpp). Not part of the public API.
 #pragma once
 
+#include <algorithm>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -10,6 +12,7 @@
 #include "core/warm_start.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/dist_graph.hpp"
+#include "runtime/parallel/worker_pool.hpp"
 #include "runtime/visitor_engine.hpp"
 
 namespace dsteiner::core::detail {
@@ -18,6 +21,30 @@ namespace dsteiner::core::detail {
 /// std::out_of_range on ids >= |V|.
 [[nodiscard]] std::vector<graph::vertex_id> dedup_seeds(
     const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds);
+
+/// Engine configuration plus the persistent worker pool that backs it in
+/// parallel_threads mode. One context lives for a whole solve, so every
+/// engine phase (Voronoi, local min edge, tree edge) reuses the same
+/// threads instead of respawning per phase.
+struct engine_context {
+  runtime::engine_config config;
+  std::optional<runtime::parallel::worker_pool> pool;
+
+  explicit engine_context(const solver_config& solver)
+      : config{solver.policy, solver.mode, solver.batch_size, solver.costs} {
+    if (solver.mode != runtime::execution_mode::parallel_threads) return;
+    const std::size_t want =
+        solver.num_threads != 0 ? solver.num_threads
+                                : runtime::parallel::worker_pool::default_threads();
+    config.num_threads =
+        std::min(want, static_cast<std::size_t>(std::max(1, solver.num_ranks)));
+    pool.emplace(config.num_threads);
+    config.pool = &*pool;
+  }
+
+  engine_context(const engine_context&) = delete;
+  engine_context& operator=(const engine_context&) = delete;
+};
 
 /// Full cold solve, optionally capturing warm-start artifacts.
 [[nodiscard]] steiner_result solve_cold(const graph::csr_graph& graph,

@@ -140,8 +140,8 @@ steiner_result solve_cold(const graph::csr_graph& graph,
 
   const runtime::communicator comm(config.num_ranks, config.costs);
   comm.reset_peak_buffer();
-  const runtime::engine_config engine{config.policy, config.mode,
-                                      config.batch_size, config.costs};
+  const engine_context context(config);
+  const runtime::engine_config& engine = context.config;
 
   // Step 1: Voronoi cells (Alg. 3 line 12).
   steiner_state state(graph.num_vertices());

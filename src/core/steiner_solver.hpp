@@ -39,6 +39,11 @@ struct solver_config {
   std::uint64_t delegate_threshold = 1024;
   /// Visitors a rank drains per scheduling round.
   std::size_t batch_size = 64;
+  /// Worker threads for execution_mode::parallel_threads (ignored by the
+  /// other modes): 0 = one per hardware thread, capped at num_ranks. The
+  /// solve output and simulated metrics are invariant in this value — only
+  /// wall time changes (the threaded engine's determinism guarantee).
+  std::size_t num_threads = 0;
   runtime::cost_model costs{};
 
   /// Distance-graph reduction: sparse map merge (default) or the paper's

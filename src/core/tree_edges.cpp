@@ -15,19 +15,19 @@ class tree_edge_handler {
       : dgraph_(&dgraph),
         state_(&state),
         es_(&per_rank_es),
-        in_tree_(dgraph.graph().num_vertices(), false) {}
+        in_tree_(dgraph.graph().num_vertices(), 0) {}
 
   bool pre_visit(const tree_edge_visitor& v, int) {
     // Arrival check: a walk into an already-collected vertex carries no new
     // work (its chain to the seed is already in ES).
-    return !in_tree_[v.vj];
+    return in_tree_[v.vj] == 0;
   }
 
   template <typename Emitter>
   bool visit(const tree_edge_visitor& v, int rank, Emitter& out) {
     const graph::vertex_id vj = v.vj;
-    if (in_tree_[vj]) return false;  // raced with another walk this round
-    in_tree_[vj] = true;
+    if (in_tree_[vj] != 0) return false;  // raced with another walk this round
+    in_tree_[vj] = 1;
     if (vj == state_->src[vj]) return true;  // reached the cell's seed
     const graph::vertex_id p = state_->pred[vj];
     assert(p != graph::k_no_vertex);
@@ -45,7 +45,10 @@ class tree_edge_handler {
   const runtime::dist_graph* dgraph_;
   const steiner_state* state_;
   std::vector<std::vector<graph::weighted_edge>>* es_;
-  std::vector<bool> in_tree_;
+  // Byte-per-vertex, not vector<bool>: under the threaded engine each rank's
+  // worker flips only its owned vertices, and bit-packing would make
+  // neighbouring vertices on different workers share a byte (a data race).
+  std::vector<std::uint8_t> in_tree_;
 };
 
 }  // namespace

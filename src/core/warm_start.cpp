@@ -67,8 +67,8 @@ steiner_result solve_steiner_tree_warm(const graph::csr_graph& graph,
 
   const runtime::communicator comm(config.num_ranks, config.costs);
   comm.reset_peak_buffer();
-  const runtime::engine_config engine{config.policy, config.mode,
-                                      config.batch_size, config.costs};
+  const detail::engine_context context(config);
+  const runtime::engine_config& engine = context.config;
 
   // Step 1 (repair): start from the donor labelling, reset removed cells,
   // re-enter them from their boundary, bootstrap added seeds.

@@ -1,0 +1,47 @@
+// Execution configuration shared by the visitor engines.
+//
+// Split out of visitor_engine.hpp so the threaded backend
+// (runtime/parallel/thread_engine.hpp) and the cooperative single-thread
+// engine can both consume the same configuration without a circular include:
+// run_visitors() dispatches on execution_mode at the call site.
+#pragma once
+
+#include <cstddef>
+
+#include "runtime/mailbox.hpp"
+#include "runtime/perf_model.hpp"
+
+namespace dsteiner::runtime {
+
+namespace parallel {
+class worker_pool;
+}  // namespace parallel
+
+enum class execution_mode {
+  async,  ///< immediate delivery: communication overlaps computation
+  bsp,    ///< deliveries held until the round boundary (superstep model)
+  /// Real per-rank worker threads with lock-free SPSC channels between ranks
+  /// and a counting superstep barrier (runtime/parallel/). A cold solve
+  /// scales with cores; output is bit-identical to the other modes.
+  parallel_threads,
+};
+
+struct engine_config {
+  queue_policy policy = queue_policy::priority;
+  execution_mode mode = execution_mode::async;
+  std::size_t batch_size = 64;  ///< visitors a rank drains per round
+  cost_model costs{};
+
+  /// parallel_threads only: worker threads backing the per-rank execution.
+  /// 0 = one per hardware thread, capped at the rank count. Ranks are striped
+  /// over workers (rank r runs on worker r % num_threads), so any thread
+  /// count between 1 and num_ranks is valid.
+  std::size_t num_threads = 0;
+
+  /// parallel_threads only: borrowed persistent worker pool. When null the
+  /// engine spins up (and joins) a transient pool for the run; the solver
+  /// creates one pool per solve so all phases reuse the same threads.
+  parallel::worker_pool* pool = nullptr;
+};
+
+}  // namespace dsteiner::runtime

@@ -1,0 +1,114 @@
+// Lock-free single-producer / single-consumer channel.
+//
+// The threaded engine keeps one channel per ordered rank pair (s, r): the
+// worker running rank s is the only producer, the worker running rank r the
+// only consumer (a rank is pinned to one worker, so the SPSC contract holds
+// for any thread count). This replaces the shared mailbox heap for inter-rank
+// traffic — the hot path is one release store per push and one acquire load
+// per pop, with no locks and no CAS on the fast path.
+//
+// Layout: an unbounded linked list of fixed-size blocks. The producer fills
+// the tail block and publishes progress through the block's `filled` counter;
+// when a block is full it links a fresh one through the atomic `next`
+// pointer. The consumer reads the head block up to `filled`, then follows
+// `next`. A single spare-block slot recycles the most recently drained block
+// back to the producer, so steady-state traffic allocates nothing.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <utility>
+
+namespace dsteiner::runtime::parallel {
+
+template <typename T, std::size_t BlockCapacity = 256>
+class spsc_channel {
+  static_assert(BlockCapacity >= 2, "spsc_channel: block too small");
+
+ public:
+  spsc_channel() : head_(new block()), tail_(head_) {}
+
+  spsc_channel(const spsc_channel&) = delete;
+  spsc_channel& operator=(const spsc_channel&) = delete;
+
+  ~spsc_channel() {
+    block* b = head_;
+    while (b != nullptr) {
+      block* next = b->next.load(std::memory_order_relaxed);
+      delete b;
+      b = next;
+    }
+    delete spare_.load(std::memory_order_relaxed);
+  }
+
+  /// Producer side. Never blocks; allocates only when the tail block is full
+  /// and no recycled block is available.
+  void push(T value) {
+    block* b = tail_;
+    std::size_t i = tail_filled_;
+    if (i == BlockCapacity) {
+      block* fresh = take_spare();
+      if (fresh == nullptr) fresh = new block();
+      // Link first, then switch: the consumer discovers the block via `next`.
+      b->next.store(fresh, std::memory_order_release);
+      tail_ = fresh;
+      b = fresh;
+      i = 0;
+    }
+    b->slots[i] = std::move(value);
+    // Publish the slot; pairs with the consumer's acquire load of `filled`.
+    b->filled.store(i + 1, std::memory_order_release);
+    tail_filled_ = i + 1;
+  }
+
+  /// Consumer side. Returns false when no published item is available.
+  bool try_pop(T& out) {
+    block* b = head_;
+    std::size_t i = head_read_;
+    if (i == BlockCapacity) {
+      block* next = b->next.load(std::memory_order_acquire);
+      if (next == nullptr) return false;  // producer still filling a new block
+      recycle(b);
+      head_ = b = next;
+      head_read_ = i = 0;
+    }
+    if (i >= b->filled.load(std::memory_order_acquire)) return false;
+    out = std::move(b->slots[i]);
+    head_read_ = i + 1;
+    return true;
+  }
+
+ private:
+  struct block {
+    std::array<T, BlockCapacity> slots{};
+    std::atomic<std::size_t> filled{0};
+    std::atomic<block*> next{nullptr};
+  };
+
+  [[nodiscard]] block* take_spare() {
+    return spare_.exchange(nullptr, std::memory_order_acquire);
+  }
+
+  void recycle(block* b) {
+    b->filled.store(0, std::memory_order_relaxed);
+    b->next.store(nullptr, std::memory_order_relaxed);
+    block* expected = nullptr;
+    // Release: the resets above must be visible to the producer that takes
+    // the block. The slot holds at most one spare; extra blocks are freed.
+    if (!spare_.compare_exchange_strong(expected, b, std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+      delete b;
+    }
+  }
+
+  // Consumer-only fields, then producer-only, then the shared recycle slot —
+  // separated so producer and consumer do not false-share a cache line.
+  alignas(64) block* head_;
+  std::size_t head_read_ = 0;
+  alignas(64) block* tail_;
+  std::size_t tail_filled_ = 0;
+  alignas(64) std::atomic<block*> spare_{nullptr};
+};
+
+}  // namespace dsteiner::runtime::parallel

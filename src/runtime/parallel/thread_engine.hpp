@@ -1,0 +1,265 @@
+// Threaded visitor engine: real per-rank workers over lock-free channels.
+//
+// Executes the same Handler/Visitor contract as the cooperative
+// visitor_engine, but on a worker pool so a single cold solve scales with
+// cores. Ranks are striped over W workers (rank r runs on worker r % W); a
+// rank's mailbox and vertex state are touched only by its worker, preserving
+// the owner discipline the sequential simulation already obeys. Inter-rank
+// traffic flows through one SPSC channel per ordered rank pair — the worker
+// running the sender rank is the sole producer, the receiver's worker the
+// sole consumer.
+//
+// Execution proceeds in supersteps of two phases split by barriers:
+//
+//   phase A (deliver): each rank drains its inbound channels in sender-rank
+//     order (per-sender FIFO preserved by the channel), runs pre_visit as the
+//     arrival admission check, and stable-merges survivors into its priority
+//     mailbox.                                       -- barrier --
+//   phase B (compute): each rank pops up to batch_size visitors from its
+//     mailbox and runs visit; emissions to the rank itself deliver
+//     immediately (same-superstep consumption, like the async engine's local
+//     sends), emissions to other ranks enter the SPSC channels.
+//                                                    -- counting barrier --
+//
+// The phase-B barrier is the termination detector: every worker contributes
+// its ranks' outstanding messages (mailbox backlog + channel emissions this
+// superstep) and the epoch aggregate is zero exactly at global quiescence.
+// Because producers only push in phase B and consumers only pop in phase A,
+// channels are never touched concurrently from both ends of an epoch, and the
+// per-epoch message count is exact, not a racy sample.
+//
+// Determinism: the (rank, superstep) schedule is independent of the worker
+// count — each rank always drains full channels in sender order and then
+// processes exactly batch_size visitors in mailbox (priority, sequence)
+// order. Runs are therefore bit-identical across thread counts, including
+// all phase metrics; and the solve output equals the sequential engine's
+// because every state update is a lexicographic minimum with a unique fixed
+// point (see steiner_state.hpp). Cost accounting differences vs the async
+// engine: remote-message delivery work is charged to the receiving rank at
+// drain time (the following superstep) instead of at send time.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "runtime/engine_config.hpp"
+#include "runtime/mailbox.hpp"
+#include "runtime/partition.hpp"
+#include "runtime/perf_model.hpp"
+#include "runtime/parallel/spsc_channel.hpp"
+#include "runtime/parallel/superstep_barrier.hpp"
+#include "runtime/parallel/worker_pool.hpp"
+#include "util/timer.hpp"
+
+namespace dsteiner::runtime::parallel {
+
+template <typename Visitor, typename Handler>
+class thread_engine {
+ public:
+  thread_engine(const partitioner& parts, Handler& handler,
+                engine_config config)
+      : parts_(parts), handler_(&handler), config_(config) {
+    const auto p = static_cast<std::size_t>(parts.num_ranks());
+    mailboxes_.reserve(p);
+    for (std::size_t r = 0; r < p; ++r) mailboxes_.emplace_back(config.policy);
+    channels_.reserve(p * p);
+    for (std::size_t i = 0; i < p * p; ++i) {
+      channels_.push_back(std::make_unique<spsc_channel<Visitor>>());
+    }
+    stats_ = std::vector<rank_stats>(p);
+  }
+
+  /// Send interface handed to Handler::visit (mirrors visitor_engine).
+  class emitter {
+   public:
+    emitter(thread_engine& engine, int from_rank) noexcept
+        : engine_(&engine), from_rank_(from_rank) {}
+
+    void to_vertex(Visitor v) {
+      engine_->send(std::move(v), from_rank_,
+                    engine_->parts_.owner(v.target()));
+    }
+
+    void to_rank(int rank, Visitor v) {
+      engine_->send(std::move(v), from_rank_, rank);
+    }
+
+   private:
+    thread_engine* engine_;
+    int from_rank_;
+  };
+
+  /// Injects an initial visitor; staged in the owner's self-channel so the
+  /// first superstep's phase A admits it on the owner's worker (pre_visit
+  /// must never run off-thread). Call only before run().
+  void seed(Visitor v) {
+    const int rank = parts_.owner(v.target());
+    channel(rank, rank).push(std::move(v));
+    ++stats_[static_cast<std::size_t>(rank)].messages_local;
+    ++seeded_;
+  }
+
+  /// Processes to global quiescence and returns the phase metrics.
+  [[nodiscard]] phase_metrics run() {
+    util::timer wall;
+    if (seeded_ == 0) {
+      metrics_.wall_seconds = wall.seconds();
+      return metrics_;
+    }
+    const auto p = static_cast<std::size_t>(parts_.num_ranks());
+    worker_pool* pool = config_.pool;
+    std::optional<worker_pool> transient;
+    if (pool == nullptr) {
+      const std::size_t want = config_.num_threads != 0
+                                   ? config_.num_threads
+                                   : worker_pool::default_threads();
+      transient.emplace(std::min(want, p));
+      pool = &*transient;
+    }
+    const std::size_t workers = std::min(pool->size(), p);
+    superstep_barrier barrier(workers);
+    pool->run([this, &barrier, workers, p](std::size_t w) {
+      if (w >= workers) return;  // pool larger than the rank count
+      worker_loop(w, workers, p, barrier);
+    });
+    for (const rank_stats& st : stats_) {
+      metrics_.visitors_processed += st.processed;
+      metrics_.visitors_skipped += st.skipped;
+      metrics_.previsit_rejections += st.previsit_rejections;
+      metrics_.messages_local += st.messages_local;
+      metrics_.messages_remote += st.messages_remote;
+    }
+    metrics_.wall_seconds = wall.seconds();
+    return metrics_;
+  }
+
+  [[nodiscard]] const phase_metrics& metrics() const noexcept {
+    return metrics_;
+  }
+
+ private:
+  /// Per-rank accounting, touched only by the rank's worker; padded so
+  /// neighbouring ranks on different workers do not false-share.
+  struct alignas(64) rank_stats {
+    double work = 0.0;  ///< simulated work this superstep, reset at barrier B
+    std::uint64_t processed = 0;
+    std::uint64_t skipped = 0;
+    std::uint64_t previsit_rejections = 0;
+    std::uint64_t messages_local = 0;
+    std::uint64_t messages_remote = 0;
+    std::uint64_t sent_remote_step = 0;  ///< channel emissions this superstep
+  };
+
+  [[nodiscard]] spsc_channel<Visitor>& channel(int from, int to) noexcept {
+    const auto p = static_cast<std::size_t>(parts_.num_ranks());
+    return *channels_[static_cast<std::size_t>(from) * p +
+                      static_cast<std::size_t>(to)];
+  }
+
+  void worker_loop(std::size_t w, std::size_t workers, std::size_t p,
+                   superstep_barrier& barrier) {
+    for (;;) {
+      // Phase A: admit everything the previous superstep (or seeding) put
+      // into our ranks' channels. Channels are quiescent here — producers
+      // only push in phase B — so the drain is exact and deterministic.
+      for (std::size_t r = w; r < p; r += workers) {
+        drain_channels(static_cast<int>(r), static_cast<int>(p));
+      }
+      (void)barrier.arrive_and_wait(0, 0.0);
+
+      // Phase B: compute. Local emissions are consumable this superstep;
+      // remote emissions wait in channels for the next phase A.
+      std::uint64_t outstanding = 0;
+      double work_max = 0.0;
+      for (std::size_t r = w; r < p; r += workers) {
+        process_batch(static_cast<int>(r));
+        rank_stats& st = stats_[r];
+        outstanding += mailboxes_[r].size() + st.sent_remote_step;
+        work_max = std::max(work_max, st.work);
+        st.work = 0.0;
+        st.sent_remote_step = 0;
+      }
+      const auto agg = barrier.arrive_and_wait(outstanding, work_max);
+      if (w == 0) {
+        ++metrics_.rounds;
+        metrics_.sim_units += agg.max_work;
+        if (agg.outstanding > metrics_.queue_peak_items) {
+          metrics_.queue_peak_items = agg.outstanding;
+          metrics_.queue_peak_bytes = agg.outstanding * sizeof(Visitor);
+        }
+      }
+      if (agg.outstanding == 0) return;
+    }
+  }
+
+  void drain_channels(int r, int p) {
+    rank_stats& st = stats_[static_cast<std::size_t>(r)];
+    auto& box = mailboxes_[static_cast<std::size_t>(r)];
+    Visitor v;
+    for (int s = 0; s < p; ++s) {
+      auto& ch = channel(s, r);
+      while (ch.try_pop(v)) {
+        if (s != r) st.work += config_.costs.remote_msg_cost;
+        if (!handler_->pre_visit(v, r)) {
+          ++st.previsit_rejections;
+          st.work += config_.costs.reject_cost;
+          continue;
+        }
+        box.push(std::move(v));
+      }
+    }
+  }
+
+  void process_batch(int r) {
+    rank_stats& st = stats_[static_cast<std::size_t>(r)];
+    auto& box = mailboxes_[static_cast<std::size_t>(r)];
+    emitter out(*this, r);
+    for (std::size_t step = 0; step < config_.batch_size && !box.empty();
+         ++step) {
+      Visitor v = box.pop();
+      if (handler_->visit(v, r, out)) {
+        ++st.processed;
+        st.work += config_.costs.visit_cost;
+      } else {
+        ++st.skipped;
+        st.work += config_.costs.reject_cost;
+      }
+    }
+  }
+
+  void send(Visitor v, int from_rank, int to_rank) {
+    rank_stats& st = stats_[static_cast<std::size_t>(from_rank)];
+    st.work += config_.costs.send_cost;
+    if (to_rank == from_rank) {
+      // Same-rank delivery stays on this worker: admit immediately so the
+      // visitor is consumable within this superstep's batch, mirroring the
+      // async engine's local sends.
+      ++st.messages_local;
+      if (!handler_->pre_visit(v, to_rank)) {
+        ++st.previsit_rejections;
+        st.work += config_.costs.reject_cost;
+        return;
+      }
+      mailboxes_[static_cast<std::size_t>(to_rank)].push(std::move(v));
+      return;
+    }
+    ++st.messages_remote;
+    ++st.sent_remote_step;
+    channel(from_rank, to_rank).push(std::move(v));
+  }
+
+  partitioner parts_;
+  Handler* handler_;
+  engine_config config_;
+  std::vector<mailbox<Visitor>> mailboxes_;
+  std::vector<std::unique_ptr<spsc_channel<Visitor>>> channels_;  // [from*p+to]
+  std::vector<rank_stats> stats_;
+  std::uint64_t seeded_ = 0;
+  phase_metrics metrics_;
+};
+
+}  // namespace dsteiner::runtime::parallel

@@ -1,0 +1,60 @@
+#include "runtime/parallel/worker_pool.hpp"
+
+#include <algorithm>
+
+namespace dsteiner::runtime::parallel {
+
+std::size_t worker_pool::default_threads() noexcept {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+worker_pool::worker_pool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = default_threads();
+  threads_.reserve(num_threads);
+  for (std::size_t w = 0; w < num_threads; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+worker_pool::~worker_pool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void worker_pool::run(const job& j) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  current_ = &j;
+  completed_ = 0;
+  ++generation_;
+  wake_.notify_all();
+  finished_.wait(lock, [this] { return completed_ == threads_.size(); });
+  current_ = nullptr;
+}
+
+void worker_pool::worker_loop(std::size_t worker_id) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const job* j = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+      j = current_;
+    }
+    (*j)(worker_id);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++completed_;
+    }
+    finished_.notify_one();
+  }
+}
+
+}  // namespace dsteiner::runtime::parallel

@@ -11,7 +11,9 @@
 // immediately visible to later ranks in the same round — modelling the
 // communication/computation overlap of asynchronous MPI. A bulk-synchronous
 // mode (deliveries deferred to the round boundary) is provided for the
-// async-vs-BSP ablation.
+// async-vs-BSP ablation, and execution_mode::parallel_threads swaps in the
+// threaded backend (runtime/parallel/thread_engine.hpp) with real per-rank
+// workers — run_visitors() dispatches.
 //
 // The simulated clock advances per round by the *maximum* per-rank work —
 // the critical path — so per-phase simulated times exhibit genuine strong-
@@ -37,24 +39,14 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "runtime/engine_config.hpp"
 #include "runtime/mailbox.hpp"
 #include "runtime/partition.hpp"
 #include "runtime/perf_model.hpp"
+#include "runtime/parallel/thread_engine.hpp"
 #include "util/timer.hpp"
 
 namespace dsteiner::runtime {
-
-enum class execution_mode {
-  async,  ///< immediate delivery: communication overlaps computation
-  bsp,    ///< deliveries held until the round boundary (superstep model)
-};
-
-struct engine_config {
-  queue_policy policy = queue_policy::priority;
-  execution_mode mode = execution_mode::async;
-  std::size_t batch_size = 64;  ///< visitors a rank drains per round
-  cost_model costs{};
-};
 
 template <typename Visitor, typename Handler>
 class visitor_engine {
@@ -184,11 +176,18 @@ class visitor_engine {
 };
 
 /// Convenience wrapper: seeds `initial` visitors and runs to quiescence.
+/// Dispatches on execution mode: parallel_threads runs on the threaded
+/// backend (runtime/parallel/), async/bsp on the cooperative engine above.
 template <typename Visitor, typename Handler>
 [[nodiscard]] phase_metrics run_visitors(const partitioner& parts,
                                          Handler& handler,
                                          std::vector<Visitor> initial,
                                          const engine_config& config) {
+  if (config.mode == execution_mode::parallel_threads) {
+    parallel::thread_engine<Visitor, Handler> engine(parts, handler, config);
+    for (auto& v : initial) engine.seed(std::move(v));
+    return engine.run();
+  }
   visitor_engine<Visitor, Handler> engine(parts, handler, config);
   for (auto& v : initial) engine.seed(std::move(v));
   return engine.run();

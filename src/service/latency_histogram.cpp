@@ -1,0 +1,58 @@
+#include "service/latency_histogram.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace dsteiner::service {
+
+std::size_t latency_histogram::bucket_of(double seconds) noexcept {
+  if (!(seconds > 0.0)) return 0;  // also catches NaN
+  const double micros = seconds * 1e6;
+  if (micros < 2.0) return 0;
+  const auto floor_micros = static_cast<std::uint64_t>(micros);
+  const auto i = static_cast<std::size_t>(std::bit_width(floor_micros) - 1);
+  return i < k_buckets ? i : k_buckets - 1;
+}
+
+double latency_histogram::bucket_upper_seconds(std::size_t i) noexcept {
+  return static_cast<double>(std::uint64_t{1} << (i + 1)) * 1e-6;
+}
+
+void latency_histogram::record(double seconds) noexcept {
+  buckets_[bucket_of(seconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_seconds_.fetch_add(seconds, std::memory_order_relaxed);
+}
+
+latency_histogram::snapshot_data latency_histogram::snapshot() const noexcept {
+  snapshot_data out;
+  out.count = count_.load(std::memory_order_relaxed);
+  out.total_seconds = total_seconds_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < k_buckets; ++i) {
+    out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double latency_histogram::snapshot_data::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < k_buckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += buckets[i];
+    if (static_cast<double>(seen) >= rank) {
+      const double lower = i == 0 ? 0.0 : bucket_upper_seconds(i - 1);
+      const double upper = bucket_upper_seconds(i);
+      const double frac =
+          (rank - before) / static_cast<double>(buckets[i]);
+      return lower + (upper - lower) * frac;
+    }
+  }
+  return bucket_upper_seconds(k_buckets - 1);
+}
+
+}  // namespace dsteiner::service

@@ -1,0 +1,54 @@
+// Lock-free latency histogram for service metrics export.
+//
+// Log2 buckets over microseconds: bucket i counts samples in
+// [2^i, 2^(i+1)) µs, with the first and last buckets absorbing the tails.
+// Recording is one relaxed fetch_add on the bucket plus count/sum updates —
+// cheap enough to sit on every query completion path; snapshot() copies the
+// buckets without stopping writers (each counter is individually atomic, so
+// a snapshot taken under load is a near-instant cut, not a locked quiesce).
+//
+// Percentiles are estimated from the bucket boundaries by linear
+// interpolation within the bucket — accurate to the bucket resolution
+// (a factor of two), which is what a serving dashboard needs.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace dsteiner::service {
+
+class latency_histogram {
+ public:
+  /// Buckets 0..31: [1µs, 2µs), [2µs, 4µs), ... — covers ~1µs to ~1 hour.
+  static constexpr std::size_t k_buckets = 32;
+
+  /// A consistent-enough copy of the counters, plus derived statistics.
+  struct snapshot_data {
+    std::uint64_t count = 0;
+    double total_seconds = 0.0;
+    std::array<std::uint64_t, k_buckets> buckets{};
+
+    [[nodiscard]] double mean() const noexcept {
+      return count == 0 ? 0.0 : total_seconds / static_cast<double>(count);
+    }
+
+    /// Estimated latency at quantile `q` in [0, 1].
+    [[nodiscard]] double quantile(double q) const noexcept;
+  };
+
+  void record(double seconds) noexcept;
+  [[nodiscard]] snapshot_data snapshot() const noexcept;
+
+  /// Bucket index for a latency (exposed for tests).
+  [[nodiscard]] static std::size_t bucket_of(double seconds) noexcept;
+  /// Upper boundary of bucket i, in seconds.
+  [[nodiscard]] static double bucket_upper_seconds(std::size_t i) noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, k_buckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> total_seconds_{0.0};
+};
+
+}  // namespace dsteiner::service

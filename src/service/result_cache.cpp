@@ -16,6 +16,7 @@ result_cache::result_cache(config cfg) : config_(cfg) {
   config_.shards = std::max<std::size_t>(1, config_.shards);
   config_.capacity = std::max<std::size_t>(1, config_.capacity);
   config_.shards = std::min(config_.shards, config_.capacity);
+  config_.eviction_window = std::max<std::size_t>(1, config_.eviction_window);
   per_shard_capacity_ =
       (config_.capacity + config_.shards - 1) / config_.shards;
   shards_.reserve(config_.shards);
@@ -64,8 +65,23 @@ void result_cache::insert(const cache_key& key, entry_ptr entry) {
   s.index.emplace(key, s.lru.begin());
   ++s.counters.insertions;
   if (s.lru.size() > per_shard_capacity_) {
-    s.index.erase(s.lru.back().first);
-    s.lru.pop_back();
+    // Cost-aware victim selection: walk the eviction window from the LRU
+    // tail and drop the entry whose recompute cost is smallest. Strict
+    // less-than keeps ties on the coldest (furthest-back) candidate.
+    auto victim = std::prev(s.lru.end());
+    auto probe = victim;
+    for (std::size_t i = 1; i < config_.eviction_window; ++i) {
+      if (probe == s.lru.begin()) break;
+      --probe;
+      // Never consider the just-inserted MRU entry at the front.
+      if (probe == s.lru.begin()) break;
+      if (probe->second->solve_cost_seconds <
+          victim->second->solve_cost_seconds) {
+        victim = probe;
+      }
+    }
+    s.index.erase(victim->first);
+    s.lru.erase(victim);
     ++s.counters.evictions;
   }
 }

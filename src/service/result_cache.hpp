@@ -49,6 +49,9 @@ struct cache_key_hash {
 struct cached_solve {
   std::vector<graph::vertex_id> seeds;  ///< canonical (sorted, deduplicated)
   core::steiner_result result;
+  /// Wall seconds the producing solve took — the recompute cost this entry
+  /// saves. Drives cost-aware eviction: cheap entries go first.
+  double solve_cost_seconds = 0.0;
 };
 
 class result_cache {
@@ -56,6 +59,10 @@ class result_cache {
   struct config {
     std::size_t capacity = 64;  ///< entries across all shards
     std::size_t shards = 4;
+    /// Cost-aware eviction: when a shard overflows, the victim is the
+    /// *cheapest-to-recompute* entry among the `eviction_window` least
+    /// recently used (ties broken towards the LRU tail). 1 = plain LRU.
+    std::size_t eviction_window = 4;
   };
 
   struct stats {
@@ -79,8 +86,10 @@ class result_cache {
                                std::span<const graph::vertex_id> canonical_seeds,
                                bool count_miss = true);
 
-  /// Inserts (or refreshes) an entry, evicting the shard's least recently
-  /// used entry when over capacity.
+  /// Inserts (or refreshes) an entry. Over capacity, evicts the cheapest
+  /// entry (by solve_cost_seconds) within the tail eviction window — LRU
+  /// softened by recompute cost, so an expensive solve survives a burst of
+  /// cheap one-off queries.
   void insert(const cache_key& key, entry_ptr entry);
 
   [[nodiscard]] stats snapshot() const;

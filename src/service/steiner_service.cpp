@@ -1,8 +1,10 @@
 #include "service/steiner_service.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <utility>
 
+#include "runtime/parallel/worker_pool.hpp"
 #include "util/hash.hpp"
 
 namespace dsteiner::service {
@@ -21,17 +23,39 @@ steiner_service::steiner_service(graph::csr_graph graph, service_config config)
     : graph_(std::move(graph)),
       config_(config),
       cache_(config.cache),
-      exec_(config.exec) {}
+      exec_(config.exec) {
+  // Core-budget split: the executor's workers provide inter-query
+  // parallelism; whatever the budget leaves per worker goes to the threaded
+  // engine inside each solve (intra-query).
+  const std::size_t budget =
+      config_.core_budget != 0 ? config_.core_budget
+                               : runtime::parallel::worker_pool::default_threads();
+  const std::size_t workers = std::max<std::size_t>(1, config_.exec.num_threads);
+  intra_query_threads_ = std::max<std::size_t>(1, budget / workers);
+  grant_worker_budget(config_.solver);
+}
+
+void steiner_service::grant_worker_budget(
+    core::solver_config& config) const noexcept {
+  if (config.mode == runtime::execution_mode::parallel_threads &&
+      config.num_threads == 0) {
+    config.num_threads = intra_query_threads_;
+  }
+}
 
 std::uint64_t steiner_service::config_hash(
     const core::solver_config& config) noexcept {
-  // Every field of solver_config and cost_model must be hashed below — a
-  // field that drops out of the key lets two distinct configs share a cache
-  // entry. These asserts force this function to be revisited when either
-  // struct grows (update the expected size alongside the new hash line).
+  // Every output- or metrics-affecting field of solver_config and cost_model
+  // must be hashed below — a field that drops out of the key lets two
+  // distinct configs share a cache entry. These asserts force this function
+  // to be revisited when either struct grows (update the expected size
+  // alongside the new hash line). Deliberate exception: num_threads is NOT
+  // hashed — the threaded engine's schedule is thread-count invariant, so
+  // the tree and every phase metric are identical across worker budgets and
+  // different budgets may share one cache entry.
   static_assert(sizeof(runtime::cost_model) == 8 * sizeof(double),
                 "cost_model changed: update config_hash");
-  static_assert(sizeof(core::solver_config) <= 64 + sizeof(runtime::cost_model),
+  static_assert(sizeof(core::solver_config) <= 72 + sizeof(runtime::cost_model),
                 "solver_config changed: update config_hash");
   const auto f64 = [](double value) {
     return std::bit_cast<std::uint64_t>(value);
@@ -66,6 +90,10 @@ executor::task steiner_service::make_task(
     try {
       promise->set_value(execute(std::move(q), queue_wait, admitted));
     } catch (...) {
+      // Failed queries still complete: record their end-to-end latency so
+      // snapshot()'s per-stage sample counts reconcile (every query that
+      // recorded a queue wait also lands in `total`).
+      total_hist_.record(admitted.seconds());
       promise->set_exception(std::current_exception());
     }
   };
@@ -127,8 +155,10 @@ query_result steiner_service::execute(query q, double queue_wait,
   query_result out;
   out.query_id = ++query_counter_;
   out.queue_wait_seconds = queue_wait;
+  queue_wait_hist_.record(queue_wait);
 
-  const core::solver_config solver_config = q.config.value_or(config_.solver);
+  core::solver_config solver_config = q.config.value_or(config_.solver);
+  grant_worker_budget(solver_config);
   const std::vector<graph::vertex_id> canonical =
       core::canonicalize_seeds(graph_, q.seeds);
   const cache_key key{
@@ -142,6 +172,10 @@ query_result steiner_service::execute(query q, double queue_wait,
     out.result = entry.result;
     out.kind = kind;
     out.total_seconds = admitted.seconds();
+    if (kind == solve_kind::cache_hit) {
+      cache_hit_total_hist_.record(out.total_seconds);
+    }
+    total_hist_.record(out.total_seconds);
     return out;
   };
 
@@ -222,10 +256,13 @@ query_result steiner_service::execute(query q, double queue_wait,
       ++cold_solves_;
     }
     out.solve_seconds = solve_timer.seconds();
+    (out.kind == solve_kind::warm_start ? warm_solve_hist_ : cold_solve_hist_)
+        .record(out.solve_seconds);
 
     auto fresh = std::make_shared<cached_solve>();
     fresh->seeds = canonical;
     fresh->result = out.result;
+    fresh->solve_cost_seconds = out.solve_seconds;
     entry = std::move(fresh);
   } catch (...) {
     if (leader) {
@@ -249,6 +286,7 @@ query_result steiner_service::execute(query q, double queue_wait,
   }
 
   out.total_seconds = admitted.seconds();
+  total_hist_.record(out.total_seconds);
   return out;
 }
 
@@ -263,6 +301,17 @@ service_stats steiner_service::stats() const {
   s.cache = cache_.snapshot();
   s.exec = exec_.stats();
   return s;
+}
+
+service_snapshot steiner_service::snapshot() const {
+  service_snapshot snap;
+  snap.stats = stats();
+  snap.queue_wait = queue_wait_hist_.snapshot();
+  snap.cold_solve = cold_solve_hist_.snapshot();
+  snap.warm_solve = warm_solve_hist_.snapshot();
+  snap.cache_hit_total = cache_hit_total_hist_.snapshot();
+  snap.total = total_hist_.snapshot();
+  return snap;
 }
 
 }  // namespace dsteiner::service

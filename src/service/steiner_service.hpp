@@ -31,6 +31,7 @@
 #include "core/warm_start.hpp"
 #include "graph/csr_graph.hpp"
 #include "service/executor.hpp"
+#include "service/latency_histogram.hpp"
 #include "service/query.hpp"
 #include "service/result_cache.hpp"
 
@@ -48,6 +49,12 @@ struct service_config {
   std::size_t warm_delta_limit = 8;
   /// Finished solves kept as warm-start donor candidates.
   std::size_t donor_history = 8;
+  /// Total cores split between inter-query parallelism (the executor's
+  /// workers) and intra-query parallelism (the threaded engine inside one
+  /// cold solve). 0 = hardware concurrency. When the solver runs in
+  /// execution_mode::parallel_threads with num_threads == 0, each solve is
+  /// granted max(1, core_budget / exec.num_threads) engine workers.
+  std::size_t core_budget = 0;
 };
 
 struct service_stats {
@@ -59,6 +66,19 @@ struct service_stats {
   std::uint64_t coalesced = 0;  ///< waited on an identical in-flight query
   result_cache::stats cache;
   executor_stats exec;
+};
+
+/// Point-in-time metrics export: the counters plus per-stage latency
+/// histograms (log2 buckets; see latency_histogram.hpp). Built for scraping
+/// into a dashboard — the histograms expose mean and quantile estimates
+/// without the service retaining per-query samples.
+struct service_snapshot {
+  service_stats stats;
+  latency_histogram::snapshot_data queue_wait;       ///< all queries
+  latency_histogram::snapshot_data cold_solve;       ///< solver time, cold path
+  latency_histogram::snapshot_data warm_solve;       ///< solver time, warm path
+  latency_histogram::snapshot_data cache_hit_total;  ///< end-to-end, cache hits
+  latency_histogram::snapshot_data total;            ///< end-to-end, all paths
 };
 
 class steiner_service {
@@ -88,6 +108,16 @@ class steiner_service {
   [[nodiscard]] const service_config& config() const noexcept { return config_; }
   [[nodiscard]] service_stats stats() const;
 
+  /// Counters + per-stage latency histograms; safe to call under load.
+  [[nodiscard]] service_snapshot snapshot() const;
+
+  /// Engine workers the core-budget split grants a parallel_threads solve.
+  /// Computed regardless of the default solver's mode, since per-query
+  /// config overrides may opt into the threaded engine on their own.
+  [[nodiscard]] std::size_t intra_query_threads() const noexcept {
+    return intra_query_threads_;
+  }
+
   /// Hash of every output- or metrics-affecting solver_config field; part of
   /// the cache key.
   [[nodiscard]] static std::uint64_t config_hash(
@@ -105,10 +135,22 @@ class steiner_service {
   [[nodiscard]] donor_ptr find_donor(
       std::span<const graph::vertex_id> canonical_seeds);
   void remember_donor(donor_ptr donor);
+  /// Applies the core-budget split to a per-query solver config: a
+  /// parallel_threads solve with no explicit thread count gets this
+  /// service's intra-query worker grant.
+  void grant_worker_budget(core::solver_config& config) const noexcept;
 
   graph::csr_graph graph_;
   service_config config_;
   result_cache cache_;
+  std::size_t intra_query_threads_ = 1;
+
+  /// Per-stage latency histograms behind snapshot().
+  latency_histogram queue_wait_hist_;
+  latency_histogram cold_solve_hist_;
+  latency_histogram warm_solve_hist_;
+  latency_histogram cache_hit_total_hist_;
+  latency_histogram total_hist_;
 
   /// Warm-start donor registry: the last few solves' artifacts. Bounded by
   /// donor_history — artifacts are O(|V|) each, so they deliberately do not

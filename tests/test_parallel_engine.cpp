@@ -1,0 +1,369 @@
+// Tests for the threaded parallel runtime (src/runtime/parallel/): SPSC
+// channel stress, superstep barrier aggregation, worker pool reuse, the
+// thread engine itself, and the headline guarantee — N-thread solves are
+// bit-identical to sequential-engine solves over random graphs and seed
+// sets, and thread-engine metrics are invariant in the worker count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/steiner_solver.hpp"
+#include "core/warm_start.hpp"
+#include "graph/generators.hpp"
+#include "runtime/parallel/spsc_channel.hpp"
+#include "runtime/parallel/superstep_barrier.hpp"
+#include "runtime/parallel/thread_engine.hpp"
+#include "runtime/parallel/worker_pool.hpp"
+#include "runtime/visitor_engine.hpp"
+
+namespace {
+
+using namespace dsteiner;
+using namespace dsteiner::runtime;
+
+// ---- spsc_channel -----------------------------------------------------------
+
+TEST(SpscChannel, SingleThreadedFifoAcrossBlocks) {
+  parallel::spsc_channel<std::uint64_t, 4> ch;  // tiny blocks: force linking
+  std::uint64_t out = 0;
+  EXPECT_FALSE(ch.try_pop(out));
+  for (std::uint64_t i = 0; i < 1000; ++i) ch.push(i);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ch.try_pop(out));
+    ASSERT_EQ(out, i);
+  }
+  EXPECT_FALSE(ch.try_pop(out));
+}
+
+TEST(SpscChannel, InterleavedPushPopRecyclesBlocks) {
+  parallel::spsc_channel<std::uint64_t, 8> ch;
+  std::uint64_t next_pop = 0, out = 0;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    ch.push(i);
+    if (i % 3 == 0) {
+      ASSERT_TRUE(ch.try_pop(out));
+      ASSERT_EQ(out, next_pop++);
+    }
+  }
+  while (ch.try_pop(out)) {
+    ASSERT_EQ(out, next_pop++);
+  }
+  EXPECT_EQ(next_pop, 10000u);
+}
+
+TEST(SpscChannel, ConcurrentStressPreservesOrderAndCompleteness) {
+  constexpr std::uint64_t k_items = 200000;
+  parallel::spsc_channel<std::uint64_t, 64> ch;
+  std::atomic<bool> start{false};
+  std::thread producer([&] {
+    while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+    for (std::uint64_t i = 0; i < k_items; ++i) ch.push(i);
+  });
+  std::uint64_t received = 0;
+  std::uint64_t spins = 0;
+  bool ordered = true;
+  start.store(true, std::memory_order_release);
+  while (received < k_items) {
+    std::uint64_t out = 0;
+    if (ch.try_pop(out)) {
+      ordered = ordered && out == received;
+      ++received;
+    } else if (++spins % 1024 == 0) {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(received, k_items);
+  std::uint64_t out = 0;
+  EXPECT_FALSE(ch.try_pop(out));
+}
+
+// ---- superstep_barrier ------------------------------------------------------
+
+TEST(SuperstepBarrier, AggregatesContributionsPerEpoch) {
+  constexpr std::size_t k_parties = 4;
+  constexpr std::uint64_t k_epochs = 50;
+  parallel::superstep_barrier barrier(k_parties);
+  std::atomic<std::uint64_t> mismatches{0};
+  std::vector<std::thread> parties;
+  for (std::size_t w = 0; w < k_parties; ++w) {
+    parties.emplace_back([&, w] {
+      for (std::uint64_t e = 0; e < k_epochs; ++e) {
+        // Party w contributes w + e; the sum and max are epoch functions.
+        const auto agg = barrier.arrive_and_wait(
+            w + e, static_cast<double>(w + e));
+        const std::uint64_t want_sum =
+            k_parties * e + k_parties * (k_parties - 1) / 2;
+        const double want_max = static_cast<double>(k_parties - 1 + e);
+        if (agg.outstanding != want_sum || agg.max_work != want_max) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& t : parties) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(barrier.epoch(), k_epochs);
+}
+
+TEST(SuperstepBarrier, RejectsZeroParties) {
+  EXPECT_THROW(parallel::superstep_barrier(0), std::invalid_argument);
+}
+
+// ---- worker_pool ------------------------------------------------------------
+
+TEST(WorkerPool, RunsJobOnEveryWorkerAndIsReusable) {
+  parallel::worker_pool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::atomic<int>> hits(3);
+    pool.run([&](std::size_t w) { ++hits[w]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(WorkerPool, ZeroThreadsMeansHardwareConcurrency) {
+  parallel::worker_pool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+// ---- thread_engine on a toy workload ---------------------------------------
+
+struct label_visitor {
+  graph::vertex_id v = 0;
+  std::uint64_t label = 0;
+  [[nodiscard]] graph::vertex_id target() const { return v; }
+  [[nodiscard]] std::uint64_t priority() const { return label; }
+};
+
+class label_handler {
+ public:
+  label_handler(const graph::csr_graph& g, std::vector<std::uint64_t>& labels)
+      : graph_(&g), labels_(&labels) {}
+
+  bool pre_visit(const label_visitor& v, int) {
+    if (v.label >= (*labels_)[v.v]) return false;
+    (*labels_)[v.v] = v.label;
+    return true;
+  }
+
+  template <typename Emitter>
+  bool visit(const label_visitor& v, int, Emitter& out) {
+    if (v.label != (*labels_)[v.v]) return false;
+    for (const graph::vertex_id u : graph_->neighbors(v.v)) {
+      out.to_vertex(label_visitor{u, v.label + 1});
+    }
+    return true;
+  }
+
+ private:
+  const graph::csr_graph* graph_;
+  std::vector<std::uint64_t>* labels_;
+};
+
+class ThreadEngineModes
+    : public ::testing::TestWithParam<std::tuple<queue_policy, int, int>> {};
+
+TEST_P(ThreadEngineModes, PropagatesBfsDepthOnPath) {
+  const auto [policy, ranks, threads] = GetParam();
+  const graph::csr_graph g(graph::generate_path(32));
+  const partitioner parts(g.num_vertices(), ranks, partition_scheme::hash);
+  std::vector<std::uint64_t> labels(g.num_vertices(), ~std::uint64_t{0});
+  label_handler handler(g, labels);
+  engine_config config{policy, execution_mode::parallel_threads, 4,
+                       cost_model{}, static_cast<std::size_t>(threads)};
+  const auto metrics = run_visitors<label_visitor>(parts, handler,
+                                                   {{0, 0}}, config);
+  for (graph::vertex_id v = 0; v < 32; ++v) EXPECT_EQ(labels[v], v);
+  EXPECT_GT(metrics.visitors_processed, 0u);
+  EXPECT_GT(metrics.rounds, 0u);
+  if (ranks > 1) {
+    EXPECT_GT(metrics.messages_remote, 0u);
+  }
+  EXPECT_GT(metrics.sim_units, 0.0);
+  EXPECT_GT(metrics.queue_peak_items, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, ThreadEngineModes,
+    ::testing::Combine(::testing::Values(queue_policy::fifo,
+                                         queue_policy::priority),
+                       ::testing::Values(1, 3, 8),
+                       ::testing::Values(1, 2, 4)));
+
+TEST(ThreadEngine, NoVisitorsTerminatesImmediately) {
+  const graph::csr_graph g(graph::generate_path(4));
+  const partitioner parts(4, 2, partition_scheme::hash);
+  std::vector<std::uint64_t> labels(4, ~std::uint64_t{0});
+  label_handler handler(g, labels);
+  engine_config config;
+  config.mode = execution_mode::parallel_threads;
+  config.num_threads = 2;
+  const auto metrics =
+      run_visitors<label_visitor>(parts, handler, {}, config);
+  EXPECT_EQ(metrics.rounds, 0u);
+  EXPECT_EQ(metrics.visitors_processed, 0u);
+}
+
+TEST(ThreadEngine, MetricsAreInvariantInThreadCount) {
+  const graph::csr_graph g(graph::generate_grid(16, 16));
+  std::vector<phase_metrics> runs;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    const partitioner parts(g.num_vertices(), 8, partition_scheme::hash);
+    std::vector<std::uint64_t> labels(g.num_vertices(), ~std::uint64_t{0});
+    label_handler handler(g, labels);
+    engine_config config{queue_policy::priority,
+                         execution_mode::parallel_threads, 16, cost_model{},
+                         threads};
+    runs.push_back(run_visitors<label_visitor>(parts, handler, {{0, 0}},
+                                               config));
+  }
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].rounds, runs[0].rounds);
+    EXPECT_EQ(runs[i].visitors_processed, runs[0].visitors_processed);
+    EXPECT_EQ(runs[i].visitors_skipped, runs[0].visitors_skipped);
+    EXPECT_EQ(runs[i].previsit_rejections, runs[0].previsit_rejections);
+    EXPECT_EQ(runs[i].messages_local, runs[0].messages_local);
+    EXPECT_EQ(runs[i].messages_remote, runs[0].messages_remote);
+    EXPECT_EQ(runs[i].queue_peak_items, runs[0].queue_peak_items);
+    EXPECT_DOUBLE_EQ(runs[i].sim_units, runs[0].sim_units);
+  }
+}
+
+// ---- full-solver determinism -----------------------------------------------
+
+graph::csr_graph random_connected_graph(graph::vertex_id n,
+                                        std::uint64_t seed) {
+  graph::edge_list list =
+      graph::generate_erdos_renyi(n, static_cast<std::uint64_t>(n) * 3, seed);
+  graph::assign_uniform_weights(list, 1, 1000, seed ^ 0x77);
+  graph::connect_components(list, 1001, seed);
+  return graph::csr_graph(list);
+}
+
+std::vector<graph::vertex_id> random_seeds(graph::vertex_id n,
+                                           std::size_t count,
+                                           std::uint64_t salt) {
+  std::vector<graph::vertex_id> seeds;
+  for (std::size_t i = 0; i < count; ++i) {
+    seeds.push_back((salt * 2654435761u + i * 40503u) % n);
+  }
+  return seeds;
+}
+
+void expect_identical(const core::steiner_result& a,
+                      const core::steiner_result& b) {
+  EXPECT_EQ(a.tree_edges, b.tree_edges);
+  EXPECT_EQ(a.total_distance, b.total_distance);
+  EXPECT_EQ(a.num_seeds, b.num_seeds);
+  EXPECT_EQ(a.spans_all_seeds, b.spans_all_seeds);
+  EXPECT_EQ(a.distance_graph_edges, b.distance_graph_edges);
+}
+
+TEST(ParallelSolve, BitIdenticalToSequentialOverRandomGraphs) {
+  for (std::uint64_t trial = 0; trial < 4; ++trial) {
+    const graph::csr_graph g = random_connected_graph(400, 0xabc + trial);
+    const auto seeds = random_seeds(g.num_vertices(), 8 + trial * 3, trial);
+
+    core::solver_config sequential;
+    sequential.num_ranks = 8;
+    sequential.validate = true;
+    const auto reference = core::solve_steiner_tree(g, seeds, sequential);
+
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+      core::solver_config par = sequential;
+      par.mode = execution_mode::parallel_threads;
+      par.num_threads = threads;
+      const auto result = core::solve_steiner_tree(g, seeds, par);
+      expect_identical(result, reference);
+    }
+  }
+}
+
+TEST(ParallelSolve, PhaseMetricsInvariantInThreadCount) {
+  const graph::csr_graph g = random_connected_graph(500, 0x1234);
+  const auto seeds = random_seeds(g.num_vertices(), 12, 7);
+
+  std::vector<core::steiner_result> results;
+  for (const std::size_t threads : {1u, 4u}) {
+    core::solver_config config;
+    config.num_ranks = 8;
+    config.mode = execution_mode::parallel_threads;
+    config.num_threads = threads;
+    results.push_back(core::solve_steiner_tree(g, seeds, config));
+  }
+  expect_identical(results[0], results[1]);
+  for (const auto& [name, m0] : results[0].phases.by_name()) {
+    const auto* m1 = results[1].phases.find(name);
+    ASSERT_NE(m1, nullptr) << name;
+    EXPECT_EQ(m0.rounds, m1->rounds) << name;
+    EXPECT_EQ(m0.visitors_processed, m1->visitors_processed) << name;
+    EXPECT_EQ(m0.visitors_skipped, m1->visitors_skipped) << name;
+    EXPECT_EQ(m0.previsit_rejections, m1->previsit_rejections) << name;
+    EXPECT_EQ(m0.messages_local, m1->messages_local) << name;
+    EXPECT_EQ(m0.messages_remote, m1->messages_remote) << name;
+    EXPECT_EQ(m0.queue_peak_items, m1->queue_peak_items) << name;
+    EXPECT_DOUBLE_EQ(m0.sim_units, m1->sim_units) << name;
+  }
+}
+
+TEST(ParallelSolve, FifoAndBlockPartitioningStayIdentical) {
+  const graph::csr_graph g = random_connected_graph(300, 0x9e9e);
+  const auto seeds = random_seeds(g.num_vertices(), 10, 3);
+
+  core::solver_config sequential;
+  sequential.num_ranks = 6;
+  sequential.policy = queue_policy::fifo;
+  sequential.scheme = partition_scheme::block;
+  const auto reference = core::solve_steiner_tree(g, seeds, sequential);
+
+  core::solver_config par = sequential;
+  par.mode = execution_mode::parallel_threads;
+  par.num_threads = 3;
+  expect_identical(core::solve_steiner_tree(g, seeds, par), reference);
+}
+
+TEST(ParallelSolve, DelegatesMatchSequential) {
+  // A star inside a random graph forces the delegate relay path.
+  graph::edge_list list = graph::generate_star(600);
+  graph::assign_uniform_weights(list, 1, 50, 0x44);
+  const graph::csr_graph g(list);
+  const auto seeds = random_seeds(g.num_vertices(), 9, 5);
+
+  core::solver_config sequential;
+  sequential.num_ranks = 8;
+  sequential.delegate_threshold = 64;  // hub qualifies
+  const auto reference = core::solve_steiner_tree(g, seeds, sequential);
+
+  core::solver_config par = sequential;
+  par.mode = execution_mode::parallel_threads;
+  par.num_threads = 4;
+  expect_identical(core::solve_steiner_tree(g, seeds, par), reference);
+}
+
+TEST(ParallelSolve, WarmStartRepairUnderThreadedEngineMatchesCold) {
+  const graph::csr_graph g = random_connected_graph(400, 0x5151);
+  auto donor_seeds = random_seeds(g.num_vertices(), 10, 11);
+
+  core::solver_config config;
+  config.num_ranks = 8;
+  config.mode = execution_mode::parallel_threads;
+  config.num_threads = 4;
+  config.allow_disconnected_seeds = true;
+
+  core::solve_artifacts donor;
+  (void)core::solve_steiner_tree_capture(g, donor_seeds, config, donor);
+
+  auto target = donor_seeds;
+  target.push_back((donor_seeds.front() + 137) % g.num_vertices());
+  const auto cold = core::solve_steiner_tree(g, target, config);
+  const auto warm =
+      core::solve_steiner_tree_warm(g, target, donor, config, nullptr, nullptr);
+  expect_identical(warm, cold);
+}
+
+}  // namespace

@@ -74,10 +74,12 @@ TEST(Executor, TryPostShedsLoadWhenFull) {
 // ---- result cache -----------------------------------------------------------
 
 result_cache::entry_ptr make_entry(std::vector<vertex_id> seeds,
-                                   graph::weight_t distance) {
+                                   graph::weight_t distance,
+                                   double solve_cost_seconds = 0.0) {
   auto entry = std::make_shared<cached_solve>();
   entry->seeds = std::move(seeds);
   entry->result.total_distance = distance;
+  entry->solve_cost_seconds = solve_cost_seconds;
   return entry;
 }
 
@@ -123,6 +125,78 @@ TEST(ResultCache, OccupancyNeverExceedsCapacity) {
   EXPECT_LE(stats.entries, 8u);
   EXPECT_EQ(stats.insertions, 100u);
   EXPECT_EQ(stats.insertions - stats.evictions, stats.entries);
+}
+
+TEST(ResultCache, CostAwareEvictionPrefersCheapEntries) {
+  // Capacity 3, window 4: on overflow the cheapest-to-recompute entry within
+  // the LRU tail window is evicted, not necessarily the coldest.
+  result_cache cache({/*capacity=*/3, /*shards=*/1, /*eviction_window=*/4});
+  const cache_key a{1, 10, 0}, b{1, 20, 0}, c{1, 30, 0}, d{1, 40, 0};
+  const std::vector<vertex_id> sa{1}, sb{2}, sc{3}, sd{4};
+  cache.insert(a, make_entry(sa, 100, /*cost=*/10.0));  // expensive, coldest
+  cache.insert(b, make_entry(sb, 200, /*cost=*/0.001));  // cheap
+  cache.insert(c, make_entry(sc, 300, /*cost=*/5.0));
+  cache.insert(d, make_entry(sd, 400, /*cost=*/7.0));  // overflow
+
+  EXPECT_EQ(cache.find(b, sb), nullptr);  // cheap b went, not cold a
+  EXPECT_NE(cache.find(a, sa), nullptr);
+  EXPECT_NE(cache.find(c, sc), nullptr);
+  EXPECT_NE(cache.find(d, sd), nullptr);
+  EXPECT_EQ(cache.snapshot().evictions, 1u);
+}
+
+TEST(ResultCache, EvictionWindowOneIsPlainLru) {
+  result_cache cache({/*capacity=*/2, /*shards=*/1, /*eviction_window=*/1});
+  const cache_key a{1, 10, 0}, b{1, 20, 0}, c{1, 30, 0};
+  const std::vector<vertex_id> sa{1}, sb{2}, sc{3};
+  cache.insert(a, make_entry(sa, 100, /*cost=*/0.001));  // cheap but also LRU
+  cache.insert(b, make_entry(sb, 200, /*cost=*/9.0));
+  cache.insert(c, make_entry(sc, 300, /*cost=*/9.0));
+  EXPECT_EQ(cache.find(a, sa), nullptr);  // window 1: strict LRU order
+  EXPECT_NE(cache.find(b, sb), nullptr);
+  EXPECT_NE(cache.find(c, sc), nullptr);
+}
+
+TEST(ResultCache, CostAwareEvictionNeverDropsTheFreshInsert) {
+  // Window larger than the shard: the just-inserted MRU entry must survive
+  // even when it is the cheapest of all.
+  result_cache cache({/*capacity=*/2, /*shards=*/1, /*eviction_window=*/8});
+  const cache_key a{1, 10, 0}, b{1, 20, 0}, c{1, 30, 0};
+  const std::vector<vertex_id> sa{1}, sb{2}, sc{3};
+  cache.insert(a, make_entry(sa, 100, /*cost=*/5.0));
+  cache.insert(b, make_entry(sb, 200, /*cost=*/6.0));
+  cache.insert(c, make_entry(sc, 300, /*cost=*/0.001));  // cheapest, freshest
+  EXPECT_NE(cache.find(c, sc), nullptr);
+  EXPECT_EQ(cache.find(a, sa), nullptr);  // cheapest *candidate* evicted
+}
+
+// ---- latency histogram ------------------------------------------------------
+
+TEST(LatencyHistogram, BucketsAreLog2Microseconds) {
+  EXPECT_EQ(latency_histogram::bucket_of(0.0), 0u);
+  EXPECT_EQ(latency_histogram::bucket_of(0.5e-6), 0u);
+  EXPECT_EQ(latency_histogram::bucket_of(1.5e-6), 0u);
+  EXPECT_EQ(latency_histogram::bucket_of(2.5e-6), 1u);
+  EXPECT_EQ(latency_histogram::bucket_of(5.0e-6), 2u);
+  EXPECT_EQ(latency_histogram::bucket_of(1.0e-3), 9u);    // 1024 µs
+  EXPECT_EQ(latency_histogram::bucket_of(3600.0),
+            latency_histogram::k_buckets - 1);  // clamps to the last bucket
+}
+
+TEST(LatencyHistogram, CountsMeanAndQuantiles) {
+  latency_histogram hist;
+  for (int i = 0; i < 90; ++i) hist.record(10e-6);   // ~10 µs: bucket [8,16)
+  for (int i = 0; i < 10; ++i) hist.record(900e-6);  // ~0.9 ms tail
+  const auto snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_NEAR(snap.mean(), (90 * 10e-6 + 10 * 900e-6) / 100.0, 1e-12);
+  // p50 falls inside the 8-16 µs bucket; p99 in the 512-1024 µs bucket.
+  EXPECT_GE(snap.quantile(0.50), 8e-6);
+  EXPECT_LE(snap.quantile(0.50), 16e-6);
+  EXPECT_GE(snap.quantile(0.99), 512e-6);
+  EXPECT_LE(snap.quantile(0.99), 1024e-6);
+  EXPECT_LE(snap.quantile(1.0), 1024e-6);
+  EXPECT_EQ(latency_histogram{}.snapshot().quantile(0.5), 0.0);  // empty
 }
 
 // ---- service facade ---------------------------------------------------------
@@ -347,6 +421,64 @@ TEST(Service, IdenticalConcurrentQueriesCoalesceIntoOneSolve) {
   const auto stats = svc.stats();
   EXPECT_EQ(stats.cold_solves, 1u);
   EXPECT_EQ(stats.cache_hits + stats.coalesced, 7u);
+}
+
+// Metrics export: snapshot() must agree with the counters and have histogram
+// populations matching the paths taken.
+TEST(Service, SnapshotExportsCountersAndLatencyHistograms) {
+  steiner_service svc(make_connected_graph(150, 20, 31), quiet_config(2));
+  query q;
+  q.seeds = {3, 70, 120};
+  (void)svc.solve(q);  // cold
+  (void)svc.solve(q);  // cache hit
+  query edited = q;
+  edited.seeds.push_back(40);
+  (void)svc.solve(edited);  // warm start
+
+  const auto snap = svc.snapshot();
+  EXPECT_EQ(snap.stats.queries, 3u);
+  EXPECT_EQ(snap.stats.cold_solves, 1u);
+  EXPECT_EQ(snap.stats.cache_hits, 1u);
+  EXPECT_EQ(snap.stats.warm_solves, 1u);
+  EXPECT_EQ(snap.total.count, 3u);       // every query lands in `total`
+  EXPECT_EQ(snap.queue_wait.count, 3u);  // and records its queue wait
+  EXPECT_EQ(snap.cold_solve.count, 1u);
+  EXPECT_EQ(snap.warm_solve.count, 1u);
+  EXPECT_EQ(snap.cache_hit_total.count, 1u);
+  EXPECT_GT(snap.cold_solve.mean(), 0.0);
+  EXPECT_GE(snap.cold_solve.quantile(0.99), snap.cold_solve.quantile(0.01));
+}
+
+// Core-budget split: intra-query engine workers = budget / executor workers,
+// and a budgeted parallel solve still matches the sequential tree.
+TEST(Service, CoreBudgetGrantsIntraQueryThreads) {
+  const auto g = make_connected_graph(200, 25, 32);
+  auto config = quiet_config(2);
+  config.core_budget = 8;
+  config.solver.mode = runtime::execution_mode::parallel_threads;
+  steiner_service svc(graph::csr_graph(g), config);
+  EXPECT_EQ(svc.intra_query_threads(), 4u);  // 8 cores / 2 executor workers
+  EXPECT_EQ(svc.config().solver.num_threads, 4u);
+
+  query q;
+  q.seeds = {5, 60, 110, 170};
+  const auto parallel = svc.solve(q);
+  EXPECT_EQ(parallel.kind, solve_kind::cold);
+
+  core::solver_config sequential = quiet_config(1).solver;
+  const auto reference = core::solve_steiner_tree(g, q.seeds, sequential);
+  EXPECT_EQ(parallel.result.tree_edges, reference.tree_edges);
+  EXPECT_EQ(parallel.result.total_distance, reference.total_distance);
+}
+
+// An explicit per-query thread count wins over the service grant.
+TEST(Service, ExplicitThreadCountIsNotOverridden) {
+  auto config = quiet_config(4);
+  config.core_budget = 16;
+  config.solver.mode = runtime::execution_mode::parallel_threads;
+  config.solver.num_threads = 2;
+  steiner_service svc(make_connected_graph(100, 15, 33), config);
+  EXPECT_EQ(svc.config().solver.num_threads, 2u);
 }
 
 // A failing leader must not strand coalesced waiters: everyone sees the

@@ -9,22 +9,43 @@
 //     (interactive refinement)              -> warm-start repairs;
 //   - cold queries: fresh seed sets         -> full Alg. 3 solves.
 //
-// Every query returns a tree bit-identical to a cold solve; the printout
-// shows how much latency each path saved.
+// After the mixed workload, an "analyst" reweights a handful of edges: the
+// service derives a graph *epoch* instead of rebuilding — the hot seed sets
+// then warm-start through the edge-delta repair while the previous epoch's
+// cached trees keep serving stale-tolerant readers.
 //
-//   $ ./query_service
+// Every query returns a tree bit-identical to a cold solve of its epoch; the
+// printout shows how much latency each path saved.
+//
+//   $ ./query_service [--metrics-text]
+//
+//   --metrics-text   additionally print the Prometheus text exposition of
+//                    steiner_service::snapshot() (what a scrape endpoint
+//                    would serve)
 #include <cstdio>
+#include <cstring>
 #include <future>
 #include <vector>
 
 #include "io/dataset.hpp"
 #include "seed/seed_select.hpp"
+#include "service/metrics_text.hpp"
 #include "service/steiner_service.hpp"
 #include "util/format.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dsteiner;
+
+  bool metrics_text = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-text") == 0) {
+      metrics_text = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--metrics-text]\n", argv[0]);
+      return 2;
+    }
+  }
 
   // One shared graph: the CiteSeer mirror (smallest Table III dataset).
   const io::dataset data = io::load_dataset("CTS");
@@ -40,6 +61,9 @@ int main() {
   // Edit deltas may pick seeds outside the largest component; serve forests
   // rather than failing the query (the interactive sessions do the same).
   config.solver.allow_disconnected_seeds = true;
+  // Stale-tolerant readers may take the previous epoch's cached tree while
+  // the new epoch warms up.
+  config.max_stale_epochs = 1;
   service::steiner_service svc(data.graph, config);
 
   // Three analysts start from different seed sets.
@@ -79,17 +103,42 @@ int main() {
   futures.reserve(workload.size());
   for (auto& q : workload) futures.push_back(svc.submit(q));
 
-  util::table table({"id", "path", "|S|", "tree edges", "D(GS)", "queue wait",
-                     "solve", "total"});
-  for (auto& f : futures) {
-    const auto qr = f.get();
+  util::table table({"id", "path", "epoch", "|S|", "tree edges", "D(GS)",
+                     "queue wait", "solve", "total"});
+  const auto add_result = [&table](const service::query_result& qr) {
     table.add_row({std::to_string(qr.query_id), to_string(qr.kind),
+                   std::to_string(qr.epoch),
                    std::to_string(qr.result.num_seeds),
                    std::to_string(qr.result.tree_edges.size()),
                    util::with_commas(qr.result.total_distance),
                    util::format_duration(qr.queue_wait_seconds),
                    util::format_duration(qr.solve_seconds),
                    util::format_duration(qr.total_seconds)});
+  };
+  for (auto& f : futures) add_result(f.get());
+
+  // Graph mutation: reweight a few edges touching the first analyst's seeds.
+  // advance_epoch derives a copy-on-write epoch — no service rebuild, no
+  // cache flush. The re-issued hot set warm-starts via the edge-delta repair
+  // (or serves the old epoch's tree to stale-tolerant readers first).
+  graph::edge_delta delta;
+  for (std::size_t i = 0; i < 3 && i < base_sets.front().size(); ++i) {
+    const graph::vertex_id u = base_sets.front()[i];
+    const auto nbrs = svc.graph().neighbors(u);
+    const auto wts = svc.graph().weights(u);
+    if (nbrs.empty()) continue;
+    delta.edits.push_back(
+        graph::edge_edit::reweight(u, nbrs.front(), wts.front() + 5));
+  }
+  const std::uint64_t epoch = svc.advance_epoch(delta);
+  std::printf("advanced to epoch %llu (%zu edge edits)...\n",
+              static_cast<unsigned long long>(epoch), delta.size());
+  for (const auto& base : base_sets) {
+    service::query q;
+    q.seeds = base;
+    add_result(svc.solve(q));  // stale hit (epoch-1 tree) + background refresh
+    q.allow_stale = false;
+    add_result(svc.solve(q));  // current epoch: edge-warm repair or coalesce
   }
   std::printf("%s\n", table.render().c_str());
 
@@ -100,8 +149,11 @@ int main() {
               util::format_duration(wall.seconds()).c_str());
   std::printf("  cold solves : %llu\n",
               static_cast<unsigned long long>(stats.cold_solves));
-  std::printf("  warm starts : %llu\n",
-              static_cast<unsigned long long>(stats.warm_solves));
+  std::printf("  warm starts : %llu  (%llu across epochs)\n",
+              static_cast<unsigned long long>(stats.warm_solves),
+              static_cast<unsigned long long>(stats.edge_warm_solves));
+  std::printf("  stale hits  : %llu  (previous-epoch trees, refreshed behind)\n",
+              static_cast<unsigned long long>(stats.stale_hits));
   std::printf("  coalesced   : %llu  (waited on an identical in-flight query)\n",
               static_cast<unsigned long long>(stats.coalesced));
   std::printf("  cache hits  : %llu  (cache: %llu hits / %llu misses, "
@@ -134,5 +186,10 @@ int main() {
   add_stage("cache hit (total)", snap.cache_hit_total);
   add_stage("total (all paths)", snap.total);
   std::printf("%s", latency.render().c_str());
+
+  if (metrics_text) {
+    std::printf("\n# ---- Prometheus text exposition (scrape endpoint body) ----\n");
+    std::printf("%s", service::render_metrics_text(svc.snapshot()).c_str());
+  }
   return 0;
 }

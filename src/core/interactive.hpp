@@ -1,117 +1,16 @@
-// Interactive exploration session — the paper's motivating workflow (§I):
-// "a user will interact with such computation in various ways, exploring the
-// relationships ... adding or removing classes of edges and/or vertices and
-// adjusting edge distance functions based on investigating the output."
+// Legacy spelling of the interactive exploration session.
 //
-// A session owns a graph and a mutable seed set; every edit (add/remove
-// seeds, re-weight, filter edges) invalidates the cached result, which is
-// recomputed lazily on the next query. Queries are delegated to a private
-// service::steiner_service, so a session gets the service's result cache and
-// warm-start repair for free: re-adding a previously queried seed set is a
-// cache hit, and a small seed delta repairs the previous solve instead of
-// recomputing phase 1 from scratch. Graph edits (re-weighting, filtering)
-// change the graph fingerprint and therefore start a fresh service.
+// The session delegates all queries to service::steiner_service, which
+// inverted the graph -> runtime -> core -> service layering while the class
+// lived here. It now lives in src/service/exploration_session.hpp; this
+// header remains so existing includes and the core::exploration_session name
+// keep working.
 #pragma once
 
-#include <memory>
-#include <optional>
-#include <set>
-#include <span>
-#include <vector>
-
-#include "core/steiner_solver.hpp"
-#include "graph/csr_graph.hpp"
-#include "graph/types.hpp"
-#include "service/query.hpp"
-
-namespace dsteiner::service {
-class steiner_service;
-}  // namespace dsteiner::service
+#include "service/exploration_session.hpp"
 
 namespace dsteiner::core {
 
-class exploration_session {
- public:
-  explicit exploration_session(graph::csr_graph graph, solver_config config = {});
-  ~exploration_session();
-
-  /// Seed-set edits (idempotent; return true if the set changed).
-  bool add_seed(graph::vertex_id v);
-  bool remove_seed(graph::vertex_id v);
-  void set_seeds(std::span<const graph::vertex_id> seeds);
-  void clear_seeds();
-
-  [[nodiscard]] std::vector<graph::vertex_id> seeds() const {
-    return {seeds_.begin(), seeds_.end()};
-  }
-  [[nodiscard]] std::size_t seed_count() const noexcept { return seeds_.size(); }
-
-  /// Rebuilds the graph keeping only edges with weight <= cutoff — the §I
-  /// "removing classes of edges" interaction. Seeds are preserved; the next
-  /// query may legitimately find them disconnected (a Steiner forest is
-  /// returned because the session enables allow_disconnected_seeds).
-  void filter_edges_above(graph::weight_t cutoff);
-
-  /// Replaces every edge weight via fn(u, v, w) — "adjusting edge distance
-  /// functions". fn must return a weight >= 1.
-  template <typename Fn>
-  void reweight(Fn&& fn) {
-    const graph::csr_graph& g = graph();
-    graph::edge_list edges;
-    edges.set_num_vertices(g.num_vertices());
-    for (graph::vertex_id u = 0; u < g.num_vertices(); ++u) {
-      const auto nbrs = g.neighbors(u);
-      const auto wts = g.weights(u);
-      for (std::size_t i = 0; i < nbrs.size(); ++i) {
-        if (u < nbrs[i]) {
-          edges.add_undirected_edge(u, nbrs[i], fn(u, nbrs[i], wts[i]));
-        }
-      }
-    }
-    replace_graph(graph::csr_graph(edges));
-  }
-
-  /// Scale-out knob: change the simulated rank count for future queries.
-  void set_ranks(int num_ranks);
-
-  /// The Steiner tree for the current seed set; cached until the next edit.
-  /// Empty result (no edges) for fewer than two seeds.
-  const steiner_result& tree();
-
-  /// True if the cache is valid (no recompute pending).
-  [[nodiscard]] bool up_to_date() const noexcept { return cached_.has_value(); }
-
-  /// Number of solver runs (cold or warm) performed so far; service cache
-  /// hits do not count (observability for tests/UX).
-  [[nodiscard]] std::uint64_t recompute_count() const noexcept {
-    return recomputes_;
-  }
-
-  /// How the backing service satisfied the most recent tree() recompute.
-  [[nodiscard]] service::solve_kind last_solve_kind() const noexcept {
-    return last_kind_;
-  }
-
-  /// The backing query service (stats: cache hit rates, warm-start counts).
-  [[nodiscard]] const service::steiner_service& service() const noexcept {
-    return *service_;
-  }
-
-  /// The session's graph lives in the backing service (one copy, not two).
-  /// The returned reference is invalidated by graph edits (reweight,
-  /// filter_edges_above), which replace the service — re-fetch after editing.
-  [[nodiscard]] const graph::csr_graph& graph() const noexcept;
-
- private:
-  void invalidate() noexcept { cached_.reset(); }
-  void replace_graph(graph::csr_graph next);
-
-  solver_config config_;
-  std::unique_ptr<service::steiner_service> service_;
-  std::set<graph::vertex_id> seeds_;
-  std::optional<steiner_result> cached_;
-  std::uint64_t recomputes_ = 0;
-  service::solve_kind last_kind_ = service::solve_kind::cold;
-};
+using exploration_session = service::exploration_session;
 
 }  // namespace dsteiner::core

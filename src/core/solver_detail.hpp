@@ -18,7 +18,9 @@
 namespace dsteiner::core::detail {
 
 /// Validates, deduplicates and sorts a user seed list. Throws
-/// std::out_of_range on ids >= |V|.
+/// std::out_of_range on ids >= num_vertices.
+[[nodiscard]] std::vector<graph::vertex_id> dedup_seeds(
+    graph::vertex_id num_vertices, std::span<const graph::vertex_id> seeds);
 [[nodiscard]] std::vector<graph::vertex_id> dedup_seeds(
     const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds);
 

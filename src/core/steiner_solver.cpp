@@ -21,18 +21,23 @@ namespace dsteiner::core {
 namespace detail {
 
 std::vector<graph::vertex_id> dedup_seeds(
-    const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds) {
+    graph::vertex_id num_vertices, std::span<const graph::vertex_id> seeds) {
   std::unordered_set<graph::vertex_id> unique;
   std::vector<graph::vertex_id> result;
   result.reserve(seeds.size());
   for (const graph::vertex_id s : seeds) {
-    if (s >= graph.num_vertices()) {
+    if (s >= num_vertices) {
       throw std::out_of_range("solve_steiner_tree: seed id out of range");
     }
     if (unique.insert(s).second) result.push_back(s);
   }
   std::sort(result.begin(), result.end());
   return result;
+}
+
+std::vector<graph::vertex_id> dedup_seeds(
+    const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds) {
+  return dedup_seeds(graph.num_vertices(), seeds);
 }
 
 void finish_solve(const graph::csr_graph& graph,

@@ -30,6 +30,7 @@
 
 #include "core/distance_graph.hpp"
 #include "core/steiner_solver.hpp"
+#include "graph/epoch_graph.hpp"
 
 namespace dsteiner::core {
 
@@ -59,9 +60,13 @@ struct solve_artifacts {
     const solver_config& config, solve_artifacts& capture);
 
 /// Canonical form of a seed list: validated, deduplicated, sorted — the shape
-/// stored in solve_artifacts::seeds and used as a cache key.
+/// stored in solve_artifacts::seeds and used as a cache key. The
+/// vertex-count overload lets epoch-aware callers canonicalize (and key
+/// caches) without materializing a CSR first.
 [[nodiscard]] std::vector<graph::vertex_id> canonicalize_seeds(
     const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds);
+[[nodiscard]] std::vector<graph::vertex_id> canonicalize_seeds(
+    graph::vertex_id num_vertices, std::span<const graph::vertex_id> seeds);
 
 /// Add/remove delta between two canonical seed sets.
 struct seed_delta {
@@ -84,7 +89,10 @@ struct seed_delta {
 struct warm_start_stats {
   std::size_t added_seeds = 0;
   std::size_t removed_seeds = 0;
-  std::size_t reset_vertices = 0;    ///< members of removed cells cleared
+  std::size_t edge_edits = 0;        ///< applied edge edits repaired over
+  std::size_t reset_vertices = 0;    ///< vertices cleared (removed cells + damage)
+  std::size_t damaged_vertices = 0;  ///< cleared because a raised/disabled edge
+                                     ///< invalidated their shortest-path witness
   std::size_t changed_vertices = 0;  ///< labels that differ from the donor
   std::size_t affected_cells = 0;    ///< cells rescanned in phase 2
   std::size_t rescanned_vertices = 0;  ///< phase-2 partial scan size
@@ -102,6 +110,31 @@ struct warm_start_stats {
 [[nodiscard]] steiner_result solve_steiner_tree_warm(
     const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds,
     const solve_artifacts& prev, const solver_config& config,
+    solve_artifacts* capture = nullptr, warm_start_stats* stats = nullptr);
+
+/// Warm-start solve across a *graph* mutation: `prev` is a finished solve on
+/// the epoch whose structural CSR fingerprint is `donor_graph_fingerprint`,
+/// and `edits` is the applied edge delta taking that epoch to `graph` (see
+/// graph::epoch_store::delta_between). The repair generalizes the seed-delta
+/// path — it may change seeds and edges in one pass:
+///
+///   - Raised/disabled edges invalidate exactly the vertices whose
+///     shortest-path witness (pred chain) crosses them: those pred-subtrees
+///     are reset like removed cells and re-entered from their boundary.
+///   - Lowered/enabled edges only open improvement frontiers: their
+///     endpoints' current labels are injected across the edge and relaxation
+///     propagates the gains.
+///   - Phase 2 rescans only cells touched by label changes, seed deltas, or
+///     modified-edge endpoints; bridges between untouched cell pairs cannot
+///     involve a modified edge and are reused from the donor.
+///
+/// The result is bit-identical to solve_steiner_tree(graph, seeds, config).
+/// Throws std::invalid_argument when `prev` does not match
+/// `donor_graph_fingerprint` or the vertex set differs (epochs preserve |V|).
+[[nodiscard]] steiner_result solve_steiner_tree_edge_warm(
+    const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds,
+    const solve_artifacts& prev, std::uint64_t donor_graph_fingerprint,
+    std::span<const graph::applied_edge_edit> edits, const solver_config& config,
     solve_artifacts* capture = nullptr, warm_start_stats* stats = nullptr);
 
 }  // namespace dsteiner::core

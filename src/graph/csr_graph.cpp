@@ -1,11 +1,40 @@
 #include "graph/csr_graph.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <numeric>
+#include <utility>
 
 #include "util/hash.hpp"
 
 namespace dsteiner::graph {
+
+csr_graph csr_graph::from_sorted_parts(std::vector<std::uint64_t> offsets,
+                                       std::vector<vertex_id> targets,
+                                       std::vector<weight_t> weights) {
+  assert(!offsets.empty() && offsets.front() == 0);
+  assert(offsets.back() == targets.size());
+  assert(targets.size() == weights.size());
+#ifndef NDEBUG
+  for (std::size_t v = 0; v + 1 < offsets.size(); ++v) {
+    assert(offsets[v] <= offsets[v + 1]);
+    for (std::uint64_t i = offsets[v] + 1; i < offsets[v + 1]; ++i) {
+      assert(std::pair{targets[i - 1], weights[i - 1]} <=
+             std::pair{targets[i], weights[i]});
+    }
+  }
+#endif
+  csr_graph g;
+  g.offsets_ = std::move(offsets);
+  g.targets_ = std::move(targets);
+  g.weights_ = std::move(weights);
+  g.fingerprint_ = util::hash_range(g.offsets_.data(), g.offsets_.size(), 0x5d5a);
+  g.fingerprint_ =
+      util::hash_range(g.targets_.data(), g.targets_.size(), g.fingerprint_);
+  g.fingerprint_ =
+      util::hash_range(g.weights_.data(), g.weights_.size(), g.fingerprint_);
+  return g;
+}
 
 csr_graph::csr_graph(const edge_list& list) {
   const vertex_id n = list.num_vertices();

@@ -24,6 +24,19 @@ class csr_graph {
   /// preserved as given — call edge_list::canonicalize() first if undesired.
   explicit csr_graph(const edge_list& list);
 
+  /// Adopts pre-built CSR arrays whose rows are already sorted by
+  /// (target, weight) — the fast path for epoch materialization, which patches
+  /// a parent CSR's rows instead of round-tripping through an edge list.
+  /// Preconditions (asserted in debug builds): offsets is a monotone prefix
+  /// array of size |V|+1 ending at targets.size(), targets/weights have equal
+  /// size, and each row obeys the (target, weight) sort order. The structural
+  /// fingerprint is computed exactly as the edge-list constructor would, so
+  /// identical content yields an identical fingerprint regardless of the
+  /// construction path.
+  [[nodiscard]] static csr_graph from_sorted_parts(
+      std::vector<std::uint64_t> offsets, std::vector<vertex_id> targets,
+      std::vector<weight_t> weights);
+
   [[nodiscard]] vertex_id num_vertices() const noexcept {
     return offsets_.empty() ? 0 : static_cast<vertex_id>(offsets_.size() - 1);
   }

@@ -1,0 +1,344 @@
+#include "graph/epoch_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "util/hash.hpp"
+
+namespace dsteiner::graph {
+
+namespace {
+
+/// Effective row view (targets + weights) of a vertex, without copying.
+struct row_view {
+  std::span<const vertex_id> targets;
+  std::span<const weight_t> weights;
+};
+
+/// Minimum weight among arcs to `v` inside a sorted row; nullopt if absent.
+std::optional<weight_t> row_min_weight(const row_view& row, vertex_id v) {
+  const auto it = std::lower_bound(row.targets.begin(), row.targets.end(), v);
+  if (it == row.targets.end() || *it != v) return std::nullopt;
+  // Rows are sorted by (target, weight): the first arc of the group is the
+  // minimum across parallel arcs.
+  return row.weights[static_cast<std::size_t>(it - row.targets.begin())];
+}
+
+}  // namespace
+
+epoch_graph::ptr epoch_graph::make_base(csr_graph base) {
+  auto epoch = std::shared_ptr<epoch_graph>(new epoch_graph());
+  epoch->base_ = std::make_shared<const csr_graph>(std::move(base));
+  epoch->num_arcs_ = epoch->base_->num_arcs();
+  epoch->fingerprint_ = epoch->base_->fingerprint();
+  epoch->csr_ = epoch->base_;
+  return epoch;
+}
+
+std::uint64_t epoch_graph::degree(vertex_id v) const noexcept {
+  const overlay_row* row = find_row(v);
+  return row != nullptr ? row->targets.size() : base_->degree(v);
+}
+
+std::span<const vertex_id> epoch_graph::neighbors(vertex_id v) const noexcept {
+  const overlay_row* row = find_row(v);
+  return row != nullptr ? std::span<const vertex_id>(row->targets)
+                        : base_->neighbors(v);
+}
+
+std::span<const weight_t> epoch_graph::weights(vertex_id v) const noexcept {
+  const overlay_row* row = find_row(v);
+  return row != nullptr ? std::span<const weight_t>(row->weights)
+                        : base_->weights(v);
+}
+
+std::optional<weight_t> epoch_graph::edge_weight(vertex_id u,
+                                                 vertex_id v) const noexcept {
+  if (u >= num_vertices()) return std::nullopt;
+  return row_min_weight({neighbors(u), weights(u)}, v);
+}
+
+epoch_graph::ptr epoch_graph::derive(const edge_delta& delta,
+                                     double compact_fraction) const {
+  auto child = std::shared_ptr<epoch_graph>(new epoch_graph());
+  child->base_ = base_;
+  child->rows_ = rows_;  // COW inheritance: rows are small, bounded by compaction
+  child->num_arcs_ = num_arcs_;
+  child->epoch_id_ = epoch_id_ + 1;
+  child->parent_ = shared_from_this();
+  child->applied_.reserve(delta.size());
+
+  const vertex_id n = num_vertices();
+  // Private (copy-on-write) row of v in the child, copying from the base on
+  // first touch.
+  const auto ensure_row = [&child](vertex_id v) -> overlay_row& {
+    const auto it = child->rows_.find(v);
+    if (it != child->rows_.end()) return it->second;
+    overlay_row row;
+    const auto nbrs = child->base_->neighbors(v);
+    const auto wts = child->base_->weights(v);
+    row.targets.assign(nbrs.begin(), nbrs.end());
+    row.weights.assign(wts.begin(), wts.end());
+    return child->rows_.emplace(v, std::move(row)).first->second;
+  };
+  // Sets every parallel arc to `to` inside `row` to weight w; returns the
+  // number of arcs touched (0 = edge absent).
+  const auto reweight_in_row = [](overlay_row& row, vertex_id to, weight_t w) {
+    const auto begin =
+        std::lower_bound(row.targets.begin(), row.targets.end(), to);
+    std::size_t count = 0;
+    for (auto it = begin; it != row.targets.end() && *it == to; ++it, ++count) {
+      row.weights[static_cast<std::size_t>(it - row.targets.begin())] = w;
+    }
+    return count;
+  };
+  const auto erase_in_row = [](overlay_row& row, vertex_id to) {
+    const auto begin =
+        std::lower_bound(row.targets.begin(), row.targets.end(), to);
+    auto end = begin;
+    while (end != row.targets.end() && *end == to) ++end;
+    const std::size_t count = static_cast<std::size_t>(end - begin);
+    row.weights.erase(row.weights.begin() + (begin - row.targets.begin()),
+                      row.weights.begin() + (end - row.targets.begin()));
+    row.targets.erase(begin, end);
+    return count;
+  };
+  const auto insert_in_row = [](overlay_row& row, vertex_id to, weight_t w) {
+    // Sorted by (target, weight): position among an existing target group
+    // honours the weight order too.
+    std::size_t pos = 0;
+    while (pos < row.targets.size() &&
+           std::pair{row.targets[pos], row.weights[pos]} < std::pair{to, w}) {
+      ++pos;
+    }
+    row.targets.insert(row.targets.begin() + pos, to);
+    row.weights.insert(row.weights.begin() + pos, w);
+  };
+
+  for (const edge_edit& edit : delta.edits) {
+    if (edit.u >= n || edit.v >= n) {
+      throw std::invalid_argument("epoch_graph: edge edit endpoint out of range");
+    }
+    if (edit.u == edit.v) {
+      throw std::invalid_argument("epoch_graph: self-loop edits are not allowed");
+    }
+    applied_edge_edit applied;
+    applied.u = std::min(edit.u, edit.v);
+    applied.v = std::max(edit.u, edit.v);
+    const overlay_row* existing = child->find_row(edit.u);
+    const row_view before =
+        existing != nullptr
+            ? row_view{existing->targets, existing->weights}
+            : row_view{child->base_->neighbors(edit.u),
+                       child->base_->weights(edit.u)};
+    const std::optional<weight_t> old_w = row_min_weight(before, edit.v);
+    applied.had_edge = old_w.has_value();
+    applied.old_weight = old_w.value_or(0);
+
+    switch (edit.op) {
+      case edge_edit::op_t::reweight: {
+        if (edit.weight == 0) {
+          throw std::invalid_argument("epoch_graph: edge weights must be >= 1");
+        }
+        if (!old_w) {
+          throw std::invalid_argument(
+              "epoch_graph: reweight of an absent edge (use enable)");
+        }
+        (void)reweight_in_row(ensure_row(edit.u), edit.v, edit.weight);
+        (void)reweight_in_row(ensure_row(edit.v), edit.u, edit.weight);
+        applied.has_edge = true;
+        applied.new_weight = edit.weight;
+        break;
+      }
+      case edge_edit::op_t::disable: {
+        if (!old_w) {
+          throw std::invalid_argument("epoch_graph: disable of an absent edge");
+        }
+        const std::size_t fwd = erase_in_row(ensure_row(edit.u), edit.v);
+        const std::size_t rev = erase_in_row(ensure_row(edit.v), edit.u);
+        child->num_arcs_ -= fwd + rev;
+        applied.has_edge = false;
+        break;
+      }
+      case edge_edit::op_t::enable: {
+        if (edit.weight == 0) {
+          throw std::invalid_argument("epoch_graph: edge weights must be >= 1");
+        }
+        if (old_w) {
+          throw std::invalid_argument(
+              "epoch_graph: enable of a present edge (use reweight)");
+        }
+        insert_in_row(ensure_row(edit.u), edit.v, edit.weight);
+        insert_in_row(ensure_row(edit.v), edit.u, edit.weight);
+        child->num_arcs_ += 2;
+        applied.has_edge = true;
+        applied.new_weight = edit.weight;
+        break;
+      }
+    }
+    child->applied_.push_back(applied);
+  }
+
+  child->overlay_arcs_ = 0;
+  for (const auto& [v, row] : child->rows_) {
+    child->overlay_arcs_ += row.targets.size();
+  }
+
+  // Chained content fingerprint: O(delta) instead of O(m).
+  std::uint64_t fp = util::hash_combine(fingerprint_, 0xe90c);
+  for (const applied_edge_edit& e : child->applied_) {
+    fp = util::hash_combine(fp, e.u);
+    fp = util::hash_combine(fp, e.v);
+    fp = util::hash_combine(fp, (e.had_edge ? 1u : 0u) | (e.has_edge ? 2u : 0u));
+    fp = util::hash_combine(fp, e.old_weight);
+    fp = util::hash_combine(fp, e.new_weight);
+  }
+  child->fingerprint_ = fp;
+
+  if (compact_fraction > 0.0 &&
+      static_cast<double>(child->overlay_arcs_) >
+          compact_fraction * static_cast<double>(child->base_->num_arcs())) {
+    child->base_ = std::make_shared<const csr_graph>(child->materialize());
+    child->rows_.clear();
+    child->overlay_arcs_ = 0;
+    child->csr_ = child->base_;
+    child->compacted_ = true;
+  }
+  return child;
+}
+
+csr_graph epoch_graph::materialize() const {
+  const vertex_id n = num_vertices();
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+  for (vertex_id v = 0; v < n; ++v) offsets[v + 1] = offsets[v] + degree(v);
+
+  std::vector<vertex_id> targets(offsets[n]);
+  std::vector<weight_t> weights(offsets[n]);
+  for (vertex_id v = 0; v < n; ++v) {
+    const auto nbrs = neighbors(v);
+    const auto wts = this->weights(v);
+    std::copy(nbrs.begin(), nbrs.end(), targets.begin() + offsets[v]);
+    std::copy(wts.begin(), wts.end(), weights.begin() + offsets[v]);
+  }
+  return csr_graph::from_sorted_parts(std::move(offsets), std::move(targets),
+                                      std::move(weights));
+}
+
+std::shared_ptr<const csr_graph> epoch_graph::csr() const {
+  const std::lock_guard<std::mutex> lock(csr_mutex_);
+  if (csr_ == nullptr) {
+    csr_ = rows_.empty() ? base_
+                         : std::make_shared<const csr_graph>(materialize());
+  }
+  return csr_;
+}
+
+void epoch_graph::release_materialization() const {
+  const std::lock_guard<std::mutex> lock(csr_mutex_);
+  if (csr_ != nullptr && csr_ != base_) csr_.reset();
+}
+
+void epoch_graph::retire() const {
+  const std::lock_guard<std::mutex> lock(csr_mutex_);
+  if (csr_ != nullptr && csr_ != base_) csr_.reset();
+  parent_.reset();
+}
+
+epoch_graph::ptr epoch_graph::parent() const {
+  const std::lock_guard<std::mutex> lock(csr_mutex_);
+  return parent_;
+}
+
+bool epoch_graph::materialized() const {
+  const std::lock_guard<std::mutex> lock(csr_mutex_);
+  return csr_ != nullptr;
+}
+
+std::uint64_t epoch_graph::overlay_bytes() const noexcept {
+  std::uint64_t bytes = 0;
+  for (const auto& [v, row] : rows_) {
+    bytes += sizeof(vertex_id) + row.targets.size() * sizeof(vertex_id) +
+             row.weights.size() * sizeof(weight_t);
+  }
+  return bytes;
+}
+
+// ---- epoch_store -------------------------------------------------------------
+
+epoch_store::epoch_store(csr_graph base, config cfg) : config_(cfg) {
+  config_.max_live_epochs = std::max<std::size_t>(1, config_.max_live_epochs);
+  live_.push_back(epoch_graph::make_base(std::move(base)));
+}
+
+epoch_graph::ptr epoch_store::current() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return live_.back();
+}
+
+epoch_graph::ptr epoch_store::advance(const edge_delta& delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  epoch_graph::ptr next = live_.back()->derive(delta, config_.compact_fraction);
+  live_.push_back(next);
+  while (live_.size() > config_.max_live_epochs) {
+    live_.front()->retire();
+    live_.pop_front();
+  }
+  return next;
+}
+
+epoch_graph::ptr epoch_store::find(std::uint64_t epoch_id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Epoch ids are consecutive: index arithmetic instead of a scan.
+  const std::uint64_t first = live_.front()->epoch_id();
+  if (epoch_id < first || epoch_id > live_.back()->epoch_id()) return nullptr;
+  return live_[static_cast<std::size_t>(epoch_id - first)];
+}
+
+std::vector<epoch_graph::ptr> epoch_store::live() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {live_.begin(), live_.end()};
+}
+
+std::optional<std::vector<applied_edge_edit>> epoch_store::delta_between(
+    std::uint64_t from, std::uint64_t to) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t first = live_.front()->epoch_id();
+  const std::uint64_t last = live_.back()->epoch_id();
+  if (from > to || from < first || to > last) return std::nullopt;
+
+  // Fold the chain (from, to] per undirected edge: old state from the first
+  // touch, new state from the last; net no-ops vanish. std::map keeps the
+  // output deterministic.
+  std::map<undirected_key, applied_edge_edit> folded;
+  for (std::uint64_t id = from + 1; id <= to; ++id) {
+    const epoch_graph::ptr& epoch = live_[static_cast<std::size_t>(id - first)];
+    for (const applied_edge_edit& e : epoch->delta_from_parent()) {
+      const undirected_key key(e.u, e.v);
+      const auto [it, inserted] = folded.emplace(key, e);
+      if (!inserted) {
+        it->second.has_edge = e.has_edge;
+        it->second.new_weight = e.new_weight;
+      }
+    }
+  }
+  std::vector<applied_edge_edit> out;
+  out.reserve(folded.size());
+  for (const auto& [key, e] : folded) {
+    if (!e.unchanged()) out.push_back(e);
+  }
+  return out;
+}
+
+std::uint64_t epoch_store::first_live_epoch() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return live_.front()->epoch_id();
+}
+
+std::size_t epoch_store::live_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return live_.size();
+}
+
+}  // namespace dsteiner::graph

@@ -1,0 +1,274 @@
+// Graph mutation epochs: immutable-base + copy-on-write overlay views over
+// csr_graph.
+//
+// The paper's §I workflow has users "adding or removing classes of edges
+// and/or vertices and adjusting edge distance functions" interactively.
+// Rebuilding a CSR (and everything keyed by its fingerprint — result cache,
+// warm-start donors) per edit throws away exactly the state that makes
+// interactive latency acceptable. An epoch_graph instead derives a new
+// *epoch* from a batch of edge edits:
+//
+//   - Derivation is O(delta + touched rows): only the adjacency rows whose
+//     edges changed are copied into a private overlay; every other row keeps
+//     pointing at the shared immutable base CSR.
+//   - Each epoch carries a *chained* content fingerprint
+//     hash(parent fingerprint, applied delta), so deriving is O(delta) in
+//     hashing work too — no O(m) array rehash until a solve actually needs
+//     the materialized CSR.
+//   - The full csr_graph view is materialized lazily (first solve), by
+//     patching the base arrays row-wise — a memcpy-speed rebuild that skips
+//     the edge-list round trip and per-row re-sort. An epoch whose overlay is
+//     empty shares the base CSR outright.
+//   - When accumulated overlay rows exceed a configurable fraction of the
+//     base arc count, derivation compacts: the fresh CSR becomes the new
+//     base and the overlay resets (bounding both derivation cost and the
+//     memory retired epochs can pin).
+//
+// Epoch provenance (parent pointer + the *applied* delta, with old weights
+// recorded) is what lets the warm-start layer repair a donor solve from a
+// previous epoch instead of recomputing (core/warm_start.hpp), and what lets
+// the service keep serving old-epoch cached results while new-epoch solves
+// warm up (service/steiner_service.hpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace dsteiner::graph {
+
+/// One requested undirected edge edit. `reweight` sets the weight of every
+/// parallel arc between u and v (both directions); `disable` removes them;
+/// `enable` inserts a fresh undirected edge (the edge must be absent).
+struct edge_edit {
+  enum class op_t : std::uint8_t { reweight, disable, enable };
+
+  vertex_id u = 0;
+  vertex_id v = 0;
+  weight_t weight = 1;  ///< new weight for reweight/enable; ignored by disable
+  op_t op = op_t::reweight;
+
+  [[nodiscard]] static edge_edit reweight(vertex_id u, vertex_id v, weight_t w) {
+    return {u, v, w, op_t::reweight};
+  }
+  [[nodiscard]] static edge_edit disable(vertex_id u, vertex_id v) {
+    return {u, v, 0, op_t::disable};
+  }
+  [[nodiscard]] static edge_edit enable(vertex_id u, vertex_id v, weight_t w) {
+    return {u, v, w, op_t::enable};
+  }
+};
+
+/// A batch of edge edits deriving one epoch from its parent.
+struct edge_delta {
+  std::vector<edge_edit> edits;
+
+  [[nodiscard]] bool empty() const noexcept { return edits.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return edits.size(); }
+};
+
+/// An edit as actually applied, annotated with the before/after weights the
+/// warm-start repair needs to classify it (raised/removed edges damage the
+/// donor labelling; lowered/added edges only open improvement frontiers).
+/// min_weight semantics: for parallel edges the recorded weight is the
+/// minimum across the parallel arcs (the only one shortest paths can use).
+struct applied_edge_edit {
+  vertex_id u = 0;
+  vertex_id v = 0;
+  bool had_edge = false;  ///< edge existed before the edit
+  bool has_edge = false;  ///< edge exists after the edit
+  weight_t old_weight = 0;  ///< valid when had_edge
+  weight_t new_weight = 0;  ///< valid when has_edge
+
+  /// True when the edit can invalidate donor labels whose shortest-path
+  /// witness crossed this edge (weight raised, or edge removed).
+  [[nodiscard]] bool raised() const noexcept {
+    return had_edge && (!has_edge || new_weight > old_weight);
+  }
+  /// True when the edit can only create better paths (weight lowered, or
+  /// edge added).
+  [[nodiscard]] bool lowered() const noexcept {
+    return has_edge && (!had_edge || new_weight < old_weight);
+  }
+  /// True when the edit left the effective weight unchanged (no-op).
+  [[nodiscard]] bool unchanged() const noexcept {
+    return had_edge == has_edge && (!has_edge || new_weight == old_weight);
+  }
+};
+
+/// One immutable epoch of a mutating graph. Instances are shared_ptr-managed
+/// (derive() links child to parent); all accessors are const and thread-safe.
+class epoch_graph : public std::enable_shared_from_this<epoch_graph> {
+ public:
+  using ptr = std::shared_ptr<const epoch_graph>;
+
+  /// Epoch 0 over an immutable base CSR. Its fingerprint is the CSR's
+  /// structural fingerprint, so epoch-keyed caches are continuous with
+  /// fingerprint-keyed ones for an unedited graph.
+  [[nodiscard]] static ptr make_base(csr_graph base);
+
+  /// Derives the next epoch by applying `delta` — O(delta + touched rows +
+  /// inherited overlay), never O(m) unless the compaction threshold trips.
+  /// Throws std::invalid_argument on out-of-range endpoints, self-loops,
+  /// zero weights, reweight/disable of an absent edge, or enable of a
+  /// present one. `compact_fraction` > 0: when the resulting overlay holds
+  /// more than compact_fraction * base arcs, the epoch materializes eagerly
+  /// and rebases (empty overlay over the fresh CSR).
+  [[nodiscard]] ptr derive(const edge_delta& delta,
+                           double compact_fraction = 0.25) const;
+
+  [[nodiscard]] std::uint64_t epoch_id() const noexcept { return epoch_id_; }
+
+  /// Chained content fingerprint: hash(parent fingerprint, applied delta).
+  /// Identifies graph content by provenance — two epochs with the same edit
+  /// history have equal fingerprints; cache keys built from it never alias
+  /// across epochs.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept { return fingerprint_; }
+
+  /// Parent epoch (nullptr for a base epoch, or after this epoch retired).
+  /// Compaction does NOT sever the link — provenance survives rebasing, only
+  /// the storage representation changes.
+  [[nodiscard]] ptr parent() const;
+
+  /// The delta that derived this epoch from parent(), annotated with the
+  /// weights it replaced. Empty for a base epoch.
+  [[nodiscard]] std::span<const applied_edge_edit> delta_from_parent()
+      const noexcept {
+    return applied_;
+  }
+
+  // ---- overlay-aware reads (no materialization required) -------------------
+
+  [[nodiscard]] vertex_id num_vertices() const noexcept {
+    return base_->num_vertices();
+  }
+  [[nodiscard]] std::uint64_t num_arcs() const noexcept { return num_arcs_; }
+  [[nodiscard]] std::uint64_t degree(vertex_id v) const noexcept;
+  [[nodiscard]] std::span<const vertex_id> neighbors(vertex_id v) const noexcept;
+  [[nodiscard]] std::span<const weight_t> weights(vertex_id v) const noexcept;
+  /// Weight of edge (u, v) if present; minimum across parallel arcs.
+  [[nodiscard]] std::optional<weight_t> edge_weight(vertex_id u,
+                                                    vertex_id v) const noexcept;
+
+  // ---- materialization -----------------------------------------------------
+
+  /// The full CSR view of this epoch, materialized on first call (thread-
+  /// safe) by patching the base arrays row-wise. An epoch with an empty
+  /// overlay returns the base CSR itself — zero copies. Callers keep the
+  /// returned shared_ptr for as long as they use the graph: a retired
+  /// epoch's cached materialization may be released concurrently.
+  [[nodiscard]] std::shared_ptr<const csr_graph> csr() const;
+
+  /// Drops the cached materialization (and nothing else). In-flight holders
+  /// of the shared_ptr are unaffected; a later csr() call rebuilds. No-op
+  /// when the overlay is empty (the base CSR is shared, not owned per-epoch)
+  /// or on a base/rebased epoch.
+  void release_materialization() const;
+
+  /// Called by the epoch store when this epoch falls out of the live window:
+  /// releases the cached materialization and severs the parent link so
+  /// ancestor epochs (and their overlay rows) can be freed. Holders of this
+  /// epoch keep reading it; only its provenance pointer is gone.
+  void retire() const;
+
+  [[nodiscard]] bool materialized() const;
+
+  /// Arcs held in private overlay rows (0 for a base or just-compacted
+  /// epoch). Drives the compaction decision in derive().
+  [[nodiscard]] std::uint64_t overlay_arcs() const noexcept { return overlay_arcs_; }
+  /// Number of copy-on-write rows this epoch privately owns.
+  [[nodiscard]] std::size_t overlay_rows() const noexcept { return rows_.size(); }
+  /// True when derive() hit the compaction threshold and rebased this epoch
+  /// onto a freshly materialized CSR.
+  [[nodiscard]] bool compacted() const noexcept { return compacted_; }
+
+  /// Bytes of private overlay storage (Fig. 8-style accounting).
+  [[nodiscard]] std::uint64_t overlay_bytes() const noexcept;
+
+ private:
+  epoch_graph() = default;
+
+  struct overlay_row {
+    std::vector<vertex_id> targets;
+    std::vector<weight_t> weights;
+  };
+
+  /// Row of v as this epoch sees it (overlay if touched, base otherwise).
+  [[nodiscard]] const overlay_row* find_row(vertex_id v) const noexcept {
+    const auto it = rows_.find(v);
+    return it == rows_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] csr_graph materialize() const;
+
+  std::shared_ptr<const csr_graph> base_;  ///< shared rebase anchor
+  std::unordered_map<vertex_id, overlay_row> rows_;  ///< COW rows vs base_
+  std::uint64_t overlay_arcs_ = 0;  ///< sum of overlay row sizes
+  std::uint64_t num_arcs_ = 0;
+
+  std::uint64_t epoch_id_ = 0;
+  std::uint64_t fingerprint_ = 0;
+  std::vector<applied_edge_edit> applied_;
+  bool compacted_ = false;
+
+  mutable std::mutex csr_mutex_;  ///< guards csr_ and parent_
+  mutable ptr parent_;            ///< severed by retire()
+  mutable std::shared_ptr<const csr_graph> csr_;  ///< lazy materialization
+};
+
+/// Thread-safe manager of an epoch chain: holds a bounded window of *live*
+/// epochs, derives new ones, retires the oldest, and composes the applied
+/// delta between any two live epochs (what an edge-delta warm start needs to
+/// repair a donor from an earlier epoch).
+class epoch_store {
+ public:
+  struct config {
+    /// Overlay-size fraction of base arcs past which derive() compacts.
+    double compact_fraction = 0.25;
+    /// Live epochs retained (>= 1). Advancing past the window retires the
+    /// oldest epoch: its cached materialization is released and the service
+    /// layer purges its cache entries and donors.
+    std::size_t max_live_epochs = 4;
+  };
+
+  explicit epoch_store(csr_graph base) : epoch_store(std::move(base), config{}) {}
+  epoch_store(csr_graph base, config cfg);
+
+  [[nodiscard]] epoch_graph::ptr current() const;
+
+  /// Derives and installs a new current epoch; retires epochs that fall out
+  /// of the live window. Returns the new epoch.
+  epoch_graph::ptr advance(const edge_delta& delta);
+
+  /// Live epoch by id; nullptr when unknown or retired.
+  [[nodiscard]] epoch_graph::ptr find(std::uint64_t epoch_id) const;
+
+  /// All live epochs, oldest first.
+  [[nodiscard]] std::vector<epoch_graph::ptr> live() const;
+
+  /// Composed applied delta taking epoch `from` to epoch `to` (from <= to,
+  /// both live). Edits on the same undirected edge are folded (old weight
+  /// from the first touch, new weight from the last); edits whose net effect
+  /// is a no-op are dropped. nullopt when either epoch is not live.
+  [[nodiscard]] std::optional<std::vector<applied_edge_edit>> delta_between(
+      std::uint64_t from, std::uint64_t to) const;
+
+  /// Oldest live epoch id (everything below is retired).
+  [[nodiscard]] std::uint64_t first_live_epoch() const;
+  [[nodiscard]] std::size_t live_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  config config_;
+  std::deque<epoch_graph::ptr> live_;  ///< front = oldest
+};
+
+}  // namespace dsteiner::graph

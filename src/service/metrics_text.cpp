@@ -1,0 +1,155 @@
+#include "service/metrics_text.hpp"
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+
+namespace dsteiner::service {
+
+namespace {
+
+void append_line(std::string& out, std::string_view text) {
+  out.append(text);
+  out.push_back('\n');
+}
+
+void append_metric(std::string& out, std::string_view prefix,
+                   std::string_view name, std::string_view help,
+                   std::string_view type, std::uint64_t value) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer), "# HELP %.*s_%.*s %.*s",
+                static_cast<int>(prefix.size()), prefix.data(),
+                static_cast<int>(name.size()), name.data(),
+                static_cast<int>(help.size()), help.data());
+  append_line(out, buffer);
+  std::snprintf(buffer, sizeof(buffer), "# TYPE %.*s_%.*s %.*s",
+                static_cast<int>(prefix.size()), prefix.data(),
+                static_cast<int>(name.size()), name.data(),
+                static_cast<int>(type.size()), type.data());
+  append_line(out, buffer);
+  std::snprintf(buffer, sizeof(buffer), "%.*s_%.*s %" PRIu64,
+                static_cast<int>(prefix.size()), prefix.data(),
+                static_cast<int>(name.size()), name.data(), value);
+  append_line(out, buffer);
+}
+
+void append_counter(std::string& out, std::string_view prefix,
+                    std::string_view name, std::string_view help,
+                    std::uint64_t value) {
+  append_metric(out, prefix, name, help, "counter", value);
+}
+
+void append_gauge(std::string& out, std::string_view prefix,
+                  std::string_view name, std::string_view help,
+                  std::uint64_t value) {
+  append_metric(out, prefix, name, help, "gauge", value);
+}
+
+void append_histogram(std::string& out, std::string_view prefix,
+                      std::string_view name, std::string_view help,
+                      const latency_histogram::snapshot_data& hist) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer), "# HELP %.*s_%.*s %.*s",
+                static_cast<int>(prefix.size()), prefix.data(),
+                static_cast<int>(name.size()), name.data(),
+                static_cast<int>(help.size()), help.data());
+  append_line(out, buffer);
+  std::snprintf(buffer, sizeof(buffer), "# TYPE %.*s_%.*s histogram",
+                static_cast<int>(prefix.size()), prefix.data(),
+                static_cast<int>(name.size()), name.data());
+  append_line(out, buffer);
+
+  // Prometheus buckets are cumulative; the last log2 bucket absorbs the tail
+  // and maps onto the mandatory +Inf bucket.
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < latency_histogram::k_buckets; ++i) {
+    cumulative += hist.buckets[i];
+    if (i + 1 == latency_histogram::k_buckets) {
+      std::snprintf(buffer, sizeof(buffer),
+                    "%.*s_%.*s_bucket{le=\"+Inf\"} %" PRIu64,
+                    static_cast<int>(prefix.size()), prefix.data(),
+                    static_cast<int>(name.size()), name.data(), cumulative);
+    } else {
+      std::snprintf(buffer, sizeof(buffer),
+                    "%.*s_%.*s_bucket{le=\"%.9g\"} %" PRIu64,
+                    static_cast<int>(prefix.size()), prefix.data(),
+                    static_cast<int>(name.size()), name.data(),
+                    latency_histogram::bucket_upper_seconds(i), cumulative);
+    }
+    append_line(out, buffer);
+  }
+  std::snprintf(buffer, sizeof(buffer), "%.*s_%.*s_sum %.9g",
+                static_cast<int>(prefix.size()), prefix.data(),
+                static_cast<int>(name.size()), name.data(), hist.total_seconds);
+  append_line(out, buffer);
+  std::snprintf(buffer, sizeof(buffer), "%.*s_%.*s_count %" PRIu64,
+                static_cast<int>(prefix.size()), prefix.data(),
+                static_cast<int>(name.size()), name.data(), hist.count);
+  append_line(out, buffer);
+}
+
+}  // namespace
+
+std::string render_metrics_text(const service_snapshot& snap,
+                                std::string_view prefix) {
+  const service_stats& s = snap.stats;
+  std::string out;
+  out.reserve(8192);
+
+  append_counter(out, prefix, "queries_total", "Queries executed", s.queries);
+  append_counter(out, prefix, "cold_solves_total", "Full Alg. 3 solves",
+                 s.cold_solves);
+  append_counter(out, prefix, "warm_solves_total",
+                 "Warm-start repairs (seed and edge deltas)", s.warm_solves);
+  append_counter(out, prefix, "edge_warm_solves_total",
+                 "Warm-start repairs that crossed graph epochs",
+                 s.edge_warm_solves);
+  append_counter(out, prefix, "warm_fallbacks_total",
+                 "Warm attempts that fell back to cold", s.warm_fallbacks);
+  append_counter(out, prefix, "cache_hits_total",
+                 "Queries served from the result cache", s.cache_hits);
+  append_counter(out, prefix, "stale_hits_total",
+                 "Queries served from an older live epoch", s.stale_hits);
+  append_counter(out, prefix, "coalesced_total",
+                 "Queries that waited on an identical in-flight solve",
+                 s.coalesced);
+  append_counter(out, prefix, "epoch_advances_total",
+                 "Graph epochs derived by edge edits", s.epoch_advances);
+
+  append_counter(out, prefix, "cache_lookup_hits_total",
+                 "Result-cache lookup hits", s.cache.hits);
+  append_counter(out, prefix, "cache_lookup_misses_total",
+                 "Result-cache lookup misses", s.cache.misses);
+  append_counter(out, prefix, "cache_insertions_total",
+                 "Result-cache insertions", s.cache.insertions);
+  append_counter(out, prefix, "cache_evictions_total",
+                 "Result-cache capacity evictions", s.cache.evictions);
+  append_counter(out, prefix, "cache_retired_total",
+                 "Result-cache entries purged by epoch retirement",
+                 s.cache.retired);
+  append_gauge(out, prefix, "cache_entries", "Result-cache occupancy",
+               s.cache.entries);
+
+  append_counter(out, prefix, "executor_submitted_total",
+                 "Tasks admitted to the worker pool", s.exec.submitted);
+  append_counter(out, prefix, "executor_executed_total", "Tasks executed",
+                 s.exec.executed);
+  append_counter(out, prefix, "executor_rejected_total",
+                 "try_submit load-shed refusals", s.exec.rejected);
+  append_gauge(out, prefix, "executor_peak_queue_depth",
+               "Deepest admission queue observed", s.exec.peak_queue_depth);
+
+  append_histogram(out, prefix, "queue_wait_seconds",
+                   "Admission-to-pickup wait, all queries", snap.queue_wait);
+  append_histogram(out, prefix, "cold_solve_seconds",
+                   "Solver time on the cold path", snap.cold_solve);
+  append_histogram(out, prefix, "warm_solve_seconds",
+                   "Solver time on the warm-start path", snap.warm_solve);
+  append_histogram(out, prefix, "cache_hit_seconds",
+                   "End-to-end latency of cache hits", snap.cache_hit_total);
+  append_histogram(out, prefix, "query_seconds",
+                   "End-to-end latency, all paths", snap.total);
+  return out;
+}
+
+}  // namespace dsteiner::service

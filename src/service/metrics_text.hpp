@@ -1,0 +1,24 @@
+// Prometheus-style text exposition of a service metrics snapshot.
+//
+// Renders steiner_service::snapshot() in the text format 0.0.4 a Prometheus
+// scraper (or promtool) ingests directly: one HELP/TYPE header per metric,
+// counters as monotone totals, and the per-stage log2 latency histograms as
+// cumulative `_bucket{le="..."}` series with `_sum`/`_count`. The service
+// keeps no per-query samples — quantiles come from the bucket boundaries on
+// the scraping side, which is exactly what the format models.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "service/steiner_service.hpp"
+
+namespace dsteiner::service {
+
+/// Renders `snap` as Prometheus text exposition format 0.0.4. `prefix`
+/// namespaces every metric (default "dsteiner"): dsteiner_queries_total,
+/// dsteiner_cold_solve_seconds_bucket{le="0.000256"}, ...
+[[nodiscard]] std::string render_metrics_text(const service_snapshot& snap,
+                                              std::string_view prefix = "dsteiner");
+
+}  // namespace dsteiner::service

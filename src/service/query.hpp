@@ -23,14 +23,32 @@ struct query {
   /// Per-query opt-outs (e.g. to force fresh solves in benchmarks).
   bool use_cache = true;
   bool allow_warm_start = true;
+  /// Pins the query to a specific graph epoch (it must still be live);
+  /// nullopt targets the current epoch at execution time. Old-epoch cached
+  /// results remain servable through pins until their epoch retires.
+  std::optional<std::uint64_t> epoch;
+  /// Unpinned queries only: accept a cached result from an older live epoch
+  /// (within the service's max_stale_epochs window) when the current epoch
+  /// has no entry yet — stale-while-warming. The service kicks off a
+  /// best-effort background refresh for the current epoch on every stale
+  /// hit.
+  bool allow_stale = true;
 };
 
 /// How the service satisfied a query. The output tree is identical across all
-/// paths (the solver's determinism guarantee); only the work differs.
-/// `coalesced` = an identical query was already in flight on another worker
-/// and this one waited for its result instead of duplicating the solve
+/// paths (the solver's determinism guarantee) *except* stale_hit, which
+/// deliberately returns the previous epoch's tree; only the work differs.
+/// `warm_start` covers both seed-delta repairs and cross-epoch edge-delta
+/// repairs. `coalesced` = an identical query was already in flight on another
+/// worker and this one waited for its result instead of duplicating the solve
 /// (single-flight).
-enum class solve_kind : std::uint8_t { cold, warm_start, cache_hit, coalesced };
+enum class solve_kind : std::uint8_t {
+  cold,
+  warm_start,
+  cache_hit,
+  coalesced,
+  stale_hit,
+};
 
 [[nodiscard]] const char* to_string(solve_kind kind) noexcept;
 
@@ -38,6 +56,9 @@ struct query_result {
   core::steiner_result result;
   solve_kind kind = solve_kind::cold;
   std::uint64_t query_id = 0;
+  /// Graph epoch the served tree belongs to (the stale source epoch for
+  /// stale_hit results).
+  std::uint64_t epoch = 0;
 
   double queue_wait_seconds = 0.0;  ///< admission queue -> worker pickup
   double solve_seconds = 0.0;       ///< inside the solver (0 for cache hits)

@@ -62,28 +62,100 @@ void result_cache::insert(const cache_key& key, entry_ptr entry) {
     return;
   }
   s.lru.emplace_front(key, std::move(entry));
+  s.min_epoch = std::min(s.min_epoch, s.lru.front().second->epoch_id);
   s.index.emplace(key, s.lru.begin());
   ++s.counters.insertions;
   if (s.lru.size() > per_shard_capacity_) {
-    // Cost-aware victim selection: walk the eviction window from the LRU
-    // tail and drop the entry whose recompute cost is smallest. Strict
-    // less-than keeps ties on the coldest (furthest-back) candidate.
-    auto victim = std::prev(s.lru.end());
-    auto probe = victim;
-    for (std::size_t i = 1; i < config_.eviction_window; ++i) {
-      if (probe == s.lru.begin()) break;
-      --probe;
-      // Never consider the just-inserted MRU entry at the front.
-      if (probe == s.lru.begin()) break;
-      if (probe->second->solve_cost_seconds <
-          victim->second->solve_cost_seconds) {
-        victim = probe;
+    // Epoch-first victim selection: an entry from a pre-live epoch is dead
+    // weight the moment its epoch stops being current — retire the cheapest
+    // stale entry shard-wide before any live-epoch entry is considered.
+    // This also guarantees the sole live-epoch entry survives as long as
+    // stale ones remain. The min_epoch bound skips the shard walk outright
+    // in the all-live steady state.
+    const std::uint64_t live = live_epoch_.load(std::memory_order_relaxed);
+    auto victim = s.lru.end();
+    bool stale_victim = false;
+    if (s.min_epoch < live) {
+      std::uint64_t min_seen = s.lru.front().second->epoch_id;
+      for (auto probe = std::prev(s.lru.end()); probe != s.lru.begin();
+           --probe) {
+        min_seen = std::min(min_seen, probe->second->epoch_id);
+        if (probe->second->epoch_id >= live) continue;
+        if (victim == s.lru.end() || probe->second->solve_cost_seconds <
+                                         victim->second->solve_cost_seconds) {
+          victim = probe;
+        }
+      }
+      stale_victim = victim != s.lru.end();
+      // No stale entry left (e.g. all were evicted earlier): raise the bound
+      // so future inserts skip this scan until an older epoch reappears.
+      if (!stale_victim) s.min_epoch = min_seen;
+    }
+    if (victim == s.lru.end()) {
+      // All live: cost-aware selection within the tail eviction window.
+      // Strict less-than keeps ties on the coldest (furthest-back)
+      // candidate.
+      victim = std::prev(s.lru.end());
+      auto probe = victim;
+      for (std::size_t i = 1; i < config_.eviction_window; ++i) {
+        if (probe == s.lru.begin()) break;
+        --probe;
+        // Never consider the just-inserted MRU entry at the front.
+        if (probe == s.lru.begin()) break;
+        if (probe->second->solve_cost_seconds <
+            victim->second->solve_cost_seconds) {
+          victim = probe;
+        }
       }
     }
     s.index.erase(victim->first);
     s.lru.erase(victim);
     ++s.counters.evictions;
+    if (stale_victim) {
+      // The evicted entry may have carried the minimum epoch; recompute the
+      // exact bound (rare path — stale entries exist only around epoch
+      // advances, and shards are small).
+      s.min_epoch = std::numeric_limits<std::uint64_t>::max();
+      for (const auto& item : s.lru) {
+        s.min_epoch = std::min(s.min_epoch, item.second->epoch_id);
+      }
+    }
   }
+}
+
+void result_cache::set_live_epoch(std::uint64_t epoch_id) noexcept {
+  // Monotone max: concurrent advance_epoch calls may race here after their
+  // (serialized) store advances — a late older store must not roll the live
+  // marker back and expose the current epoch's entries to eviction.
+  std::uint64_t current = live_epoch_.load(std::memory_order_relaxed);
+  while (current < epoch_id &&
+         !live_epoch_.compare_exchange_weak(current, epoch_id,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t result_cache::live_epoch() const noexcept {
+  return live_epoch_.load(std::memory_order_relaxed);
+}
+
+std::size_t result_cache::retire_epochs_before(std::uint64_t first_live) {
+  std::size_t purged = 0;
+  for (const auto& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s->mutex);
+    s->min_epoch = std::numeric_limits<std::uint64_t>::max();
+    for (auto it = s->lru.begin(); it != s->lru.end();) {
+      if (it->second->epoch_id < first_live) {
+        s->index.erase(it->first);
+        it = s->lru.erase(it);
+        ++s->counters.retired;
+        ++purged;
+      } else {
+        s->min_epoch = std::min(s->min_epoch, it->second->epoch_id);
+        ++it;
+      }
+    }
+  }
+  return purged;
 }
 
 result_cache::stats result_cache::snapshot() const {
@@ -94,6 +166,7 @@ result_cache::stats result_cache::snapshot() const {
     total.misses += s->counters.misses;
     total.insertions += s->counters.insertions;
     total.evictions += s->counters.evictions;
+    total.retired += s->counters.retired;
     total.entries += s->lru.size();
   }
   return total;
@@ -104,6 +177,7 @@ void result_cache::clear() {
     const std::lock_guard<std::mutex> lock(s->mutex);
     s->lru.clear();
     s->index.clear();
+    s->min_epoch = std::numeric_limits<std::uint64_t>::max();
   }
 }
 

@@ -15,7 +15,9 @@
 // under its own mutex.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <limits>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -52,6 +54,10 @@ struct cached_solve {
   /// Wall seconds the producing solve took — the recompute cost this entry
   /// saves. Drives cost-aware eviction: cheap entries go first.
   double solve_cost_seconds = 0.0;
+  /// Graph epoch the solve ran against. Entries from epochs older than the
+  /// live one are preferred eviction victims and are purged wholesale when
+  /// their epoch retires.
+  std::uint64_t epoch_id = 0;
 };
 
 class result_cache {
@@ -70,7 +76,8 @@ class result_cache {
     std::uint64_t misses = 0;
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
-    std::size_t entries = 0;  ///< current occupancy
+    std::uint64_t retired = 0;  ///< entries purged by epoch retirement
+    std::size_t entries = 0;    ///< current occupancy
   };
 
   using entry_ptr = std::shared_ptr<const cached_solve>;
@@ -86,11 +93,26 @@ class result_cache {
                                std::span<const graph::vertex_id> canonical_seeds,
                                bool count_miss = true);
 
-  /// Inserts (or refreshes) an entry. Over capacity, evicts the cheapest
-  /// entry (by solve_cost_seconds) within the tail eviction window — LRU
-  /// softened by recompute cost, so an expensive solve survives a burst of
-  /// cheap one-off queries.
+  /// Inserts (or refreshes) an entry. Over capacity, the victim is chosen
+  /// epoch-first, then by cost:
+  ///   1. any entry from an epoch older than the live epoch (stale) — the
+  ///      cheapest such entry shard-wide; retiring epochs always precedes
+  ///      touching live-epoch entries, so the sole live-epoch entry is never
+  ///      evicted while stale ones remain;
+  ///   2. otherwise the cheapest entry (by solve_cost_seconds) within the
+  ///      tail eviction window — LRU softened by recompute cost, so an
+  ///      expensive solve survives a burst of cheap one-off queries.
   void insert(const cache_key& key, entry_ptr entry);
+
+  /// Marks the epoch whose entries eviction must protect. Entries whose
+  /// epoch_id is older become preferred victims.
+  void set_live_epoch(std::uint64_t epoch_id) noexcept;
+  [[nodiscard]] std::uint64_t live_epoch() const noexcept;
+
+  /// Epoch-retirement eviction: purges every entry with epoch_id <
+  /// first_live (counted in stats.retired, not stats.evictions). Returns the
+  /// number purged.
+  std::size_t retire_epochs_before(std::uint64_t first_live);
 
   [[nodiscard]] stats snapshot() const;
   void clear();
@@ -107,6 +129,10 @@ class result_cache {
                        cache_key_hash>
         index;
     stats counters;
+    /// Lower bound on the epochs present in this shard (exact after
+    /// retire_epochs_before, conservative after evictions). Lets eviction
+    /// skip the stale scan in the all-live steady state.
+    std::uint64_t min_epoch = std::numeric_limits<std::uint64_t>::max();
   };
 
   [[nodiscard]] shard& shard_for(const cache_key& key);
@@ -114,6 +140,7 @@ class result_cache {
   config config_;
   std::size_t per_shard_capacity_ = 1;
   std::vector<std::unique_ptr<shard>> shards_;
+  std::atomic<std::uint64_t> live_epoch_{0};
 };
 
 }  // namespace dsteiner::service

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
+#include <stdexcept>
 #include <utility>
 
 #include "runtime/parallel/worker_pool.hpp"
@@ -15,13 +17,14 @@ const char* to_string(solve_kind kind) noexcept {
     case solve_kind::warm_start: return "warm-start";
     case solve_kind::cache_hit: return "cache-hit";
     case solve_kind::coalesced: return "coalesced";
+    case solve_kind::stale_hit: return "stale-hit";
   }
   return "?";
 }
 
 steiner_service::steiner_service(graph::csr_graph graph, service_config config)
-    : graph_(std::move(graph)),
-      config_(config),
+    : config_(config),
+      epochs_(std::move(graph), config.epochs),
       cache_(config.cache),
       exec_(config.exec) {
   // Core-budget split: the executor's workers provide inter-query
@@ -33,6 +36,7 @@ steiner_service::steiner_service(graph::csr_graph graph, service_config config)
   const std::size_t workers = std::max<std::size_t>(1, config_.exec.num_threads);
   intra_query_threads_ = std::max<std::size_t>(1, budget / workers);
   grant_worker_budget(config_.solver);
+  cache_.set_live_epoch(epochs_.current()->epoch_id());
 }
 
 void steiner_service::grant_worker_budget(
@@ -119,35 +123,107 @@ query_result steiner_service::solve(query q) {
   return submit(std::move(q)).get();
 }
 
-steiner_service::donor_ptr steiner_service::find_donor(
-    std::span<const graph::vertex_id> canonical_seeds) {
+std::uint64_t steiner_service::advance_epoch(const graph::edge_delta& delta) {
+  const graph::epoch_graph::ptr next = epochs_.advance(delta);
+  ++epoch_advances_;
+  // Epoch-retirement eviction: new-epoch entries are now the protected
+  // ones; everything from epochs that left the live window is purged.
+  cache_.set_live_epoch(next->epoch_id());
+  const std::uint64_t first_live = epochs_.first_live_epoch();
+  (void)cache_.retire_epochs_before(first_live);
+  {
+    const std::lock_guard<std::mutex> lock(donors_mutex_);
+    std::erase_if(donors_, [first_live](const donor_record& rec) {
+      return rec.epoch_id < first_live;
+    });
+  }
+  return next->epoch_id();
+}
+
+std::optional<steiner_service::donor_match> steiner_service::find_donor(
+    std::span<const graph::vertex_id> canonical_seeds,
+    const graph::epoch_graph& epoch) {
   const std::lock_guard<std::mutex> lock(donors_mutex_);
-  donor_ptr best;
-  std::size_t best_size = config_.warm_delta_limit + 1;
-  for (const auto& candidate : donors_) {
+  std::optional<donor_match> best;
+  double best_volume = std::numeric_limits<double>::infinity();
+  for (const donor_record& rec : donors_) {
     const auto delta =
-        core::compute_seed_delta(candidate->seeds, canonical_seeds);
-    if (delta.size() < best_size) {
-      best_size = delta.size();
-      best = candidate;
-      if (best_size == 0) break;
+        core::compute_seed_delta(rec.artifacts->seeds, canonical_seeds);
+    if (delta.size() > config_.warm_delta_limit) continue;
+    std::vector<graph::applied_edge_edit> edits;
+    if (rec.epoch_id != epoch.epoch_id()) {
+      auto composed = epochs_.delta_between(rec.epoch_id, epoch.epoch_id());
+      if (!composed || composed->size() > config_.warm_edge_edit_limit) {
+        continue;
+      }
+      edits = std::move(*composed);
+    }
+    // Rank donors by estimated reset-region volume — the vertices the repair
+    // will clear and rescan — instead of raw delta count: one removed seed
+    // that owned a third of the graph repairs slower than three whose cells
+    // were tiny. Removed seeds and modified-edge endpoints contribute their
+    // donor cell sizes; an added seed's future cell is unknown, so it
+    // contributes the donor's average cell size.
+    const auto cell_size = [&rec](graph::vertex_id seed) -> double {
+      const auto it = rec.cell_sizes.find(seed);
+      return it == rec.cell_sizes.end() ? 0.0 : static_cast<double>(it->second);
+    };
+    const double avg_cell =
+        static_cast<double>(rec.artifacts->state.distance.size()) /
+        static_cast<double>(std::max<std::size_t>(1, rec.artifacts->seeds.size()));
+    double volume = static_cast<double>(delta.added.size()) * avg_cell;
+    for (const graph::vertex_id t : delta.removed) volume += cell_size(t);
+    for (const graph::applied_edge_edit& e : edits) {
+      for (const graph::vertex_id endpoint : {e.u, e.v}) {
+        const graph::vertex_id cell = rec.artifacts->state.src[endpoint];
+        if (cell != graph::k_no_vertex) volume += cell_size(cell);
+      }
+    }
+    // Strict <: ties go to the most recent donor (front-to-back iteration).
+    if (volume < best_volume) {
+      best_volume = volume;
+      best = donor_match{rec.artifacts, rec.graph_fingerprint, std::move(edits)};
+      if (best_volume == 0.0) break;  // exact same-epoch, same-seed donor
     }
   }
   return best;
 }
 
-void steiner_service::remember_donor(donor_ptr donor) {
+void steiner_service::remember_donor(donor_ptr donor, std::uint64_t epoch_id) {
+  donor_record rec;
+  rec.epoch_id = epoch_id;
+  rec.graph_fingerprint = donor->graph_fingerprint;
+  // Per-seed cell sizes, computed once per donor (O(|V|), a sliver of the
+  // solve that produced it): the basis of reset-volume ranking.
+  rec.cell_sizes.reserve(donor->seeds.size());
+  for (const graph::vertex_id src : donor->state.src) {
+    if (src != graph::k_no_vertex) ++rec.cell_sizes[src];
+  }
+  rec.artifacts = std::move(donor);
+
   const std::lock_guard<std::mutex> lock(donors_mutex_);
-  // One donor per seed set: repeated solves of a hot set refresh its slot
-  // instead of flushing the other sets out of the bounded registry.
+  if (epoch_id < epochs_.first_live_epoch()) return;  // raced a retirement
+  // One donor per (epoch, seed set): repeated solves of a hot set refresh
+  // its slot instead of flushing the other sets out of the bounded registry.
   for (auto it = donors_.begin(); it != donors_.end(); ++it) {
-    if ((*it)->seeds == donor->seeds) {
+    if (it->epoch_id == epoch_id &&
+        it->artifacts->seeds == rec.artifacts->seeds) {
       donors_.erase(it);
       break;
     }
   }
-  donors_.push_front(std::move(donor));
+  donors_.push_front(std::move(rec));
   while (donors_.size() > config_.donor_history) donors_.pop_back();
+}
+
+void steiner_service::refresh_in_background(
+    std::vector<graph::vertex_id> seeds,
+    std::optional<core::solver_config> config) {
+  query refresh;
+  refresh.seeds = std::move(seeds);
+  refresh.config = std::move(config);
+  refresh.allow_stale = false;  // the refresh must actually solve (or coalesce)
+  (void)try_submit(std::move(refresh));  // best-effort: shed when saturated
 }
 
 query_result steiner_service::execute(query q, double queue_wait,
@@ -157,20 +233,33 @@ query_result steiner_service::execute(query q, double queue_wait,
   out.queue_wait_seconds = queue_wait;
   queue_wait_hist_.record(queue_wait);
 
+  // Resolve the target epoch at execution time; pinned queries must still be
+  // live. The epoch's CSR is deliberately NOT materialized here: cache hits,
+  // stale hits and coalesced waits never need it, and materializing a fresh
+  // epoch costs O(m).
+  const graph::epoch_graph::ptr epoch =
+      q.epoch ? epochs_.find(*q.epoch) : epochs_.current();
+  if (epoch == nullptr) {
+    throw std::invalid_argument(
+        "steiner_service: query pinned to a retired or unknown epoch");
+  }
+  out.epoch = epoch->epoch_id();
+
   core::solver_config solver_config = q.config.value_or(config_.solver);
   grant_worker_budget(solver_config);
   const std::vector<graph::vertex_id> canonical =
-      core::canonicalize_seeds(graph_, q.seeds);
-  const cache_key key{
-      graph_.fingerprint(),
-      util::hash_range(canonical.data(), canonical.size(), 0x5eed),
-      config_hash(solver_config)};
+      core::canonicalize_seeds(epoch->num_vertices(), q.seeds);
+  const std::uint64_t seed_hash =
+      util::hash_range(canonical.data(), canonical.size(), 0x5eed);
+  const std::uint64_t cfg_hash = config_hash(solver_config);
+  const cache_key key{epoch->fingerprint(), seed_hash, cfg_hash};
   const bool cacheable = config_.enable_cache && q.use_cache;
 
   const auto finish_from_entry = [&](const cached_solve& entry,
                                      solve_kind kind) {
     out.result = entry.result;
     out.kind = kind;
+    out.epoch = entry.epoch_id;
     out.total_seconds = admitted.seconds();
     if (kind == solve_kind::cache_hit) {
       cache_hit_total_hist_.record(out.total_seconds);
@@ -187,6 +276,29 @@ query_result steiner_service::execute(query q, double queue_wait,
     if (const auto hit = cache_.find(key, canonical)) {
       ++cache_hits_;
       return finish_from_entry(*hit, solve_kind::cache_hit);
+    }
+    // Stale-while-warming: the current epoch has no entry yet, but a recent
+    // live epoch might — serve its (explicitly marked) tree and refresh the
+    // current epoch in the background, so graph edits don't stall readers
+    // behind a cold solve. Probe newest-first: when several stale epochs
+    // hold the set, the least-stale tree wins.
+    if (!q.epoch && q.allow_stale && config_.max_stale_epochs > 0) {
+      const auto live = epochs_.live();  // oldest first
+      for (auto it = live.rbegin(); it != live.rend(); ++it) {
+        const graph::epoch_graph::ptr& old_epoch = *it;
+        if (old_epoch->epoch_id() >= epoch->epoch_id()) continue;
+        if (epoch->epoch_id() - old_epoch->epoch_id() >
+            config_.max_stale_epochs) {
+          break;  // everything further back is older still
+        }
+        const cache_key stale_key{old_epoch->fingerprint(), seed_hash, cfg_hash};
+        if (const auto stale =
+                cache_.find(stale_key, canonical, /*count_miss=*/false)) {
+          ++stale_hits_;
+          refresh_in_background(canonical, q.config);
+          return finish_from_entry(*stale, solve_kind::stale_hit);
+        }
+      }
     }
     std::shared_future<result_cache::entry_ptr> waiter;
     {
@@ -224,6 +336,10 @@ query_result steiner_service::execute(query q, double queue_wait,
   std::shared_ptr<core::solve_artifacts> artifacts;
   result_cache::entry_ptr entry;
   try {
+    // A solve is actually happening: materialize the epoch's CSR now.
+    // Holding the shared_ptr keeps it valid even if the epoch retires
+    // mid-solve.
+    const std::shared_ptr<const graph::csr_graph> csr = epoch->csr();
     // Artifacts are only worth their O(|V|) capture cost if warm starts can
     // ever consume them.
     if (config_.enable_warm_start) {
@@ -232,13 +348,16 @@ query_result steiner_service::execute(query q, double queue_wait,
     bool warmed = false;
     if (config_.enable_warm_start && q.allow_warm_start &&
         canonical.size() > 1) {
-      if (const auto donor = find_donor(canonical)) {
+      if (const auto match = find_donor(canonical, *epoch)) {
         try {
-          out.result = core::solve_steiner_tree_warm(
-              graph_, canonical, *donor, solver_config, artifacts.get(),
-              &out.warm);
+          // Empty edits degenerate to the pure seed-delta repair; otherwise
+          // this is a cross-epoch repair over the composed edge delta.
+          out.result = core::solve_steiner_tree_edge_warm(
+              *csr, canonical, *match->artifacts, match->graph_fingerprint,
+              match->edits, solver_config, artifacts.get(), &out.warm);
           out.kind = solve_kind::warm_start;
           ++warm_solves_;
+          if (!match->edits.empty()) ++edge_warm_solves_;
           warmed = true;
         } catch (const std::invalid_argument&) {
           // Donor did not match after all (defensive): cold solve below.
@@ -249,9 +368,9 @@ query_result steiner_service::execute(query q, double queue_wait,
     if (!warmed) {
       out.result =
           artifacts != nullptr
-              ? core::solve_steiner_tree_capture(graph_, canonical,
-                                                 solver_config, *artifacts)
-              : core::solve_steiner_tree(graph_, canonical, solver_config);
+              ? core::solve_steiner_tree_capture(*csr, canonical, solver_config,
+                                                 *artifacts)
+              : core::solve_steiner_tree(*csr, canonical, solver_config);
       out.kind = solve_kind::cold;
       ++cold_solves_;
     }
@@ -263,6 +382,7 @@ query_result steiner_service::execute(query q, double queue_wait,
     fresh->seeds = canonical;
     fresh->result = out.result;
     fresh->solve_cost_seconds = out.solve_seconds;
+    fresh->epoch_id = epoch->epoch_id();
     entry = std::move(fresh);
   } catch (...) {
     if (leader) {
@@ -282,7 +402,7 @@ query_result steiner_service::execute(query q, double queue_wait,
     inflight_.erase(key);
   }
   if (artifacts != nullptr && !artifacts->empty()) {
-    remember_donor(std::move(artifacts));
+    remember_donor(std::move(artifacts), epoch->epoch_id());
   }
 
   out.total_seconds = admitted.seconds();
@@ -295,9 +415,12 @@ service_stats steiner_service::stats() const {
   s.queries = query_counter_.load();
   s.cold_solves = cold_solves_.load();
   s.warm_solves = warm_solves_.load();
+  s.edge_warm_solves = edge_warm_solves_.load();
   s.warm_fallbacks = warm_fallbacks_.load();
   s.cache_hits = cache_hits_.load();
+  s.stale_hits = stale_hits_.load();
   s.coalesced = coalesced_.load();
+  s.epoch_advances = epoch_advances_.load();
   s.cache = cache_.snapshot();
   s.exec = exec_.stats();
   return s;

@@ -1,21 +1,30 @@
 // Concurrent Steiner query service — the §I workflow at serving scale.
 //
-// One service owns one immutable graph and executes many Steiner queries
-// against it concurrently:
+// One service owns one *epoched* graph (graph/epoch_graph.hpp) and executes
+// many Steiner queries against it concurrently:
 //
 //   submit(query) -> future<query_result>
+//   advance_epoch(edge_delta) -> new epoch id     (graph mutation)
 //
 // Each query takes the cheapest correct path:
-//   1. result cache   — exact (graph, seeds, config) repeat: no solver work;
-//   2. warm start     — a recent solve's seed set differs by a small
-//                       add/remove delta: repair its Voronoi labelling and
-//                       distance graph instead of recomputing (warm_start.hpp);
-//   3. cold solve     — full Alg. 3 pipeline, capturing artifacts so later
-//                       queries can take paths 1-2.
+//   1. result cache   — exact (epoch, seeds, config) repeat: no solver work;
+//   2. stale hit      — the current epoch has no entry yet but an older live
+//                       epoch does: serve it (marked stale) and kick off a
+//                       background refresh — old-epoch results keep serving
+//                       while new-epoch solves warm up;
+//   3. warm start     — a recent solve differs by a small seed delta and/or
+//                       a few edge edits: repair its Voronoi labelling and
+//                       distance graph instead of recomputing
+//                       (warm_start.hpp), across epochs if needed;
+//   4. cold solve     — full Alg. 3 pipeline, capturing artifacts so later
+//                       queries can take paths 1-3.
 //
-// All three return bit-identical trees (the solver's determinism guarantee),
-// so concurrency, caching and warm starts are pure latency optimisations,
-// observable through per-query latency splits and service-wide counters.
+// Cold, warm and cache paths return bit-identical trees for their epoch (the
+// solver's determinism guarantee), so concurrency, caching and warm starts
+// are pure latency optimisations, observable through per-query latency
+// splits and service-wide counters. Epoch retirement bounds the state old
+// epochs pin: their cache entries, donors and materialized CSRs go when a
+// configurable number of newer epochs exist.
 #pragma once
 
 #include <atomic>
@@ -26,10 +35,12 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "core/steiner_solver.hpp"
 #include "core/warm_start.hpp"
 #include "graph/csr_graph.hpp"
+#include "graph/epoch_graph.hpp"
 #include "service/executor.hpp"
 #include "service/latency_histogram.hpp"
 #include "service/query.hpp"
@@ -42,13 +53,24 @@ struct service_config {
   core::solver_config solver{};
   executor_config exec{};
   result_cache::config cache{};
+  /// Epoch chain management: compaction threshold and the live-epoch window
+  /// (retirement happens when advance_epoch pushes an epoch out of it).
+  graph::epoch_store::config epochs{};
   bool enable_cache = true;
   bool enable_warm_start = true;
   /// Warm-start cutoff: largest seed-set symmetric difference worth
   /// repairing instead of solving cold.
   std::size_t warm_delta_limit = 8;
+  /// Cross-epoch warm-start cutoff: largest composed edge delta worth
+  /// repairing a previous-epoch donor over instead of solving cold.
+  std::size_t warm_edge_edit_limit = 64;
   /// Finished solves kept as warm-start donor candidates.
   std::size_t donor_history = 8;
+  /// Stale serving: on a current-epoch cache miss, serve a cached result up
+  /// to this many epochs old (and refresh in the background). 0 disables —
+  /// the default, because a stale tree is *not* the current graph's tree;
+  /// callers opt in per service.
+  std::size_t max_stale_epochs = 0;
   /// Total cores split between inter-query parallelism (the executor's
   /// workers) and intra-query parallelism (the threaded engine inside one
   /// cold solve). 0 = hardware concurrency. When the solver runs in
@@ -61,9 +83,12 @@ struct service_stats {
   std::uint64_t queries = 0;
   std::uint64_t cold_solves = 0;
   std::uint64_t warm_solves = 0;
+  std::uint64_t edge_warm_solves = 0;  ///< warm solves that crossed epochs
   std::uint64_t warm_fallbacks = 0;  ///< warm attempts that fell back to cold
   std::uint64_t cache_hits = 0;
+  std::uint64_t stale_hits = 0;  ///< served from an older live epoch
   std::uint64_t coalesced = 0;  ///< waited on an identical in-flight query
+  std::uint64_t epoch_advances = 0;
   result_cache::stats cache;
   executor_stats exec;
 };
@@ -101,9 +126,34 @@ class steiner_service {
   /// thread (it would wait on its own pool).
   [[nodiscard]] query_result solve(query q);
 
-  [[nodiscard]] const graph::csr_graph& graph() const noexcept { return graph_; }
-  [[nodiscard]] std::uint64_t graph_fingerprint() const noexcept {
-    return graph_.fingerprint();
+  /// Derives a new graph epoch from a batch of edge edits — the §I
+  /// "adjusting edge distance functions / removing classes of edges"
+  /// interactions — *without* rebuilding the service. Old-epoch cache
+  /// entries keep serving pinned (and optionally stale) queries until their
+  /// epoch falls out of the live window, at which point its cache entries,
+  /// donors and materialized CSR are dropped. New-epoch queries warm-start
+  /// from previous-epoch donors through the edge-delta repair. Returns the
+  /// new epoch id. Thread-safe; in-flight queries finish on the epoch they
+  /// resolved at admission.
+  std::uint64_t advance_epoch(const graph::edge_delta& delta);
+
+  /// The current epoch's materialized CSR. The reference stays valid until
+  /// the epoch retires (live-window advances), so don't hold it across
+  /// advance_epoch calls — re-fetch instead.
+  [[nodiscard]] const graph::csr_graph& graph() const {
+    return *epochs_.current()->csr();
+  }
+  /// Current epoch's chained content fingerprint (cache-key continuity: for
+  /// an unedited graph this equals the structural CSR fingerprint).
+  [[nodiscard]] std::uint64_t graph_fingerprint() const {
+    return epochs_.current()->fingerprint();
+  }
+  [[nodiscard]] std::uint64_t current_epoch() const {
+    return epochs_.current()->epoch_id();
+  }
+  /// The epoch chain (live window, delta composition) — read-only.
+  [[nodiscard]] const graph::epoch_store& epochs() const noexcept {
+    return epochs_;
   }
   [[nodiscard]] const service_config& config() const noexcept { return config_; }
   [[nodiscard]] service_stats stats() const;
@@ -126,22 +176,45 @@ class steiner_service {
  private:
   using donor_ptr = std::shared_ptr<const core::solve_artifacts>;
 
+  /// A warm-start donor: the artifacts plus the epoch they were solved on
+  /// and its per-seed Voronoi cell sizes (the reset-region volume estimate
+  /// donor selection ranks by).
+  struct donor_record {
+    donor_ptr artifacts;
+    std::uint64_t epoch_id = 0;
+    std::uint64_t graph_fingerprint = 0;  ///< structural CSR fp of its epoch
+    std::unordered_map<graph::vertex_id, std::uint32_t> cell_sizes;
+  };
+
+  /// A selected donor plus the composed edge delta needed to repair across
+  /// epochs (empty for a same-epoch donor).
+  struct donor_match {
+    donor_ptr artifacts;
+    std::uint64_t graph_fingerprint = 0;
+    std::vector<graph::applied_edge_edit> edits;
+  };
+
   /// Wraps a query into the promise-resolving executor task shared by
   /// submit() and try_submit().
   [[nodiscard]] executor::task make_task(
       query q, std::shared_ptr<std::promise<query_result>> promise);
   [[nodiscard]] query_result execute(query q, double queue_wait,
                                      util::timer admitted);
-  [[nodiscard]] donor_ptr find_donor(
-      std::span<const graph::vertex_id> canonical_seeds);
-  void remember_donor(donor_ptr donor);
+  [[nodiscard]] std::optional<donor_match> find_donor(
+      std::span<const graph::vertex_id> canonical_seeds,
+      const graph::epoch_graph& epoch);
+  void remember_donor(donor_ptr donor, std::uint64_t epoch_id);
+  /// Best-effort current-epoch refresh after a stale hit (fire-and-forget;
+  /// dropped when the admission queue is full).
+  void refresh_in_background(std::vector<graph::vertex_id> seeds,
+                             std::optional<core::solver_config> config);
   /// Applies the core-budget split to a per-query solver config: a
   /// parallel_threads solve with no explicit thread count gets this
   /// service's intra-query worker grant.
   void grant_worker_budget(core::solver_config& config) const noexcept;
 
-  graph::csr_graph graph_;
   service_config config_;
+  graph::epoch_store epochs_;
   result_cache cache_;
   std::size_t intra_query_threads_ = 1;
 
@@ -152,11 +225,12 @@ class steiner_service {
   latency_histogram cache_hit_total_hist_;
   latency_histogram total_hist_;
 
-  /// Warm-start donor registry: the last few solves' artifacts. Bounded by
-  /// donor_history — artifacts are O(|V|) each, so they deliberately do not
-  /// ride along in result-cache entries.
+  /// Warm-start donor registry: the last few solves' artifacts, epoch-keyed.
+  /// Bounded by donor_history — artifacts are O(|V|) each, so they
+  /// deliberately do not ride along in result-cache entries. Donors from
+  /// retired epochs are pruned on advance_epoch.
   std::mutex donors_mutex_;
-  std::deque<donor_ptr> donors_;  ///< front = most recent
+  std::deque<donor_record> donors_;  ///< front = most recent
 
   /// Single-flight registry: cacheable queries that missed the cache register
   /// here; identical queries arriving while one is being solved wait for its
@@ -169,9 +243,12 @@ class steiner_service {
   std::atomic<std::uint64_t> query_counter_{0};  ///< also the queries total
   std::atomic<std::uint64_t> cold_solves_{0};
   std::atomic<std::uint64_t> warm_solves_{0};
+  std::atomic<std::uint64_t> edge_warm_solves_{0};
   std::atomic<std::uint64_t> warm_fallbacks_{0};
   std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> stale_hits_{0};
   std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> epoch_advances_{0};
 
   /// Last member: workers must stop before anything they touch is destroyed.
   executor exec_;

@@ -145,15 +145,59 @@ TEST(Interactive, SeedEditsUseWarmStartAndCacheHits) {
   EXPECT_EQ(stats.cache_hits, 1u);
 }
 
-TEST(Interactive, GraphEditsStartAFreshService) {
+TEST(Interactive, GraphEditsDeriveEpochsInsteadOfRebuilding) {
   core::exploration_session session(make_graph(12));
   session.set_seeds(std::vector<vertex_id>{3, 140});
   (void)session.tree();
+  EXPECT_EQ(session.current_epoch(), 0u);
   const auto fingerprint_before = session.service().graph_fingerprint();
-  session.reweight([](vertex_id, vertex_id, weight_t w) { return w + 1; });
+
+  // A *small* reweight (4 edges): the service derives an epoch and the next
+  // query repairs the previous solve across the edge delta — no rebuild, no
+  // cold solve, and the stats survive the edit.
+  int budget = 4;
+  session.reweight([&budget](vertex_id, vertex_id, weight_t w) {
+    return budget-- > 0 ? w + 3 : w;
+  });
+  EXPECT_EQ(session.current_epoch(), 1u);
   EXPECT_NE(session.service().graph_fingerprint(), fingerprint_before);
+  EXPECT_FALSE(session.up_to_date());
+
   (void)session.tree();
-  EXPECT_EQ(session.last_solve_kind(), service::solve_kind::cold);
+  EXPECT_EQ(session.last_solve_kind(), service::solve_kind::warm_start);
+  const auto stats = session.service().stats();
+  EXPECT_EQ(stats.cold_solves, 1u);        // only the original solve was cold
+  EXPECT_EQ(stats.edge_warm_solves, 1u);   // the edit repaired across epochs
+  EXPECT_EQ(stats.epoch_advances, 1u);
+
+  // The repaired tree is the mutated graph's tree, bit-identical to fresh.
+  core::solver_config config;
+  config.allow_disconnected_seeds = true;
+  const auto fresh =
+      core::solve_steiner_tree(session.graph(), session.seeds(), config);
+  EXPECT_EQ(session.tree().tree_edges, fresh.tree_edges);
+  EXPECT_EQ(session.tree().total_distance, fresh.total_distance);
+}
+
+TEST(Interactive, NoOpReweightKeepsCacheAndEpoch) {
+  core::exploration_session session(make_graph(13));
+  session.set_seeds(std::vector<vertex_id>{10, 90});
+  (void)session.tree();
+  session.reweight([](vertex_id, vertex_id, weight_t w) { return w; });
+  EXPECT_TRUE(session.up_to_date());  // nothing changed: no epoch, no solve
+  EXPECT_EQ(session.current_epoch(), 0u);
+  EXPECT_EQ(session.recompute_count(), 1u);
+}
+
+TEST(Interactive, FilterDerivesAnEpochToo) {
+  core::exploration_session session(make_graph(14));
+  session.set_seeds(std::vector<vertex_id>{0, 100, 180});
+  (void)session.tree();
+  session.filter_edges_above(15);
+  EXPECT_EQ(session.current_epoch(), 1u);
+  EXPECT_FALSE(session.up_to_date());
+  (void)session.tree();  // forest or tree, never an exception, any path
+  EXPECT_EQ(session.service().stats().epoch_advances, 1u);
 }
 
 TEST(Interactive, RejectsBadInput) {
@@ -162,6 +206,48 @@ TEST(Interactive, RejectsBadInput) {
   EXPECT_THROW(session.set_seeds(std::vector<vertex_id>{1, 10000}),
                std::out_of_range);
   EXPECT_THROW(session.set_ranks(0), std::invalid_argument);
+}
+
+TEST(Interactive, RejectedSetSeedsLeavesStateUntouched) {
+  core::exploration_session session(make_graph(15));
+  session.set_seeds(std::vector<vertex_id>{1, 2});
+  (void)session.tree();
+  EXPECT_THROW(session.set_seeds(std::vector<vertex_id>{5, 10000}),
+               std::out_of_range);
+  // The failed edit must not half-apply: old seeds and cached tree stand.
+  EXPECT_EQ(session.seeds(), (std::vector<vertex_id>{1, 2}));
+  EXPECT_TRUE(session.up_to_date());
+}
+
+TEST(Interactive, ParallelEdgesFilterAndReweightActOnPairs) {
+  // Epoch edits act per undirected pair; parallel edges are judged by their
+  // minimum weight (the only arc shortest paths use).
+  graph::edge_list list(4);
+  list.add_undirected_edge(0, 1, 9);
+  list.add_undirected_edge(0, 1, 12);  // heavier parallel arc
+  list.add_undirected_edge(1, 2, 4);
+  list.add_undirected_edge(2, 3, 20);
+  list.add_undirected_edge(0, 3, 15);
+  list.add_undirected_edge(0, 3, 16);  // both above the cutoff below
+  core::exploration_session session{graph::csr_graph(list)};
+  session.set_seeds(std::vector<vertex_id>{0, 2});
+  (void)session.tree();
+
+  session.filter_edges_above(10);
+  EXPECT_EQ(session.current_epoch(), 1u);
+  const graph::csr_graph& g = session.graph();
+  // (0,1): min 9 kept, heavier parallel collapsed onto it.
+  EXPECT_EQ(g.edge_weight(0, 1), std::optional<weight_t>(9));
+  // (2,3) and both (0,3) arcs dropped — one disable each, no throw.
+  EXPECT_FALSE(g.edge_weight(2, 3).has_value());
+  EXPECT_FALSE(g.edge_weight(0, 3).has_value());
+  EXPECT_EQ(g.degree(3), 0u);
+
+  // reweight sees each pair's minimum once.
+  session.reweight([](vertex_id, vertex_id, weight_t w) { return w * 2; });
+  EXPECT_EQ(session.graph().edge_weight(0, 1), std::optional<weight_t>(18));
+  EXPECT_EQ(session.graph().edge_weight(1, 2), std::optional<weight_t>(8));
+  (void)session.tree();  // still solvable after the edits
 }
 
 }  // namespace

@@ -11,8 +11,10 @@
 #include <vector>
 
 #include "core/steiner_solver.hpp"
+#include "graph/epoch_graph.hpp"
 #include "graph/generators.hpp"
 #include "service/executor.hpp"
+#include "service/metrics_text.hpp"
 #include "service/result_cache.hpp"
 #include "service/steiner_service.hpp"
 
@@ -75,11 +77,13 @@ TEST(Executor, TryPostShedsLoadWhenFull) {
 
 result_cache::entry_ptr make_entry(std::vector<vertex_id> seeds,
                                    graph::weight_t distance,
-                                   double solve_cost_seconds = 0.0) {
+                                   double solve_cost_seconds = 0.0,
+                                   std::uint64_t epoch_id = 0) {
   auto entry = std::make_shared<cached_solve>();
   entry->seeds = std::move(seeds);
   entry->result.total_distance = distance;
   entry->solve_cost_seconds = solve_cost_seconds;
+  entry->epoch_id = epoch_id;
   return entry;
 }
 
@@ -168,6 +172,53 @@ TEST(ResultCache, CostAwareEvictionNeverDropsTheFreshInsert) {
   cache.insert(c, make_entry(sc, 300, /*cost=*/0.001));  // cheapest, freshest
   EXPECT_NE(cache.find(c, sc), nullptr);
   EXPECT_EQ(cache.find(a, sa), nullptr);  // cheapest *candidate* evicted
+}
+
+TEST(ResultCache, StaleEpochEntriesEvictFirst) {
+  // Window 1 would be plain LRU — but a stale-epoch entry anywhere in the
+  // shard outranks LRU order as the victim.
+  result_cache cache({/*capacity=*/2, /*shards=*/1, /*eviction_window=*/1});
+  cache.set_live_epoch(1);
+  const cache_key a{1, 10, 0}, b{1, 20, 0}, c{1, 30, 0};
+  const std::vector<vertex_id> sa{1}, sb{2}, sc{3};
+  cache.insert(a, make_entry(sa, 100, /*cost=*/9.0, /*epoch=*/1));  // live, LRU
+  cache.insert(b, make_entry(sb, 200, /*cost=*/9.0, /*epoch=*/0));  // stale
+  cache.insert(c, make_entry(sc, 300, /*cost=*/9.0, /*epoch=*/1));  // overflow
+
+  EXPECT_EQ(cache.find(b, sb), nullptr);  // stale b went, not LRU-tail a
+  EXPECT_NE(cache.find(a, sa), nullptr);  // the sole live entry survived
+  EXPECT_NE(cache.find(c, sc), nullptr);
+}
+
+TEST(ResultCache, AllLiveFallsBackToCostAwareWindow) {
+  result_cache cache({/*capacity=*/3, /*shards=*/1, /*eviction_window=*/4});
+  cache.set_live_epoch(2);
+  const cache_key a{1, 10, 0}, b{1, 20, 0}, c{1, 30, 0}, d{1, 40, 0};
+  const std::vector<vertex_id> sa{1}, sb{2}, sc{3}, sd{4};
+  cache.insert(a, make_entry(sa, 100, /*cost=*/10.0, /*epoch=*/2));
+  cache.insert(b, make_entry(sb, 200, /*cost=*/0.001, /*epoch=*/2));
+  cache.insert(c, make_entry(sc, 300, /*cost=*/5.0, /*epoch=*/2));
+  cache.insert(d, make_entry(sd, 400, /*cost=*/7.0, /*epoch=*/2));
+  EXPECT_EQ(cache.find(b, sb), nullptr);  // cheapest live in the window
+  EXPECT_NE(cache.find(a, sa), nullptr);
+}
+
+TEST(ResultCache, RetireEpochsPurgesOldEntries) {
+  result_cache cache({8, 2});
+  const std::vector<vertex_id> seeds{1};
+  for (std::uint64_t e = 0; e < 4; ++e) {
+    cache.insert(cache_key{e, 10, 0}, make_entry(seeds, 100, 0.0, e));
+  }
+  cache.set_live_epoch(3);
+  EXPECT_EQ(cache.retire_epochs_before(2), 2u);  // epochs 0 and 1 purged
+  const auto stats = cache.snapshot();
+  EXPECT_EQ(stats.retired, 2u);
+  EXPECT_EQ(stats.evictions, 0u);  // retirement is not capacity pressure
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(cache.find(cache_key{0, 10, 0}, seeds), nullptr);
+  EXPECT_EQ(cache.find(cache_key{1, 10, 0}, seeds), nullptr);
+  EXPECT_NE(cache.find(cache_key{2, 10, 0}, seeds), nullptr);
+  EXPECT_NE(cache.find(cache_key{3, 10, 0}, seeds), nullptr);
 }
 
 // ---- latency histogram ------------------------------------------------------
@@ -479,6 +530,175 @@ TEST(Service, ExplicitThreadCountIsNotOverridden) {
   config.solver.num_threads = 2;
   steiner_service svc(make_connected_graph(100, 15, 33), config);
   EXPECT_EQ(svc.config().solver.num_threads, 2u);
+}
+
+// ---- graph epochs through the service ---------------------------------------
+
+// An edge reweight no longer rebuilds the service: the old epoch's cached
+// tree stays servable through an epoch pin, and the new epoch's first solve
+// is a warm-start repair bit-identical to a cold solve of the mutated graph.
+TEST(ServiceEpochs, AdvanceServesOldEpochAndEdgeWarmStartsNew) {
+  const auto g = make_connected_graph(200, 25, 40);
+  steiner_service svc(graph::csr_graph(g), quiet_config(2));
+  query q;
+  q.seeds = {5, 60, 110, 170};
+  const auto first = svc.solve(q);
+  EXPECT_EQ(first.kind, solve_kind::cold);
+  EXPECT_EQ(first.epoch, 0u);
+  EXPECT_EQ(svc.current_epoch(), 0u);
+
+  const auto nbrs = g.neighbors(60);
+  ASSERT_FALSE(nbrs.empty());
+  graph::edge_delta delta;
+  delta.edits.push_back(graph::edge_edit::reweight(60, nbrs.front(), 400));
+  EXPECT_EQ(svc.advance_epoch(delta), 1u);
+  EXPECT_EQ(svc.current_epoch(), 1u);
+  EXPECT_EQ(svc.stats().epoch_advances, 1u);
+
+  // Pinned to the old epoch: still a cache hit with the old tree.
+  query pinned = q;
+  pinned.epoch = 0;
+  const auto old_hit = svc.solve(pinned);
+  EXPECT_EQ(old_hit.kind, solve_kind::cache_hit);
+  EXPECT_EQ(old_hit.epoch, 0u);
+  EXPECT_EQ(old_hit.result.tree_edges, first.result.tree_edges);
+
+  // Unpinned: edge-delta warm start on the mutated graph.
+  const auto fresh = svc.solve(q);
+  EXPECT_EQ(fresh.kind, solve_kind::warm_start);
+  EXPECT_EQ(fresh.epoch, 1u);
+  EXPECT_GT(fresh.warm.edge_edits, 0u);
+  const auto cold = core::solve_steiner_tree(svc.graph(), q.seeds,
+                                             svc.config().solver);
+  EXPECT_EQ(fresh.result.tree_edges, cold.tree_edges);
+  EXPECT_EQ(fresh.result.total_distance, cold.total_distance);
+  EXPECT_EQ(svc.stats().edge_warm_solves, 1u);
+
+  // And the repaired solve populated the new epoch's cache.
+  const auto again = svc.solve(q);
+  EXPECT_EQ(again.kind, solve_kind::cache_hit);
+  EXPECT_EQ(again.epoch, 1u);
+}
+
+// Stale-while-warming: with max_stale_epochs on, a current-epoch miss serves
+// the previous epoch's cached tree (marked stale) and refreshes behind.
+TEST(ServiceEpochs, StaleHitServesPreviousEpochAndRefreshes) {
+  const auto g = make_connected_graph(200, 25, 41);
+  auto config = quiet_config(2);
+  config.max_stale_epochs = 1;
+  steiner_service svc(graph::csr_graph(g), config);
+  query q;
+  q.seeds = {5, 60, 110, 170};
+  const auto first = svc.solve(q);
+
+  const auto nbrs = g.neighbors(5);
+  ASSERT_FALSE(nbrs.empty());
+  graph::edge_delta delta;
+  delta.edits.push_back(graph::edge_edit::reweight(5, nbrs.front(), 300));
+  (void)svc.advance_epoch(delta);
+
+  const auto stale = svc.solve(q);
+  EXPECT_EQ(stale.kind, solve_kind::stale_hit);
+  EXPECT_EQ(stale.epoch, 0u);  // explicitly the old epoch's tree
+  EXPECT_EQ(stale.result.tree_edges, first.result.tree_edges);
+  EXPECT_EQ(svc.stats().stale_hits, 1u);
+
+  // A stale-intolerant query gets the current epoch (solving, coalescing
+  // with the background refresh, or hitting the cache it already filled).
+  query strict = q;
+  strict.allow_stale = false;
+  const auto fresh = svc.solve(strict);
+  EXPECT_EQ(fresh.epoch, 1u);
+  const auto cold = core::solve_steiner_tree(svc.graph(), q.seeds,
+                                             svc.config().solver);
+  EXPECT_EQ(fresh.result.tree_edges, cold.tree_edges);
+
+  // Pinned queries never serve stale: the pin is authoritative.
+  query pinned = q;
+  pinned.epoch = 1;
+  EXPECT_NE(svc.solve(pinned).kind, solve_kind::stale_hit);
+}
+
+// Epoch retirement: once the live window slides past an epoch, its cache
+// entries and donors are purged and pins to it are rejected.
+TEST(ServiceEpochs, RetirementEvictsOldEpochState) {
+  const auto g = make_connected_graph(150, 20, 42);
+  auto config = quiet_config(1);
+  config.epochs.max_live_epochs = 2;
+  steiner_service svc(graph::csr_graph(g), config);
+  query q;
+  q.seeds = {3, 70, 120};
+  (void)svc.solve(q);  // epoch-0 entry + donor
+
+  const auto nbrs = g.neighbors(3);
+  ASSERT_FALSE(nbrs.empty());
+  graph::edge_delta delta;
+  delta.edits.push_back(graph::edge_edit::reweight(3, nbrs.front(), 200));
+  (void)svc.advance_epoch(delta);
+  EXPECT_EQ(svc.epochs().first_live_epoch(), 0u);  // still within the window
+  (void)svc.advance_epoch(graph::edge_delta{});
+  EXPECT_EQ(svc.epochs().first_live_epoch(), 1u);  // epoch 0 retired
+
+  EXPECT_GE(svc.stats().cache.retired, 1u);
+  query pinned = q;
+  pinned.epoch = 0;
+  EXPECT_THROW((void)svc.solve(pinned), std::invalid_argument);
+}
+
+// Donor selection ranks by estimated reset-region volume (sum of affected
+// Voronoi cell sizes), not raw delta count: with two donors at equal delta
+// size, the repair starts from the one whose removed cell is small.
+TEST(ServiceEpochs, DonorSelectionPrefersSmallResetVolume) {
+  // Path graph 0-1-...-99 with unit weights: cell sizes are predictable.
+  graph::edge_list list(100);
+  for (vertex_id v = 0; v + 1 < 100; ++v) list.add_undirected_edge(v, v + 1, 1);
+  auto config = quiet_config(1);
+  config.solver.num_ranks = 4;
+  steiner_service svc(graph::csr_graph(list), config);
+
+  // Donor 1: {0, 30, 90} — removing 0 resets its [0..15] cell (16 vertices).
+  query d1;
+  d1.seeds = {0, 30, 90};
+  (void)svc.solve(d1);
+  // Donor 2 (more recent): {30, 60, 90} — removing 60 resets ~[46..75] (30).
+  query d2;
+  d2.seeds = {30, 60, 90};
+  (void)svc.solve(d2);
+
+  // Target {30, 90}: both donors have raw delta 1. Raw-count ranking with
+  // recency tie-break would pick donor 2; volume ranking must pick donor 1.
+  query target;
+  target.seeds = {30, 90};
+  const auto warm = svc.solve(target);
+  ASSERT_EQ(warm.kind, solve_kind::warm_start);
+  EXPECT_EQ(warm.warm.removed_seeds, 1u);
+  EXPECT_EQ(warm.warm.reset_vertices, 16u);  // donor 1's cell of seed 0
+}
+
+// The Prometheus text rendering agrees with the counters and emits valid
+// histogram series.
+TEST(ServiceEpochs, MetricsTextRendersSnapshot) {
+  steiner_service svc(make_connected_graph(120, 15, 43), quiet_config(1));
+  query q;
+  q.seeds = {3, 70, 110};
+  (void)svc.solve(q);
+  (void)svc.solve(q);
+
+  const std::string text = render_metrics_text(svc.snapshot());
+  EXPECT_NE(text.find("# TYPE dsteiner_queries_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("dsteiner_queries_total 2"), std::string::npos);
+  EXPECT_NE(text.find("dsteiner_cold_solves_total 1"), std::string::npos);
+  EXPECT_NE(text.find("dsteiner_cache_hits_total 1"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dsteiner_query_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("dsteiner_query_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("dsteiner_query_seconds_count 2"), std::string::npos);
+  // Custom prefix namespacing.
+  const std::string other = render_metrics_text(svc.snapshot(), "steiner");
+  EXPECT_NE(other.find("steiner_queries_total 2"), std::string::npos);
+  EXPECT_EQ(other.find("dsteiner_"), std::string::npos);
 }
 
 // A failing leader must not strand coalesced waiters: everyone sees the

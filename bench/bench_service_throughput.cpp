@@ -12,7 +12,9 @@
 //      processed and messages from phase_metrics) — the mechanism behind the
 //      latency win.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <future>
 #include <string>
 #include <vector>
@@ -77,10 +79,155 @@ workload build_workload(const graph::csr_graph& g, std::size_t sessions,
   return w;
 }
 
+/// QoS mode (--qos): saturate a small worker pool with a burst of mixed
+/// priority classes and report per-class admission and queue-wait outcomes —
+/// the acceptance check for the priority admission queue is that interactive
+/// requests see strictly lower p50 queue wait than batch under saturation.
+/// A second phase then fires deadline-bound requests at the warmed-up cost
+/// model to exercise deadline_unmeetable rejections.
+int run_qos_mode(const graph::csr_graph& g, core::solver_config solver) {
+  using namespace std::chrono_literals;
+  bench::print_header(
+      "Service QoS: priority admission under saturation",
+      "the request/handle serving extension (beyond the paper)",
+      "A burst of cold queries (3 priority classes, round-robin) floods a\n"
+      "2-worker pool; the priority queue must drain interactive first. The\n"
+      "second phase fires tight-deadline requests at the warmed cost model.");
+
+  service::service_config config;
+  config.solver = solver;
+  config.exec.num_threads = 2;
+  config.exec.queue_capacity = 256;
+  service::steiner_service svc(graph::csr_graph(g), config);
+
+  constexpr std::size_t k_per_class = 12;
+  struct submitted {
+    service::query_handle handle;
+    service::priority_class priority;
+  };
+  std::vector<submitted> burst;
+  util::timer wall;
+  for (std::size_t i = 0; i < k_per_class; ++i) {
+    for (const auto priority :
+         {service::priority_class::interactive, service::priority_class::batch,
+          service::priority_class::background}) {
+      service::request r;
+      r.q.seeds = bench::default_seeds(
+          g, 12, /*salt=*/1000 + i * 3 + service::priority_index(priority));
+      r.q.use_cache = false;  // force real solves: keep the queue saturated
+      r.q.allow_warm_start = false;
+      r.priority = priority;
+      burst.push_back({svc.submit(r), priority});
+    }
+  }
+
+  std::vector<std::vector<double>> waits(service::k_priority_classes);
+  std::size_t failed = 0;
+  for (auto& s : burst) {
+    try {
+      const auto qr = s.handle.get();
+      waits[service::priority_index(s.priority)].push_back(
+          qr.queue_wait_seconds);
+    } catch (const std::exception&) {
+      ++failed;
+    }
+  }
+  const double burst_seconds = wall.seconds();
+
+  const auto stats = svc.stats();
+  util::table table({"class", "admitted", "shed", "done", "p50 wait",
+                     "p99 wait"});
+  for (std::size_t p = 0; p < service::k_priority_classes; ++p) {
+    table.add_row(
+        {to_string(static_cast<service::priority_class>(p)),
+         std::to_string(stats.admitted_by_priority[p]),
+         std::to_string(stats.shed_by_priority[p]),
+         std::to_string(waits[p].size()),
+         util::format_duration(percentile(waits[p], 0.50)),
+         util::format_duration(percentile(waits[p], 0.99))});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("burst: %zu requests in %s (%zu failed)\n\n", burst.size(),
+              util::format_duration(burst_seconds).c_str(), failed);
+
+  const double interactive_p50 = percentile(waits[0], 0.50);
+  const double batch_p50 = percentile(waits[1], 0.50);
+  std::printf("check: interactive p50 wait %s batch p50 wait (%s vs %s)\n",
+              interactive_p50 < batch_p50 ? "<" : ">=",
+              util::format_duration(interactive_p50).c_str(),
+              util::format_duration(batch_p50).c_str());
+
+  // Phase 2: the cost model has real cold-solve history now — tight
+  // deadlines must be refused at admission, generous ones served.
+  std::size_t unmeetable = 0, served = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    service::request r;
+    r.q.seeds = bench::default_seeds(g, 12, /*salt=*/5000 + i);
+    r.q.use_cache = false;
+    r.deadline = std::chrono::steady_clock::now() + (i % 2 == 0 ? 1ms : 60s);
+    service::query_handle h = svc.submit(r);
+    if (h.status() == service::request_status::rejected) {
+      ++unmeetable;
+    } else {
+      try {
+        (void)h.get();
+        ++served;
+      } catch (const std::exception&) {
+      }
+    }
+  }
+  const auto after = svc.stats();
+  std::printf(
+      "deadline phase: %zu rejected at admission (deadline_unmeetable), "
+      "%zu served;\n  counters: deadline_rejected=%llu deadline_expired=%llu "
+      "cancelled=%llu displaced=%llu\n",
+      unmeetable, served,
+      static_cast<unsigned long long>(after.deadline_rejected),
+      static_cast<unsigned long long>(after.deadline_expired),
+      static_cast<unsigned long long>(after.cancelled),
+      static_cast<unsigned long long>(after.exec.displaced));
+  return interactive_p50 < batch_p50 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t engine_threads = bench::parse_threads_flag(argc, argv);
+  // Strict local flag parsing: --threads N (engine workers per solve) and
+  // --qos (run the priority-admission experiment instead of the throughput
+  // and latency sections).
+  std::size_t engine_threads = 0;
+  bool qos = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--qos") == 0) {
+      qos = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      const char* text = argv[++i];
+      char* end = nullptr;
+      const unsigned long long value =
+          text[0] == '-' ? 0 : std::strtoull(text, &end, 10);
+      if (end == nullptr || *end != '\0' || value == 0) {
+        std::fprintf(stderr, "%s: --threads expects a positive integer\n",
+                     argv[0]);
+        return 2;
+      }
+      engine_threads = static_cast<std::size_t>(value);
+      continue;
+    }
+    std::fprintf(stderr, "usage: %s [--threads N] [--qos]\n", argv[0]);
+    return 2;
+  }
+
+  if (qos) {
+    const io::dataset qos_data = io::load_dataset("CTS");
+    core::solver_config qos_solver;
+    qos_solver.num_ranks = 8;
+    qos_solver.allow_disconnected_seeds = true;
+    bench::apply_threads(qos_solver, engine_threads);
+    return run_qos_mode(qos_data.graph, qos_solver);
+  }
+
   bench::print_header(
       "Service throughput: queries/sec and per-path latency",
       "the serving-layer extension (beyond the paper's single-query runs)",

@@ -17,20 +17,27 @@
 // Every query returns a tree bit-identical to a cold solve of its epoch; the
 // printout shows how much latency each path saved.
 //
+// Queries go through the request/handle API — submit(request) returns a
+// query_handle with cancel()/status()/poll()/get() — with hot dashboards at
+// interactive priority and edit sessions at batch. A final QoS vignette
+// cancels an abandoned query mid-solve and bounds one with a deadline, the
+// §I behaviours a bare future cannot express.
+//
 //   $ ./query_service [--metrics-text]
 //
 //   --metrics-text   additionally print the Prometheus text exposition of
 //                    steiner_service::snapshot() (what a scrape endpoint
 //                    would serve)
+#include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <future>
 #include <vector>
 
 #include "io/dataset.hpp"
 #include "seed/seed_select.hpp"
 #include "service/metrics_text.hpp"
 #include "service/steiner_service.hpp"
+#include "util/cancellation.hpp"
 #include "util/format.hpp"
 #include "util/timer.hpp"
 
@@ -73,35 +80,37 @@ int main(int argc, char** argv) {
         svc.graph(), 12, seed::seed_strategy::bfs_level, 0x5eed + analyst));
   }
 
-  // Mixed workload: per analyst, one cold query, three hot repeats, then an
-  // edit session of four single-seed deltas (each re-queried twice).
-  std::vector<service::query> workload;
+  // Mixed workload: per analyst, one cold query, three hot repeats (the
+  // dashboard — interactive priority), then an edit session of four
+  // single-seed deltas, each re-queried twice (refinement — batch priority).
+  std::vector<service::request> workload;
   for (const auto& base : base_sets) {
-    service::query q;
-    q.seeds = base;
-    workload.push_back(q);                        // cold
-    for (int hot = 0; hot < 3; ++hot) workload.push_back(q);  // cache hits
+    service::request r;
+    r.q.seeds = base;
+    workload.push_back(r);                        // cold
+    for (int hot = 0; hot < 3; ++hot) workload.push_back(r);  // cache hits
 
-    service::query edit = q;
+    service::request edit = r;
+    edit.priority = service::priority_class::batch;
     for (std::uint64_t step = 0; step < 4; ++step) {
       if (step % 2 == 0) {
-        edit.seeds.push_back((base.front() + 101 * (step + 1)) %
-                             svc.graph().num_vertices());
+        edit.q.seeds.push_back((base.front() + 101 * (step + 1)) %
+                               svc.graph().num_vertices());
       } else {
-        edit.seeds.pop_back();
-        edit.seeds.erase(edit.seeds.begin());
+        edit.q.seeds.pop_back();
+        edit.q.seeds.erase(edit.q.seeds.begin());
       }
       workload.push_back(edit);                   // warm-start repair
       workload.push_back(edit);                   // immediate re-query: hit
     }
   }
 
-  std::printf("submitting %zu queries over %zu worker threads...\n\n",
+  std::printf("submitting %zu requests over %zu worker threads...\n\n",
               workload.size(), config.exec.num_threads);
   util::timer wall;
-  std::vector<std::future<service::query_result>> futures;
-  futures.reserve(workload.size());
-  for (auto& q : workload) futures.push_back(svc.submit(q));
+  std::vector<service::query_handle> handles;
+  handles.reserve(workload.size());
+  for (auto& r : workload) handles.push_back(svc.submit(r));
 
   util::table table({"id", "path", "epoch", "|S|", "tree edges", "D(GS)",
                      "queue wait", "solve", "total"});
@@ -115,7 +124,7 @@ int main(int argc, char** argv) {
                    util::format_duration(qr.solve_seconds),
                    util::format_duration(qr.total_seconds)});
   };
-  for (auto& f : futures) add_result(f.get());
+  for (auto& h : handles) add_result(h.get());
 
   // Graph mutation: reweight a few edges touching the first analyst's seeds.
   // advance_epoch derives a copy-on-write epoch — no service rebuild, no
@@ -134,19 +143,68 @@ int main(int argc, char** argv) {
   std::printf("advanced to epoch %llu (%zu edge edits)...\n",
               static_cast<unsigned long long>(epoch), delta.size());
   for (const auto& base : base_sets) {
-    service::query q;
-    q.seeds = base;
-    add_result(svc.solve(q));  // stale hit (epoch-1 tree) + background refresh
-    q.allow_stale = false;
-    add_result(svc.solve(q));  // current epoch: edge-warm repair or coalesce
+    service::request r;
+    r.q.seeds = base;
+    add_result(svc.solve(r));  // stale hit (epoch-1 tree) + background refresh
+    r.q.allow_stale = false;
+    add_result(svc.solve(r));  // current epoch: edge-warm repair or coalesce
   }
   std::printf("%s\n", table.render().c_str());
+
+  // QoS vignette: the §I analyst abandons a query (cancel mid-solve) and
+  // bounds another in time. Both stop the solver at a cooperative
+  // checkpoint — no worker is left burning on abandoned work.
+  {
+    using namespace std::chrono_literals;
+    service::request abandoned;
+    abandoned.q.seeds = seed::select_seeds(svc.graph(), 14,
+                                           seed::seed_strategy::bfs_level,
+                                           0xabad);
+    abandoned.q.use_cache = false;
+    service::query_handle h = svc.submit(abandoned);
+    (void)h.cancel();
+    try {
+      (void)h.get();
+    } catch (const util::operation_cancelled&) {
+      std::printf("abandoned query -> %s\n", to_string(h.status()));
+    }
+
+    service::request bounded;
+    bounded.q.seeds = seed::select_seeds(svc.graph(), 14,
+                                         seed::seed_strategy::bfs_level,
+                                         0xb0b0);
+    bounded.q.use_cache = false;
+    bounded.deadline = std::chrono::steady_clock::now() + 50ms;
+    service::query_handle b = svc.submit(bounded);
+    try {
+      const auto qr = b.get();
+      std::printf("deadline-bound query -> done in %s\n",
+                  util::format_duration(qr.total_seconds).c_str());
+    } catch (const service::request_rejected&) {
+      std::printf("deadline-bound query -> rejected (unmeetable)\n");
+    } catch (const util::operation_cancelled&) {
+      std::printf("deadline-bound query -> %s\n", to_string(b.status()));
+    }
+    std::printf("\n");
+  }
 
   const auto snap = svc.snapshot();
   const auto& stats = snap.stats;
   std::printf("completed %llu queries in %s\n",
               static_cast<unsigned long long>(stats.queries),
               util::format_duration(wall.seconds()).c_str());
+  std::printf("  qos         : %llu cancelled, %llu deadline-expired, "
+              "%llu deadline-rejected\n",
+              static_cast<unsigned long long>(stats.cancelled),
+              static_cast<unsigned long long>(stats.deadline_expired),
+              static_cast<unsigned long long>(stats.deadline_rejected));
+  std::printf("  admitted    : %llu interactive / %llu batch / %llu background"
+              " (refreshes: %llu, deduped %llu)\n",
+              static_cast<unsigned long long>(stats.admitted_by_priority[0]),
+              static_cast<unsigned long long>(stats.admitted_by_priority[1]),
+              static_cast<unsigned long long>(stats.admitted_by_priority[2]),
+              static_cast<unsigned long long>(stats.stale_refreshes),
+              static_cast<unsigned long long>(stats.stale_refreshes_deduped));
   std::printf("  cold solves : %llu\n",
               static_cast<unsigned long long>(stats.cold_solves));
   std::printf("  warm starts : %llu  (%llu across epochs)\n",

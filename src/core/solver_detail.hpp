@@ -34,6 +34,7 @@ struct engine_context {
 
   explicit engine_context(const solver_config& solver)
       : config{solver.policy, solver.mode, solver.batch_size, solver.costs} {
+    config.budget = solver.budget;  // engines poll the checkpoint per round
     if (solver.mode != runtime::execution_mode::parallel_threads) return;
     const std::size_t want =
         solver.num_threads != 0 ? solver.num_threads

@@ -49,6 +49,10 @@ void finish_solve(const graph::csr_graph& graph,
                   const steiner_state& state,
                   std::vector<cross_edge_map>& per_rank_en,
                   steiner_result& result, solve_artifacts* capture) {
+  // Checkpoint between the reduction and the sequential tail: phases 3-5 run
+  // without an engine (no per-round poll), so the boundaries are where a
+  // cancelled or expired solve stops.
+  if (config.budget != nullptr) config.budget->check();
   result.distance_graph_edges = per_rank_en.front().size();
   {
     std::uint64_t en_bytes = 0;
@@ -68,6 +72,7 @@ void finish_solve(const graph::csr_graph& graph,
                                      metrics);
     result.phases.phase(runtime::phase_names::mst) = metrics;
   }
+  if (config.budget != nullptr) config.budget->check();
   result.spans_all_seeds = mst.spans_all_seeds;
   if (!mst.spans_all_seeds && !config.allow_disconnected_seeds) {
     throw std::runtime_error(
@@ -131,6 +136,7 @@ steiner_result solve_cold(const graph::csr_graph& graph,
                           const solver_config& config,
                           solve_artifacts* capture) {
   steiner_result result;
+  if (config.budget != nullptr) config.budget->check();
   const std::vector<graph::vertex_id> seed_list = dedup_seeds(graph, seeds);
   result.num_seeds = seed_list.size();
   result.memory.graph_bytes = graph.memory_bytes();
@@ -163,7 +169,9 @@ steiner_result solve_cold(const graph::csr_graph& graph,
     result.phases.phase(runtime::phase_names::local_min_edge) = metrics;
   }
 
-  // Step 2b: global Allreduce(MIN) (line 14).
+  // Step 2b: global Allreduce(MIN) (line 14). The reduction runs off-engine,
+  // so checkpoint at its boundary.
+  if (config.budget != nullptr) config.budget->check();
   {
     global_reduce_options options;
     options.dense = config.dense_distance_graph;

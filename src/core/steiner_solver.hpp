@@ -58,6 +58,15 @@ struct solver_config {
 
   /// Run validate_steiner_tree on the output (cheap; asserts invariants).
   bool validate = false;
+
+  /// Cooperative cancellation/deadline budget, polled at solver checkpoints
+  /// (engine rounds / superstep barriers and phase boundaries); a tripped
+  /// budget unwinds the solve via util::operation_cancelled with all partial
+  /// work discarded. Null = never stops. QoS only — it cannot change the
+  /// output tree, so it does not participate in the service's config hash.
+  /// The pointee must outlive the solve (the service stores it in the
+  /// request's handle state).
+  const util::run_budget* budget = nullptr;
 };
 
 struct steiner_result {

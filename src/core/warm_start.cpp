@@ -72,6 +72,7 @@ steiner_result repair_solve(const graph::csr_graph& graph,
   }
 
   steiner_result result;
+  if (config.budget != nullptr) config.budget->check();
   const std::vector<graph::vertex_id> seed_list =
       detail::dedup_seeds(graph, seeds);
   result.num_seeds = seed_list.size();
@@ -246,7 +247,9 @@ steiner_result repair_solve(const graph::csr_graph& graph,
     result.phases.phase(runtime::phase_names::local_min_edge) = metrics;
   }
 
-  // Step 2b: global reduction over the rescanned entries only.
+  // Step 2b: global reduction over the rescanned entries only (off-engine:
+  // checkpoint at the boundary).
+  if (config.budget != nullptr) config.budget->check();
   {
     global_reduce_options options;
     options.dense = config.dense_distance_graph;

@@ -10,6 +10,7 @@
 
 #include "runtime/mailbox.hpp"
 #include "runtime/perf_model.hpp"
+#include "util/cancellation.hpp"
 
 namespace dsteiner::runtime {
 
@@ -42,6 +43,12 @@ struct engine_config {
   /// engine spins up (and joins) a transient pool for the run; the solver
   /// creates one pool per solve so all phases reuse the same threads.
   parallel::worker_pool* pool = nullptr;
+
+  /// Cooperative cancellation/deadline checkpoint, polled once per round
+  /// (cooperative engine) or superstep (threaded engine; the vote is folded
+  /// through the barrier so every worker stops at the same superstep). Null
+  /// disables the poll. Must outlive the run.
+  const util::run_budget* budget = nullptr;
 };
 
 }  // namespace dsteiner::runtime

@@ -26,13 +26,20 @@ class superstep_barrier {
   struct aggregate {
     std::uint64_t outstanding = 0;  ///< undelivered messages, summed
     double max_work = 0.0;          ///< per-rank simulated work, maximum
+    /// Cooperative-stop votes, OR-folded: workers may observe a cancellation
+    /// or deadline at different instants, so the barrier is what turns those
+    /// individual observations into one consistent stop decision — every
+    /// party sees the same flag and exits the same superstep (no worker left
+    /// waiting on a barrier its peers abandoned).
+    bool cancel = false;
   };
 
   explicit superstep_barrier(std::size_t parties);
 
   /// Contributes to the current epoch and blocks until all parties arrive.
   /// Returns the epoch's aggregate.
-  aggregate arrive_and_wait(std::uint64_t outstanding, double work);
+  aggregate arrive_and_wait(std::uint64_t outstanding, double work,
+                            bool cancel = false);
 
   [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
   [[nodiscard]] std::uint64_t epoch() const;

@@ -103,9 +103,14 @@ class thread_engine {
     ++seeded_;
   }
 
-  /// Processes to global quiescence and returns the phase metrics.
+  /// Processes to global quiescence and returns the phase metrics. Throws
+  /// util::operation_cancelled when config.budget trips: the vote is folded
+  /// through the phase-B barrier, so every worker abandons the run at the
+  /// same superstep and the pool is returned idle (partial per-rank state is
+  /// simply discarded with the engine).
   [[nodiscard]] phase_metrics run() {
     util::timer wall;
+    if (config_.budget != nullptr) config_.budget->check();
     if (seeded_ == 0) {
       metrics_.wall_seconds = wall.seconds();
       return metrics_;
@@ -126,6 +131,14 @@ class thread_engine {
       if (w >= workers) return;  // pool larger than the rank count
       worker_loop(w, workers, p, barrier);
     });
+    if (cancelled_) {
+      // Recomputing the reason here is safe: tokens are sticky and the
+      // deadline is monotone, so whatever made a worker vote still holds.
+      const util::cancel_reason why = config_.budget->stop_reason();
+      throw util::operation_cancelled(why != util::cancel_reason::none
+                                          ? why
+                                          : util::cancel_reason::cancelled);
+    }
     for (const rank_stats& st : stats_) {
       metrics_.visitors_processed += st.processed;
       metrics_.visitors_skipped += st.skipped;
@@ -183,7 +196,15 @@ class thread_engine {
         st.work = 0.0;
         st.sent_remote_step = 0;
       }
-      const auto agg = barrier.arrive_and_wait(outstanding, work_max);
+      // Cancellation checkpoint: each worker votes with its own observation
+      // and the barrier's OR-fold makes the stop decision unanimous.
+      const bool stop_vote =
+          config_.budget != nullptr && config_.budget->stop_requested();
+      const auto agg = barrier.arrive_and_wait(outstanding, work_max, stop_vote);
+      if (agg.cancel) {
+        if (w == 0) cancelled_ = true;  // sole writer; read after pool joins
+        return;
+      }
       if (w == 0) {
         ++metrics_.rounds;
         metrics_.sim_units += agg.max_work;
@@ -259,6 +280,7 @@ class thread_engine {
   std::vector<std::unique_ptr<spsc_channel<Visitor>>> channels_;  // [from*p+to]
   std::vector<rank_stats> stats_;
   std::uint64_t seeded_ = 0;
+  bool cancelled_ = false;  ///< set by worker 0 when the barrier votes to stop
   phase_metrics metrics_;
 };
 

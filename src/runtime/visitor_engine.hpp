@@ -89,11 +89,14 @@ class visitor_engine {
     send(std::move(v), rank, rank);
   }
 
-  /// Processes to global quiescence and returns the phase metrics.
+  /// Processes to global quiescence and returns the phase metrics. Throws
+  /// util::operation_cancelled at a round boundary when config.budget trips
+  /// (cooperative cancellation/deadline checkpoint).
   [[nodiscard]] phase_metrics run() {
     util::timer wall;
     const int p = parts_.num_ranks();
     while (pending_ > 0 || !staged_.empty()) {
+      if (config_.budget != nullptr) config_.budget->check();
       ++metrics_.rounds;
       std::fill(round_work_.begin(), round_work_.end(), 0.0);
       for (int r = 0; r < p; ++r) {

@@ -1,6 +1,7 @@
 #include "service/executor.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -25,43 +26,132 @@ executor::~executor() {
   for (auto& worker : workers_) worker.join();
 }
 
-void executor::post(task t) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  not_full_.wait(lock, [this] {
-    return stopping_ || queue_.size() < config_.queue_capacity;
-  });
-  if (stopping_) {
-    throw std::runtime_error("executor::post: executor is shutting down");
+std::size_t executor::total_queued_locked() const noexcept {
+  std::size_t total = 0;
+  for (const auto& q : queues_) total += q.size();
+  return total;
+}
+
+std::size_t executor::purge_expired_locked(dropped_list& dropped) {
+  const auto now = std::chrono::steady_clock::now();
+  std::size_t purged = 0;
+  for (auto& q : queues_) {
+    purged += std::erase_if(q, [&](queued_task& item) {
+      if (item.deadline > now) return false;
+      ++stats_.expired;
+      if (item.on_dropped) {
+        dropped.emplace_back(std::move(item.on_dropped), drop_reason::expired);
+      }
+      return true;
+    });
   }
-  queue_.push_back(queued_task{util::timer{}, std::move(t)});
+  return purged;
+}
+
+void executor::fire(dropped_list& dropped) {
+  for (auto& [handler, reason] : dropped) handler(reason);
+  dropped.clear();
+}
+
+void executor::post(task t, task_options opts) {
+  opts.priority = std::min(opts.priority, k_executor_priority_levels - 1);
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (stopping_) {
+      throw std::runtime_error("executor::post: executor is shutting down");
+    }
+    if (total_queued_locked() < config_.queue_capacity) break;
+    dropped_list dropped;
+    if (purge_expired_locked(dropped) > 0) {
+      // Expired entries came off the queue: fire their drop handlers *now*
+      // (a deferred handler is a stranded promise — its waiter would block
+      // for as long as this producer does) and wake fellow producers, since
+      // the purge may have freed more slots than this post consumes. Then
+      // re-evaluate from scratch.
+      lock.unlock();
+      not_full_.notify_all();
+      fire(dropped);
+      lock.lock();
+      continue;
+    }
+    not_full_.wait(lock);
+  }
+  queues_[opts.priority].push_back(queued_task{
+      util::timer{}, std::move(t), opts.deadline, std::move(opts.on_dropped)});
   ++stats_.submitted;
-  stats_.peak_queue_depth = std::max<std::uint64_t>(stats_.peak_queue_depth,
-                                                    queue_.size());
+  stats_.peak_queue_depth =
+      std::max<std::uint64_t>(stats_.peak_queue_depth, total_queued_locked());
   lock.unlock();
   not_empty_.notify_one();
 }
 
-bool executor::try_post(task t) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (stopping_) {
-    throw std::runtime_error("executor::try_post: executor is shutting down");
+bool executor::try_post(task t, task_options opts) {
+  opts.priority = std::min(opts.priority, k_executor_priority_levels - 1);
+  dropped_list dropped;
+  std::size_t purged = 0;
+  bool admitted = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("executor::try_post: executor is shutting down");
+    }
+    if (total_queued_locked() >= config_.queue_capacity) {
+      purged = purge_expired_locked(dropped);
+    }
+    bool have_room = total_queued_locked() < config_.queue_capacity;
+    if (!have_room) {
+      // Displacement: shed the *newest* entry of the *least* urgent populated
+      // level strictly below the arrival. Newest-first keeps the victim
+      // level's FIFO head (its oldest waiter) intact.
+      for (std::size_t level = k_executor_priority_levels;
+           level-- > opts.priority + 1;) {
+        auto& q = queues_[level];
+        if (q.empty()) continue;
+        queued_task victim = std::move(q.back());
+        q.pop_back();
+        ++stats_.displaced;
+        if (victim.on_dropped) {
+          dropped.emplace_back(std::move(victim.on_dropped),
+                               drop_reason::displaced);
+        }
+        have_room = true;
+        break;
+      }
+    }
+    if (have_room) {
+      queues_[opts.priority].push_back(queued_task{util::timer{}, std::move(t),
+                                                   opts.deadline,
+                                                   std::move(opts.on_dropped)});
+      ++stats_.submitted;
+      stats_.peak_queue_depth = std::max<std::uint64_t>(
+          stats_.peak_queue_depth, total_queued_locked());
+      admitted = true;
+    } else {
+      ++stats_.rejected;
+    }
   }
-  if (queue_.size() >= config_.queue_capacity) {
-    ++stats_.rejected;
-    return false;
-  }
-  queue_.push_back(queued_task{util::timer{}, std::move(t)});
-  ++stats_.submitted;
-  stats_.peak_queue_depth = std::max<std::uint64_t>(stats_.peak_queue_depth,
-                                                    queue_.size());
-  lock.unlock();
-  not_empty_.notify_one();
-  return true;
+  if (admitted) not_empty_.notify_one();
+  // The purge may have freed more capacity than this admission consumed:
+  // wake producers blocked in post() rather than leaving them asleep until
+  // a worker next pops (potentially a full solve away).
+  if (purged > 0) not_full_.notify_all();
+  fire(dropped);
+  return admitted;
 }
 
 std::size_t executor::queue_depth() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+  return total_queued_locked();
+}
+
+std::size_t executor::backlog_ahead(std::size_t priority) const {
+  priority = std::min(priority, k_executor_priority_levels - 1);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (std::size_t level = 0; level <= priority; ++level) {
+    total += queues_[level].size();
+  }
+  return total;
 }
 
 executor_stats executor::stats() const {
@@ -70,29 +160,60 @@ executor_stats executor::stats() const {
 }
 
 void executor::worker_loop() {
+  // One pop per lock hold: either a runnable task, an expired task whose
+  // drop handler must fire *before* the worker can sleep again (a handler
+  // resolves a waiter's promise — deferring it until the next arrival would
+  // strand that waiter), or the drained-shutdown signal.
   for (;;) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-    if (queue_.empty()) return;  // stopping and fully drained
-    queued_task item = std::move(queue_.front());
-    queue_.pop_front();
-    const double wait = item.enqueued.seconds();
-    ++stats_.executed;
-    stats_.total_queue_wait_seconds += wait;
-    stats_.max_queue_wait_seconds =
-        std::max(stats_.max_queue_wait_seconds, wait);
-    lock.unlock();
-    not_full_.notify_one();
+    dropped_list dropped;
+    std::optional<queued_task> item;
+    bool drained = false;
+    double wait = 0.0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock,
+                      [this] { return stopping_ || total_queued_locked() > 0; });
+      if (total_queued_locked() == 0) {
+        drained = true;  // stopping and fully drained
+      } else {
+        auto& q = *std::find_if(queues_.begin(), queues_.end(),
+                                [](const auto& level) { return !level.empty(); });
+        queued_task picked = std::move(q.front());
+        q.pop_front();
+        if (picked.deadline <= std::chrono::steady_clock::now()) {
+          // Expired in the queue: drop instead of burning the worker.
+          ++stats_.expired;
+          if (picked.on_dropped) {
+            dropped.emplace_back(std::move(picked.on_dropped),
+                                 drop_reason::expired);
+          }
+        } else {
+          wait = picked.enqueued.seconds();
+          ++stats_.executed;
+          stats_.total_queue_wait_seconds += wait;
+          stats_.max_queue_wait_seconds =
+              std::max(stats_.max_queue_wait_seconds, wait);
+          item = std::move(picked);
+        }
+      }
+    }
+    if (item || !dropped.empty()) not_full_.notify_all();
+    fire(dropped);
+    if (drained) return;
+    if (!item) continue;  // dropped an expired task: look again
+    util::timer run_timer;
     try {
-      item.work(wait);
+      item->work(wait);
     } catch (...) {
       // A task that lets an exception escape must not unwind the worker
       // (std::terminate would take the whole process down). Tasks own their
       // error reporting — the service's wrapper routes failures into the
-      // query future; a bare task that throws is counted and dropped.
+      // query handle; a bare task that throws is counted and dropped.
       const std::lock_guard<std::mutex> guard(mutex_);
       ++stats_.tasks_failed;
     }
+    const std::lock_guard<std::mutex> guard(mutex_);
+    stats_.total_exec_seconds += run_timer.seconds();
   }
 }
 

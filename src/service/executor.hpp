@@ -1,12 +1,28 @@
-// Bounded worker-pool executor backing the Steiner query service.
+// Priority admission queue + bounded worker pool backing the Steiner query
+// service.
 //
-// A fixed set of std::thread workers drains a bounded admission queue. The
-// bound is the service's backpressure mechanism: `post` blocks the producer
-// when the queue is full (interactive sessions), `try_post` refuses instead
-// (load-shedding front ends). Each task receives the queue wait it actually
-// experienced so the service can report per-query latency splits.
+// A fixed set of std::thread workers drains a bounded, *class-prioritized*
+// admission queue: three priority levels (the service maps its
+// interactive/batch/background classes onto them), drained in level order
+// with FIFO inside a level. The bound is the service's backpressure
+// mechanism — `post` blocks the producer when the queue is full (legacy
+// interactive sessions), `try_post` sheds instead (QoS admission) — and two
+// policies keep a full queue from going blind:
+//
+//   expiry:       a queued task whose deadline has passed is dropped (its
+//                 on_dropped handler fires) instead of wasting a worker, and
+//                 expired entries are purged first when admission needs room;
+//   displacement: a higher-level arrival into a full queue evicts the newest
+//                 queued task of the *lowest* populated level below it, so
+//                 saturation sheds background work before interactive work.
+//
+// Each executed task receives the queue wait it actually experienced, and the
+// executor tracks cumulative execution time so the service's admission cost
+// model can estimate backlog drain rates.
 #pragma once
 
+#include <array>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -19,10 +35,22 @@
 
 namespace dsteiner::service {
 
+/// Admission levels understood by the executor (0 = most urgent). Matches
+/// service::k_priority_classes; kept as a separate constant because the
+/// executor is priority-*level* generic, not priority-*class* aware.
+inline constexpr std::size_t k_executor_priority_levels = 3;
+
 struct executor_config {
   std::size_t num_threads = 2;
-  /// Maximum tasks waiting for a worker (excludes the ones being executed).
+  /// Maximum tasks waiting for a worker (excludes the ones being executed),
+  /// summed across all priority levels.
   std::size_t queue_capacity = 256;
+};
+
+/// Why a queued task was dropped without running (on_dropped's argument).
+enum class drop_reason : std::uint8_t {
+  expired,    ///< its deadline passed while it waited
+  displaced,  ///< shed to admit a higher-priority arrival into a full queue
 };
 
 struct executor_stats {
@@ -30,9 +58,20 @@ struct executor_stats {
   std::uint64_t rejected = 0;  ///< try_post refusals while the queue was full
   std::uint64_t executed = 0;
   std::uint64_t tasks_failed = 0;  ///< tasks that let an exception escape
+  std::uint64_t expired = 0;       ///< queued tasks dropped past their deadline
+  std::uint64_t displaced = 0;     ///< queued tasks shed for a higher level
   std::uint64_t peak_queue_depth = 0;
   double total_queue_wait_seconds = 0.0;
   double max_queue_wait_seconds = 0.0;
+  /// Wall seconds spent *running* tasks (all workers, cumulative) — with
+  /// `executed`, the mean task cost the admission estimator drains at.
+  double total_exec_seconds = 0.0;
+
+  [[nodiscard]] double mean_exec_seconds() const noexcept {
+    return executed == 0
+               ? 0.0
+               : total_exec_seconds / static_cast<double>(executed);
+  }
 };
 
 class executor {
@@ -41,41 +80,72 @@ class executor {
   /// queued before pickup. Tasks should handle their own errors; an escaped
   /// exception is swallowed and counted (tasks_failed), never propagated.
   using task = std::function<void(double queue_wait_seconds)>;
+  /// Invoked (outside the executor lock, on the dropping thread) when a
+  /// queued task is expired or displaced instead of executed.
+  using drop_handler = std::function<void(drop_reason)>;
+
+  struct task_options {
+    std::size_t priority = 0;  ///< clamped to k_executor_priority_levels - 1
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
+    drop_handler on_dropped;
+  };
 
   explicit executor(executor_config config = {});
 
-  /// Drains every queued task, then joins the workers.
+  /// Drains every queued task, then joins the workers. (Tasks still queued
+  /// past their deadline are dropped, not run, during the drain.)
   ~executor();
 
   executor(const executor&) = delete;
   executor& operator=(const executor&) = delete;
 
-  /// Enqueues `t`, blocking while the admission queue is full. Throws
+  /// Enqueues `t`, blocking while the admission queue is full (expired
+  /// entries are purged to make room before sleeping). Throws
   /// std::runtime_error after shutdown began.
-  void post(task t);
+  void post(task t, task_options opts);
+  void post(task t) { post(std::move(t), task_options{}); }
 
-  /// Non-blocking admission: false (and the rejected counter) when full.
-  [[nodiscard]] bool try_post(task t);
+  /// Non-blocking admission: purge expired entries, then displace a
+  /// lower-priority queued task, then give up — false (and the rejected
+  /// counter) when nothing below `opts.priority` could be shed.
+  [[nodiscard]] bool try_post(task t, task_options opts);
+  [[nodiscard]] bool try_post(task t) {
+    return try_post(std::move(t), task_options{});
+  }
 
   [[nodiscard]] std::size_t num_threads() const noexcept {
     return workers_.size();
   }
   [[nodiscard]] std::size_t queue_depth() const;
+  /// Queued tasks at `priority` or more urgent — the backlog a new arrival
+  /// at that level waits behind (its own FIFO predecessors included).
+  [[nodiscard]] std::size_t backlog_ahead(std::size_t priority) const;
   [[nodiscard]] executor_stats stats() const;
 
  private:
   struct queued_task {
     util::timer enqueued;  ///< started at admission; read at pickup
     task work;
+    std::chrono::steady_clock::time_point deadline;
+    drop_handler on_dropped;
   };
+  /// Handlers harvested under the lock, invoked after it is released.
+  using dropped_list = std::vector<std::pair<drop_handler, drop_reason>>;
 
   void worker_loop();
+  [[nodiscard]] std::size_t total_queued_locked() const noexcept;
+  /// Drops every queued task whose deadline has passed; returns how many
+  /// came off the queue (slots freed). Lock must be held; the harvested
+  /// handlers must be fired promptly after it is released.
+  std::size_t purge_expired_locked(dropped_list& dropped);
+  static void fire(dropped_list& dropped);
 
   executor_config config_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<queued_task> queue_;
+  std::array<std::deque<queued_task>, k_executor_priority_levels> queues_;
   executor_stats stats_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;

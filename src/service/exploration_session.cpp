@@ -1,6 +1,7 @@
 #include "service/exploration_session.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "service/steiner_service.hpp"
@@ -97,6 +98,42 @@ void exploration_session::filter_edges_above(graph::weight_t cutoff) {
           break;
         }
       }
+    }
+  }
+  apply_edge_delta(delta);
+}
+
+void exploration_session::remove_vertices(
+    std::span<const graph::vertex_id> victims) {
+  const graph::csr_graph& g = graph();
+  // Validate the whole batch before touching anything: a rejected victim
+  // must leave the session (epoch, cached tree) untouched.
+  std::vector<char> removed(g.num_vertices(), 0);
+  for (const graph::vertex_id v : victims) {
+    if (v >= g.num_vertices()) {
+      throw std::out_of_range("exploration_session: vertex id out of range");
+    }
+    if (seeds_.contains(v)) {
+      throw std::invalid_argument(
+          "exploration_session: cannot remove vertex " + std::to_string(v) +
+          ": it is a seed of the current query (remove_seed() it first)");
+    }
+    removed[v] = 1;
+  }
+
+  // One disable edit per incident undirected pair: the graph is symmetric,
+  // so visiting each pair from its lower endpoint's row (u < t) covers every
+  // incident edge exactly once, and the parallel-group skip collapses
+  // multi-arcs to the single edit epoch deltas expect.
+  graph::edge_delta delta;
+  for (graph::vertex_id u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const graph::vertex_id t = nbrs[i];
+      if (u >= t) continue;  // canonical orientation (also skips self-loops)
+      if (i > 0 && t == nbrs[i - 1]) continue;  // parallel group: one edit
+      if (removed[u] == 0 && removed[t] == 0) continue;
+      delta.edits.push_back(graph::edge_edit::disable(u, t));
     }
   }
   apply_edge_delta(delta);

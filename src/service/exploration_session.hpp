@@ -93,6 +93,28 @@ class exploration_session {
     apply_edge_delta(delta);
   }
 
+  /// Removes every vertex failing `keep(v)` — the §I "removing classes of
+  /// ... vertices" interaction. Vertex removal is modelled as disabling all
+  /// incident edges in one epoch delta (the vertex id stays valid but
+  /// isolated, so epoch invariants — |V| preserved — hold and re-enabling
+  /// later epochs can resurrect it). Removing a *seed* vertex is rejected
+  /// with std::invalid_argument before anything is applied: a seed is the
+  /// query's subject, silently isolating it would turn every tree into a
+  /// degenerate forest — remove_seed() it first.
+  template <typename Pred>
+  void filter_vertices(Pred&& keep) {
+    const graph::csr_graph& g = graph();
+    std::vector<graph::vertex_id> victims;
+    for (graph::vertex_id v = 0; v < g.num_vertices(); ++v) {
+      if (!keep(v)) victims.push_back(v);
+    }
+    remove_vertices(victims);
+  }
+
+  /// Span form of filter_vertices: removes exactly `victims` (duplicates
+  /// tolerated). Same seed-rejection contract.
+  void remove_vertices(std::span<const graph::vertex_id> victims);
+
   /// Scale-out knob: change the simulated rank count for future queries.
   void set_ranks(int num_ranks);
 

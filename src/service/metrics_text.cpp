@@ -45,6 +45,32 @@ void append_gauge(std::string& out, std::string_view prefix,
   append_metric(out, prefix, name, help, "gauge", value);
 }
 
+/// One counter family with a `priority` label per class (one HELP/TYPE
+/// header, k_priority_classes series).
+void append_priority_counter(
+    std::string& out, std::string_view prefix, std::string_view name,
+    std::string_view help,
+    const std::array<std::uint64_t, k_priority_classes>& values) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer), "# HELP %.*s_%.*s %.*s",
+                static_cast<int>(prefix.size()), prefix.data(),
+                static_cast<int>(name.size()), name.data(),
+                static_cast<int>(help.size()), help.data());
+  append_line(out, buffer);
+  std::snprintf(buffer, sizeof(buffer), "# TYPE %.*s_%.*s counter",
+                static_cast<int>(prefix.size()), prefix.data(),
+                static_cast<int>(name.size()), name.data());
+  append_line(out, buffer);
+  for (std::size_t p = 0; p < k_priority_classes; ++p) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "%.*s_%.*s{priority=\"%s\"} %" PRIu64,
+                  static_cast<int>(prefix.size()), prefix.data(),
+                  static_cast<int>(name.size()), name.data(),
+                  to_string(static_cast<priority_class>(p)), values[p]);
+    append_line(out, buffer);
+  }
+}
+
 void append_histogram(std::string& out, std::string_view prefix,
                       std::string_view name, std::string_view help,
                       const latency_histogram::snapshot_data& hist) {
@@ -116,6 +142,29 @@ std::string render_metrics_text(const service_snapshot& snap,
   append_counter(out, prefix, "epoch_advances_total",
                  "Graph epochs derived by edge edits", s.epoch_advances);
 
+  append_counter(out, prefix, "cancelled_total",
+                 "Requests stopped by cancellation (queued or mid-solve)",
+                 s.cancelled);
+  append_counter(out, prefix, "deadline_rejected_total",
+                 "Requests rejected at admission as deadline-unmeetable",
+                 s.deadline_rejected);
+  append_counter(out, prefix, "deadline_expired_total",
+                 "Requests whose deadline passed while queued or solving",
+                 s.deadline_expired);
+  append_counter(out, prefix, "stale_refreshes_total",
+                 "Background refreshes enqueued after stale hits",
+                 s.stale_refreshes);
+  append_counter(out, prefix, "stale_refreshes_deduped_total",
+                 "Stale-hit refreshes suppressed by the in-flight token",
+                 s.stale_refreshes_deduped);
+  append_priority_counter(out, prefix, "requests_admitted_total",
+                          "Requests admitted, by priority class",
+                          s.admitted_by_priority);
+  append_priority_counter(out, prefix, "requests_shed_total",
+                          "Requests shed (rejected, displaced or expired in "
+                          "queue), by priority class",
+                          s.shed_by_priority);
+
   append_counter(out, prefix, "cache_lookup_hits_total",
                  "Result-cache lookup hits", s.cache.hits);
   append_counter(out, prefix, "cache_lookup_misses_total",
@@ -136,6 +185,11 @@ std::string render_metrics_text(const service_snapshot& snap,
                  s.exec.executed);
   append_counter(out, prefix, "executor_rejected_total",
                  "try_submit load-shed refusals", s.exec.rejected);
+  append_counter(out, prefix, "executor_expired_total",
+                 "Queued tasks dropped past their deadline", s.exec.expired);
+  append_counter(out, prefix, "executor_displaced_total",
+                 "Queued tasks shed for higher-priority arrivals",
+                 s.exec.displaced);
   append_gauge(out, prefix, "executor_peak_queue_depth",
                "Deepest admission queue observed", s.exec.peak_queue_depth);
 

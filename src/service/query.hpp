@@ -4,6 +4,11 @@
 // service executes it cold, warm (repairing a recent solve with a similar
 // seed set) or straight from the result cache, and reports which path it
 // took along with admission-to-completion latency splits.
+//
+// `query` is the QoS-free core of a `request` (request.hpp). The
+// future-based submit(query)/try_submit/solve surface survives as thin
+// wrappers for one deprecation window — new callers should submit a
+// `request` and hold the `query_handle` (query_handle.hpp).
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,28 @@
+#include "service/query_handle.hpp"
+
+#include <stdexcept>
+
+namespace dsteiner::service {
+
+detail::request_state& query_handle::state() const {
+  if (state_ == nullptr) {
+    throw std::logic_error("query_handle: empty handle");
+  }
+  return *state_;
+}
+
+std::optional<query_result> query_handle::poll() const {
+  detail::request_state& st = state();
+  if (st.future.wait_for(std::chrono::seconds(0)) !=
+      std::future_status::ready) {
+    return std::nullopt;
+  }
+  if (st.status.load(std::memory_order_acquire) != request_status::done) {
+    return std::nullopt;  // terminal without a result; status()/get() say why
+  }
+  return st.future.get();  // shared_future: returns a const&, copied out
+}
+
+query_result query_handle::get() const { return state().future.get(); }
+
+}  // namespace dsteiner::service

@@ -1,0 +1,123 @@
+// The handle side of the service's request/handle API.
+//
+// `steiner_service::submit(request)` returns a `query_handle`: a shared view
+// of the request's lifecycle with
+//
+//   status() — non-blocking lifecycle probe (queued/running/done/...)
+//   cancel() — cooperative stop: a queued request resolves without running,
+//              a running one stops at the next solver checkpoint
+//   poll()   — non-blocking result fetch (nullopt until done)
+//   get()    — blocking fetch; rethrows failures, operation_cancelled for
+//              cancelled/expired requests, request_rejected for shed ones
+//
+// Handles are cheap shared_ptr copies; dropping every copy does NOT cancel
+// the request (fire-and-forget is legal) — cancellation is always explicit.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+
+#include "service/query.hpp"
+#include "service/request.hpp"
+#include "util/cancellation.hpp"
+
+namespace dsteiner::service {
+
+class steiner_service;
+
+namespace detail {
+
+/// Shared state between the service (producer side) and every handle copy.
+/// The service resolves `promise` exactly once and stores the terminal
+/// status *before* resolving, so a reader woken by the future observes the
+/// final status.
+struct request_state {
+  std::uint64_t id = 0;
+  priority_class priority = priority_class::interactive;
+  std::atomic<request_status> status{request_status::queued};
+  std::atomic<reject_reason> rejection{reject_reason::none};
+
+  /// Handle-level cancellation (query_handle::cancel) feeding budget.cancel;
+  /// budget.user_cancel carries the request's own token. The budget lives
+  /// here so it outlives the solve no matter when the caller drops handles.
+  util::cancel_source canceller;
+  util::run_budget budget;
+
+  std::promise<query_result> promise;
+  /// Engaged by submit(request) before the task is posted; the legacy
+  /// future-based wrappers take the plain future instead and leave this
+  /// empty (the handle is never exposed there).
+  std::shared_future<query_result> future;
+};
+
+}  // namespace detail
+
+class query_handle {
+ public:
+  /// Empty handle (valid() == false); accessors other than valid() throw
+  /// std::logic_error.
+  query_handle() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+  /// Monotonic per-service submission id (distinct from query_result::
+  /// query_id, which counts *executed* queries).
+  [[nodiscard]] std::uint64_t id() const { return state().id; }
+  [[nodiscard]] priority_class priority() const { return state().priority; }
+
+  [[nodiscard]] request_status status() const {
+    return state().status.load(std::memory_order_acquire);
+  }
+
+  /// Why the request was rejected (meaningful once status() == rejected).
+  [[nodiscard]] reject_reason rejection() const {
+    return state().rejection.load(std::memory_order_acquire);
+  }
+
+  /// True once the request reached a terminal state.
+  [[nodiscard]] bool finished() const {
+    switch (status()) {
+      case request_status::queued:
+      case request_status::running: return false;
+      default: return true;
+    }
+  }
+
+  /// Requests cooperative cancellation. Returns true if this call was the
+  /// first to fire the handle's source. Best-effort: a request already past
+  /// its last checkpoint still completes (status ends up done).
+  bool cancel() { return state().canceller.request_cancel(); }
+
+  /// Non-blocking: the result if the request completed successfully,
+  /// nullopt otherwise (still in flight, or terminal-without-result — check
+  /// status()). Never throws on failed/cancelled requests; get() does.
+  [[nodiscard]] std::optional<query_result> poll() const;
+
+  /// Blocks until terminal. Returns the result for done requests; throws
+  /// util::operation_cancelled (cancelled/expired), request_rejected
+  /// (rejected), or the solver's exception (failed).
+  [[nodiscard]] query_result get() const;
+
+  /// Blocks until the request reaches a terminal state.
+  void wait() const { state().future.wait(); }
+
+  /// Bounded wait; true when terminal.
+  [[nodiscard]] bool wait_for(std::chrono::steady_clock::duration d) const {
+    return state().future.wait_for(d) == std::future_status::ready;
+  }
+
+ private:
+  friend class steiner_service;
+  explicit query_handle(std::shared_ptr<detail::request_state> state) noexcept
+      : state_(std::move(state)) {}
+
+  [[nodiscard]] detail::request_state& state() const;
+
+  std::shared_ptr<detail::request_state> state_;
+};
+
+}  // namespace dsteiner::service

@@ -31,6 +31,22 @@ result_cache::shard& result_cache::shard_for(const cache_key& key) {
   return *shards_[util::mix64(h) % shards_.size()];
 }
 
+const result_cache::shard& result_cache::shard_for(const cache_key& key) const {
+  return const_cast<result_cache*>(this)->shard_for(key);
+}
+
+bool result_cache::peek(
+    const cache_key& key,
+    std::span<const graph::vertex_id> canonical_seeds) const {
+  const shard& s = shard_for(key);
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.index.find(key);
+  if (it == s.index.end()) return false;
+  const entry_ptr& entry = it->second->second;
+  return std::equal(entry->seeds.begin(), entry->seeds.end(),
+                    canonical_seeds.begin(), canonical_seeds.end());
+}
+
 result_cache::entry_ptr result_cache::find(
     const cache_key& key, std::span<const graph::vertex_id> canonical_seeds,
     bool count_miss) {

@@ -93,6 +93,13 @@ class result_cache {
                                std::span<const graph::vertex_id> canonical_seeds,
                                bool count_miss = true);
 
+  /// Stat-neutral existence probe for admission cost estimation: no LRU
+  /// promotion, no hit/miss counting — predicting a path must not perturb
+  /// the statistics or the eviction order the prediction is about.
+  [[nodiscard]] bool peek(
+      const cache_key& key,
+      std::span<const graph::vertex_id> canonical_seeds) const;
+
   /// Inserts (or refreshes) an entry. Over capacity, the victim is chosen
   /// epoch-first, then by cost:
   ///   1. any entry from an epoch older than the live epoch (stale) — the
@@ -136,6 +143,7 @@ class result_cache {
   };
 
   [[nodiscard]] shard& shard_for(const cache_key& key);
+  [[nodiscard]] const shard& shard_for(const cache_key& key) const;
 
   config config_;
   std::size_t per_shard_capacity_ = 1;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <limits>
 #include <stdexcept>
 #include <utility>
@@ -57,9 +58,12 @@ std::uint64_t steiner_service::config_hash(
   // hashed — the threaded engine's schedule is thread-count invariant, so
   // the tree and every phase metric are identical across worker budgets and
   // different budgets may share one cache entry.
+  // Deliberate exception #2: `budget` (cancellation/deadline) is NOT hashed —
+  // it is pure QoS plumbing that can only abort a solve, never change its
+  // output, so budgeted and unbudgeted runs share one cache entry.
   static_assert(sizeof(runtime::cost_model) == 8 * sizeof(double),
                 "cost_model changed: update config_hash");
-  static_assert(sizeof(core::solver_config) <= 72 + sizeof(runtime::cost_model),
+  static_assert(sizeof(core::solver_config) <= 80 + sizeof(runtime::cost_model),
                 "solver_config changed: update config_hash");
   const auto f64 = [](double value) {
     return std::bit_cast<std::uint64_t>(value);
@@ -86,34 +90,159 @@ std::uint64_t steiner_service::config_hash(
   return h;
 }
 
+std::shared_ptr<detail::request_state> steiner_service::make_request_state(
+    const request& r) {
+  auto st = std::make_shared<detail::request_state>();
+  st->id = ++request_counter_;
+  st->priority = r.priority;
+  st->budget.cancel = st->canceller.token();
+  st->budget.user_cancel = r.cancel;
+  if (r.deadline) st->budget.deadline = *r.deadline;
+  return st;
+}
+
+void steiner_service::note_stopped(detail::request_state& st,
+                                   util::cancel_reason why) {
+  // Status is stored before the caller resolves the promise, so a reader
+  // woken by the future observes the terminal status.
+  if (why == util::cancel_reason::deadline) {
+    ++deadline_expired_;
+    st.status.store(request_status::expired, std::memory_order_release);
+  } else {
+    ++cancelled_;
+    st.status.store(request_status::cancelled, std::memory_order_release);
+  }
+}
+
 executor::task steiner_service::make_task(
-    query q, std::shared_ptr<std::promise<query_result>> promise) {
+    std::shared_ptr<detail::request_state> st, query q) {
   util::timer admitted;
-  return [this, q = std::move(q), promise = std::move(promise),
+  return [this, st = std::move(st), q = std::move(q),
           admitted](double queue_wait) mutable {
+    // Pickup checkpoint: a request cancelled or expired while it queued
+    // resolves here without touching a solver — the worker moves straight on
+    // to live work.
+    const util::cancel_reason pre = st->budget.stop_reason();
+    if (pre != util::cancel_reason::none) {
+      note_stopped(*st, pre);
+      st->promise.set_exception(
+          std::make_exception_ptr(util::operation_cancelled(pre)));
+      return;
+    }
+    st->status.store(request_status::running, std::memory_order_release);
     try {
-      promise->set_value(execute(std::move(q), queue_wait, admitted));
+      query_result out = execute(std::move(q), queue_wait, admitted,
+                                 &st->budget);
+      st->status.store(request_status::done, std::memory_order_release);
+      st->promise.set_value(std::move(out));
+    } catch (const util::operation_cancelled& stopped) {
+      // A checkpoint stopped the solve mid-flight: partial work is already
+      // discarded by the unwind; record end-to-end latency so snapshot()'s
+      // per-stage sample counts reconcile.
+      total_hist_.record(admitted.seconds());
+      note_stopped(*st, stopped.why());
+      st->promise.set_exception(std::current_exception());
     } catch (...) {
       // Failed queries still complete: record their end-to-end latency so
       // snapshot()'s per-stage sample counts reconcile (every query that
       // recorded a queue wait also lands in `total`).
       total_hist_.record(admitted.seconds());
-      promise->set_exception(std::current_exception());
+      st->status.store(request_status::failed, std::memory_order_release);
+      st->promise.set_exception(std::current_exception());
     }
   };
 }
 
+void steiner_service::dispatch(request r,
+                               std::shared_ptr<detail::request_state> st,
+                               admission mode) {
+  const std::size_t prio = priority_index(r.priority);
+  const auto reject = [&](reject_reason why) {
+    ++shed_by_prio_[prio];
+    st->rejection.store(why, std::memory_order_release);
+    st->status.store(request_status::rejected, std::memory_order_release);
+    st->promise.set_exception(std::make_exception_ptr(request_rejected(why)));
+  };
+
+  // Dead on arrival (already-cancelled token, already-passed deadline):
+  // resolve without touching the queue.
+  const util::cancel_reason pre = st->budget.stop_reason();
+  if (pre != util::cancel_reason::none) {
+    note_stopped(*st, pre);
+    st->promise.set_exception(
+        std::make_exception_ptr(util::operation_cancelled(pre)));
+    return;
+  }
+
+  // Cost-aware admission: only requests with deadlines can be unmeetable.
+  if (r.deadline) {
+    const double estimate = estimate_completion_seconds(r);
+    if (estimate > 0.0 &&
+        std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(estimate)) >
+            *r.deadline) {
+      ++deadline_rejected_;
+      reject(reject_reason::deadline_unmeetable);
+      return;
+    }
+  }
+
+  executor::task_options opts;
+  opts.priority = prio;
+  opts.deadline = st->budget.deadline;
+  opts.on_dropped = [this, st, prio](drop_reason why) {
+    if (why == drop_reason::expired) {
+      ++shed_by_prio_[prio];
+      note_stopped(*st, util::cancel_reason::deadline);
+      st->promise.set_exception(std::make_exception_ptr(
+          util::operation_cancelled(util::cancel_reason::deadline)));
+    } else {  // displaced by a higher-priority arrival
+      ++shed_by_prio_[prio];
+      st->rejection.store(reject_reason::queue_full, std::memory_order_release);
+      st->status.store(request_status::rejected, std::memory_order_release);
+      st->promise.set_exception(
+          std::make_exception_ptr(request_rejected(reject_reason::queue_full)));
+    }
+  };
+
+  executor::task t = make_task(st, std::move(r.q));
+  if (mode == admission::block) {
+    exec_.post(std::move(t), std::move(opts));  // throws once shutdown began
+  } else if (!exec_.try_post(std::move(t), std::move(opts))) {
+    reject(reject_reason::queue_full);
+    return;
+  }
+  ++admitted_by_prio_[prio];
+}
+
+query_handle steiner_service::submit(request r) {
+  auto st = make_request_state(r);
+  st->future = st->promise.get_future().share();
+  dispatch(std::move(r), st, admission::shed);
+  return query_handle(std::move(st));
+}
+
+query_result steiner_service::solve(request r) {
+  return submit(std::move(r)).get();
+}
+
 std::future<query_result> steiner_service::submit(query q) {
-  auto promise = std::make_shared<std::promise<query_result>>();
-  std::future<query_result> future = promise->get_future();
-  exec_.post(make_task(std::move(q), std::move(promise)));
+  request r{std::move(q)};
+  auto st = make_request_state(r);
+  std::future<query_result> future = st->promise.get_future();
+  dispatch(std::move(r), std::move(st), admission::block);
   return future;
 }
 
 std::optional<std::future<query_result>> steiner_service::try_submit(query q) {
-  auto promise = std::make_shared<std::promise<query_result>>();
-  std::future<query_result> future = promise->get_future();
-  if (!exec_.try_post(make_task(std::move(q), std::move(promise)))) {
+  request r{std::move(q)};
+  auto st = make_request_state(r);
+  std::future<query_result> future = st->promise.get_future();
+  dispatch(std::move(r), st, admission::shed);
+  // The only possible rejection here is a saturated queue (legacy queries
+  // carry no deadline or token) — map it onto the historical nullopt.
+  if (st->status.load(std::memory_order_acquire) == request_status::rejected) {
     return std::nullopt;
   }
   return future;
@@ -216,18 +345,100 @@ void steiner_service::remember_donor(donor_ptr donor, std::uint64_t epoch_id) {
   while (donors_.size() > config_.donor_history) donors_.pop_back();
 }
 
+double steiner_service::estimate_completion_seconds(const request& r) {
+  // Queue drain ahead of this arrival: entries at its priority or above,
+  // spread over the workers, each costing the executor's observed mean task
+  // time. No execution history yet -> contributes nothing (admit unknowns).
+  const double mean_task = exec_.stats().mean_exec_seconds();
+  const double backlog =
+      static_cast<double>(exec_.backlog_ahead(priority_index(r.priority)));
+  double estimate =
+      mean_task * backlog / static_cast<double>(exec_.num_threads());
+
+  // Per-path solve estimate, predicted the same way execute() will decide:
+  // cached -> near-free, warm-startable -> warm p50, otherwise cold p50.
+  // Canonicalization failures (invalid seeds) and retired epoch pins must
+  // surface at execution as failures, never as admission rejections.
+  const graph::epoch_graph::ptr epoch =
+      r.q.epoch ? epochs_.find(*r.q.epoch) : epochs_.current();
+  if (epoch == nullptr) return estimate;
+  std::vector<graph::vertex_id> canonical;
+  try {
+    canonical = core::canonicalize_seeds(epoch->num_vertices(), r.q.seeds);
+  } catch (const std::out_of_range&) {
+    return estimate;
+  }
+  core::solver_config solver_config = r.q.config.value_or(config_.solver);
+  grant_worker_budget(solver_config);
+  const cache_key key{
+      epoch->fingerprint(),
+      util::hash_range(canonical.data(), canonical.size(), 0x5eed),
+      config_hash(solver_config)};
+  if (config_.enable_cache && r.q.use_cache && cache_.peek(key, canonical)) {
+    return estimate + cache_hit_total_hist_.snapshot().quantile(0.5);
+  }
+  const bool warmable = config_.enable_warm_start && r.q.allow_warm_start &&
+                        canonical.size() > 1 &&
+                        find_donor(canonical, *epoch).has_value();
+  const double warm_p50 = warm_solve_hist_.snapshot().quantile(0.5);
+  const double cold_p50 = cold_solve_hist_.snapshot().quantile(0.5);
+  estimate += warmable && warm_p50 > 0.0 ? warm_p50 : cold_p50;
+  return estimate;
+}
+
 void steiner_service::refresh_in_background(
     std::vector<graph::vertex_id> seeds,
     std::optional<core::solver_config> config) {
+  // Refresh token: at most one in-flight refresh per (epoch, seeds, config)
+  // key — a burst of stale hits on a hot set must not fan out into a queue
+  // of identical background solves that then merely coalesce downstream.
+  core::solver_config solver_config = config.value_or(config_.solver);
+  grant_worker_budget(solver_config);
+  const graph::epoch_graph::ptr epoch = epochs_.current();
+  const cache_key key{epoch->fingerprint(),
+                      util::hash_range(seeds.data(), seeds.size(), 0x5eed),
+                      config_hash(solver_config)};
+  {
+    const std::lock_guard<std::mutex> lock(refresh_mutex_);
+    if (!refreshing_.insert(key).second) {
+      ++stale_refreshes_deduped_;
+      return;
+    }
+  }
+  const auto release = [this, key] {
+    const std::lock_guard<std::mutex> lock(refresh_mutex_);
+    refreshing_.erase(key);
+  };
+
   query refresh;
   refresh.seeds = std::move(seeds);
   refresh.config = std::move(config);
   refresh.allow_stale = false;  // the refresh must actually solve (or coalesce)
-  (void)try_submit(std::move(refresh));  // best-effort: shed when saturated
+  executor::task_options opts;
+  opts.priority = priority_index(priority_class::background);
+  opts.on_dropped = [release](drop_reason) { release(); };
+  const bool posted = exec_.try_post(
+      [this, refresh = std::move(refresh), release](double queue_wait) mutable {
+        util::timer admitted;
+        try {
+          (void)execute(std::move(refresh), queue_wait, admitted);
+        } catch (...) {
+          // Best-effort: a failed refresh leaves the stale entry serving.
+        }
+        release();
+      },
+      std::move(opts));
+  if (!posted) {
+    release();  // shed when saturated: a later stale hit may retry
+    return;
+  }
+  ++stale_refreshes_;
 }
 
 query_result steiner_service::execute(query q, double queue_wait,
-                                      util::timer admitted) {
+                                      util::timer admitted,
+                                      const util::run_budget* budget) {
+  if (budget != nullptr) budget->check();
   query_result out;
   out.query_id = ++query_counter_;
   out.queue_wait_seconds = queue_wait;
@@ -247,6 +458,9 @@ query_result steiner_service::execute(query q, double queue_wait,
 
   core::solver_config solver_config = q.config.value_or(config_.solver);
   grant_worker_budget(solver_config);
+  // QoS plumbing only — budget is deliberately absent from config_hash, so
+  // it must be attached after the hash-relevant fields are settled.
+  solver_config.budget = budget;
   const std::vector<graph::vertex_id> canonical =
       core::canonicalize_seeds(epoch->num_vertices(), q.seeds);
   const std::uint64_t seed_hash =
@@ -300,31 +514,51 @@ query_result steiner_service::execute(query q, double queue_wait,
         }
       }
     }
-    std::shared_future<result_cache::entry_ptr> waiter;
-    {
-      const std::lock_guard<std::mutex> lock(inflight_mutex_);
-      // Re-check under the lock: a leader publishes to the cache before it
-      // deregisters, so missing both cache and registry here is impossible.
-      // The outer lookup already counted this query's miss.
-      if (const auto hit = cache_.find(key, canonical, /*count_miss=*/false)) {
-        ++cache_hits_;
-        return finish_from_entry(*hit, solve_kind::cache_hit);
+    // Single-flight admission loop: become the leader, or wait on the
+    // current one. A waiter resumes the loop when the leader was *cancelled*
+    // or expired — that says nothing about this query — and the next pass
+    // re-probes the cache and may inherit leadership.
+    bool solve_independently = false;
+    while (!leader && !solve_independently) {
+      std::shared_future<result_cache::entry_ptr> waiter;
+      {
+        const std::lock_guard<std::mutex> lock(inflight_mutex_);
+        // Re-check under the lock: a leader publishes to the cache before it
+        // deregisters, so missing both cache and registry here is impossible.
+        // The outer lookup already counted this query's miss.
+        if (const auto hit = cache_.find(key, canonical, /*count_miss=*/false)) {
+          ++cache_hits_;
+          return finish_from_entry(*hit, solve_kind::cache_hit);
+        }
+        const auto it = inflight_.find(key);
+        if (it != inflight_.end()) {
+          waiter = it->second;
+        } else {
+          leader = true;
+          inflight_.emplace(key, inflight_promise.get_future().share());
+          break;
+        }
       }
-      const auto it = inflight_.find(key);
-      if (it != inflight_.end()) {
-        waiter = it->second;
-      } else {
-        leader = true;
-        inflight_.emplace(key, inflight_promise.get_future().share());
+      try {
+        // Budget-aware park: a coalesced waiter still honours its own
+        // cancellation and deadline while the leader works.
+        if (budget != nullptr) {
+          while (waiter.wait_for(std::chrono::milliseconds(1)) !=
+                 std::future_status::ready) {
+            budget->check();
+          }
+        }
+        const result_cache::entry_ptr entry = waiter.get();  // rethrows failures
+        if (entry != nullptr && entry->seeds == canonical) {
+          ++coalesced_;
+          return finish_from_entry(*entry, solve_kind::coalesced);
+        }
+        // 64-bit key collision with a different seed set: solve independently.
+        solve_independently = true;
+      } catch (const util::operation_cancelled&) {
+        if (budget != nullptr) budget->check();  // our own stop propagates
+        // The leader was stopped, not us: retry (and maybe lead).
       }
-    }
-    if (!leader) {
-      const result_cache::entry_ptr entry = waiter.get();  // rethrows failures
-      if (entry != nullptr && entry->seeds == canonical) {
-        ++coalesced_;
-        return finish_from_entry(*entry, solve_kind::coalesced);
-      }
-      // 64-bit key collision with a different seed set: solve independently.
     }
   }
 
@@ -421,6 +655,15 @@ service_stats steiner_service::stats() const {
   s.stale_hits = stale_hits_.load();
   s.coalesced = coalesced_.load();
   s.epoch_advances = epoch_advances_.load();
+  s.cancelled = cancelled_.load();
+  s.deadline_rejected = deadline_rejected_.load();
+  s.deadline_expired = deadline_expired_.load();
+  s.stale_refreshes = stale_refreshes_.load();
+  s.stale_refreshes_deduped = stale_refreshes_deduped_.load();
+  for (std::size_t p = 0; p < k_priority_classes; ++p) {
+    s.admitted_by_priority[p] = admitted_by_prio_[p].load();
+    s.shed_by_priority[p] = shed_by_prio_[p].load();
+  }
   s.cache = cache_.snapshot();
   s.exec = exec_.stats();
   return s;

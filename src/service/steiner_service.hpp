@@ -3,8 +3,25 @@
 // One service owns one *epoched* graph (graph/epoch_graph.hpp) and executes
 // many Steiner queries against it concurrently:
 //
-//   submit(query) -> future<query_result>
+//   submit(request) -> query_handle               (QoS-aware admission)
 //   advance_epoch(edge_delta) -> new epoch id     (graph mutation)
+//
+// A request carries seeds plus quality-of-service — priority class, absolute
+// deadline, cancellation token (request.hpp) — and its handle exposes
+// cancel()/status()/poll()/get() (query_handle.hpp). Admission is cost-aware:
+// the per-path latency histograms the service already keeps, combined with
+// the executor backlog, predict each request's completion time, and a
+// request that predictably cannot meet its deadline is rejected up front
+// (deadline_unmeetable) instead of occupying a queue slot. Admitted requests
+// wait in a priority queue that expires entries past their deadline and
+// sheds the lowest class first under saturation; cancelled or expired solves
+// stop mid-flight at cooperative solver checkpoints with partial work
+// discarded (donors and cache untouched).
+//
+// The future-based API below is the previous surface, kept as thin wrappers
+// during a deprecation window:
+//
+//   submit(query) -> future<query_result>         (blocking admission)
 //
 // Each query takes the cheapest correct path:
 //   1. result cache   — exact (epoch, seeds, config) repeat: no solver work;
@@ -27,6 +44,7 @@
 // configurable number of newer epochs exist.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -35,6 +53,7 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/steiner_solver.hpp"
@@ -44,7 +63,10 @@
 #include "service/executor.hpp"
 #include "service/latency_histogram.hpp"
 #include "service/query.hpp"
+#include "service/query_handle.hpp"
+#include "service/request.hpp"
 #include "service/result_cache.hpp"
+#include "util/cancellation.hpp"
 
 namespace dsteiner::service {
 
@@ -89,6 +111,18 @@ struct service_stats {
   std::uint64_t stale_hits = 0;  ///< served from an older live epoch
   std::uint64_t coalesced = 0;  ///< waited on an identical in-flight query
   std::uint64_t epoch_advances = 0;
+
+  // QoS lifecycle counters (request/handle API).
+  std::uint64_t cancelled = 0;  ///< stopped by cancel() or a request token
+  std::uint64_t deadline_rejected = 0;  ///< admission: predictably unmeetable
+  std::uint64_t deadline_expired = 0;   ///< deadline hit while queued/solving
+  std::uint64_t stale_refreshes = 0;    ///< background refreshes enqueued
+  std::uint64_t stale_refreshes_deduped = 0;  ///< suppressed: already in flight
+  /// Requests admitted/shed per priority class (shed = queue-full rejections,
+  /// displacements, queued-deadline expiries and unmeetable rejections).
+  std::array<std::uint64_t, k_priority_classes> admitted_by_priority{};
+  std::array<std::uint64_t, k_priority_classes> shed_by_priority{};
+
   result_cache::stats cache;
   executor_stats exec;
 };
@@ -113,9 +147,26 @@ class steiner_service {
   steiner_service(const steiner_service&) = delete;
   steiner_service& operator=(const steiner_service&) = delete;
 
+  /// QoS-aware admission — the primary serving surface. Never blocks: a
+  /// request that cannot be admitted (queue saturated with nothing below its
+  /// priority to shed, or a predictably unmeetable deadline) comes back as a
+  /// handle already in request_status::rejected. An already-cancelled token
+  /// short-circuits to ::cancelled. Invalid seeds surface when the handle is
+  /// resolved (status failed, get() rethrows).
+  [[nodiscard]] query_handle submit(request r);
+
+  /// Synchronous convenience for the request surface: submit + get(). Do not
+  /// call from a worker thread (it would wait on its own pool).
+  [[nodiscard]] query_result solve(request r);
+
+  // --- deprecated future-based surface (thin wrappers over the request
+  // path; one deprecation window, then removal — migrate to
+  // submit(request)) -------------------------------------------------------
+
   /// Asynchronous execution on the worker pool; blocks only while the
   /// bounded admission queue is full. Invalid seeds surface as exceptions on
-  /// the future.
+  /// the future. Equivalent to submit(request{q}) at interactive priority
+  /// with no deadline, minus the handle.
   [[nodiscard]] std::future<query_result> submit(query q);
 
   /// Load-shedding admission: nullopt (and the rejected counter) when the
@@ -194,18 +245,38 @@ class steiner_service {
     std::vector<graph::applied_edge_edit> edits;
   };
 
-  /// Wraps a query into the promise-resolving executor task shared by
-  /// submit() and try_submit().
+  /// Blocking (legacy wrappers) vs shedding (request surface) admission.
+  enum class admission : std::uint8_t { block, shed };
+
+  /// Allocates the shared lifecycle state for a request (id, priority,
+  /// budget wiring). The caller takes the promise's future *before*
+  /// dispatch() posts the task.
+  [[nodiscard]] std::shared_ptr<detail::request_state> make_request_state(
+      const request& r);
+  /// Admission: pre-cancel/pre-expiry short-circuit, cost-model deadline
+  /// check, then executor post. Resolves the state itself on every
+  /// non-admitted path.
+  void dispatch(request r, std::shared_ptr<detail::request_state> st,
+                admission mode);
+  /// The worker-side task: lifecycle transitions around execute().
   [[nodiscard]] executor::task make_task(
-      query q, std::shared_ptr<std::promise<query_result>> promise);
+      std::shared_ptr<detail::request_state> st, query q);
+  /// Terminal bookkeeping for a stopped (cancelled/expired) request.
+  void note_stopped(detail::request_state& st, util::cancel_reason why);
+  /// Predicted completion seconds (queue drain + per-path solve estimate)
+  /// for the admission cost model; 0.0 = no history, always admit.
+  [[nodiscard]] double estimate_completion_seconds(const request& r);
   [[nodiscard]] query_result execute(query q, double queue_wait,
-                                     util::timer admitted);
+                                     util::timer admitted,
+                                     const util::run_budget* budget = nullptr);
   [[nodiscard]] std::optional<donor_match> find_donor(
       std::span<const graph::vertex_id> canonical_seeds,
       const graph::epoch_graph& epoch);
   void remember_donor(donor_ptr donor, std::uint64_t epoch_id);
   /// Best-effort current-epoch refresh after a stale hit (fire-and-forget;
-  /// dropped when the admission queue is full).
+  /// dropped when the admission queue is full). Deduplicated: a refresh
+  /// token per (epoch, seeds, config) key guarantees at most one in-flight
+  /// refresh per key no matter how many stale hits a burst produces.
   void refresh_in_background(std::vector<graph::vertex_id> seeds,
                              std::optional<core::solver_config> config);
   /// Applies the core-budget split to a per-query solver config: a
@@ -240,7 +311,14 @@ class steiner_service {
                      cache_key_hash>
       inflight_;
 
+  /// Stale-refresh dedup: keys with a background refresh in flight. A stale
+  /// hit registers its key here before enqueueing; the refresh task (or a
+  /// failed enqueue) erases it.
+  std::mutex refresh_mutex_;
+  std::unordered_set<cache_key, cache_key_hash> refreshing_;
+
   std::atomic<std::uint64_t> query_counter_{0};  ///< also the queries total
+  std::atomic<std::uint64_t> request_counter_{0};  ///< handle ids (submissions)
   std::atomic<std::uint64_t> cold_solves_{0};
   std::atomic<std::uint64_t> warm_solves_{0};
   std::atomic<std::uint64_t> edge_warm_solves_{0};
@@ -249,6 +327,13 @@ class steiner_service {
   std::atomic<std::uint64_t> stale_hits_{0};
   std::atomic<std::uint64_t> coalesced_{0};
   std::atomic<std::uint64_t> epoch_advances_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> deadline_rejected_{0};
+  std::atomic<std::uint64_t> deadline_expired_{0};
+  std::atomic<std::uint64_t> stale_refreshes_{0};
+  std::atomic<std::uint64_t> stale_refreshes_deduped_{0};
+  std::array<std::atomic<std::uint64_t>, k_priority_classes> admitted_by_prio_{};
+  std::array<std::atomic<std::uint64_t>, k_priority_classes> shed_by_prio_{};
 
   /// Last member: workers must stop before anything they touch is destroyed.
   executor exec_;

@@ -219,6 +219,83 @@ TEST(Interactive, RejectedSetSeedsLeavesStateUntouched) {
   EXPECT_TRUE(session.up_to_date());
 }
 
+TEST(Interactive, FilterVerticesIsolatesThemInOneEpoch) {
+  const auto g = make_graph(16);
+  core::exploration_session session{graph::csr_graph(g)};
+  session.set_seeds(std::vector<vertex_id>{5, 60, 120});
+  (void)session.tree();
+
+  // Remove a "class of vertices": every id in [150, 160) that is not a seed.
+  session.filter_vertices(
+      [](vertex_id v) { return v < 150 || v >= 160; });
+  EXPECT_EQ(session.current_epoch(), 1u);
+  EXPECT_FALSE(session.up_to_date());
+  for (vertex_id v = 150; v < 160; ++v) {
+    EXPECT_EQ(session.graph().degree(v), 0u) << v;
+  }
+  // Removed vertices can no longer appear in the tree.
+  const auto& after = session.tree();
+  for (const auto& e : after.tree_edges) {
+    EXPECT_TRUE(e.source < 150 || e.source >= 160);
+    EXPECT_TRUE(e.target < 150 || e.target >= 160);
+  }
+
+  // Bit-identical to a fresh solve on a manually vertex-filtered graph.
+  graph::edge_list survivors(g.num_vertices());
+  for (vertex_id u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto wts = g.weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vertex_id t = nbrs[i];
+      const auto gone = [](vertex_id v) { return v >= 150 && v < 160; };
+      if (u < t && !gone(u) && !gone(t)) {
+        survivors.add_undirected_edge(u, t, wts[i]);
+      }
+    }
+  }
+  core::solver_config reference_config;
+  reference_config.allow_disconnected_seeds = true;
+  const auto reference = core::solve_steiner_tree(
+      graph::csr_graph(survivors), session.seeds(), reference_config);
+  EXPECT_EQ(after.tree_edges, reference.tree_edges);
+  EXPECT_EQ(after.total_distance, reference.total_distance);
+}
+
+TEST(Interactive, FilterVerticesRejectsSeedsAndLeavesStateUntouched) {
+  core::exploration_session session(make_graph(17));
+  session.set_seeds(std::vector<vertex_id>{5, 60, 120});
+  (void)session.tree();
+  // Removing a seed vertex is an error, reported before anything applies.
+  EXPECT_THROW(session.filter_vertices([](vertex_id v) { return v != 60; }),
+               std::invalid_argument);
+  EXPECT_THROW(session.remove_vertices(std::vector<vertex_id>{4, 5}),
+               std::invalid_argument);
+  EXPECT_THROW(session.remove_vertices(std::vector<vertex_id>{100000}),
+               std::out_of_range);
+  EXPECT_EQ(session.current_epoch(), 0u);  // no epoch was derived
+  EXPECT_TRUE(session.up_to_date());       // cached tree still stands
+
+  // After explicitly removing the seed, the same filter is legal.
+  session.remove_seed(60);
+  session.filter_vertices([](vertex_id v) { return v != 60; });
+  EXPECT_EQ(session.current_epoch(), 1u);
+  EXPECT_EQ(session.graph().degree(60), 0u);
+  (void)session.tree();  // solvable: remaining seeds never lost their edges
+}
+
+TEST(Interactive, RemoveVerticesWithNoEdgesIsANoOp) {
+  // An already-isolated victim contributes no edits: no epoch is derived.
+  graph::edge_list list(4);
+  list.add_undirected_edge(0, 1, 3);
+  list.add_undirected_edge(1, 2, 4);
+  core::exploration_session session{graph::csr_graph(list)};
+  session.set_seeds(std::vector<vertex_id>{0, 2});
+  (void)session.tree();
+  session.remove_vertices(std::vector<vertex_id>{3});  // vertex 3 is isolated
+  EXPECT_EQ(session.current_epoch(), 0u);
+  EXPECT_TRUE(session.up_to_date());
+}
+
 TEST(Interactive, ParallelEdgesFilterAndReweightActOnPairs) {
   // Epoch edits act per undirected pair; parallel edges are judged by their
   // minimum weight (the only arc shortest paths use).

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -232,6 +233,124 @@ TEST(ThreadEngine, MetricsAreInvariantInThreadCount) {
     EXPECT_EQ(runs[i].queue_peak_items, runs[0].queue_peak_items);
     EXPECT_DOUBLE_EQ(runs[i].sim_units, runs[0].sim_units);
   }
+}
+
+// ---- cooperative cancellation ----------------------------------------------
+
+/// label_handler with a per-visit nap: keeps an engine run long enough that a
+/// budget (deadline or external cancel) deterministically trips mid-run.
+class sleepy_label_handler {
+ public:
+  sleepy_label_handler(const graph::csr_graph& g,
+                       std::vector<std::uint64_t>& labels,
+                       std::chrono::microseconds nap)
+      : inner_(g, labels), nap_(nap) {}
+
+  bool pre_visit(const label_visitor& v, int rank) {
+    return inner_.pre_visit(v, rank);
+  }
+
+  template <typename Emitter>
+  bool visit(const label_visitor& v, int rank, Emitter& out) {
+    std::this_thread::sleep_for(nap_);
+    return inner_.visit(v, rank, out);
+  }
+
+ private:
+  label_handler inner_;
+  std::chrono::microseconds nap_;
+};
+
+TEST(EngineCancellation, PreCancelledBudgetStopsBothEnginesImmediately) {
+  const graph::csr_graph g(graph::generate_path(32));
+  util::cancel_source source;
+  (void)source.request_cancel();
+  util::run_budget budget;
+  budget.cancel = source.token();
+  for (const execution_mode mode :
+       {execution_mode::async, execution_mode::parallel_threads}) {
+    const partitioner parts(g.num_vertices(), 4, partition_scheme::hash);
+    std::vector<std::uint64_t> labels(g.num_vertices(), ~std::uint64_t{0});
+    label_handler handler(g, labels);
+    engine_config config;
+    config.mode = mode;
+    config.num_threads = 2;
+    config.budget = &budget;
+    try {
+      (void)run_visitors<label_visitor>(parts, handler, {{0, 0}}, config);
+      FAIL() << "engine ignored a cancelled budget (mode "
+             << static_cast<int>(mode) << ")";
+    } catch (const util::operation_cancelled& stopped) {
+      EXPECT_EQ(stopped.why(), util::cancel_reason::cancelled);
+    }
+  }
+}
+
+// The mid-run checkpoint, deterministically: a 64x64 grid with 200µs visits
+// needs seconds of work, the deadline allows ~25ms — the run *must* die at a
+// checkpoint, and the polls counter proves the cooperative path (not a fluke
+// exception) killed it. Exercises the superstep barrier's OR-fold vote in
+// parallel_threads mode: all workers abandon the same superstep or the
+// barrier would deadlock — reaching the throw at all is the proof.
+TEST(EngineCancellation, DeadlineStopsEnginesMidRun) {
+  const graph::csr_graph g(graph::generate_grid(64, 64));
+  for (const execution_mode mode :
+       {execution_mode::async, execution_mode::parallel_threads}) {
+    const partitioner parts(g.num_vertices(), 8, partition_scheme::hash);
+    std::vector<std::uint64_t> labels(g.num_vertices(), ~std::uint64_t{0});
+    sleepy_label_handler handler(g, labels, std::chrono::microseconds(200));
+    std::atomic<std::uint64_t> polls{0};
+    util::run_budget budget;
+    budget.deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(25);
+    budget.polls = &polls;
+    engine_config config;
+    config.mode = mode;
+    config.batch_size = 4;
+    config.num_threads = 2;
+    config.budget = &budget;
+    try {
+      (void)run_visitors<label_visitor>(parts, handler, {{0, 0}}, config);
+      FAIL() << "engine outlived its deadline (mode "
+             << static_cast<int>(mode) << ")";
+    } catch (const util::operation_cancelled& stopped) {
+      EXPECT_EQ(stopped.why(), util::cancel_reason::deadline);
+    }
+    EXPECT_GT(polls.load(), 0u);  // the checkpoint actually ran
+    // The run died early: the full grid BFS never completed its labelling.
+    std::uint64_t unlabelled = 0;
+    for (const std::uint64_t label : labels) {
+      if (label == ~std::uint64_t{0}) ++unlabelled;
+    }
+    EXPECT_GT(unlabelled, 0u);
+  }
+}
+
+TEST(EngineCancellation, ExternalCancelStopsThreadedRun) {
+  const graph::csr_graph g(graph::generate_grid(64, 64));
+  const partitioner parts(g.num_vertices(), 8, partition_scheme::hash);
+  std::vector<std::uint64_t> labels(g.num_vertices(), ~std::uint64_t{0});
+  sleepy_label_handler handler(g, labels, std::chrono::microseconds(200));
+  util::cancel_source source;
+  util::run_budget budget;
+  budget.cancel = source.token();
+  engine_config config;
+  config.mode = execution_mode::parallel_threads;
+  config.batch_size = 4;
+  config.num_threads = 2;
+  config.budget = &budget;
+
+  std::thread canceller([&source] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    (void)source.request_cancel();
+  });
+  try {
+    (void)run_visitors<label_visitor>(parts, handler, {{0, 0}}, config);
+    FAIL() << "engine outlived an external cancel";
+  } catch (const util::operation_cancelled& stopped) {
+    EXPECT_EQ(stopped.why(), util::cancel_reason::cancelled);
+  }
+  canceller.join();
 }
 
 // ---- full-solver determinism -----------------------------------------------

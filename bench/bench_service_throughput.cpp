@@ -189,17 +189,134 @@ int run_qos_mode(const graph::csr_graph& g, core::solver_config solver) {
   return interactive_p50 < batch_p50 ? 0 : 1;
 }
 
+/// Overlap mode (--overlap): the shared-SSSP-fragment acceptance check. A
+/// saturated workload of queries drawing most seeds from a hot pool (heavy
+/// seed-set overlap, zero exact repeats — the cache and donors cannot help)
+/// runs twice: fragment store enabled vs disabled. With the store on, every
+/// solve after the first few borrows most of its Voronoi cells instead of
+/// regrowing them; the exit status asserts the fragment-assisted solve p50
+/// beats the unassisted cold p50.
+int run_overlap_mode(const graph::csr_graph& g, core::solver_config solver) {
+  bench::print_header(
+      "Service overlap: cross-query SSSP fragment reuse",
+      "the shared distance substrate (beyond the paper)",
+      "Queries share 10 of 12 seeds with a hot pool but never repeat a set:\n"
+      "result cache and warm-start donors are disabled, so any win is pure\n"
+      "fragment reuse. Same epoch, bit-identical trees either way.");
+
+  // 12-seed queries: 10 from a fixed 14-seed hot pool (rotating), 2 unique.
+  const std::vector<graph::vertex_id> pool = bench::default_seeds(g, 14, 777);
+  const auto build_queries = [&](std::size_t count) {
+    std::vector<service::query> queries;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      service::query q;
+      for (std::uint64_t j = 0; j < 10; ++j) {
+        q.seeds.push_back(pool[(i + j) % pool.size()]);
+      }
+      q.seeds.push_back((pool[0] + 7321 * (i + 1)) % g.num_vertices());
+      q.seeds.push_back((pool[1] + 9377 * (i + 1)) % g.num_vertices());
+      q.use_cache = false;  // never an exact repeat anyway; keep it honest
+      queries.push_back(std::move(q));
+    }
+    return queries;
+  };
+
+  struct run_result {
+    std::vector<double> assisted_s, cold_s;
+    std::uint64_t assisted_visitors = 0, cold_visitors = 0;
+    service::service_stats stats;
+  };
+  const auto run = [&](bool fragments) {
+    service::service_config config;
+    config.solver = solver;
+    config.exec.num_threads = 4;  // saturation: queries contend for workers
+    config.exec.queue_capacity = 256;
+    config.enable_warm_start = false;  // isolate the fragment path
+    config.enable_cache = false;
+    config.enable_fragment_reuse = fragments;
+    service::steiner_service svc(graph::csr_graph(g), config);
+
+    const auto queries = build_queries(32);
+    std::vector<std::future<service::query_result>> futures;
+    futures.reserve(queries.size());
+    for (const auto& q : queries) futures.push_back(svc.submit(q));
+    run_result r;
+    for (auto& f : futures) {
+      const auto qr = f.get();
+      const auto* voronoi =
+          qr.result.phases.find(runtime::phase_names::voronoi);
+      const std::uint64_t visitors =
+          voronoi != nullptr ? voronoi->visitors_processed : 0;
+      if (qr.assist.fragments_injected > 0) {
+        r.assisted_s.push_back(qr.solve_seconds);
+        r.assisted_visitors += visitors;
+      } else {
+        r.cold_s.push_back(qr.solve_seconds);
+        r.cold_visitors += visitors;
+      }
+    }
+    r.stats = svc.stats();
+    return r;
+  };
+
+  const run_result off = run(false);
+  const run_result on = run(true);
+
+  util::table table({"store", "assisted", "cold", "assisted p50", "cold p50",
+                     "frag hits", "published", "evicted"});
+  const auto add_row = [&table](const char* name, const run_result& r) {
+    table.add_row({name, std::to_string(r.assisted_s.size()),
+                   std::to_string(r.cold_s.size()),
+                   util::format_duration(percentile(r.assisted_s, 0.50)),
+                   util::format_duration(percentile(r.cold_s, 0.50)),
+                   std::to_string(r.stats.fragment_hits),
+                   std::to_string(r.stats.fragments.published),
+                   std::to_string(r.stats.fragments.evictions)});
+  };
+  add_row("off", off);
+  add_row("on", on);
+  std::printf("%s", table.render().c_str());
+
+  const double cold_p50 = percentile(off.cold_s, 0.50);
+  const double assisted_p50 = percentile(on.assisted_s, 0.50);
+  if (!on.assisted_s.empty() && assisted_p50 > 0.0) {
+    std::printf("fragment-assisted speedup vs cold (p50): %.1fx\n",
+                cold_p50 / assisted_p50);
+  }
+  if (!on.assisted_s.empty() && !off.cold_s.empty()) {
+    std::printf(
+        "phase-1 visitors per query: cold %s, fragment-assisted %s (%.1f%%)\n",
+        util::with_commas(off.cold_visitors / off.cold_s.size()).c_str(),
+        util::with_commas(on.assisted_visitors / on.assisted_s.size()).c_str(),
+        100.0 *
+            static_cast<double>(on.assisted_visitors / on.assisted_s.size()) /
+            static_cast<double>(
+                std::max<std::uint64_t>(1, off.cold_visitors / off.cold_s.size())));
+  }
+  const bool pass = !on.assisted_s.empty() && assisted_p50 < cold_p50;
+  std::printf("check: fragment-assisted p50 %s cold p50 (%s vs %s)\n",
+              pass ? "<" : ">=",
+              util::format_duration(assisted_p50).c_str(),
+              util::format_duration(cold_p50).c_str());
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strict local flag parsing: --threads N (engine workers per solve) and
-  // --qos (run the priority-admission experiment instead of the throughput
-  // and latency sections).
+  // Strict local flag parsing: --threads N (engine workers per solve), --qos
+  // (priority-admission experiment) and --overlap (fragment-reuse
+  // experiment) instead of the throughput and latency sections.
   std::size_t engine_threads = 0;
   bool qos = false;
+  bool overlap = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--qos") == 0) {
       qos = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--overlap") == 0) {
+      overlap = true;
       continue;
     }
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -215,17 +332,19 @@ int main(int argc, char** argv) {
       engine_threads = static_cast<std::size_t>(value);
       continue;
     }
-    std::fprintf(stderr, "usage: %s [--threads N] [--qos]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [--threads N] [--qos] [--overlap]\n",
+                 argv[0]);
     return 2;
   }
 
-  if (qos) {
-    const io::dataset qos_data = io::load_dataset("CTS");
-    core::solver_config qos_solver;
-    qos_solver.num_ranks = 8;
-    qos_solver.allow_disconnected_seeds = true;
-    bench::apply_threads(qos_solver, engine_threads);
-    return run_qos_mode(qos_data.graph, qos_solver);
+  if (qos || overlap) {
+    const io::dataset data = io::load_dataset("CTS");
+    core::solver_config mode_solver;
+    mode_solver.num_ranks = 8;
+    mode_solver.allow_disconnected_seeds = true;
+    bench::apply_threads(mode_solver, engine_threads);
+    return qos ? run_qos_mode(data.graph, mode_solver)
+               : run_overlap_mode(data.graph, mode_solver);
   }
 
   bench::print_header(

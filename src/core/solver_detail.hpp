@@ -49,11 +49,16 @@ struct engine_context {
   engine_context& operator=(const engine_context&) = delete;
 };
 
-/// Full cold solve, optionally capturing warm-start artifacts.
+/// Full cold solve, optionally capturing warm-start artifacts. `assists`
+/// pre-seeds phase 1 from shared SSSP fragments and/or prunes it with oracle
+/// upper bounds (both output-neutral; see solve_assists); `assist_out`, when
+/// non-null, reports how much work they absorbed.
 [[nodiscard]] steiner_result solve_cold(const graph::csr_graph& graph,
                                         std::span<const graph::vertex_id> seeds,
                                         const solver_config& config,
-                                        solve_artifacts* capture);
+                                        solve_artifacts* capture,
+                                        const solve_assists& assists = {},
+                                        assist_stats* assist_out = nullptr);
 
 /// Phases 3-6 of Alg. 3 (MST, pruning, tree-edge collection, result
 /// assembly), shared between cold and warm solves. `per_rank_en` must hold

@@ -1,6 +1,7 @@
 #include "core/steiner_solver.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -134,7 +135,9 @@ void finish_solve(const graph::csr_graph& graph,
 steiner_result solve_cold(const graph::csr_graph& graph,
                           std::span<const graph::vertex_id> seeds,
                           const solver_config& config,
-                          solve_artifacts* capture) {
+                          solve_artifacts* capture,
+                          const solve_assists& assists,
+                          assist_stats* assist_out) {
   steiner_result result;
   if (config.budget != nullptr) config.budget->check();
   const std::vector<graph::vertex_id> seed_list = dedup_seeds(graph, seeds);
@@ -154,11 +157,33 @@ steiner_result solve_cold(const graph::csr_graph& graph,
   const engine_context context(config);
   const runtime::engine_config& engine = context.config;
 
-  // Step 1: Voronoi cells (Alg. 3 line 12).
+  // Step 1: Voronoi cells (Alg. 3 line 12). With assists, the state is
+  // pre-seeded from shared fragments (the initial frontier shrinks to the
+  // fragment surface) and the admission check drops visitors the landmark
+  // bound proves non-improving — same fixed point, less relaxation.
   steiner_state state(graph.num_vertices());
   result.memory.state_bytes = state.memory_bytes() + graph.num_vertices() / 8;
   {
-    auto metrics = compute_voronoi_cells(dgraph, seed_list, state, engine);
+    assist_stats astats;
+    std::atomic<std::uint64_t> pruned{0};
+    runtime::phase_metrics metrics;
+    if (assists.empty()) {
+      metrics = compute_voronoi_cells(dgraph, seed_list, state, engine);
+    } else {
+      std::vector<voronoi_visitor> initial = inject_fragments(
+          graph, assists.fragments, seed_list, state, &astats.preseeded_vertices);
+      for (const sssp_fragment_view& frag : assists.fragments) {
+        if (std::binary_search(seed_list.begin(), seed_list.end(), frag.seed)) {
+          ++astats.fragments_injected;
+        }
+      }
+      astats.frontier_visitors = initial.size();
+      const voronoi_prune prune{assists.prune_upper_bound, &pruned};
+      metrics = repair_voronoi_cells(dgraph, std::move(initial), state, engine,
+                                     prune);
+    }
+    astats.pruned_visitors = pruned.load(std::memory_order_relaxed);
+    if (assist_out != nullptr) *assist_out = astats;
     result.phases.phase(runtime::phase_names::voronoi) = metrics;
   }
 
@@ -193,6 +218,13 @@ steiner_result solve_steiner_tree(const graph::csr_graph& graph,
                                   std::span<const graph::vertex_id> seeds,
                                   const solver_config& config) {
   return detail::solve_cold(graph, seeds, config, nullptr);
+}
+
+steiner_result solve_steiner_tree_assisted(
+    const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds,
+    const solve_assists& assists, const solver_config& config,
+    solve_artifacts* capture, assist_stats* stats) {
+  return detail::solve_cold(graph, seeds, config, capture, assists, stats);
 }
 
 }  // namespace dsteiner::core

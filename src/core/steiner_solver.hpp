@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/metrics.hpp"
+#include "core/steiner_state.hpp"
 #include "graph/csr_graph.hpp"
 #include "graph/types.hpp"
 #include "runtime/dist_graph.hpp"
@@ -28,6 +29,8 @@
 #include "runtime/visitor_engine.hpp"
 
 namespace dsteiner::core {
+
+struct solve_artifacts;
 
 struct solver_config {
   /// Simulated MPI processes (the paper runs 16 per node).
@@ -92,5 +95,43 @@ struct steiner_result {
 [[nodiscard]] steiner_result solve_steiner_tree(
     const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds,
     const solver_config& config = {});
+
+/// Cross-query assists for a cold solve (the service's shared distance
+/// substrate, service/distshare/). Both members are *output-neutral by
+/// construction* — fragments only pre-seed state with achievable labels,
+/// bounds only drop provably non-improving visitors — so, like
+/// solver_config::budget, they do not participate in the service's config
+/// hash and assisted/unassisted solves share one cache entry. The spans must
+/// outlive the solve.
+struct solve_assists {
+  /// Settled per-seed fragments from earlier solves on the *same* graph
+  /// content. Fragments whose seed is not in this solve's canonical seed set
+  /// are ignored.
+  std::span<const sssp_fragment_view> fragments;
+  /// Per-vertex upper bound on min_s d1(s, v) for this exact graph and seed
+  /// set (landmark oracle). Empty disables pruning.
+  std::span<const graph::weight_t> prune_upper_bound;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return fragments.empty() && prune_upper_bound.empty();
+  }
+};
+
+/// How much phase-1 work the assists actually absorbed.
+struct assist_stats {
+  std::size_t fragments_injected = 0;   ///< fragments whose seed matched
+  std::size_t preseeded_vertices = 0;   ///< labels adopted before relaxation
+  std::size_t frontier_visitors = 0;    ///< initial visitors injected
+  std::uint64_t pruned_visitors = 0;    ///< admission drops by the bound
+};
+
+/// Cold solve pre-seeded from `assists` — bit-identical to
+/// solve_steiner_tree(graph, seeds, config); only the phase-1 work (and
+/// therefore the phase metrics) shrinks. `capture`, when non-null, receives
+/// warm-start artifacts exactly as solve_steiner_tree_capture would.
+[[nodiscard]] steiner_result solve_steiner_tree_assisted(
+    const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds,
+    const solve_assists& assists, const solver_config& config = {},
+    solve_artifacts* capture = nullptr, assist_stats* stats = nullptr);
 
 }  // namespace dsteiner::core

@@ -13,12 +13,29 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <tuple>
 #include <vector>
 
 #include "graph/types.hpp"
 
 namespace dsteiner::core {
+
+/// Read-only view of a settled per-seed SSSP fragment: a subset of `seed`'s
+/// Voronoi cell from a converged solve, truncated to a radius/vertex budget.
+/// Invariants the producer must guarantee (service/distshare enforces them):
+/// labels come from a converged solve on the *same* graph content the
+/// consumer solves on, and the set is pred-closed (every vertex's pred is in
+/// the fragment — distance truncation preserves this because weights are
+/// strictly positive). Under those invariants every label is an achievable
+/// (distance, src, pred) triple, so pre-seeding a solve from fragments can
+/// only skip work, never change the fixed point (see inject_fragments).
+struct sssp_fragment_view {
+  graph::vertex_id seed = 0;
+  std::span<const graph::vertex_id> vertices;
+  std::span<const graph::weight_t> distance;  ///< d1(seed, v), exact
+  std::span<const graph::vertex_id> pred;     ///< in-fragment predecessor
+};
 
 class steiner_state {
  public:

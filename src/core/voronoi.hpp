@@ -11,8 +11,10 @@
 // relay visitors, each enumerating only that rank's slice of the adjacency.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "core/steiner_state.hpp"
 #include "graph/types.hpp"
@@ -37,6 +39,19 @@ struct voronoi_visitor {
   [[nodiscard]] std::uint64_t priority() const noexcept { return r; }
 };
 
+/// Optional admission pruning for Alg. 4 (service/distshare landmark oracle).
+/// `upper_bound[v]`, when non-empty, must be a *true* upper bound on
+/// min_{s in S} d1(s, v) for the exact graph being solved: a visitor whose
+/// proposed distance strictly exceeds it is provably non-improving (its tuple
+/// can never be v's final label, and everything it would scatter is likewise
+/// dominated), so dropping it cannot change the fixed point — only the work.
+/// Equal distances are always admitted: the lexicographic (src, pred)
+/// tie-break may still need them.
+struct voronoi_prune {
+  std::span<const graph::weight_t> upper_bound;  ///< per vertex; empty = off
+  std::atomic<std::uint64_t>* pruned = nullptr;  ///< optional drop counter
+};
+
 /// Runs Alg. 4 to quiescence, filling `state`. Seeds bootstrap themselves:
 /// each s in S receives (r=0, t=s, vp=s).
 [[nodiscard]] runtime::phase_metrics compute_voronoi_cells(
@@ -54,5 +69,42 @@ struct voronoi_visitor {
 [[nodiscard]] runtime::phase_metrics repair_voronoi_cells(
     const runtime::dist_graph& dgraph, std::vector<voronoi_visitor> initial,
     steiner_state& state, const runtime::engine_config& config);
+
+/// Overload with oracle pruning (see voronoi_prune).
+[[nodiscard]] runtime::phase_metrics repair_voronoi_cells(
+    const runtime::dist_graph& dgraph, std::vector<voronoi_visitor> initial,
+    steiner_state& state, const runtime::engine_config& config,
+    const voronoi_prune& prune);
+
+/// Fragment-injection entry point — the cross-query analogue of warm-start
+/// frontier injection. Pre-seeds a fresh `state` with the lexicographic
+/// minimum label each vertex gets across `fragments` (fragments whose seed is
+/// not in the canonical `seeds` set are skipped: their labels would not be
+/// achievable in this solve), then returns the initial visitor set that makes
+/// relaxation from this state reach exactly the cold fixed point:
+///
+///   - one bootstrap visitor (r=0, t=s, vp=s) per seed, covering seeds with
+///     no (or truncated) fragments;
+///   - one scatter visitor per fragment-boundary arc whose relaxation would
+///     improve its target's pre-seeded state. Interior arcs of a single
+///     fragment never qualify (a converged cell satisfies the relaxation
+///     inequality along every internal arc), so the frontier is the fragment
+///     surface plus cross-fragment seams, not the whole membership.
+///
+/// Why this is bit-identical to cold: every pre-seeded label is an achievable
+/// triple (so the state never drops below the true fixed point), and any wave
+/// that a pre-seeded vertex absorbs without improvement is dominated — along
+/// interior arcs by the cell's own internal consistency, and across every arc
+/// where domination could break, an initial scatter was emitted. Relaxation
+/// therefore still delivers the canonical optimal chain to every vertex, and
+/// the unique lexicographic fixed point is reached with (typically far) fewer
+/// relaxations.
+///
+/// `preseeded`, when non-null, receives the number of vertices pre-seeded.
+[[nodiscard]] std::vector<voronoi_visitor> inject_fragments(
+    const graph::csr_graph& graph,
+    std::span<const sssp_fragment_view> fragments,
+    std::span<const graph::vertex_id> seeds, steiner_state& state,
+    std::size_t* preseeded = nullptr);
 
 }  // namespace dsteiner::core

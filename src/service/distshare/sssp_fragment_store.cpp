@@ -1,0 +1,195 @@
+#include "service/distshare/sssp_fragment_store.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace dsteiner::service::distshare {
+
+sssp_fragment_store::sssp_fragment_store(fragment_store_config config)
+    : config_(config) {
+  config_.shards = std::max<std::size_t>(1, config_.shards);
+  config_.min_fragment_vertices =
+      std::max<std::size_t>(2, config_.min_fragment_vertices);
+  per_shard_budget_ =
+      std::max<std::uint64_t>(1, config_.memory_budget_bytes / config_.shards);
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<shard>());
+  }
+}
+
+sssp_fragment_store::shard& sssp_fragment_store::shard_for(
+    graph::vertex_id seed) noexcept {
+  return *shards_[static_cast<std::size_t>(util::hash_combine(0xf7a6, seed)) %
+                  shards_.size()];
+}
+
+std::size_t sssp_fragment_store::publish_from_state(
+    std::uint64_t graph_fingerprint, std::uint64_t epoch_id,
+    const core::steiner_state& state, std::span<const graph::vertex_id> seeds,
+    double solve_seconds) {
+  if (seeds.empty()) return 0;
+
+  // One pass over the labelling, bucketing members by owning seed. Seed ids
+  // are mapped to dense cell indices through the canonical (sorted) seed
+  // list, so the bucketing is O(n log |S|) with no hashing.
+  const auto cell_of = [&seeds](graph::vertex_id src) -> std::size_t {
+    const auto it = std::lower_bound(seeds.begin(), seeds.end(), src);
+    if (it == seeds.end() || *it != src) return seeds.size();  // foreign label
+    return static_cast<std::size_t>(it - seeds.begin());
+  };
+  std::vector<std::vector<graph::vertex_id>> members(seeds.size());
+  std::uint64_t assigned = 0;
+  const graph::vertex_id n =
+      static_cast<graph::vertex_id>(state.src.size());
+  for (graph::vertex_id v = 0; v < n; ++v) {
+    if (state.src[v] == graph::k_no_vertex) continue;
+    const std::size_t cell = cell_of(state.src[v]);
+    if (cell == seeds.size()) continue;
+    members[cell].push_back(v);
+    ++assigned;
+  }
+  if (assigned == 0) return 0;
+
+  std::size_t published = 0;
+  for (std::size_t cell = 0; cell < seeds.size(); ++cell) {
+    auto& cell_members = members[cell];
+    if (cell_members.size() < config_.min_fragment_vertices) continue;
+
+    // Truncate to the closest max_fragment_vertices members. Sorting by
+    // (distance, id) makes the cut deterministic and pred-closed: a pred is
+    // strictly closer than its child (positive weights), so every retained
+    // vertex's witness chain is retained with it.
+    const auto closer = [&state](graph::vertex_id a, graph::vertex_id b) {
+      return std::pair{state.distance[a], a} < std::pair{state.distance[b], b};
+    };
+    const std::size_t keep =
+        config_.max_fragment_vertices == 0
+            ? cell_members.size()
+            : std::min(cell_members.size(), config_.max_fragment_vertices);
+    if (keep < cell_members.size()) {
+      std::nth_element(cell_members.begin(),
+                       cell_members.begin() + static_cast<std::ptrdiff_t>(keep),
+                       cell_members.end(), closer);
+      cell_members.resize(keep);
+    }
+    std::sort(cell_members.begin(), cell_members.end(), closer);
+
+    auto fragment = std::make_shared<sssp_fragment>();
+    fragment->seed = seeds[cell];
+    fragment->graph_fingerprint = graph_fingerprint;
+    fragment->epoch_id = epoch_id;
+    fragment->vertices = std::move(cell_members);
+    fragment->distance.reserve(fragment->vertices.size());
+    fragment->pred.reserve(fragment->vertices.size());
+    for (const graph::vertex_id v : fragment->vertices) {
+      fragment->distance.push_back(state.distance[v]);
+      fragment->pred.push_back(state.pred[v]);
+    }
+    fragment->radius = fragment->distance.back();
+    fragment->recompute_cost_seconds =
+        solve_seconds * static_cast<double>(fragment->vertices.size()) /
+        static_cast<double>(assigned);
+
+    const key k{graph_fingerprint, fragment->seed};
+    insert(k, std::move(fragment));
+    ++published;
+  }
+  return published;
+}
+
+void sssp_fragment_store::insert(const key& k, fragment_ptr fragment) {
+  shard& s = shard_for(k.seed);
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  ++s.counters.published;
+  if (const auto it = s.index.find(k); it != s.index.end()) {
+    // Refresh: carry the reuse signal forward so a hot cell keeps its
+    // eviction shield across re-publishes.
+    fragment->borrows.store(
+        it->second->borrows.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    s.bytes -= it->second->memory_bytes();
+    s.index.erase(it);
+    ++s.counters.refreshed;
+  }
+  s.bytes += fragment->memory_bytes();
+  s.index.emplace(k, std::move(fragment));
+
+  // Cost-aware eviction: lowest (1 + borrows) x recompute-cost goes first.
+  // Borrowers hold shared_ptrs, so eviction frees the index slot immediately
+  // and the bytes when the last in-flight solve drops its reference.
+  while (s.bytes > per_shard_budget_ && s.index.size() > 1) {
+    auto victim = s.index.begin();
+    double victim_score = victim->second->retention_score();
+    for (auto it = std::next(s.index.begin()); it != s.index.end(); ++it) {
+      const double score = it->second->retention_score();
+      if (score < victim_score) {
+        victim = it;
+        victim_score = score;
+      }
+    }
+    s.bytes -= victim->second->memory_bytes();
+    s.index.erase(victim);
+    ++s.counters.evictions;
+  }
+}
+
+fragment_ptr sssp_fragment_store::borrow(std::uint64_t graph_fingerprint,
+                                         graph::vertex_id seed) {
+  shard& s = shard_for(seed);
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.index.find(key{graph_fingerprint, seed});
+  if (it == s.index.end()) {
+    ++s.counters.misses;
+    return nullptr;
+  }
+  ++s.counters.hits;
+  it->second->borrows.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+std::size_t sssp_fragment_store::retire_epochs_before(
+    std::uint64_t first_live) {
+  std::size_t purged = 0;
+  for (auto& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s->mutex);
+    for (auto it = s->index.begin(); it != s->index.end();) {
+      if (it->second->epoch_id < first_live) {
+        s->bytes -= it->second->memory_bytes();
+        it = s->index.erase(it);
+        ++s->counters.retired;
+        ++purged;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return purged;
+}
+
+fragment_store_stats sssp_fragment_store::snapshot() const {
+  fragment_store_stats total;
+  for (const auto& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s->mutex);
+    total.published += s->counters.published;
+    total.refreshed += s->counters.refreshed;
+    total.hits += s->counters.hits;
+    total.misses += s->counters.misses;
+    total.evictions += s->counters.evictions;
+    total.retired += s->counters.retired;
+    total.bytes_in_use += s->bytes;
+    total.fragments += s->index.size();
+  }
+  return total;
+}
+
+void sssp_fragment_store::clear() {
+  for (auto& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s->mutex);
+    s->index.clear();
+    s->bytes = 0;
+  }
+}
+
+}  // namespace dsteiner::service::distshare

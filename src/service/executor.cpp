@@ -10,9 +10,11 @@ namespace dsteiner::service {
 executor::executor(executor_config config) : config_(config) {
   config_.num_threads = std::max<std::size_t>(1, config_.num_threads);
   config_.queue_capacity = std::max<std::size_t>(1, config_.queue_capacity);
+  busy_.assign(config_.num_threads, 0);
+  busy_since_.resize(config_.num_threads);
   workers_.reserve(config_.num_threads);
   for (std::size_t i = 0; i < config_.num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -53,6 +55,22 @@ void executor::fire(dropped_list& dropped) {
   dropped.clear();
 }
 
+void executor::enqueue_locked(std::size_t priority, queued_task item) {
+  auto& q = queues_[priority];
+  // Earliest-deadline-first within the level: insert before the first
+  // strictly-later deadline. Deadline-free tasks carry time_point::max, so
+  // they form a FIFO tail behind every deadline-bound entry, and a stream of
+  // deadline-free tasks degenerates to the old FIFO exactly.
+  const auto pos = std::upper_bound(
+      q.begin(), q.end(), item.deadline,
+      [](std::chrono::steady_clock::time_point deadline,
+         const queued_task& queued) { return deadline < queued.deadline; });
+  q.insert(pos, std::move(item));
+  ++stats_.submitted;
+  stats_.peak_queue_depth =
+      std::max<std::uint64_t>(stats_.peak_queue_depth, total_queued_locked());
+}
+
 void executor::post(task t, task_options opts) {
   opts.priority = std::min(opts.priority, k_executor_priority_levels - 1);
   std::unique_lock<std::mutex> lock(mutex_);
@@ -76,11 +94,9 @@ void executor::post(task t, task_options opts) {
     }
     not_full_.wait(lock);
   }
-  queues_[opts.priority].push_back(queued_task{
-      util::timer{}, std::move(t), opts.deadline, std::move(opts.on_dropped)});
-  ++stats_.submitted;
-  stats_.peak_queue_depth =
-      std::max<std::uint64_t>(stats_.peak_queue_depth, total_queued_locked());
+  enqueue_locked(opts.priority,
+                 queued_task{util::timer{}, std::move(t), opts.deadline,
+                             std::move(opts.on_dropped)});
   lock.unlock();
   not_empty_.notify_one();
 }
@@ -100,9 +116,10 @@ bool executor::try_post(task t, task_options opts) {
     }
     bool have_room = total_queued_locked() < config_.queue_capacity;
     if (!have_room) {
-      // Displacement: shed the *newest* entry of the *least* urgent populated
-      // level strictly below the arrival. Newest-first keeps the victim
-      // level's FIFO head (its oldest waiter) intact.
+      // Displacement: shed the *back* entry of the *least* urgent populated
+      // level strictly below the arrival. Under EDF ordering the back is the
+      // latest-deadline entry — the newest deadline-free task when any exist
+      // — so the victim level keeps its most urgent waiters intact.
       for (std::size_t level = k_executor_priority_levels;
            level-- > opts.priority + 1;) {
         auto& q = queues_[level];
@@ -119,12 +136,9 @@ bool executor::try_post(task t, task_options opts) {
       }
     }
     if (have_room) {
-      queues_[opts.priority].push_back(queued_task{util::timer{}, std::move(t),
-                                                   opts.deadline,
-                                                   std::move(opts.on_dropped)});
-      ++stats_.submitted;
-      stats_.peak_queue_depth = std::max<std::uint64_t>(
-          stats_.peak_queue_depth, total_queued_locked());
+      enqueue_locked(opts.priority,
+                     queued_task{util::timer{}, std::move(t), opts.deadline,
+                                 std::move(opts.on_dropped)});
       admitted = true;
     } else {
       ++stats_.rejected;
@@ -159,7 +173,16 @@ executor_stats executor::stats() const {
   return stats_;
 }
 
-void executor::worker_loop() {
+std::vector<double> executor::running_elapsed_seconds() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<double> elapsed;
+  for (std::size_t i = 0; i < busy_.size(); ++i) {
+    if (busy_[i] != 0) elapsed.push_back(busy_since_[i].seconds());
+  }
+  return elapsed;
+}
+
+void executor::worker_loop(std::size_t worker_id) {
   // One pop per lock hold: either a runnable task, an expired task whose
   // drop handler must fire *before* the worker can sleep again (a handler
   // resolves a waiter's promise — deferring it until the next arrival would
@@ -189,10 +212,11 @@ void executor::worker_loop() {
           }
         } else {
           wait = picked.enqueued.seconds();
-          ++stats_.executed;
           stats_.total_queue_wait_seconds += wait;
           stats_.max_queue_wait_seconds =
               std::max(stats_.max_queue_wait_seconds, wait);
+          busy_[worker_id] = 1;
+          busy_since_[worker_id] = util::timer{};
           item = std::move(picked);
         }
       }
@@ -213,6 +237,12 @@ void executor::worker_loop() {
       ++stats_.tasks_failed;
     }
     const std::lock_guard<std::mutex> guard(mutex_);
+    busy_[worker_id] = 0;
+    // Executed counts *completions*, booked together with the time they
+    // cost: mean_exec_seconds() must not be diluted by tasks still running,
+    // or the cost model's residual-work estimate undercounts exactly when it
+    // matters (a long solve mid-flight).
+    ++stats_.executed;
     stats_.total_exec_seconds += run_timer.seconds();
   }
 }

@@ -4,7 +4,10 @@
 // A fixed set of std::thread workers drains a bounded, *class-prioritized*
 // admission queue: three priority levels (the service maps its
 // interactive/batch/background classes onto them), drained in level order
-// with FIFO inside a level. The bound is the service's backpressure
+// with earliest-deadline-first inside a level — deadline-bound tasks run
+// before unbounded ones, FIFO among equal deadlines (so deadline-free
+// workloads behave exactly as the old FIFO did). The bound is the service's
+// backpressure
 // mechanism — `post` blocks the producer when the queue is full (legacy
 // interactive sessions), `try_post` sheds instead (QoS admission) — and two
 // policies keep a full queue from going blind:
@@ -12,9 +15,11 @@
 //   expiry:       a queued task whose deadline has passed is dropped (its
 //                 on_dropped handler fires) instead of wasting a worker, and
 //                 expired entries are purged first when admission needs room;
-//   displacement: a higher-level arrival into a full queue evicts the newest
-//                 queued task of the *lowest* populated level below it, so
-//                 saturation sheds background work before interactive work.
+//   displacement: a higher-level arrival into a full queue evicts the
+//                 *latest-deadline* (deadline-free first, then newest) queued
+//                 task of the lowest populated level below it, so saturation
+//                 sheds the least urgent background work before interactive
+//                 work.
 //
 // Each executed task receives the queue wait it actually experienced, and the
 // executor tracks cumulative execution time so the service's admission cost
@@ -56,7 +61,7 @@ enum class drop_reason : std::uint8_t {
 struct executor_stats {
   std::uint64_t submitted = 0;
   std::uint64_t rejected = 0;  ///< try_post refusals while the queue was full
-  std::uint64_t executed = 0;
+  std::uint64_t executed = 0;  ///< tasks run to completion
   std::uint64_t tasks_failed = 0;  ///< tasks that let an exception escape
   std::uint64_t expired = 0;       ///< queued tasks dropped past their deadline
   std::uint64_t displaced = 0;     ///< queued tasks shed for a higher level
@@ -123,6 +128,15 @@ class executor {
   [[nodiscard]] std::size_t backlog_ahead(std::size_t priority) const;
   [[nodiscard]] executor_stats stats() const;
 
+  /// Elapsed run time of every task workers are *currently* executing (one
+  /// entry per busy worker) — the half of the drain the queue cannot see.
+  /// The admission cost model adds each task's residual (expected mean minus
+  /// its own elapsed, floored at zero per task so one straggler past its
+  /// mean cannot mask other tasks' remaining work) to the queued backlog, so
+  /// a long solve mid-flight delays predictions even when the queue itself
+  /// is empty.
+  [[nodiscard]] std::vector<double> running_elapsed_seconds() const;
+
  private:
   struct queued_task {
     util::timer enqueued;  ///< started at admission; read at pickup
@@ -133,8 +147,12 @@ class executor {
   /// Handlers harvested under the lock, invoked after it is released.
   using dropped_list = std::vector<std::pair<drop_handler, drop_reason>>;
 
-  void worker_loop();
+  void worker_loop(std::size_t worker_id);
   [[nodiscard]] std::size_t total_queued_locked() const noexcept;
+  /// EDF insertion: before every queued task with a strictly later deadline,
+  /// after every task with an equal-or-earlier one (stable, so equal
+  /// deadlines — including the deadline-free tail — drain FIFO).
+  void enqueue_locked(std::size_t priority, queued_task item);
   /// Drops every queued task whose deadline has passed; returns how many
   /// came off the queue (slots freed). Lock must be held; the harvested
   /// handlers must be fired promptly after it is released.
@@ -147,6 +165,9 @@ class executor {
   std::condition_variable not_full_;
   std::array<std::deque<queued_task>, k_executor_priority_levels> queues_;
   executor_stats stats_;
+  /// Per-worker in-flight tracking behind running(); guarded by mutex_.
+  std::vector<char> busy_;
+  std::vector<util::timer> busy_since_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

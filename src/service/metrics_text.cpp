@@ -157,6 +157,42 @@ std::string render_metrics_text(const service_snapshot& snap,
   append_counter(out, prefix, "stale_refreshes_deduped_total",
                  "Stale-hit refreshes suppressed by the in-flight token",
                  s.stale_refreshes_deduped);
+  append_counter(out, prefix, "leader_abandoned_total",
+                 "Single-flight solves stopped after every rider walked away",
+                 s.leader_abandoned);
+
+  append_counter(out, prefix, "fragment_assisted_solves_total",
+                 "Cold solves pre-seeded from the shared SSSP fragment store",
+                 s.fragment_assisted);
+  append_counter(out, prefix, "fragment_hits_total",
+                 "Fragments borrowed into solves", s.fragment_hits);
+  append_counter(out, prefix, "fragment_misses_total",
+                 "Fragment borrow probes that found nothing",
+                 s.fragments.misses);
+  append_counter(out, prefix, "fragment_published_total",
+                 "Per-seed fragments published by finished solves",
+                 s.fragments.published);
+  append_counter(out, prefix, "fragment_evictions_total",
+                 "Fragments evicted by the memory budget",
+                 s.fragments.evictions);
+  append_counter(out, prefix, "fragment_retired_total",
+                 "Fragments purged by epoch retirement", s.fragments.retired);
+  append_gauge(out, prefix, "fragment_store_bytes",
+               "Fragment store occupancy in bytes", s.fragments.bytes_in_use);
+  append_gauge(out, prefix, "fragment_store_entries",
+               "Fragments currently stored", s.fragments.fragments);
+  append_counter(out, prefix, "preseeded_vertices_total",
+                 "Vertex labels adopted from fragments before relaxation",
+                 s.preseeded_vertices);
+  append_counter(out, prefix, "oracle_pruned_visitors_total",
+                 "Phase-1 visitors dropped by landmark upper bounds (the "
+                 "prune-rate numerator; divide by engine visitors)",
+                 s.oracle_pruned_visitors);
+  append_counter(out, prefix, "oracle_builds_total",
+                 "Landmark table (re)builds", s.oracle_builds);
+  append_counter(out, prefix, "bound_sharpened_admissions_total",
+                 "Admission cost estimates scaled by oracle seed spread",
+                 s.bound_sharpened);
   append_priority_counter(out, prefix, "requests_admitted_total",
                           "Requests admitted, by priority class",
                           s.admitted_by_priority);

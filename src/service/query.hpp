@@ -71,6 +71,11 @@ struct query_result {
 
   /// Repair-size observability; populated when kind == warm_start.
   core::warm_start_stats warm;
+  /// Shared-substrate observability; populated when kind == cold and the
+  /// solve was pre-seeded from the fragment store and/or pruned by the
+  /// landmark oracle (service/distshare/). A fragment-assisted solve still
+  /// reports kind == cold: its tree is bit-identical, only the work shrank.
+  core::assist_stats assist;
 };
 
 }  // namespace dsteiner::service

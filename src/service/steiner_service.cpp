@@ -27,6 +27,8 @@ steiner_service::steiner_service(graph::csr_graph graph, service_config config)
     : config_(config),
       epochs_(std::move(graph), config.epochs),
       cache_(config.cache),
+      fragments_(config.fragment_store),
+      oracle_(config.oracle),
       exec_(config.exec) {
   // Core-budget split: the executor's workers provide inter-query
   // parallelism; whatever the budget leaves per worker goes to the threaded
@@ -38,6 +40,52 @@ steiner_service::steiner_service(graph::csr_graph graph, service_config config)
   intra_query_threads_ = std::max<std::size_t>(1, budget / workers);
   grant_worker_budget(config_.solver);
   cache_.set_live_epoch(epochs_.current()->epoch_id());
+  // Anchor the oracle's validity tracking to the initial epoch; tables build
+  // lazily on first demand (or via warm_distance_oracle()).
+  oracle_.advance_epoch(epochs_.current()->fingerprint(), {});
+}
+
+void steiner_service::warm_distance_oracle() {
+  if (!config_.enable_oracle) return;
+  const graph::epoch_graph::ptr epoch = epochs_.current();
+  if (!oracle_.needs_build(epoch->fingerprint())) return;
+  oracle_.build(*epoch->csr(), epoch->fingerprint());
+}
+
+void steiner_service::kick_oracle_build(const graph::epoch_graph::ptr& epoch) {
+  if (!config_.enable_oracle) return;
+  // Only the current epoch is worth landmark tables: pinned queries on older
+  // epochs are a shrinking population.
+  const std::uint64_t fp = epoch->fingerprint();
+  if (!oracle_.needs_build(fp) ||
+      epoch->epoch_id() != epochs_.current()->epoch_id()) {
+    return;
+  }
+  std::uint64_t expected = oracle_kicked_fp_.load(std::memory_order_acquire);
+  if (expected == fp ||
+      !oracle_kicked_fp_.compare_exchange_strong(expected, fp,
+                                                 std::memory_order_acq_rel)) {
+    return;  // a build for this epoch is already kicked
+  }
+  // Any path that discards the build — shed at admission, displaced or
+  // expired from the queue, or a failed build — must release the kick token,
+  // or the oracle stays suppressed for the whole epoch.
+  const auto unkick = [this] {
+    oracle_kicked_fp_.store(0, std::memory_order_release);
+  };
+  executor::task_options opts;
+  opts.priority = priority_index(priority_class::background);
+  opts.on_dropped = [unkick](drop_reason) { unkick(); };
+  const bool posted = exec_.try_post(
+      [this, epoch, unkick](double) {
+        try {
+          oracle_.build(*epoch->csr(), epoch->fingerprint());
+        } catch (...) {
+          unkick();  // best-effort: queries keep running unpruned; retry later
+        }
+      },
+      std::move(opts));
+  if (!posted) unkick();  // shed under saturation; a later cold solve re-kicks
 }
 
 void steiner_service::grant_worker_budget(
@@ -260,6 +308,10 @@ std::uint64_t steiner_service::advance_epoch(const graph::edge_delta& delta) {
   cache_.set_live_epoch(next->epoch_id());
   const std::uint64_t first_live = epochs_.first_live_epoch();
   (void)cache_.retire_epochs_before(first_live);
+  (void)fragments_.retire_epochs_before(first_live);
+  // The oracle degrades instead of dying: the applied delta's direction
+  // decides which bound side (if any) the stale landmark tables keep.
+  oracle_.advance_epoch(next->fingerprint(), next->delta_from_parent());
   {
     const std::lock_guard<std::mutex> lock(donors_mutex_);
     std::erase_if(donors_, [first_live](const donor_record& rec) {
@@ -291,8 +343,12 @@ std::optional<steiner_service::donor_match> steiner_service::find_donor(
     // will clear and rescan — instead of raw delta count: one removed seed
     // that owned a third of the graph repairs slower than three whose cells
     // were tiny. Removed seeds and modified-edge endpoints contribute their
-    // donor cell sizes; an added seed's future cell is unknown, so it
-    // contributes the donor's average cell size.
+    // donor cell sizes. An added seed's future cell is unknown; without the
+    // oracle it contributes the donor's average cell size, with it the
+    // average is scaled by the seed's lower-bound distance to the donor's
+    // nearest seed relative to the donor's own spread — a seed landing deep
+    // inside existing cells will carve a small one, a far-away (or
+    // disconnected) seed a large one. No donor state is probed either way.
     const auto cell_size = [&rec](graph::vertex_id seed) -> double {
       const auto it = rec.cell_sizes.find(seed);
       return it == rec.cell_sizes.end() ? 0.0 : static_cast<double>(it->second);
@@ -300,7 +356,27 @@ std::optional<steiner_service::donor_match> steiner_service::find_donor(
     const double avg_cell =
         static_cast<double>(rec.artifacts->state.distance.size()) /
         static_cast<double>(std::max<std::size_t>(1, rec.artifacts->seeds.size()));
-    double volume = static_cast<double>(delta.added.size()) * avg_cell;
+    const double donor_spread =
+        config_.enable_oracle
+            ? oracle_.seed_spread(epoch.fingerprint(), rec.artifacts->seeds)
+            : 0.0;
+    double volume = 0.0;
+    for (const graph::vertex_id a : delta.added) {
+      double scale = 1.0;
+      if (donor_spread > 0.0) {
+        graph::weight_t nearest = graph::k_inf_distance;
+        for (const graph::vertex_id s : rec.artifacts->seeds) {
+          nearest = std::min(
+              nearest, oracle_.lower_bound(epoch.fingerprint(), a, s));
+          if (nearest == 0) break;
+        }
+        scale = nearest == graph::k_inf_distance
+                    ? 4.0
+                    : std::clamp(static_cast<double>(nearest) / donor_spread,
+                                 0.25, 4.0);
+      }
+      volume += avg_cell * scale;
+    }
     for (const graph::vertex_id t : delta.removed) volume += cell_size(t);
     for (const graph::applied_edge_edit& e : edits) {
       for (const graph::vertex_id endpoint : {e.u, e.v}) {
@@ -352,8 +428,19 @@ double steiner_service::estimate_completion_seconds(const request& r) {
   const double mean_task = exec_.stats().mean_exec_seconds();
   const double backlog =
       static_cast<double>(exec_.backlog_ahead(priority_index(r.priority)));
-  double estimate =
-      mean_task * backlog / static_cast<double>(exec_.num_threads());
+  const double workers = static_cast<double>(exec_.num_threads());
+  double estimate = mean_task * backlog / workers;
+  // The queue is only half the drain: solves already *running* occupy the
+  // same workers. Charge each one's expected residual (mean cost minus its
+  // own elapsed time, floored at zero per task — a task past its mean is
+  // presumed near completion, but cannot offset the others' remaining work).
+  if (mean_task > 0.0) {
+    double residual = 0.0;
+    for (const double elapsed : exec_.running_elapsed_seconds()) {
+      residual += std::max(0.0, mean_task - elapsed);
+    }
+    estimate += residual / workers;
+  }
 
   // Per-path solve estimate, predicted the same way execute() will decide:
   // cached -> near-free, warm-startable -> warm p50, otherwise cold p50.
@@ -381,7 +468,27 @@ double steiner_service::estimate_completion_seconds(const request& r) {
                         canonical.size() > 1 &&
                         find_donor(canonical, *epoch).has_value();
   const double warm_p50 = warm_solve_hist_.snapshot().quantile(0.5);
-  const double cold_p50 = cold_solve_hist_.snapshot().quantile(0.5);
+  double cold_p50 = cold_solve_hist_.snapshot().quantile(0.5);
+  // Oracle sharpening: scale the global cold p50 by this request's seed
+  // spread relative to the spread of past cold solves — a tight cluster of
+  // seeds traverses far less graph than the median historical query, a
+  // scattered one far more. Clamped so a noisy bound can at most halve or
+  // double the estimate.
+  if (cold_p50 > 0.0 && config_.enable_oracle) {
+    const std::uint64_t samples =
+        spread_samples_.load(std::memory_order_acquire);
+    const double spread =
+        oracle_.seed_spread(epoch->fingerprint(), canonical);
+    if (samples > 0 && spread > 0.0) {
+      const double mean_spread =
+          spread_sum_.load(std::memory_order_acquire) /
+          static_cast<double>(samples);
+      if (mean_spread > 0.0) {
+        cold_p50 *= std::clamp(spread / mean_spread, 0.5, 2.0);
+        ++bound_sharpened_;
+      }
+    }
+  }
   estimate += warmable && warm_p50 > 0.0 ? warm_p50 : cold_p50;
   return estimate;
 }
@@ -485,6 +592,7 @@ query_result steiner_service::execute(query q, double queue_wait,
   // Single-flight admission for cacheable queries: serve from the cache,
   // wait on an identical in-flight solve, or become the leader that solves.
   std::promise<result_cache::entry_ptr> inflight_promise;
+  std::shared_ptr<inflight_interest> interest;
   bool leader = false;
   if (cacheable) {
     if (const auto hit = cache_.find(key, canonical)) {
@@ -521,6 +629,7 @@ query_result steiner_service::execute(query q, double queue_wait,
     bool solve_independently = false;
     while (!leader && !solve_independently) {
       std::shared_future<result_cache::entry_ptr> waiter;
+      std::shared_ptr<inflight_interest> rider_share;
       {
         const std::lock_guard<std::mutex> lock(inflight_mutex_);
         // Re-check under the lock: a leader publishes to the cache before it
@@ -532,13 +641,33 @@ query_result steiner_service::execute(query q, double queue_wait,
         }
         const auto it = inflight_.find(key);
         if (it != inflight_.end()) {
-          waiter = it->second;
+          waiter = it->second.result;
+          rider_share = it->second.interest;
+          // Join while still holding the registry lock: joining later would
+          // leave a window where the previous last share departs and fires
+          // the group-abandon token out from under this live waiter.
+          rider_share->join();
         } else {
           leader = true;
-          inflight_.emplace(key, inflight_promise.get_future().share());
+          interest = std::make_shared<inflight_interest>();
+          // The leader's own requester (when there is one — background
+          // refreshes have none) holds a share for the whole solve: its
+          // cancellation already stops the solve through its own budget.
+          if (budget != nullptr) interest->join();
+          inflight_.emplace(
+              key,
+              inflight_entry{inflight_promise.get_future().share(), interest});
           break;
         }
       }
+      // Rider share (joined above, under the lock): released on every exit —
+      // result, collision, abandonment, leader failure. When the last share
+      // leaves, the group-abandon source fires and the leader's solve stops
+      // at its next checkpoint instead of finishing for nobody.
+      struct share_guard {
+        inflight_interest* share;
+        ~share_guard() { share->leave(); }
+      } guard{rider_share.get()};
       try {
         // Budget-aware park: a coalesced waiter still honours its own
         // cancellation and deadline while the leader works.
@@ -562,6 +691,18 @@ query_result steiner_service::execute(query q, double queue_wait,
     }
   }
 
+  // Group abandonment: the leader's solve runs under a budget that also
+  // observes the single-flight interest token, so it stops (at a checkpoint)
+  // once its requester and every rider have walked away — a requester-less
+  // leader (background refresh) with no riders keeps the inert default
+  // token and runs to completion for the cache.
+  util::run_budget group_budget;
+  if (leader && interest != nullptr) {
+    if (budget != nullptr) group_budget = *budget;
+    group_budget.group_cancel = interest->abandoned.token();
+    solver_config.budget = &group_budget;
+  }
+
   // From leadership registration to promise resolution, every throw —
   // including allocation failures building the cache entry — must resolve
   // the inflight promise and deregister, or coalesced waiters hang forever
@@ -574,9 +715,9 @@ query_result steiner_service::execute(query q, double queue_wait,
     // Holding the shared_ptr keeps it valid even if the epoch retires
     // mid-solve.
     const std::shared_ptr<const graph::csr_graph> csr = epoch->csr();
-    // Artifacts are only worth their O(|V|) capture cost if warm starts can
-    // ever consume them.
-    if (config_.enable_warm_start) {
+    // Artifacts are only worth their O(|V|) capture cost if warm starts or
+    // fragment publishing can ever consume them.
+    if (config_.enable_warm_start || config_.enable_fragment_reuse) {
       artifacts = std::make_shared<core::solve_artifacts>();
     }
     bool warmed = false;
@@ -600,13 +741,59 @@ query_result steiner_service::execute(query q, double queue_wait,
       }
     }
     if (!warmed) {
-      out.result =
-          artifacts != nullptr
-              ? core::solve_steiner_tree_capture(*csr, canonical, solver_config,
-                                                 *artifacts)
-              : core::solve_steiner_tree(*csr, canonical, solver_config);
+      // Shared-substrate assists: borrow the fragments of whichever seeds
+      // earlier solves settled on this epoch (pre-seeding phase 1 from their
+      // surface) and fetch landmark upper bounds to prune the rest. Both are
+      // output-neutral; a fragment-assisted solve still counts as cold.
+      core::solve_assists assists;
+      std::vector<core::sssp_fragment_view> frag_views;
+      std::vector<distshare::fragment_ptr> borrowed;
+      if (config_.enable_fragment_reuse && q.allow_warm_start &&
+          canonical.size() > 1) {
+        for (const graph::vertex_id s : canonical) {
+          if (distshare::fragment_ptr f =
+                  fragments_.borrow(epoch->fingerprint(), s)) {
+            frag_views.push_back(f->view());
+            borrowed.push_back(std::move(f));
+          }
+        }
+        assists.fragments = frag_views;
+      }
+      std::vector<graph::weight_t> prune_bound;
+      if (config_.enable_oracle && canonical.size() > 1) {
+        prune_bound = oracle_.prune_bounds(epoch->fingerprint(), canonical);
+        assists.prune_upper_bound = prune_bound;
+        if (prune_bound.empty()) kick_oracle_build(epoch);
+      }
+      if (assists.empty()) {
+        out.result = artifacts != nullptr
+                         ? core::solve_steiner_tree_capture(
+                               *csr, canonical, solver_config, *artifacts)
+                         : core::solve_steiner_tree(*csr, canonical,
+                                                    solver_config);
+      } else {
+        out.result = core::solve_steiner_tree_assisted(
+            *csr, canonical, assists, solver_config, artifacts.get(),
+            &out.assist);
+        if (out.assist.fragments_injected > 0) {
+          ++fragment_assisted_;
+          fragment_hits_ += out.assist.fragments_injected;
+          preseeded_vertices_ += out.assist.preseeded_vertices;
+        }
+        oracle_pruned_visitors_ += out.assist.pruned_visitors;
+      }
       out.kind = solve_kind::cold;
       ++cold_solves_;
+      // Feed the admission model's spread baseline (only meaningful when
+      // the oracle's lower side is usable; seed_spread returns 0 otherwise).
+      if (config_.enable_oracle) {
+        const double spread =
+            oracle_.seed_spread(epoch->fingerprint(), canonical);
+        if (spread > 0.0) {
+          spread_sum_.fetch_add(spread, std::memory_order_acq_rel);
+          spread_samples_.fetch_add(1, std::memory_order_acq_rel);
+        }
+      }
     }
     out.solve_seconds = solve_timer.seconds();
     (out.kind == solve_kind::warm_start ? warm_solve_hist_ : cold_solve_hist_)
@@ -620,6 +807,14 @@ query_result steiner_service::execute(query q, double queue_wait,
     entry = std::move(fresh);
   } catch (...) {
     if (leader) {
+      // Abandoned-group accounting: the group token fired and the leader's
+      // own budget (when it has one) is clean — the solve died because
+      // nobody wanted it anymore, not because its requester stopped it.
+      if (interest != nullptr && interest->abandoned.cancel_requested() &&
+          (budget == nullptr ||
+           budget->stop_reason() == util::cancel_reason::none)) {
+        ++leader_abandoned_;
+      }
       inflight_promise.set_exception(std::current_exception());
       const std::lock_guard<std::mutex> lock(inflight_mutex_);
       inflight_.erase(key);
@@ -636,7 +831,18 @@ query_result steiner_service::execute(query q, double queue_wait,
     inflight_.erase(key);
   }
   if (artifacts != nullptr && !artifacts->empty()) {
-    remember_donor(std::move(artifacts), epoch->epoch_id());
+    // Publish per-seed fragments before the artifacts move into the donor
+    // registry: later overlapping queries pre-seed from them (the epoch
+    // fingerprint keys consumers to the exact graph content these labels
+    // are valid on).
+    if (config_.enable_fragment_reuse) {
+      (void)fragments_.publish_from_state(epoch->fingerprint(),
+                                          epoch->epoch_id(), artifacts->state,
+                                          canonical, out.solve_seconds);
+    }
+    if (config_.enable_warm_start) {
+      remember_donor(std::move(artifacts), epoch->epoch_id());
+    }
   }
 
   out.total_seconds = admitted.seconds();
@@ -660,12 +866,20 @@ service_stats steiner_service::stats() const {
   s.deadline_expired = deadline_expired_.load();
   s.stale_refreshes = stale_refreshes_.load();
   s.stale_refreshes_deduped = stale_refreshes_deduped_.load();
+  s.leader_abandoned = leader_abandoned_.load();
+  s.fragment_assisted = fragment_assisted_.load();
+  s.fragment_hits = fragment_hits_.load();
+  s.preseeded_vertices = preseeded_vertices_.load();
+  s.oracle_pruned_visitors = oracle_pruned_visitors_.load();
+  s.oracle_builds = oracle_.stats().builds;
+  s.bound_sharpened = bound_sharpened_.load();
   for (std::size_t p = 0; p < k_priority_classes; ++p) {
     s.admitted_by_priority[p] = admitted_by_prio_[p].load();
     s.shed_by_priority[p] = shed_by_prio_[p].load();
   }
   s.cache = cache_.snapshot();
   s.exec = exec_.stats();
+  s.fragments = fragments_.snapshot();
   return s;
 }
 

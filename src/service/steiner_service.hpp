@@ -33,8 +33,12 @@
 //                       a few edge edits: repair its Voronoi labelling and
 //                       distance graph instead of recomputing
 //                       (warm_start.hpp), across epochs if needed;
-//   4. cold solve     — full Alg. 3 pipeline, capturing artifacts so later
-//                       queries can take paths 1-3.
+//   4. cold solve     — full Alg. 3 pipeline, pre-seeded from the shared
+//                       SSSP fragment store and pruned by the landmark
+//                       oracle when available (service/distshare/ — same
+//                       tree, less phase-1 work), capturing artifacts and
+//                       publishing per-seed fragments so later queries can
+//                       take paths 1-3 or borrow its cells.
 //
 // Cold, warm and cache paths return bit-identical trees for their epoch (the
 // solver's determinism guarantee), so concurrency, caching and warm starts
@@ -60,6 +64,8 @@
 #include "core/warm_start.hpp"
 #include "graph/csr_graph.hpp"
 #include "graph/epoch_graph.hpp"
+#include "service/distshare/landmark_oracle.hpp"
+#include "service/distshare/sssp_fragment_store.hpp"
 #include "service/executor.hpp"
 #include "service/latency_histogram.hpp"
 #include "service/query.hpp"
@@ -93,6 +99,20 @@ struct service_config {
   /// the default, because a stale tree is *not* the current graph's tree;
   /// callers opt in per service.
   std::size_t max_stale_epochs = 0;
+  /// Shared distance substrate (service/distshare/). Fragment reuse
+  /// pre-seeds cold solves from settled per-seed cells published by earlier
+  /// solves on the same epoch — pure in-path work with a bit-identical
+  /// output, so it defaults on. Queries opt out with allow_warm_start =
+  /// false (the "reuse nothing" switch).
+  bool enable_fragment_reuse = true;
+  distshare::fragment_store_config fragment_store{};
+  /// Landmark oracle: upper bounds prune phase-1 admission, lower bounds
+  /// sharpen admission cost estimates and donor ranking. Costs K SSSP trees
+  /// per epoch (built lazily in the background on first demand; see
+  /// warm_distance_oracle() for a blocking build) — opt-in because small or
+  /// short-lived deployments never recoup the build.
+  bool enable_oracle = false;
+  distshare::landmark_oracle::config oracle{};
   /// Total cores split between inter-query parallelism (the executor's
   /// workers) and intra-query parallelism (the threaded engine inside one
   /// cold solve). 0 = hardware concurrency. When the solver runs in
@@ -118,6 +138,16 @@ struct service_stats {
   std::uint64_t deadline_expired = 0;   ///< deadline hit while queued/solving
   std::uint64_t stale_refreshes = 0;    ///< background refreshes enqueued
   std::uint64_t stale_refreshes_deduped = 0;  ///< suppressed: already in flight
+  std::uint64_t leader_abandoned = 0;  ///< single-flight solves stopped after
+                                       ///< every rider walked away
+
+  // Shared distance substrate (distshare/).
+  std::uint64_t fragment_assisted = 0;  ///< cold solves pre-seeded from store
+  std::uint64_t fragment_hits = 0;      ///< fragments borrowed into solves
+  std::uint64_t preseeded_vertices = 0;  ///< labels adopted before relaxation
+  std::uint64_t oracle_pruned_visitors = 0;  ///< admission drops by UB bound
+  std::uint64_t oracle_builds = 0;           ///< landmark table (re)builds
+  std::uint64_t bound_sharpened = 0;  ///< admission estimates the oracle scaled
   /// Requests admitted/shed per priority class (shed = queue-full rejections,
   /// displacements, queued-deadline expiries and unmeetable rejections).
   std::array<std::uint64_t, k_priority_classes> admitted_by_priority{};
@@ -125,6 +155,7 @@ struct service_stats {
 
   result_cache::stats cache;
   executor_stats exec;
+  distshare::fragment_store_stats fragments;
 };
 
 /// Point-in-time metrics export: the counters plus per-stage latency
@@ -209,6 +240,21 @@ class steiner_service {
   [[nodiscard]] const service_config& config() const noexcept { return config_; }
   [[nodiscard]] service_stats stats() const;
 
+  /// Blocking landmark-oracle build for the current epoch (no-op when the
+  /// oracle is disabled or already fresh). Production serving relies on the
+  /// lazy background build instead; this is for tests, benches and warm-up
+  /// scripts that need deterministic oracle availability.
+  void warm_distance_oracle();
+  /// Oracle state (validity per bound side, landmark count) — read-only.
+  [[nodiscard]] distshare::landmark_oracle::stats_data oracle_stats() const {
+    return oracle_.stats();
+  }
+  /// The shared fragment store — read-only access for tests/observability.
+  [[nodiscard]] const distshare::sssp_fragment_store& fragments()
+      const noexcept {
+    return fragments_;
+  }
+
   /// Counters + per-stage latency histograms; safe to call under load.
   [[nodiscard]] service_snapshot snapshot() const;
 
@@ -279,6 +325,10 @@ class steiner_service {
   /// refresh per key no matter how many stale hits a burst produces.
   void refresh_in_background(std::vector<graph::vertex_id> seeds,
                              std::optional<core::solver_config> config);
+  /// Lazy oracle build: posts one background build task per epoch
+  /// fingerprint (deduped by oracle_kicked_fp_); queries keep running
+  /// unpruned until the tables land.
+  void kick_oracle_build(const graph::epoch_graph::ptr& epoch);
   /// Applies the core-budget split to a per-query solver config: a
   /// parallel_threads solve with no explicit thread count gets this
   /// service's intra-query worker grant.
@@ -288,6 +338,19 @@ class steiner_service {
   graph::epoch_store epochs_;
   result_cache cache_;
   std::size_t intra_query_threads_ = 1;
+
+  /// Shared distance substrate: the per-epoch fragment store and the
+  /// landmark oracle (both internally synchronized).
+  distshare::sssp_fragment_store fragments_;
+  distshare::landmark_oracle oracle_;
+  /// Epoch fingerprint a background oracle build was last kicked for —
+  /// dedupes the lazy build trigger without blocking queries.
+  std::atomic<std::uint64_t> oracle_kicked_fp_{0};
+  /// Rolling mean of the oracle's seed-spread feature over completed cold
+  /// solves — the denominator that turns a request's spread into a scale
+  /// factor on the cold-p50 estimate.
+  std::atomic<double> spread_sum_{0.0};
+  std::atomic<std::uint64_t> spread_samples_{0};
 
   /// Per-stage latency histograms behind snapshot().
   latency_histogram queue_wait_hist_;
@@ -303,13 +366,35 @@ class steiner_service {
   std::mutex donors_mutex_;
   std::deque<donor_record> donors_;  ///< front = most recent
 
+  /// Interest tracking for one single-flight solve: the leader's requester
+  /// (when it has one) and every coalesced rider hold a share; the last one
+  /// to leave fires the group-abandon source, which the leader's solve
+  /// budget observes at its next checkpoint. A requester-less leader (a
+  /// background stale-refresh) starts at zero shares, so it runs to
+  /// completion when nobody ever coalesced — the result still feeds the
+  /// cache — but dies as soon as riders joined and all walked away.
+  struct inflight_interest {
+    std::atomic<std::int64_t> shares{0};
+    util::cancel_source abandoned;
+
+    void join() noexcept { shares.fetch_add(1, std::memory_order_acq_rel); }
+    void leave() noexcept {
+      if (shares.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        (void)abandoned.request_cancel();
+      }
+    }
+  };
+
+  struct inflight_entry {
+    std::shared_future<result_cache::entry_ptr> result;
+    std::shared_ptr<inflight_interest> interest;
+  };
+
   /// Single-flight registry: cacheable queries that missed the cache register
   /// here; identical queries arriving while one is being solved wait for its
   /// entry instead of duplicating the work (thundering-herd protection).
   std::mutex inflight_mutex_;
-  std::unordered_map<cache_key, std::shared_future<result_cache::entry_ptr>,
-                     cache_key_hash>
-      inflight_;
+  std::unordered_map<cache_key, inflight_entry, cache_key_hash> inflight_;
 
   /// Stale-refresh dedup: keys with a background refresh in flight. A stale
   /// hit registers its key here before enqueueing; the refresh task (or a
@@ -332,6 +417,12 @@ class steiner_service {
   std::atomic<std::uint64_t> deadline_expired_{0};
   std::atomic<std::uint64_t> stale_refreshes_{0};
   std::atomic<std::uint64_t> stale_refreshes_deduped_{0};
+  std::atomic<std::uint64_t> leader_abandoned_{0};
+  std::atomic<std::uint64_t> fragment_assisted_{0};
+  std::atomic<std::uint64_t> fragment_hits_{0};
+  std::atomic<std::uint64_t> preseeded_vertices_{0};
+  std::atomic<std::uint64_t> oracle_pruned_visitors_{0};
+  std::atomic<std::uint64_t> bound_sharpened_{0};
   std::array<std::atomic<std::uint64_t>, k_priority_classes> admitted_by_prio_{};
   std::array<std::atomic<std::uint64_t>, k_priority_classes> shed_by_prio_{};
 

@@ -121,6 +121,11 @@ struct run_budget {
 
   cancel_token cancel;       ///< handle-level token (query_handle::cancel)
   cancel_token user_cancel;  ///< caller-supplied request token
+  /// Shared-work abandonment: the service arms this on single-flight leader
+  /// solves with the group's interest token, so a solve whose every rider
+  /// (and requester) walked away stops at the next checkpoint instead of
+  /// running to completion for nobody.
+  cancel_token group_cancel;
   clock::time_point deadline = clock::time_point::max();
   std::atomic<std::uint64_t>* polls = nullptr;
 
@@ -132,7 +137,8 @@ struct run_budget {
   /// tripped (the caller's intent is the stronger signal).
   [[nodiscard]] cancel_reason stop_reason() const noexcept {
     if (polls != nullptr) polls->fetch_add(1, std::memory_order_relaxed);
-    if (cancel.cancelled() || user_cancel.cancelled()) {
+    if (cancel.cancelled() || user_cancel.cancelled() ||
+        group_cancel.cancelled()) {
       return cancel_reason::cancelled;
     }
     if (has_deadline() && clock::now() >= deadline) {

@@ -552,6 +552,167 @@ TEST(QosMetrics, SnapshotAndTextExposeQosCounters) {
       std::string::npos);
   EXPECT_NE(text.find("dsteiner_executor_displaced_total 0"),
             std::string::npos);
+  EXPECT_NE(text.find("dsteiner_leader_abandoned_total 0"), std::string::npos);
+  EXPECT_NE(text.find("dsteiner_fragment_published_total"), std::string::npos);
+  EXPECT_NE(text.find("dsteiner_oracle_pruned_visitors_total"),
+            std::string::npos);
+}
+
+// ---- earliest-deadline-first within a priority level ------------------------
+
+TEST(PriorityExecutor, EarliestDeadlineFirstWithinLevel) {
+  executor exec({/*threads=*/1, /*capacity=*/16});
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  exec.post([gate](double) { gate.wait(); });
+  while (exec.queue_depth() > 0) std::this_thread::yield();
+
+  std::mutex order_mutex;
+  std::vector<int> order;
+  const auto enqueue = [&](int tag,
+                           std::chrono::steady_clock::time_point deadline) {
+    executor::task_options opts;
+    opts.deadline = deadline;
+    ASSERT_TRUE(exec.try_post(
+        [&, tag](double) {
+          const std::lock_guard<std::mutex> lock(order_mutex);
+          order.push_back(tag);
+        },
+        std::move(opts)));
+  };
+  const auto now = std::chrono::steady_clock::now();
+  // Same level, arrival order 3 (no deadline), 2 (late), 0 (early), 1 (mid),
+  // 4 (no deadline): EDF must run 0, 1, 2, then the deadline-free FIFO tail.
+  enqueue(3, std::chrono::steady_clock::time_point::max());
+  enqueue(2, now + 60s);
+  enqueue(0, now + 20s);
+  enqueue(1, now + 40s);
+  enqueue(4, std::chrono::steady_clock::time_point::max());
+  release.set_value();
+  spin_until([&] {
+    const std::lock_guard<std::mutex> lock(order_mutex);
+    return order.size() == 5;
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Deadline, TighterDeadlineOvertakesEarlierArrivalSameClass) {
+  steiner_service svc(make_slow_graph(63), one_worker_config());
+  request gate;
+  gate.q.seeds = spread_seeds(svc.graph(), 12, 80);
+  query_handle gate_handle = svc.submit(gate);
+  spin_until([&] { return gate_handle.status() == request_status::running; });
+
+  // Arrives first with a loose deadline, then a tight-deadline sibling at
+  // the same priority: EDF must start the tight one first.
+  request loose;
+  loose.q.seeds = spread_seeds(svc.graph(), 10, 81);
+  loose.deadline = std::chrono::steady_clock::now() + 120s;
+  query_handle loose_handle = svc.submit(loose);
+  request tight;
+  tight.q.seeds = spread_seeds(svc.graph(), 10, 82);
+  tight.deadline = std::chrono::steady_clock::now() + 60s;
+  query_handle tight_handle = svc.submit(tight);
+
+  (void)gate_handle.get();
+  EXPECT_LT(tight_handle.get().query_id, loose_handle.get().query_id);
+}
+
+// ---- cancellation propagation into coalesced leaders ------------------------
+
+TEST(Cancellation, AbandonedRidersStopACoalescedRefreshLeader) {
+  // A background stale-refresh is the canonical requester-less leader: its
+  // solve has no budget of its own, so before this PR it always ran to
+  // completion. Riders that coalesce onto it and then cancel must now stop
+  // the underlying solve via the group-abandon token.
+  const auto g = make_slow_graph(64);
+  service_config config = one_worker_config();
+  config.exec.num_threads = 2;  // leader + a lane for the riders to park from
+  config.max_stale_epochs = 1;
+  config.enable_warm_start = false;
+  config.enable_fragment_reuse = false;
+  steiner_service svc(graph::csr_graph(g), config);
+  query q;
+  q.seeds = spread_seeds(svc.graph(), 12, 90);
+  (void)svc.solve(q);  // epoch-0 entry (the stale donor)
+
+  const auto nbrs = g.neighbors(q.seeds.front());
+  ASSERT_FALSE(nbrs.empty());
+  graph::edge_delta delta;
+  delta.edits.push_back(
+      graph::edge_edit::reweight(q.seeds.front(), nbrs.front(), 500));
+  (void)svc.advance_epoch(delta);
+
+  // Stale hit: serves epoch-0 and enqueues the background refresh leader.
+  EXPECT_EQ(svc.solve(q).kind, solve_kind::stale_hit);
+  spin_until([&] { return svc.stats().stale_refreshes == 1; });
+  std::this_thread::sleep_for(20ms);  // leader picked up + registered (~90ms solve)
+
+  // A rider that would coalesce onto the refresh: fresh-epoch query, same
+  // key. It parks on the leader, then cancels — the last (only) interest
+  // share leaving must abandon the leader's solve at its next checkpoint.
+  util::cancel_source rider_cancel;
+  request rider;
+  rider.q = q;
+  rider.q.allow_stale = false;
+  rider.cancel = rider_cancel.token();
+  query_handle rider_handle = svc.submit(rider);
+  std::this_thread::sleep_for(10ms);  // let the rider park on the leader
+  (void)rider_cancel.request_cancel();
+  EXPECT_THROW((void)rider_handle.get(), util::operation_cancelled);
+
+  // The leader dies abandoned instead of completing: its cold solve never
+  // lands, and the counter records the abandonment.
+  spin_until([&] { return svc.stats().leader_abandoned == 1; });
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.leader_abandoned, 1u);
+  EXPECT_EQ(stats.cold_solves, 1u);  // only the epoch-0 original
+}
+
+// ---- running-solve accounting in the admission cost model -------------------
+
+TEST(Deadline, RunningSolveCountsTowardCompletionEstimate) {
+  // Warm the cost model with one real solve, then pin the only worker with a
+  // second one. A request whose deadline covers the per-path estimate but
+  // not the *running* solve's residual must be rejected as unmeetable even
+  // though the queue itself is empty — only the in-flight work blocks it.
+  steiner_service svc(make_slow_graph(65), one_worker_config());
+  request warmup;
+  warmup.q.seeds = spread_seeds(svc.graph(), 12, 95);
+  warmup.q.use_cache = false;
+  (void)svc.submit(warmup).get();
+  // The worker books total_exec_seconds after the promise resolves.
+  spin_until([&] { return svc.stats().exec.mean_exec_seconds() > 0.0; });
+  const double mean_exec = svc.stats().exec.mean_exec_seconds();
+  const double cold_p50 = svc.snapshot().cold_solve.quantile(0.5);
+
+  request pin;
+  pin.q.seeds = spread_seeds(svc.graph(), 12, 96);
+  pin.q.use_cache = false;
+  query_handle pin_handle = svc.submit(pin);
+  spin_until([&] { return pin_handle.status() == request_status::running; });
+
+  // Deadline = path estimate + half the running solve's cost: meetable on an
+  // idle worker, unmeetable behind a just-started ~mean_exec solve.
+  request tight;
+  tight.q.seeds = spread_seeds(svc.graph(), 12, 97);
+  tight.q.use_cache = false;
+  tight.q.allow_warm_start = false;
+  tight.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(cold_p50 + 0.5 * mean_exec));
+  query_handle tight_handle = svc.submit(tight);
+  EXPECT_EQ(tight_handle.status(), request_status::rejected);
+  EXPECT_EQ(tight_handle.rejection(), reject_reason::deadline_unmeetable);
+
+  // Same shape with a generous deadline: admitted while the worker is busy.
+  request generous = tight;
+  generous.q.seeds = spread_seeds(svc.graph(), 12, 98);
+  generous.deadline = std::chrono::steady_clock::now() + 120s;
+  query_handle generous_handle = svc.submit(generous);
+  EXPECT_NE(generous_handle.status(), request_status::rejected);
+  (void)pin_handle.get();
+  (void)generous_handle.get();
 }
 
 }  // namespace

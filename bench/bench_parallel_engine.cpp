@@ -20,10 +20,12 @@
 // The phase-1-heavy batch size (1024) amortises the two superstep barriers.
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/trace.hpp"
 
 int main(int argc, char** argv) {
   using namespace dsteiner;
@@ -81,6 +83,73 @@ int main(int argc, char** argv) {
                    identical ? "yes" : "NO"});
   }
   std::printf("%s\n", table.render().c_str());
+
+  // ---- per-superstep skew (engine probe) -----------------------------------
+  // One traced solve at the widest worker count: every worker records one
+  // aggregate sample per superstep (compute + barrier wait), so the skew
+  // ratio max/mean compute per superstep shows how evenly rank striping
+  // balances the load — the barrier charges every superstep its slowest
+  // worker. Tracing is pure observation; the traced tree is asserted
+  // identical below like every other configuration.
+  {
+    core::solver_config config = base;
+    config.mode = runtime::execution_mode::parallel_threads;
+    config.num_threads = max_threads;
+    obs::trace_config trace_cfg;
+    obs::query_trace trace(trace_cfg, max_threads);
+    config.trace = &trace;
+    const auto traced = core::solve_steiner_tree(ds.graph, seeds, config);
+    all_identical = all_identical && traced.tree_edges == reference.tree_edges;
+
+    // (phase, superstep) -> per-worker compute seconds.
+    std::map<std::pair<std::string, std::uint32_t>, std::vector<double>> steps;
+    std::map<std::pair<std::string, std::uint32_t>, double> barrier;
+    for (std::size_t lane = 0; lane < trace.probe().lanes(); ++lane) {
+      for (const obs::superstep_sample& s : trace.probe().lane_samples(lane)) {
+        if (s.rank >= 0) continue;  // per-rank detail rows
+        const auto key = std::make_pair(std::string(s.phase), s.superstep);
+        steps[key].push_back(s.compute_seconds);
+        barrier[key] += s.barrier_wait_seconds;
+      }
+    }
+    double skew_sum = 0.0, skew_max = 0.0;
+    std::size_t counted = 0;
+    util::table skew_table(
+        {"phase", "superstep", "workers", "max compute", "skew", "barrier"});
+    for (const auto& [key, computes] : steps) {
+      double total = 0.0, worst = 0.0;
+      for (const double c : computes) {
+        total += c;
+        worst = std::max(worst, c);
+      }
+      const double mean = total / static_cast<double>(computes.size());
+      const double skew = mean > 0.0 ? worst / mean : 1.0;
+      skew_sum += skew;
+      skew_max = std::max(skew_max, skew);
+      ++counted;
+      // Print the early supersteps of each phase — the frontier-growth part
+      // where imbalance actually bites; the tail rounds are near-empty.
+      if (key.second < 4) {
+        skew_table.add_row({key.first, std::to_string(key.second),
+                            std::to_string(computes.size()),
+                            util::format_duration(worst),
+                            util::format_fixed(skew, 2) + "x",
+                            util::format_duration(barrier[key])});
+      }
+    }
+    std::printf("-- per-superstep skew (threads=%zu, first 4 supersteps) --\n",
+                max_threads);
+    std::printf("%s", skew_table.render().c_str());
+    if (counted > 0) {
+      std::printf(
+          "supersteps sampled: %zu (probe samples %zu, dropped %llu); "
+          "compute skew mean %.2fx, worst %.2fx\n\n",
+          counted, trace.probe().total_samples(),
+          static_cast<unsigned long long>(trace.probe().dropped()),
+          skew_sum / static_cast<double>(counted), skew_max);
+    }
+  }
+
   std::printf("output identical across all configurations: %s\n",
               all_identical ? "yes" : "NO — determinism violated");
   std::printf(

@@ -20,11 +20,51 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/prom_validate.hpp"
+#include "service/debug_endpoint.hpp"
 #include "service/steiner_service.hpp"
 
 namespace {
 
 using namespace dsteiner;
+
+/// --debug-endpoint: serve /metrics /statusz /tracez while the workload runs
+/// and validate the scraped exposition afterwards (the bench-smoke CI check).
+bool g_debug_endpoint = false;
+
+/// Scrapes a live debug endpoint bound to `svc` and validates the payloads.
+/// Returns 0 when the Prometheus exposition parses clean and the other
+/// routes answer; 1 (with diagnostics on stderr) otherwise.
+int scrape_debug_endpoint(const service::steiner_service& svc) {
+  service::debug_endpoint endpoint(svc);
+  if (!endpoint.start()) {
+    std::fprintf(stderr, "debug endpoint: bind failed\n");
+    return 1;
+  }
+  const std::string metrics =
+      obs::http_body(obs::http_get(endpoint.port(), "/metrics"));
+  const std::string statusz =
+      obs::http_body(obs::http_get(endpoint.port(), "/statusz"));
+  const std::string tracez =
+      obs::http_body(obs::http_get(endpoint.port(), "/tracez"));
+  const obs::prom_report report = obs::validate_prometheus(metrics);
+  std::printf(
+      "debug endpoint (127.0.0.1:%u): /metrics %zu series in %zu families, "
+      "/statusz %zu bytes, /tracez %zu bytes\n",
+      endpoint.port(), report.series, report.families, statusz.size(),
+      tracez.size());
+  if (metrics.empty() || !report.ok()) {
+    std::fprintf(stderr, "malformed /metrics exposition:\n%s\n",
+                 report.to_string().c_str());
+    return 1;
+  }
+  if (statusz.find("queries:") == std::string::npos || tracez.empty() ||
+      tracez.front() != '[') {
+    std::fprintf(stderr, "debug endpoint: bad /statusz or /tracez payload\n");
+    return 1;
+  }
+  return 0;
+}
 
 double percentile(std::vector<double> values, double p) {
   if (values.empty()) return 0.0;
@@ -186,6 +226,7 @@ int run_qos_mode(const graph::csr_graph& g, core::solver_config solver) {
       static_cast<unsigned long long>(after.deadline_expired),
       static_cast<unsigned long long>(after.cancelled),
       static_cast<unsigned long long>(after.exec.displaced));
+  if (g_debug_endpoint && scrape_debug_endpoint(svc) != 0) return 1;
   return interactive_p50 < batch_p50 ? 0 : 1;
 }
 
@@ -319,6 +360,10 @@ int main(int argc, char** argv) {
       overlap = true;
       continue;
     }
+    if (std::strcmp(argv[i], "--debug-endpoint") == 0) {
+      g_debug_endpoint = true;
+      continue;
+    }
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       const char* text = argv[++i];
       char* end = nullptr;
@@ -332,7 +377,9 @@ int main(int argc, char** argv) {
       engine_threads = static_cast<std::size_t>(value);
       continue;
     }
-    std::fprintf(stderr, "usage: %s [--threads N] [--qos] [--overlap]\n",
+    std::fprintf(stderr,
+                 "usage: %s [--threads N] [--qos] [--overlap] "
+                 "[--debug-endpoint]\n",
                  argv[0]);
     return 2;
   }
@@ -413,6 +460,14 @@ int main(int argc, char** argv) {
     config.donor_history = 16;
     service::steiner_service svc(graph::csr_graph(g), config);
 
+    // With --debug-endpoint the server answers scrapes *while* the workload
+    // runs — the CI smoke check that observability never blocks serving.
+    service::debug_endpoint live_endpoint(svc);
+    if (g_debug_endpoint && !live_endpoint.start()) {
+      std::fprintf(stderr, "debug endpoint: bind failed\n");
+      return 1;
+    }
+
     std::vector<double> cold_s, hit_s, warm_s;
     std::uint64_t cold_visitors = 0, warm_visitors = 0;
     std::uint64_t cold_messages = 0, warm_messages = 0;
@@ -420,6 +475,17 @@ int main(int argc, char** argv) {
     for (std::uint64_t i = 0; i < rounds; ++i) {
       service::query q;
       q.seeds = bench::default_seeds(g, 12, /*salt=*/100 + i);
+
+      if (g_debug_endpoint && i == rounds / 2) {
+        // Mid-run scrape: the exposition must parse while solves are live.
+        const auto mid = obs::validate_prometheus(
+            obs::http_body(obs::http_get(live_endpoint.port(), "/metrics")));
+        if (!mid.ok()) {
+          std::fprintf(stderr, "mid-run /metrics malformed:\n%s\n",
+                       mid.to_string().c_str());
+          return 1;
+        }
+      }
 
       auto cold = svc.solve(q);
       if (cold.kind != service::solve_kind::cold) continue;  // donor overlap
@@ -484,6 +550,7 @@ int main(int argc, char** argv) {
           100.0 * static_cast<double>(warm_visitors / warm_s.size()) /
               static_cast<double>(cold_visitors / cold_s.size()));
     }
+    if (g_debug_endpoint && scrape_debug_endpoint(svc) != 0) return 1;
   }
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "core/distance_graph.hpp"
 #include "core/steiner_solver.hpp"
 #include "core/warm_start.hpp"
+#include "obs/trace.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/dist_graph.hpp"
 #include "runtime/parallel/worker_pool.hpp"
@@ -35,6 +36,7 @@ struct engine_context {
   explicit engine_context(const solver_config& solver)
       : config{solver.policy, solver.mode, solver.batch_size, solver.costs} {
     config.budget = solver.budget;  // engines poll the checkpoint per round
+    if (solver.trace != nullptr) config.probe = &solver.trace->probe();
     if (solver.mode != runtime::execution_mode::parallel_threads) return;
     const std::size_t want =
         solver.num_threads != 0 ? solver.num_threads
@@ -47,6 +49,37 @@ struct engine_context {
 
   engine_context(const engine_context&) = delete;
   engine_context& operator=(const engine_context&) = delete;
+};
+
+/// Opens a solver-phase span: stamps the probe's phase label (so engine
+/// samples taken during the phase carry it) and remembers the start offset.
+/// `close(metrics)` records the span with the phase's engine totals and the
+/// cost model's simulated-seconds prediction — the per-phase half of the
+/// measured-vs-model comparison. No-ops throughout when `trace` is null.
+class phase_span {
+ public:
+  phase_span(obs::query_trace* trace, const char* name,
+             const runtime::cost_model& costs) noexcept
+      : trace_(trace), name_(name), costs_(&costs) {
+    if (trace_ == nullptr) return;
+    trace_->probe().set_phase(name_);
+    start_ = trace_->now_seconds();
+  }
+
+  void close(const runtime::phase_metrics& metrics) noexcept {
+    if (trace_ == nullptr) return;
+    trace_->close_span(name_, "phase", start_, metrics.rounds,
+                       metrics.visitors_processed + metrics.visitors_skipped,
+                       metrics.messages_total(),
+                       metrics.sim_seconds(*costs_));
+    trace_ = nullptr;  // close once
+  }
+
+ private:
+  obs::query_trace* trace_;
+  const char* name_;
+  const runtime::cost_model* costs_;
+  double start_ = 0.0;
 };
 
 /// Full cold solve, optionally capturing warm-start artifacts. `assists`

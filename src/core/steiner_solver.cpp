@@ -68,10 +68,12 @@ void finish_solve(const graph::csr_graph& graph,
   // Step 3: sequential MST of G'1, replicated (line 17).
   distance_graph_mst mst;
   {
+    phase_span span(config.trace, runtime::phase_names::mst, config.costs);
     runtime::phase_metrics metrics;
     mst = compute_distance_graph_mst(per_rank_en.front(), seed_list, comm,
                                      metrics);
     result.phases.phase(runtime::phase_names::mst) = metrics;
+    span.close(metrics);
   }
   if (config.budget != nullptr) config.budget->check();
   result.spans_all_seeds = mst.spans_all_seeds;
@@ -83,12 +85,15 @@ void finish_solve(const graph::csr_graph& graph,
 
   // Step 4: global edge pruning (line 18).
   {
+    phase_span span(config.trace, runtime::phase_names::pruning, config.costs);
     auto metrics = prune_cross_edges(comm, per_rank_en, mst.mst_pairs);
     result.phases.phase(runtime::phase_names::pruning) = metrics;
+    span.close(metrics);
   }
 
   // Step 5: Steiner tree edges (line 19) and result assembly (line 20).
   {
+    phase_span span(config.trace, runtime::phase_names::tree_edge, config.costs);
     std::vector<std::vector<graph::weighted_edge>> per_rank_es;
     auto metrics =
         collect_tree_edges(dgraph, state, per_rank_en.front(), per_rank_es, engine);
@@ -105,6 +110,7 @@ void finish_solve(const graph::csr_graph& graph,
                    metrics);
     result.total_distance = partial.front().front();
     result.phases.phase(runtime::phase_names::tree_edge) = metrics;
+    span.close(metrics);
   }
   std::sort(result.tree_edges.begin(), result.tree_edges.end(),
             [](const graph::weighted_edge& a, const graph::weighted_edge& b) {
@@ -164,6 +170,7 @@ steiner_result solve_cold(const graph::csr_graph& graph,
   steiner_state state(graph.num_vertices());
   result.memory.state_bytes = state.memory_bytes() + graph.num_vertices() / 8;
   {
+    phase_span span(config.trace, runtime::phase_names::voronoi, config.costs);
     assist_stats astats;
     std::atomic<std::uint64_t> pruned{0};
     runtime::phase_metrics metrics;
@@ -184,26 +191,39 @@ steiner_result solve_cold(const graph::csr_graph& graph,
     }
     astats.pruned_visitors = pruned.load(std::memory_order_relaxed);
     if (assist_out != nullptr) *assist_out = astats;
+    if (config.trace != nullptr && !assists.empty()) {
+      config.trace->add_event("fragments_injected",
+                              static_cast<double>(astats.fragments_injected));
+      config.trace->add_event("oracle_pruned_visitors",
+                              static_cast<double>(astats.pruned_visitors));
+    }
     result.phases.phase(runtime::phase_names::voronoi) = metrics;
+    span.close(metrics);
   }
 
   // Step 2a: partition-local min cross-cell edges (line 13).
   std::vector<cross_edge_map> per_rank_en;
   {
+    phase_span span(config.trace, runtime::phase_names::local_min_edge,
+                    config.costs);
     auto metrics = find_local_min_edges(dgraph, state, per_rank_en, engine);
     result.phases.phase(runtime::phase_names::local_min_edge) = metrics;
+    span.close(metrics);
   }
 
   // Step 2b: global Allreduce(MIN) (line 14). The reduction runs off-engine,
   // so checkpoint at its boundary.
   if (config.budget != nullptr) config.budget->check();
   {
+    phase_span span(config.trace, runtime::phase_names::global_min_edge,
+                    config.costs);
     global_reduce_options options;
     options.dense = config.dense_distance_graph;
     options.seeds = seed_list;
     options.chunk_items = config.allreduce_chunk_items;
     auto metrics = reduce_global_min_edges(comm, per_rank_en, options);
     result.phases.phase(runtime::phase_names::global_min_edge) = metrics;
+    span.close(metrics);
   }
 
   // Steps 3-6: MST, pruning, tree edges, assembly.

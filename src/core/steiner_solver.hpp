@@ -28,6 +28,10 @@
 #include "runtime/perf_model.hpp"
 #include "runtime/visitor_engine.hpp"
 
+namespace dsteiner::obs {
+class query_trace;
+}  // namespace dsteiner::obs
+
 namespace dsteiner::core {
 
 struct solve_artifacts;
@@ -70,6 +74,14 @@ struct solver_config {
   /// The pointee must outlive the solve (the service stores it in the
   /// request's handle state).
   const util::run_budget* budget = nullptr;
+
+  /// Per-query span trace (src/obs/). When non-null, solver phases open
+  /// spans and the engines record per-superstep samples into the trace's
+  /// probe. Pure observation — the solver never reads anything back from
+  /// the trace, so traced and untraced solves are bit-identical. Excluded
+  /// from the service's config hash for the same reason as `budget`. Must
+  /// outlive the solve; the solve is the sole span writer while it runs.
+  obs::query_trace* trace = nullptr;
 };
 
 struct steiner_result {

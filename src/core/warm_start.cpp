@@ -200,8 +200,11 @@ steiner_result repair_solve(const graph::csr_graph& graph,
     }
   }
   {
+    detail::phase_span span(config.trace, runtime::phase_names::voronoi,
+                            config.costs);
     auto metrics = repair_voronoi_cells(dgraph, std::move(initial), state, engine);
     result.phases.phase(runtime::phase_names::voronoi) = metrics;
+    span.close(metrics);
   }
   result.memory.state_bytes = state.memory_bytes() + n / 8;
 
@@ -242,21 +245,27 @@ steiner_result repair_solve(const graph::csr_graph& graph,
   stats.rescanned_vertices = scan.size();
   std::vector<cross_edge_map> per_rank_en;
   {
+    detail::phase_span span(config.trace, runtime::phase_names::local_min_edge,
+                            config.costs);
     auto metrics =
         find_local_min_edges_partial(dgraph, state, scan, per_rank_en, engine);
     result.phases.phase(runtime::phase_names::local_min_edge) = metrics;
+    span.close(metrics);
   }
 
   // Step 2b: global reduction over the rescanned entries only (off-engine:
   // checkpoint at the boundary).
   if (config.budget != nullptr) config.budget->check();
   {
+    detail::phase_span span(config.trace, runtime::phase_names::global_min_edge,
+                            config.costs);
     global_reduce_options options;
     options.dense = config.dense_distance_graph;
     options.seeds = seed_list;
     options.chunk_items = config.allreduce_chunk_items;
     auto metrics = reduce_global_min_edges(comm, per_rank_en, options);
     result.phases.phase(runtime::phase_names::global_min_edge) = metrics;
+    span.close(metrics);
   }
 
   // Reuse donor entries between two unaffected cells: their membership and

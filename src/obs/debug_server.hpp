@@ -1,0 +1,82 @@
+// Minimal TCP debug endpoint — plain POSIX sockets, a blocking poll() loop,
+// one background thread, zero dependencies.
+//
+// The server answers "GET <path>" with the output of a registered handler
+// (HTTP/1.0 semantics: one request per connection, Connection: close). It
+// exists to make the service's observability reachable by curl and
+// Prometheus scrapers:
+//
+//   /metrics  -> render_metrics_text (Prometheus text exposition)
+//   /statusz  -> human-readable service status
+//   /tracez   -> recent slow-query traces as Chrome trace JSON
+//
+// Deliberately not a web server: no keep-alive, no TLS, no request bodies,
+// 4 KiB request cap, loopback-oriented. Handlers run on the server thread —
+// they must be snapshot-cheap (ours render from atomic counters and
+// shared_ptr copies). Port 0 binds an ephemeral port (tests); `port()`
+// reports the bound value.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dsteiner::obs {
+
+class debug_server {
+ public:
+  /// Registers `handler` for exact-match `path` before start(). Handlers
+  /// must be callable from the server thread for the server's lifetime.
+  void add_route(std::string path, std::string content_type,
+                 std::function<std::string()> handler);
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and launches the accept loop.
+  /// Returns false (with no thread started) if the socket cannot be bound.
+  bool start(std::uint16_t port = 0);
+
+  /// Idempotent; joins the server thread. Called by the destructor.
+  void stop();
+
+  ~debug_server();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// The bound port (meaningful after a successful start()).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct route {
+    std::string path;
+    std::string content_type;
+    std::function<std::string()> handler;
+  };
+
+  void serve_loop();
+  void handle_connection(int fd);
+
+  std::vector<route> routes_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Blocking loopback HTTP GET used by tests and the bench-smoke scrape.
+/// Returns the full response (status line + headers + body), or an empty
+/// string on connect/IO failure.
+std::string http_get(std::uint16_t port, const std::string& path);
+
+/// Strips the header block from an http_get() response, returning the body.
+std::string http_body(const std::string& response);
+
+}  // namespace dsteiner::obs

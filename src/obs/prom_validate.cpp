@@ -1,0 +1,243 @@
+#include "obs/prom_validate.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace dsteiner::obs {
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+           c == ':';
+  };
+  auto tail = [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c)) != 0;
+  };
+  if (!head(name.front())) return false;
+  for (char c : name) {
+    if (!tail(c)) return false;
+  }
+  return true;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// Maps a sample name to its metric family: histogram samples `x_bucket`,
+/// `x_sum`, `x_count` belong to family `x`.
+std::string family_of(const std::string& name,
+                      const std::map<std::string, std::string>& types) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    if (ends_with(name, suffix)) {
+      const std::string base = name.substr(0, name.size() - std::strlen(suffix));
+      auto it = types.find(base);
+      if (it != types.end() && it->second == "histogram") return base;
+    }
+  }
+  return name;
+}
+
+double parse_le(const std::string& labels) {
+  // labels is the raw text between braces, e.g. le="0.001" or le="+Inf".
+  const std::size_t pos = labels.find("le=\"");
+  if (pos == std::string::npos) return std::numeric_limits<double>::quiet_NaN();
+  const std::size_t begin = pos + 4;
+  const std::size_t end = labels.find('"', begin);
+  if (end == std::string::npos) return std::numeric_limits<double>::quiet_NaN();
+  const std::string v = labels.substr(begin, end - begin);
+  if (v == "+Inf") return std::numeric_limits<double>::infinity();
+  char* stop = nullptr;
+  const double d = std::strtod(v.c_str(), &stop);
+  if (stop == v.c_str()) return std::numeric_limits<double>::quiet_NaN();
+  return d;
+}
+
+/// Removes the le="..." pair so buckets of one histogram share a group key.
+std::string strip_le(const std::string& labels) {
+  const std::size_t pos = labels.find("le=\"");
+  if (pos == std::string::npos) return labels;
+  std::size_t end = labels.find('"', pos + 4);
+  if (end == std::string::npos) return labels;
+  ++end;  // past closing quote
+  if (end < labels.size() && labels[end] == ',') ++end;
+  std::string out = labels.substr(0, pos) + labels.substr(end);
+  if (!out.empty() && out.back() == ',') out.pop_back();
+  return out;
+}
+
+struct bucket_state {
+  double prev_le = -std::numeric_limits<double>::infinity();
+  double prev_value = 0.0;
+  bool saw_inf = false;
+  double inf_value = 0.0;
+  std::size_t line = 0;
+};
+
+}  // namespace
+
+std::string prom_report::to_string() const {
+  std::string out;
+  for (const auto& p : problems) {
+    out += "line " + std::to_string(p.line) + ": " + p.message + "\n";
+  }
+  return out;
+}
+
+prom_report validate_prometheus(const std::string& text) {
+  prom_report report;
+  auto fail = [&](std::size_t line, std::string message) {
+    report.problems.push_back({line, std::move(message)});
+  };
+
+  std::map<std::string, std::string> types;  // family -> type
+  std::set<std::string> helps;               // families with # HELP
+  std::set<std::string> seen_series;         // name + "{" + labels + "}"
+  // histogram family + label-group -> running bucket state
+  std::map<std::string, bucket_state> buckets;
+  // histogram family + label-group -> _count value (to cross-check +Inf)
+  std::map<std::string, double> counts;
+
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      std::istringstream meta(line);
+      std::string hash;
+      std::string kind;
+      std::string name;
+      meta >> hash >> kind >> name;
+      if (kind == "HELP") {
+        if (!valid_metric_name(name)) fail(lineno, "bad HELP name: " + name);
+        helps.insert(name);
+      } else if (kind == "TYPE") {
+        std::string type;
+        meta >> type;
+        if (!valid_metric_name(name)) fail(lineno, "bad TYPE name: " + name);
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          fail(lineno, "unknown TYPE '" + type + "' for " + name);
+        }
+        if (types.count(name) != 0) {
+          fail(lineno, "duplicate TYPE declaration for " + name);
+        }
+        if (type == "counter" && !ends_with(name, "_total")) {
+          fail(lineno, "counter " + name + " does not end in _total");
+        }
+        types[name] = type;
+      }
+      // Other comments are legal and ignored.
+      continue;
+    }
+
+    // Sample line: name[{labels}] value [timestamp]
+    std::size_t brace = line.find('{');
+    std::string name;
+    std::string labels;
+    std::size_t value_begin = 0;
+    if (brace != std::string::npos) {
+      name = line.substr(0, brace);
+      const std::size_t close = line.find('}', brace);
+      if (close == std::string::npos) {
+        fail(lineno, "unterminated label set");
+        continue;
+      }
+      labels = line.substr(brace + 1, close - brace - 1);
+      value_begin = close + 1;
+    } else {
+      const std::size_t space = line.find(' ');
+      if (space == std::string::npos) {
+        fail(lineno, "sample line with no value");
+        continue;
+      }
+      name = line.substr(0, space);
+      value_begin = space;
+    }
+
+    if (!valid_metric_name(name)) {
+      fail(lineno, "bad metric name: " + name);
+      continue;
+    }
+
+    const std::string value_text = line.substr(value_begin);
+    char* stop = nullptr;
+    const double value = std::strtod(value_text.c_str(), &stop);
+    if (stop == value_text.c_str()) {
+      fail(lineno, "unparseable value for " + name + ": '" + value_text + "'");
+      continue;
+    }
+
+    const std::string family = family_of(name, types);
+    if (types.count(family) == 0) {
+      fail(lineno, "sample " + name + " has no preceding # TYPE " + family);
+    }
+    if (helps.count(family) == 0) {
+      fail(lineno, "sample " + name + " has no preceding # HELP " + family);
+    }
+
+    const std::string series_key = name + "{" + labels + "}";
+    if (!seen_series.insert(series_key).second) {
+      fail(lineno, "duplicate series " + series_key);
+    } else {
+      ++report.series;
+    }
+
+    if (ends_with(name, "_bucket") && types[family] == "histogram") {
+      const std::string group = family + "{" + strip_le(labels) + "}";
+      const double le = parse_le(labels);
+      auto& st = buckets[group];
+      st.line = lineno;
+      if (std::isnan(le)) {
+        fail(lineno, "bucket of " + family + " lacks a parseable le label");
+      } else {
+        if (le <= st.prev_le) {
+          fail(lineno, "bucket le bounds not increasing for " + family);
+        }
+        if (value < st.prev_value) {
+          fail(lineno, "bucket counts not cumulative for " + family);
+        }
+        st.prev_le = le;
+        st.prev_value = value;
+        if (std::isinf(le)) {
+          st.saw_inf = true;
+          st.inf_value = value;
+        }
+      }
+    } else if (ends_with(name, "_count") && types[family] == "histogram") {
+      counts[family + "{" + labels + "}"] = value;
+    }
+  }
+
+  for (const auto& [group, st] : buckets) {
+    if (!st.saw_inf) {
+      fail(st.line, "histogram " + group + " missing le=\"+Inf\" bucket");
+      continue;
+    }
+    auto it = counts.find(group);
+    if (it == counts.end()) {
+      fail(st.line, "histogram " + group + " missing _count sample");
+    } else if (it->second != st.inf_value) {
+      fail(st.line, "histogram " + group + " +Inf bucket (" +
+                        std::to_string(st.inf_value) + ") != _count (" +
+                        std::to_string(it->second) + ")");
+    }
+  }
+
+  report.families = types.size();
+  return report;
+}
+
+}  // namespace dsteiner::obs

@@ -1,0 +1,43 @@
+// Prometheus text-exposition validator.
+//
+// A small line-by-line parser for the text format our /metrics route emits.
+// It enforces the hygiene rules the exposition satellite cares about and
+// that real scrapers reject violations of:
+//
+//   * every sample belongs to a series introduced by # HELP and # TYPE;
+//   * no duplicate series (same name + label set twice);
+//   * counter series names end in `_total` (excluding histogram machinery);
+//   * histogram buckets are cumulative (non-decreasing in `le` order), end
+//     with an `le="+Inf"` bucket, and that bucket equals `_count`;
+//   * sample values parse as numbers; metric names are [a-zA-Z_:][a-zA-Z0-9_:]*.
+//
+// Used three ways: the tests/test_obs.cpp parser test, the bench-smoke
+// `--debug-endpoint` scrape (CI fails on malformed exposition), and ad hoc
+// by anyone adding a series to metrics_text.cpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dsteiner::obs {
+
+struct prom_problem {
+  std::size_t line = 0;  ///< 1-based line number in the exposition text
+  std::string message;
+};
+
+struct prom_report {
+  std::vector<prom_problem> problems;
+  std::size_t series = 0;   ///< distinct (name, labels) samples seen
+  std::size_t families = 0; ///< distinct # TYPE declarations seen
+
+  [[nodiscard]] bool ok() const noexcept { return problems.empty(); }
+
+  /// One problem per line, "line N: message". Empty when ok().
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses `text` as Prometheus text exposition and reports every violation.
+[[nodiscard]] prom_report validate_prometheus(const std::string& text);
+
+}  // namespace dsteiner::obs

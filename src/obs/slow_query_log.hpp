@@ -1,0 +1,60 @@
+// Bounded ring of recent slow-query traces.
+//
+// The service pushes a finalized query_trace here when a query's total
+// latency meets trace_config::slow_query_threshold_seconds. Consumers
+// (the /tracez debug route, tests, operators) snapshot the ring and render
+// each entry's Chrome JSON. Mutex-protected — pushes happen once per slow
+// query, far off any hot path, and snapshots copy shared_ptrs only.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace dsteiner::obs {
+
+class slow_query_log {
+ public:
+  explicit slow_query_log(std::size_t capacity = 32)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Retains `trace` (evicting the oldest entry at capacity). The trace must
+  /// already be finalized — the log never mutates it.
+  void push(std::shared_ptr<const query_trace> trace) {
+    if (trace == nullptr) return;
+    const std::lock_guard lock(mu_);
+    ++recorded_;
+    if (ring_.size() >= capacity_) ring_.pop_front();
+    ring_.push_back(std::move(trace));
+  }
+
+  /// Most-recent-last copy of the retained traces.
+  [[nodiscard]] std::vector<std::shared_ptr<const query_trace>> snapshot()
+      const {
+    const std::lock_guard lock(mu_);
+    return {ring_.begin(), ring_.end()};
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard lock(mu_);
+    return ring_.size();
+  }
+
+  /// Lifetime count of slow queries observed (monotone, survives eviction).
+  [[nodiscard]] std::uint64_t recorded() const {
+    const std::lock_guard lock(mu_);
+    return recorded_;
+  }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<std::shared_ptr<const query_trace>> ring_;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace dsteiner::obs

@@ -12,6 +12,10 @@
 #include "runtime/perf_model.hpp"
 #include "util/cancellation.hpp"
 
+namespace dsteiner::obs {
+class engine_probe;
+}  // namespace dsteiner::obs
+
 namespace dsteiner::runtime {
 
 namespace parallel {
@@ -49,6 +53,13 @@ struct engine_config {
   /// through the barrier so every worker stops at the same superstep). Null
   /// disables the poll. Must outlive the run.
   const util::run_budget* budget = nullptr;
+
+  /// Per-superstep telemetry sink (query-scoped tracing, src/obs/). Workers
+  /// record into probe lane w (single-writer); the cooperative engine uses
+  /// lane 0. Null (the default) disables sampling entirely — the engines
+  /// never read from the probe, so execution and output are identical either
+  /// way. Must outlive the run. Same hash-exclusion rule as `budget`.
+  obs::engine_probe* probe = nullptr;
 };
 
 }  // namespace dsteiner::runtime

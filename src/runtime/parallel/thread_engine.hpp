@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "obs/engine_probe.hpp"
 #include "runtime/engine_config.hpp"
 #include "runtime/mailbox.hpp"
 #include "runtime/partition.hpp"
@@ -165,6 +166,11 @@ class thread_engine {
     std::uint64_t messages_local = 0;
     std::uint64_t messages_remote = 0;
     std::uint64_t sent_remote_step = 0;  ///< channel emissions this superstep
+    // Tracing deltas, reset after each sample. Maintained unconditionally
+    // (one add on paths that already touch this cache line) so the compute
+    // loop stays branch-free; they are only *read* when a probe is attached.
+    std::uint32_t visits_step = 0;   ///< visit dispatches this superstep
+    std::uint32_t drained_step = 0;  ///< channel admissions this superstep
   };
 
   [[nodiscard]] spsc_channel<Visitor>& channel(int from, int to) noexcept {
@@ -175,32 +181,85 @@ class thread_engine {
 
   void worker_loop(std::size_t w, std::size_t workers, std::size_t p,
                    superstep_barrier& barrier) {
+    // Tracing is sampled per worker into probe lane w (this thread is the
+    // lane's only writer). All clock reads are gated on the probe so the
+    // untraced path costs nothing beyond two per-rank counter increments.
+    obs::engine_probe* probe = config_.probe;
+    std::uint32_t superstep = 0;
+    util::timer step_timer;  // read only when probe != nullptr
     for (;;) {
       // Phase A: admit everything the previous superstep (or seeding) put
       // into our ranks' channels. Channels are quiescent here — producers
       // only push in phase B — so the drain is exact and deterministic.
+      if (probe != nullptr) step_timer.restart();
       for (std::size_t r = w; r < p; r += workers) {
         drain_channels(static_cast<int>(r), static_cast<int>(p));
       }
+      const double t_drained = probe != nullptr ? step_timer.seconds() : 0.0;
       (void)barrier.arrive_and_wait(0, 0.0);
+      const double t_computing = probe != nullptr ? step_timer.seconds() : 0.0;
 
       // Phase B: compute. Local emissions are consumable this superstep;
       // remote emissions wait in channels for the next phase A.
       std::uint64_t outstanding = 0;
       double work_max = 0.0;
+      std::uint32_t visits_sum = 0;
+      std::uint32_t sent_sum = 0;
+      std::uint32_t drained_sum = 0;
       for (std::size_t r = w; r < p; r += workers) {
         process_batch(static_cast<int>(r));
         rank_stats& st = stats_[r];
         outstanding += mailboxes_[r].size() + st.sent_remote_step;
         work_max = std::max(work_max, st.work);
+        if (probe != nullptr) {
+          // Per-rank row (channel depth, per-rank skew) before the
+          // superstep-scoped counters reset. Quiet ranks are skipped.
+          visits_sum += st.visits_step;
+          sent_sum += static_cast<std::uint32_t>(st.sent_remote_step);
+          drained_sum += st.drained_step;
+          const std::size_t backlog = mailboxes_[r].size();
+          if (st.visits_step != 0 || st.drained_step != 0 ||
+              st.sent_remote_step != 0 || backlog != 0) {
+            obs::superstep_sample s;
+            s.superstep = superstep;
+            s.rank = static_cast<std::int32_t>(r);
+            s.visitors = st.visits_step;
+            s.sent = static_cast<std::uint32_t>(st.sent_remote_step);
+            s.drained = st.drained_step;
+            s.backlog = static_cast<std::uint32_t>(
+                std::min<std::size_t>(backlog, UINT32_MAX));
+            s.work_units = static_cast<float>(st.work);
+            probe->record(w, s);
+          }
+        }
         st.work = 0.0;
         st.sent_remote_step = 0;
+        st.visits_step = 0;
+        st.drained_step = 0;
       }
       // Cancellation checkpoint: each worker votes with its own observation
       // and the barrier's OR-fold makes the stop decision unanimous.
       const bool stop_vote =
           config_.budget != nullptr && config_.budget->stop_requested();
+      const double t_computed = probe != nullptr ? step_timer.seconds() : 0.0;
       const auto agg = barrier.arrive_and_wait(outstanding, work_max, stop_vote);
+      if (probe != nullptr) {
+        // Aggregate row for this worker's whole superstep: compute is the
+        // drain plus the batch, barrier wait is both stalls.
+        obs::superstep_sample s;
+        s.superstep = superstep;
+        s.rank = -1;
+        s.visitors = visits_sum;
+        s.sent = sent_sum;
+        s.drained = drained_sum;
+        s.work_units = static_cast<float>(work_max);
+        s.compute_seconds =
+            static_cast<float>(t_drained + (t_computed - t_computing));
+        s.barrier_wait_seconds = static_cast<float>(
+            (t_computing - t_drained) + (step_timer.seconds() - t_computed));
+        probe->record(w, s);
+      }
+      ++superstep;
       if (agg.cancel) {
         if (w == 0) cancelled_ = true;  // sole writer; read after pool joins
         return;
@@ -230,6 +289,7 @@ class thread_engine {
           st.work += config_.costs.reject_cost;
           continue;
         }
+        ++st.drained_step;
         box.push(std::move(v));
       }
     }
@@ -242,6 +302,7 @@ class thread_engine {
     for (std::size_t step = 0; step < config_.batch_size && !box.empty();
          ++step) {
       Visitor v = box.pop();
+      ++st.visits_step;
       if (handler_->visit(v, r, out)) {
         ++st.processed;
         st.work += config_.costs.visit_cost;

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "obs/engine_probe.hpp"
 #include "runtime/engine_config.hpp"
 #include "runtime/mailbox.hpp"
 #include "runtime/partition.hpp"
@@ -97,6 +98,14 @@ class visitor_engine {
     const int p = parts_.num_ranks();
     while (pending_ > 0 || !staged_.empty()) {
       if (config_.budget != nullptr) config_.budget->check();
+      // Pre-round counter snapshot so tracing can report per-round deltas.
+      // Taken only when a probe is attached; the untraced path pays nothing.
+      const bool sampling = config_.probe != nullptr;
+      const std::uint64_t visited0 =
+          metrics_.visitors_processed + metrics_.visitors_skipped;
+      const std::uint64_t sent0 =
+          metrics_.messages_local + metrics_.messages_remote;
+      const double round_wall0 = sampling ? wall.seconds() : 0.0;
       ++metrics_.rounds;
       std::fill(round_work_.begin(), round_work_.end(), 0.0);
       for (int r = 0; r < p; ++r) {
@@ -119,8 +128,41 @@ class visitor_engine {
         batch.swap(staged_);
         for (auto& [to, v] : batch) deliver(std::move(v), to);
       }
-      metrics_.sim_units +=
+      const double round_max =
           *std::max_element(round_work_.begin(), round_work_.end());
+      metrics_.sim_units += round_max;
+      if (sampling) {
+        // One aggregate row per round (the engine runs on a single thread,
+        // so lane 0 is the only writer) plus per-rank work/backlog rows for
+        // ranks that actually did something — these become the counter
+        // tracks in the exported trace.
+        obs::superstep_sample agg;
+        agg.superstep = static_cast<std::uint32_t>(metrics_.rounds - 1);
+        agg.rank = -1;
+        agg.visitors = static_cast<std::uint32_t>(
+            metrics_.visitors_processed + metrics_.visitors_skipped - visited0);
+        agg.sent = static_cast<std::uint32_t>(
+            metrics_.messages_local + metrics_.messages_remote - sent0);
+        agg.backlog = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(pending_ + staged_.size(), UINT32_MAX));
+        agg.work_units = static_cast<float>(round_max);
+        agg.compute_seconds =
+            static_cast<float>(wall.seconds() - round_wall0);
+        config_.probe->record(0, agg);
+        for (int r = 0; r < p; ++r) {
+          const double work = round_work_[static_cast<std::size_t>(r)];
+          const std::size_t backlog =
+              mailboxes_[static_cast<std::size_t>(r)].size();
+          if (work <= 0.0 && backlog == 0) continue;
+          obs::superstep_sample s;
+          s.superstep = agg.superstep;
+          s.rank = r;
+          s.backlog = static_cast<std::uint32_t>(
+              std::min<std::size_t>(backlog, UINT32_MAX));
+          s.work_units = static_cast<float>(work);
+          config_.probe->record(0, s);
+        }
+      }
     }
     metrics_.wall_seconds = wall.seconds();
     return metrics_;

@@ -1,0 +1,90 @@
+#include "service/debug_endpoint.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "service/metrics_text.hpp"
+
+namespace dsteiner::service {
+
+namespace {
+
+void line(std::string& out, const char* fmt, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  out.append(buffer);
+  out.push_back('\n');
+}
+
+}  // namespace
+
+debug_endpoint::debug_endpoint(const steiner_service& service)
+    : service_(service) {
+  server_.add_route("/metrics", "text/plain; version=0.0.4",
+                    [this] { return render_metrics_text(service_.snapshot()); });
+  server_.add_route("/statusz", "text/plain",
+                    [this] { return render_statusz(); });
+  server_.add_route("/tracez", "application/json",
+                    [this] { return render_tracez(); });
+}
+
+std::string debug_endpoint::render_statusz() const {
+  const service_snapshot snap = service_.snapshot();
+  const service_stats& s = snap.stats;
+  std::string out;
+  out.reserve(2048);
+  line(out, "dsteiner steiner_service status");
+  line(out, "");
+  line(out, "epoch: current=%" PRIu64 " first_live=%" PRIu64 " advances=%" PRIu64,
+       service_.current_epoch(), service_.epochs().first_live_epoch(),
+       s.epoch_advances);
+  line(out, "queue: depth=%" PRIu64 " peak=%" PRIu64 " promoted=%" PRIu64,
+       s.exec.queue_depth, s.exec.peak_queue_depth, s.exec.promoted);
+  line(out,
+       "queries: total=%" PRIu64 " cold=%" PRIu64 " warm=%" PRIu64
+       " cache_hits=%" PRIu64 " stale=%" PRIu64 " coalesced=%" PRIu64,
+       s.queries, s.cold_solves, s.warm_solves, s.cache_hits, s.stale_hits,
+       s.coalesced);
+  line(out,
+       "qos: cancelled=%" PRIu64 " deadline_rejected=%" PRIu64
+       " deadline_expired=%" PRIu64,
+       s.cancelled, s.deadline_rejected, s.deadline_expired);
+  line(out, "cache: entries=%" PRIu64 " hits=%" PRIu64 " misses=%" PRIu64,
+       s.cache.entries, s.cache.hits, s.cache.misses);
+  line(out,
+       "distshare: fragments=%" PRIu64 " bytes=%" PRIu64
+       " assisted_solves=%" PRIu64 " oracle_builds=%" PRIu64,
+       s.fragments.fragments, s.fragments.bytes_in_use, s.fragment_assisted,
+       s.oracle_builds);
+  line(out,
+       "latency: p50=%.6fs p99=%.6fs mean=%.6fs samples=%" PRIu64,
+       snap.total.percentile(50.0), snap.total.percentile(99.0),
+       snap.total.mean(), snap.total.count);
+  line(out,
+       "model: solve_p50=%.6fs modelled_p50=%.6fs abs_err_p50=%.6fs",
+       snap.cold_solve.percentile(50.0), snap.modelled_solve.percentile(50.0),
+       snap.model_abs_error.percentile(50.0));
+  line(out, "slow_queries: total=%" PRIu64 " retained=%zu", s.slow_queries,
+       service_.slow_log().size());
+  return out;
+}
+
+std::string debug_endpoint::render_tracez() const {
+  const auto traces = service_.slow_log().snapshot();
+  std::string out;
+  out.reserve(1024);
+  out.push_back('[');
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out.append(traces[i]->to_chrome_json());
+  }
+  out.push_back(']');
+  return out;
+}
+
+}  // namespace dsteiner::service

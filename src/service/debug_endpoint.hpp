@@ -1,0 +1,47 @@
+// Binds a steiner_service to the obs::debug_server routes.
+//
+// One debug_endpoint owns one debug_server and renders three live views of
+// the service it wraps:
+//
+//   /metrics  Prometheus text exposition (render_metrics_text of a fresh
+//             snapshot) — scrape-ready;
+//   /statusz  human-readable one-page status: epoch window, queue depth,
+//             path counters, substrate occupancy, slow-query log size;
+//   /tracez   the slow-query log as a JSON array of Chrome trace objects,
+//             each loadable in Perfetto / chrome://tracing.
+//
+// Handlers run on the server thread and only read snapshot()/slow_log(), so
+// the endpoint never blocks a query. The service must outlive the endpoint.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/debug_server.hpp"
+#include "service/steiner_service.hpp"
+
+namespace dsteiner::service {
+
+class debug_endpoint {
+ public:
+  /// Registers the routes against `service`; call start() to go live.
+  explicit debug_endpoint(const steiner_service& service);
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and serves until stop()/dtor.
+  bool start(std::uint16_t port = 0) { return server_.start(port); }
+  void stop() { server_.stop(); }
+
+  [[nodiscard]] bool running() const noexcept { return server_.running(); }
+  [[nodiscard]] std::uint16_t port() const noexcept { return server_.port(); }
+  [[nodiscard]] const obs::debug_server& server() const noexcept {
+    return server_;
+  }
+
+ private:
+  [[nodiscard]] std::string render_statusz() const;
+  [[nodiscard]] std::string render_tracez() const;
+
+  const steiner_service& service_;
+  obs::debug_server server_;
+};
+
+}  // namespace dsteiner::service

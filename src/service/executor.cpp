@@ -55,7 +55,7 @@ void executor::fire(dropped_list& dropped) {
   dropped.clear();
 }
 
-void executor::enqueue_locked(std::size_t priority, queued_task item) {
+void executor::insert_locked(std::size_t priority, queued_task item) {
   auto& q = queues_[priority];
   // Earliest-deadline-first within the level: insert before the first
   // strictly-later deadline. Deadline-free tasks carry time_point::max, so
@@ -66,9 +66,36 @@ void executor::enqueue_locked(std::size_t priority, queued_task item) {
       [](std::chrono::steady_clock::time_point deadline,
          const queued_task& queued) { return deadline < queued.deadline; });
   q.insert(pos, std::move(item));
+}
+
+void executor::enqueue_locked(std::size_t priority, queued_task item) {
+  insert_locked(priority, std::move(item));
   ++stats_.submitted;
   stats_.peak_queue_depth =
       std::max<std::uint64_t>(stats_.peak_queue_depth, total_queued_locked());
+}
+
+void executor::promote_aged_locked() {
+  if (config_.aging_step_seconds <= 0.0) return;
+  // Scan the non-top levels back-to-front popping every task whose wait has
+  // crossed at least one aging step; re-insert at the target level's EDF
+  // position. Promotion count is levels-per-step — a task two steps old in
+  // the background level jumps straight to interactive, matching the
+  // effective priority it would have accrued under continuous aging.
+  for (std::size_t level = 1; level < k_executor_priority_levels; ++level) {
+    auto& q = queues_[level];
+    for (std::size_t i = q.size(); i-- > 0;) {
+      const double age = q[i].enqueued.seconds();
+      const auto gain =
+          static_cast<std::size_t>(age / config_.aging_step_seconds);
+      if (gain == 0) continue;
+      queued_task item = std::move(q[i]);
+      q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+      const std::size_t target = level > gain ? level - gain : 0;
+      insert_locked(target, std::move(item));
+      ++stats_.promoted;
+    }
+  }
 }
 
 void executor::post(task t, task_options opts) {
@@ -170,7 +197,9 @@ std::size_t executor::backlog_ahead(std::size_t priority) const {
 
 executor_stats executor::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  executor_stats s = stats_;
+  s.queue_depth = total_queued_locked();
+  return s;
 }
 
 std::vector<double> executor::running_elapsed_seconds() const {
@@ -199,6 +228,7 @@ void executor::worker_loop(std::size_t worker_id) {
       if (total_queued_locked() == 0) {
         drained = true;  // stopping and fully drained
       } else {
+        promote_aged_locked();
         auto& q = *std::find_if(queues_.begin(), queues_.end(),
                                 [](const auto& level) { return !level.empty(); });
         queued_task picked = std::move(q.front());

@@ -50,6 +50,13 @@ struct executor_config {
   /// Maximum tasks waiting for a worker (excludes the ones being executed),
   /// summed across all priority levels.
   std::size_t queue_capacity = 256;
+  /// Priority aging: a queued task that has waited `aging_step_seconds`
+  /// gains one effective priority level per elapsed step (floor(age/step)
+  /// levels total), physically moving up at worker-pickup time so saturated
+  /// interactive traffic cannot starve batch/background work forever.
+  /// Promoted tasks join the EDF order of their new level. 0 (default)
+  /// disables aging — strict priority, the historical behaviour.
+  double aging_step_seconds = 0.0;
 };
 
 /// Why a queued task was dropped without running (on_dropped's argument).
@@ -65,7 +72,9 @@ struct executor_stats {
   std::uint64_t tasks_failed = 0;  ///< tasks that let an exception escape
   std::uint64_t expired = 0;       ///< queued tasks dropped past their deadline
   std::uint64_t displaced = 0;     ///< queued tasks shed for a higher level
+  std::uint64_t promoted = 0;      ///< queued tasks moved up a level by aging
   std::uint64_t peak_queue_depth = 0;
+  std::uint64_t queue_depth = 0;   ///< tasks queued at the stats() call
   double total_queue_wait_seconds = 0.0;
   double max_queue_wait_seconds = 0.0;
   /// Wall seconds spent *running* tasks (all workers, cumulative) — with
@@ -153,6 +162,13 @@ class executor {
   /// after every task with an equal-or-earlier one (stable, so equal
   /// deadlines — including the deadline-free tail — drain FIFO).
   void enqueue_locked(std::size_t priority, queued_task item);
+  /// The raw EDF insert behind enqueue_locked, without admission accounting
+  /// (aging re-inserts move existing tasks, they are not new submissions).
+  void insert_locked(std::size_t priority, queued_task item);
+  /// Priority aging at pickup time: moves every queued task whose wait has
+  /// crossed one or more aging steps up that many levels. No-op when
+  /// aging_step_seconds == 0. Lock must be held.
+  void promote_aged_locked();
   /// Drops every queued task whose deadline has passed; returns how many
   /// came off the queue (slots freed). Lock must be held; the harvested
   /// handlers must be fired promptly after it is released.

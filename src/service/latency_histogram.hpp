@@ -35,6 +35,12 @@ class latency_histogram {
 
     /// Estimated latency at quantile `q` in [0, 1].
     [[nodiscard]] double quantile(double q) const noexcept;
+
+    /// Estimated latency at percentile `p` in [0, 100] — dashboard-friendly
+    /// spelling of quantile(p / 100).
+    [[nodiscard]] double percentile(double p) const noexcept {
+      return quantile(p / 100.0);
+    }
   };
 
   void record(double seconds) noexcept;

@@ -45,6 +45,26 @@ void append_gauge(std::string& out, std::string_view prefix,
   append_metric(out, prefix, name, help, "gauge", value);
 }
 
+/// A cumulative counter whose value is a float (seconds totals).
+void append_counter_seconds(std::string& out, std::string_view prefix,
+                            std::string_view name, std::string_view help,
+                            double value) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer), "# HELP %.*s_%.*s %.*s",
+                static_cast<int>(prefix.size()), prefix.data(),
+                static_cast<int>(name.size()), name.data(),
+                static_cast<int>(help.size()), help.data());
+  append_line(out, buffer);
+  std::snprintf(buffer, sizeof(buffer), "# TYPE %.*s_%.*s counter",
+                static_cast<int>(prefix.size()), prefix.data(),
+                static_cast<int>(name.size()), name.data());
+  append_line(out, buffer);
+  std::snprintf(buffer, sizeof(buffer), "%.*s_%.*s %.9g",
+                static_cast<int>(prefix.size()), prefix.data(),
+                static_cast<int>(name.size()), name.data(), value);
+  append_line(out, buffer);
+}
+
 /// One counter family with a `priority` label per class (one HELP/TYPE
 /// header, k_priority_classes series).
 void append_priority_counter(
@@ -85,32 +105,32 @@ void append_histogram(std::string& out, std::string_view prefix,
                 static_cast<int>(name.size()), name.data());
   append_line(out, buffer);
 
-  // Prometheus buckets are cumulative; the last log2 bucket absorbs the tail
-  // and maps onto the mandatory +Inf bucket.
+  // Prometheus buckets are cumulative: every finite log2 bound gets its own
+  // series, then the mandatory le="+Inf" series. +Inf and _count both use
+  // the summed buckets (not the separately-updated count atomic) so a racy
+  // snapshot can never violate the +Inf == _count exposition invariant.
   std::uint64_t cumulative = 0;
   for (std::size_t i = 0; i < latency_histogram::k_buckets; ++i) {
     cumulative += hist.buckets[i];
-    if (i + 1 == latency_histogram::k_buckets) {
-      std::snprintf(buffer, sizeof(buffer),
-                    "%.*s_%.*s_bucket{le=\"+Inf\"} %" PRIu64,
-                    static_cast<int>(prefix.size()), prefix.data(),
-                    static_cast<int>(name.size()), name.data(), cumulative);
-    } else {
-      std::snprintf(buffer, sizeof(buffer),
-                    "%.*s_%.*s_bucket{le=\"%.9g\"} %" PRIu64,
-                    static_cast<int>(prefix.size()), prefix.data(),
-                    static_cast<int>(name.size()), name.data(),
-                    latency_histogram::bucket_upper_seconds(i), cumulative);
-    }
+    std::snprintf(buffer, sizeof(buffer),
+                  "%.*s_%.*s_bucket{le=\"%.9g\"} %" PRIu64,
+                  static_cast<int>(prefix.size()), prefix.data(),
+                  static_cast<int>(name.size()), name.data(),
+                  latency_histogram::bucket_upper_seconds(i), cumulative);
     append_line(out, buffer);
   }
+  std::snprintf(buffer, sizeof(buffer),
+                "%.*s_%.*s_bucket{le=\"+Inf\"} %" PRIu64,
+                static_cast<int>(prefix.size()), prefix.data(),
+                static_cast<int>(name.size()), name.data(), cumulative);
+  append_line(out, buffer);
   std::snprintf(buffer, sizeof(buffer), "%.*s_%.*s_sum %.9g",
                 static_cast<int>(prefix.size()), prefix.data(),
                 static_cast<int>(name.size()), name.data(), hist.total_seconds);
   append_line(out, buffer);
   std::snprintf(buffer, sizeof(buffer), "%.*s_%.*s_count %" PRIu64,
                 static_cast<int>(prefix.size()), prefix.data(),
-                static_cast<int>(name.size()), name.data(), hist.count);
+                static_cast<int>(name.size()), name.data(), cumulative);
   append_line(out, buffer);
 }
 
@@ -226,8 +246,24 @@ std::string render_metrics_text(const service_snapshot& snap,
   append_counter(out, prefix, "executor_displaced_total",
                  "Queued tasks shed for higher-priority arrivals",
                  s.exec.displaced);
+  append_counter(out, prefix, "executor_tasks_failed_total",
+                 "Tasks that let an exception escape", s.exec.tasks_failed);
+  append_counter(out, prefix, "executor_promoted_total",
+                 "Queued tasks moved up a priority level by aging",
+                 s.exec.promoted);
+  append_counter_seconds(out, prefix, "executor_queue_wait_seconds_total",
+                         "Cumulative queue wait of executed tasks",
+                         s.exec.total_queue_wait_seconds);
+  append_counter_seconds(out, prefix, "executor_exec_seconds_total",
+                         "Cumulative wall seconds spent running tasks",
+                         s.exec.total_exec_seconds);
+  append_gauge(out, prefix, "executor_queue_depth",
+               "Tasks currently queued for a worker", s.exec.queue_depth);
   append_gauge(out, prefix, "executor_peak_queue_depth",
                "Deepest admission queue observed", s.exec.peak_queue_depth);
+  append_counter(out, prefix, "slow_queries_total",
+                 "Queries past the slow-query trace threshold",
+                 s.slow_queries);
 
   append_histogram(out, prefix, "queue_wait_seconds",
                    "Admission-to-pickup wait, all queries", snap.queue_wait);
@@ -239,6 +275,15 @@ std::string render_metrics_text(const service_snapshot& snap,
                    "End-to-end latency of cache hits", snap.cache_hit_total);
   append_histogram(out, prefix, "query_seconds",
                    "End-to-end latency, all paths", snap.total);
+  append_histogram(out, prefix, "modelled_solve_seconds",
+                   "Cost-model predicted solve time for executed solves",
+                   snap.modelled_solve);
+  append_histogram(out, prefix, "model_abs_error_seconds",
+                   "Absolute wall-vs-model solve-time residual",
+                   snap.model_abs_error);
+  append_histogram(out, prefix, "estimate_error_seconds",
+                   "Absolute end-to-end vs admission-estimate residual",
+                   snap.estimate_error);
   return out;
 }
 

@@ -12,12 +12,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "core/steiner_solver.hpp"
 #include "core/warm_start.hpp"
 #include "graph/types.hpp"
+#include "obs/trace.hpp"
 
 namespace dsteiner::service {
 
@@ -76,6 +78,11 @@ struct query_result {
   /// landmark oracle (service/distshare/). A fragment-assisted solve still
   /// reports kind == cold: its tree is bit-identical, only the work shrank.
   core::assist_stats assist;
+
+  /// Query-scoped trace (spans, engine samples, summary) when the service
+  /// ran with tracing enabled; null otherwise. Tracing is pure observation —
+  /// the tree is bit-identical with or without it.
+  std::shared_ptr<const obs::query_trace> trace;
 };
 
 }  // namespace dsteiner::service

@@ -25,4 +25,20 @@ std::optional<query_result> query_handle::poll() const {
 
 query_result query_handle::get() const { return state().future.get(); }
 
+std::shared_ptr<const obs::query_trace> query_handle::trace() const {
+  detail::request_state& st = state();
+  if (st.future.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready ||
+      st.status.load(std::memory_order_acquire) != request_status::done) {
+    return nullptr;
+  }
+  return st.future.get().trace;  // shared_future: const& access, ptr copied
+}
+
+std::optional<obs::trace_summary> query_handle::trace_summary() const {
+  const std::shared_ptr<const obs::query_trace> t = trace();
+  if (t == nullptr) return std::nullopt;
+  return t->summary();
+}
+
 }  // namespace dsteiner::service

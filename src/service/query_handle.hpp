@@ -47,6 +47,11 @@ struct request_state {
   util::cancel_source canceller;
   util::run_budget budget;
 
+  /// Admission-time completion estimate (seconds) from the cost model; 0
+  /// when no estimate was computed. Written before the task is posted, read
+  /// by the worker (happens-before via the executor queue).
+  double admission_estimate = 0.0;
+
   std::promise<query_result> promise;
   /// Engaged by submit(request) before the task is posted; the legacy
   /// future-based wrappers take the plain future instead and leave this
@@ -96,6 +101,15 @@ class query_handle {
   /// nullopt otherwise (still in flight, or terminal-without-result — check
   /// status()). Never throws on failed/cancelled requests; get() does.
   [[nodiscard]] std::optional<query_result> poll() const;
+
+  /// The request's query-scoped trace: null until the request completed
+  /// successfully, and always null when the service ran with tracing off or
+  /// the query never reached execute() (rejected/expired in the queue).
+  [[nodiscard]] std::shared_ptr<const obs::query_trace> trace() const;
+
+  /// Convenience: the finalized trace summary (latency splits, span totals,
+  /// estimate-vs-actual error). nullopt whenever trace() is null.
+  [[nodiscard]] std::optional<obs::trace_summary> trace_summary() const;
 
   /// Blocks until terminal. Returns the result for done requests; throws
   /// util::operation_cancelled (cancelled/expired), request_rejected

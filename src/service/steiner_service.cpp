@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 #include <utility>
@@ -29,6 +30,7 @@ steiner_service::steiner_service(graph::csr_graph graph, service_config config)
       cache_(config.cache),
       fragments_(config.fragment_store),
       oracle_(config.oracle),
+      slow_log_(config.trace.slow_log_capacity),
       exec_(config.exec) {
   // Core-budget split: the executor's workers provide inter-query
   // parallelism; whatever the budget leaves per worker goes to the threaded
@@ -109,9 +111,12 @@ std::uint64_t steiner_service::config_hash(
   // Deliberate exception #2: `budget` (cancellation/deadline) is NOT hashed —
   // it is pure QoS plumbing that can only abort a solve, never change its
   // output, so budgeted and unbudgeted runs share one cache entry.
+  // Deliberate exception #3: `trace` is NOT hashed — tracing is pure
+  // observation (traced and untraced solves are bit-identical), so both
+  // share one cache entry.
   static_assert(sizeof(runtime::cost_model) == 8 * sizeof(double),
                 "cost_model changed: update config_hash");
-  static_assert(sizeof(core::solver_config) <= 80 + sizeof(runtime::cost_model),
+  static_assert(sizeof(core::solver_config) <= 88 + sizeof(runtime::cost_model),
                 "solver_config changed: update config_hash");
   const auto f64 = [](double value) {
     return std::bit_cast<std::uint64_t>(value);
@@ -180,7 +185,7 @@ executor::task steiner_service::make_task(
     st->status.store(request_status::running, std::memory_order_release);
     try {
       query_result out = execute(std::move(q), queue_wait, admitted,
-                                 &st->budget);
+                                 &st->budget, st->admission_estimate, st->id);
       st->status.store(request_status::done, std::memory_order_release);
       st->promise.set_value(std::move(out));
     } catch (const util::operation_cancelled& stopped) {
@@ -222,10 +227,13 @@ void steiner_service::dispatch(request r,
     return;
   }
 
-  // Cost-aware admission: only requests with deadlines can be unmeetable.
-  if (r.deadline) {
+  // Cost-aware admission: only requests with deadlines can be unmeetable,
+  // but with tracing on the estimate is computed anyway so every trace can
+  // report its estimate-vs-actual error.
+  if (r.deadline || config_.trace.enabled) {
     const double estimate = estimate_completion_seconds(r);
-    if (estimate > 0.0 &&
+    st->admission_estimate = estimate;
+    if (r.deadline && estimate > 0.0 &&
         std::chrono::steady_clock::now() +
                 std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                     std::chrono::duration<double>(estimate)) >
@@ -544,7 +552,9 @@ void steiner_service::refresh_in_background(
 
 query_result steiner_service::execute(query q, double queue_wait,
                                       util::timer admitted,
-                                      const util::run_budget* budget) {
+                                      const util::run_budget* budget,
+                                      double admission_estimate,
+                                      std::uint64_t request_id) {
   if (budget != nullptr) budget->check();
   query_result out;
   out.query_id = ++query_counter_;
@@ -568,6 +578,36 @@ query_result steiner_service::execute(query q, double queue_wait,
   // QoS plumbing only — budget is deliberately absent from config_hash, so
   // it must be attached after the hash-relevant fields are settled.
   solver_config.budget = budget;
+
+  // Query-scoped tracing: origin back-dated to admission so the two service
+  // spans (admission bookkeeping, queue wait) land before offset "now". Like
+  // budget, the trace pointer is absent from config_hash (pure observation).
+  std::shared_ptr<obs::query_trace> trace;
+  if (config_.trace.enabled) {
+    const std::size_t lanes =
+        std::max<std::size_t>(1, solver_config.num_threads);
+    trace = std::make_shared<obs::query_trace>(config_.trace, lanes,
+                                               admitted.seconds());
+    const double pickup = trace->now_seconds();
+    const double queued_at = std::max(0.0, pickup - queue_wait);
+    trace->add_span({"admission", "service", 0.0, queued_at, 0, 0, 0, 0.0});
+    trace->add_span(
+        {"queue_wait", "service", queued_at, pickup - queued_at, 0, 0, 0, 0.0});
+    solver_config.trace = trace.get();
+  }
+  // Slow-query capture + summary freeze, shared by every return path.
+  const auto finish_trace = [&](double modelled) {
+    if (trace == nullptr) return;
+    trace->finalize(request_id, out.query_id, queue_wait, out.solve_seconds,
+                    out.total_seconds, admission_estimate, modelled);
+    out.trace = trace;
+    const double threshold = config_.trace.slow_query_threshold_seconds;
+    if (threshold > 0.0 && out.total_seconds >= threshold) {
+      ++slow_queries_;
+      slow_log_.push(trace);
+    }
+  };
+
   const std::vector<graph::vertex_id> canonical =
       core::canonicalize_seeds(epoch->num_vertices(), q.seeds);
   const std::uint64_t seed_hash =
@@ -586,6 +626,12 @@ query_result steiner_service::execute(query q, double queue_wait,
       cache_hit_total_hist_.record(out.total_seconds);
     }
     total_hist_.record(out.total_seconds);
+    if (admission_estimate > 0.0) {
+      estimate_error_hist_.record(
+          std::abs(out.total_seconds - admission_estimate));
+    }
+    // Solver never ran on this path: no modelled time to compare against.
+    finish_trace(0.0);
     return out;
   };
 
@@ -710,6 +756,7 @@ query_result steiner_service::execute(query q, double queue_wait,
   util::timer solve_timer;
   std::shared_ptr<core::solve_artifacts> artifacts;
   result_cache::entry_ptr entry;
+  double modelled = 0.0;
   try {
     // A solve is actually happening: materialize the epoch's CSR now.
     // Holding the shared_ptr keeps it valid even if the epoch retires
@@ -724,6 +771,10 @@ query_result steiner_service::execute(query q, double queue_wait,
     if (config_.enable_warm_start && q.allow_warm_start &&
         canonical.size() > 1) {
       if (const auto match = find_donor(canonical, *epoch)) {
+        if (trace != nullptr) {
+          trace->add_event("donor_pick",
+                           static_cast<double>(match->edits.size()));
+        }
         try {
           // Empty edits degenerate to the pure seed-delta repair; otherwise
           // this is a cross-epoch repair over the composed edge delta.
@@ -755,6 +806,9 @@ query_result steiner_service::execute(query q, double queue_wait,
                   fragments_.borrow(epoch->fingerprint(), s)) {
             frag_views.push_back(f->view());
             borrowed.push_back(std::move(f));
+            if (trace != nullptr) {
+              trace->add_event("fragment_borrow", static_cast<double>(s));
+            }
           }
         }
         assists.fragments = frag_views;
@@ -764,6 +818,10 @@ query_result steiner_service::execute(query q, double queue_wait,
         prune_bound = oracle_.prune_bounds(epoch->fingerprint(), canonical);
         assists.prune_upper_bound = prune_bound;
         if (prune_bound.empty()) kick_oracle_build(epoch);
+        if (trace != nullptr && !prune_bound.empty()) {
+          trace->add_event("oracle_prune_bounds",
+                           static_cast<double>(prune_bound.size()));
+        }
       }
       if (assists.empty()) {
         out.result = artifacts != nullptr
@@ -798,6 +856,12 @@ query_result steiner_service::execute(query q, double queue_wait,
     out.solve_seconds = solve_timer.seconds();
     (out.kind == solve_kind::warm_start ? warm_solve_hist_ : cold_solve_hist_)
         .record(out.solve_seconds);
+    // Measured-vs-model: what the cost model says this solve should have
+    // cost, against what it did cost. Recorded for every real solve so the
+    // histograms work with tracing off.
+    modelled = out.result.phases.total().sim_seconds(solver_config.costs);
+    modelled_solve_hist_.record(modelled);
+    model_abs_error_hist_.record(std::abs(out.solve_seconds - modelled));
 
     auto fresh = std::make_shared<cached_solve>();
     fresh->seeds = canonical;
@@ -847,6 +911,11 @@ query_result steiner_service::execute(query q, double queue_wait,
 
   out.total_seconds = admitted.seconds();
   total_hist_.record(out.total_seconds);
+  if (admission_estimate > 0.0) {
+    estimate_error_hist_.record(
+        std::abs(out.total_seconds - admission_estimate));
+  }
+  finish_trace(modelled);
   return out;
 }
 
@@ -867,6 +936,7 @@ service_stats steiner_service::stats() const {
   s.stale_refreshes = stale_refreshes_.load();
   s.stale_refreshes_deduped = stale_refreshes_deduped_.load();
   s.leader_abandoned = leader_abandoned_.load();
+  s.slow_queries = slow_queries_.load();
   s.fragment_assisted = fragment_assisted_.load();
   s.fragment_hits = fragment_hits_.load();
   s.preseeded_vertices = preseeded_vertices_.load();
@@ -891,6 +961,9 @@ service_snapshot steiner_service::snapshot() const {
   snap.warm_solve = warm_solve_hist_.snapshot();
   snap.cache_hit_total = cache_hit_total_hist_.snapshot();
   snap.total = total_hist_.snapshot();
+  snap.modelled_solve = modelled_solve_hist_.snapshot();
+  snap.model_abs_error = model_abs_error_hist_.snapshot();
+  snap.estimate_error = estimate_error_hist_.snapshot();
   return snap;
 }
 

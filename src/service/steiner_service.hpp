@@ -64,6 +64,8 @@
 #include "core/warm_start.hpp"
 #include "graph/csr_graph.hpp"
 #include "graph/epoch_graph.hpp"
+#include "obs/slow_query_log.hpp"
+#include "obs/trace.hpp"
 #include "service/distshare/landmark_oracle.hpp"
 #include "service/distshare/sssp_fragment_store.hpp"
 #include "service/executor.hpp"
@@ -119,6 +121,11 @@ struct service_config {
   /// execution_mode::parallel_threads with num_threads == 0, each solve is
   /// granted max(1, core_budget / exec.num_threads) engine workers.
   std::size_t core_budget = 0;
+  /// Query-scoped tracing (obs/trace.hpp): span capture, per-superstep
+  /// engine samples, the slow-query log. Pure observation — traced and
+  /// untraced solves produce bit-identical trees — so it defaults on;
+  /// set trace.enabled = false to shed even the capture cost.
+  obs::trace_config trace{};
 };
 
 struct service_stats {
@@ -140,6 +147,7 @@ struct service_stats {
   std::uint64_t stale_refreshes_deduped = 0;  ///< suppressed: already in flight
   std::uint64_t leader_abandoned = 0;  ///< single-flight solves stopped after
                                        ///< every rider walked away
+  std::uint64_t slow_queries = 0;  ///< traces past the slow-query threshold
 
   // Shared distance substrate (distshare/).
   std::uint64_t fragment_assisted = 0;  ///< cold solves pre-seeded from store
@@ -169,6 +177,11 @@ struct service_snapshot {
   latency_histogram::snapshot_data warm_solve;       ///< solver time, warm path
   latency_histogram::snapshot_data cache_hit_total;  ///< end-to-end, cache hits
   latency_histogram::snapshot_data total;            ///< end-to-end, all paths
+  // Measured-vs-model: what the perf model predicted for the solves that
+  // actually ran, and how far reality landed from two predictions.
+  latency_histogram::snapshot_data modelled_solve;  ///< cost-model solve time
+  latency_histogram::snapshot_data model_abs_error;  ///< |wall - modelled|
+  latency_histogram::snapshot_data estimate_error;  ///< |total - admission est.|
 };
 
 class steiner_service {
@@ -255,6 +268,12 @@ class steiner_service {
     return fragments_;
   }
 
+  /// The slow-query log: the last few traces whose end-to-end latency
+  /// crossed config().trace.slow_query_threshold_seconds. Read-only.
+  [[nodiscard]] const obs::slow_query_log& slow_log() const noexcept {
+    return slow_log_;
+  }
+
   /// Counters + per-stage latency histograms; safe to call under load.
   [[nodiscard]] service_snapshot snapshot() const;
 
@@ -312,9 +331,14 @@ class steiner_service {
   /// Predicted completion seconds (queue drain + per-path solve estimate)
   /// for the admission cost model; 0.0 = no history, always admit.
   [[nodiscard]] double estimate_completion_seconds(const request& r);
+  /// `admission_estimate`/`request_id` feed the trace summary (estimate
+  /// error, identification); both 0 on paths without them (legacy wrappers,
+  /// background refreshes).
   [[nodiscard]] query_result execute(query q, double queue_wait,
                                      util::timer admitted,
-                                     const util::run_budget* budget = nullptr);
+                                     const util::run_budget* budget = nullptr,
+                                     double admission_estimate = 0.0,
+                                     std::uint64_t request_id = 0);
   [[nodiscard]] std::optional<donor_match> find_donor(
       std::span<const graph::vertex_id> canonical_seeds,
       const graph::epoch_graph& epoch);
@@ -358,6 +382,16 @@ class steiner_service {
   latency_histogram warm_solve_hist_;
   latency_histogram cache_hit_total_hist_;
   latency_histogram total_hist_;
+  /// Measured-vs-model histograms: the cost model's predicted solve time for
+  /// each executed solve, and the absolute wall-vs-model / total-vs-estimate
+  /// residuals. Recorded regardless of tracing (they cost two atomics).
+  latency_histogram modelled_solve_hist_;
+  latency_histogram model_abs_error_hist_;
+  latency_histogram estimate_error_hist_;
+
+  /// Slow-query log: completed traces past the configured threshold.
+  obs::slow_query_log slow_log_;
+  std::atomic<std::uint64_t> slow_queries_{0};
 
   /// Warm-start donor registry: the last few solves' artifacts, epoch-keyed.
   /// Bounded by donor_history — artifacts are O(|V|) each, so they

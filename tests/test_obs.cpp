@@ -1,0 +1,457 @@
+// Tests for the observability layer (src/obs/ + its service wiring): the
+// Prometheus exposition and its validator, the latency-histogram percentile
+// estimator, query-scoped tracing (bit-identity contract, summaries, Chrome
+// JSON, the slow-query log), the live debug endpoint, and executor priority
+// aging.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/steiner_solver.hpp"
+#include "graph/generators.hpp"
+#include "obs/debug_server.hpp"
+#include "obs/prom_validate.hpp"
+#include "obs/trace.hpp"
+#include "service/debug_endpoint.hpp"
+#include "service/executor.hpp"
+#include "service/latency_histogram.hpp"
+#include "service/metrics_text.hpp"
+#include "service/steiner_service.hpp"
+
+namespace {
+
+using namespace dsteiner;
+using namespace dsteiner::service;
+using graph::vertex_id;
+using graph::weight_t;
+
+graph::csr_graph make_connected_graph(int n, weight_t w_hi, std::uint64_t seed) {
+  graph::edge_list list =
+      graph::generate_erdos_renyi(n, static_cast<std::uint64_t>(n) * 3, seed);
+  graph::assign_uniform_weights(list, 1, w_hi, seed ^ 0x99);
+  graph::connect_components(list, w_hi + 1, seed);
+  return graph::csr_graph(list);
+}
+
+query make_query(std::vector<vertex_id> seeds) {
+  query q;
+  q.seeds = std::move(seeds);
+  return q;
+}
+
+service_config obs_config(std::size_t threads) {
+  service_config config;
+  config.exec.num_threads = threads;
+  config.solver.num_ranks = 8;
+  // Every query is "slow": the slow-query log captures each trace, so the
+  // tests can inspect /tracez and the ring deterministically.
+  config.trace.slow_query_threshold_seconds = 1e-9;
+  return config;
+}
+
+/// Value of the series whose sample line starts with `name` followed by a
+/// space or '{' (first match); -1.0 when the series is absent.
+double series_value(const std::string& text, const std::string& name) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind(name, 0) != 0) continue;
+    const char next = line.size() > name.size() ? line[name.size()] : '\0';
+    if (next != ' ') continue;
+    return std::stod(line.substr(name.size() + 1));
+  }
+  return -1.0;
+}
+
+// ---- latency histogram ------------------------------------------------------
+
+TEST(LatencyHistogram, PercentileInterpolatesWithinBucket) {
+  latency_histogram hist;
+  for (int i = 0; i < 100; ++i) hist.record(3e-6);  // bucket [2us, 4us)
+  const auto snap = hist.snapshot();
+  EXPECT_GE(snap.percentile(50.0), 2e-6);
+  EXPECT_LE(snap.percentile(50.0), 4e-6);
+  // Interpolation is monotone across the bucket.
+  EXPECT_LT(snap.percentile(10.0), snap.percentile(90.0));
+  EXPECT_DOUBLE_EQ(snap.percentile(50.0), snap.quantile(0.5));
+  EXPECT_EQ(latency_histogram::snapshot_data{}.percentile(99.0), 0.0);
+}
+
+TEST(LatencyHistogram, PercentileSpansBuckets) {
+  latency_histogram hist;
+  for (int i = 0; i < 90; ++i) hist.record(3e-6);    // [2us, 4us)
+  for (int i = 0; i < 10; ++i) hist.record(100e-6);  // [64us, 128us)
+  const auto snap = hist.snapshot();
+  EXPECT_LE(snap.percentile(50.0), 4e-6);
+  EXPECT_GE(snap.percentile(99.0), 64e-6);
+  EXPECT_LE(snap.percentile(99.0), 128e-6);
+}
+
+// ---- prometheus validator ---------------------------------------------------
+
+TEST(PromValidate, AcceptsMinimalWellFormedExposition) {
+  const std::string text =
+      "# HELP app_requests_total Requests\n"
+      "# TYPE app_requests_total counter\n"
+      "app_requests_total 5\n"
+      "# HELP app_depth Queue depth\n"
+      "# TYPE app_depth gauge\n"
+      "app_depth 2\n";
+  const auto report = obs::validate_prometheus(text);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.series, 2u);
+  EXPECT_EQ(report.families, 2u);
+}
+
+TEST(PromValidate, FlagsCounterWithoutTotalSuffix) {
+  const auto report = obs::validate_prometheus(
+      "# HELP app_requests Requests\n"
+      "# TYPE app_requests counter\n"
+      "app_requests 5\n");
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(PromValidate, FlagsDuplicateSeries) {
+  const auto report = obs::validate_prometheus(
+      "# HELP app_x_total X\n"
+      "# TYPE app_x_total counter\n"
+      "app_x_total 1\n"
+      "app_x_total 2\n");
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(PromValidate, FlagsNonCumulativeHistogramBuckets) {
+  const auto report = obs::validate_prometheus(
+      "# HELP app_h H\n"
+      "# TYPE app_h histogram\n"
+      "app_h_bucket{le=\"1\"} 5\n"
+      "app_h_bucket{le=\"2\"} 3\n"
+      "app_h_bucket{le=\"+Inf\"} 3\n"
+      "app_h_sum 4\n"
+      "app_h_count 3\n");
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(PromValidate, FlagsMissingInfBucket) {
+  const auto report = obs::validate_prometheus(
+      "# HELP app_h H\n"
+      "# TYPE app_h histogram\n"
+      "app_h_bucket{le=\"1\"} 5\n"
+      "app_h_sum 4\n"
+      "app_h_count 5\n");
+  EXPECT_FALSE(report.ok());
+}
+
+// ---- service exposition -----------------------------------------------------
+
+TEST(Metrics, ExpositionParsesCleanAndCountersAreMonotone) {
+  steiner_service svc(make_connected_graph(200, 25, 41), obs_config(2));
+  std::vector<vertex_id> seeds{3, 40, 90, 140};
+  (void)svc.solve(make_query(seeds));
+  (void)svc.solve(make_query(seeds));  // cache hit
+
+  const std::string first = render_metrics_text(svc.snapshot());
+  const auto report = obs::validate_prometheus(first);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GT(report.series, 50u);
+
+  std::vector<vertex_id> more{5, 60, 110, 160, 190};
+  (void)svc.solve(make_query(more));
+  const std::string second = render_metrics_text(svc.snapshot());
+  const auto report2 = obs::validate_prometheus(second);
+  EXPECT_TRUE(report2.ok()) << report2.to_string();
+
+  // Counters must be monotone across scrapes and reflect the extra query.
+  for (const char* name :
+       {"dsteiner_queries_total", "dsteiner_cold_solves_total",
+        "dsteiner_cache_hits_total", "dsteiner_executor_executed_total",
+        "dsteiner_query_seconds_count"}) {
+    const double a = series_value(first, name);
+    const double b = series_value(second, name);
+    ASSERT_GE(a, 0.0) << name << " missing from first scrape";
+    ASSERT_GE(b, 0.0) << name << " missing from second scrape";
+    EXPECT_GE(b, a) << name << " went backwards";
+  }
+  EXPECT_GT(series_value(second, "dsteiner_queries_total"),
+            series_value(first, "dsteiner_queries_total"));
+  // The model histograms landed (a cold solve records all three when an
+  // admission estimate exists, two otherwise).
+  EXPECT_GE(series_value(second, "dsteiner_modelled_solve_seconds_count"), 1.0);
+  EXPECT_GE(series_value(second, "dsteiner_model_abs_error_seconds_count"),
+            1.0);
+}
+
+// ---- tracing ----------------------------------------------------------------
+
+TEST(Tracing, TracedAndUntracedSolvesAreBitIdentical) {
+  const auto g = make_connected_graph(250, 25, 42);
+  const std::vector<vertex_id> seeds{4, 60, 120, 200, 240};
+  core::solver_config solver;
+  solver.num_ranks = 8;
+
+  const auto plain = core::solve_steiner_tree(g, seeds, solver);
+
+  obs::trace_config cfg;
+  obs::query_trace trace(cfg, 1);
+  core::solver_config traced_config = solver;
+  traced_config.trace = &trace;
+  const auto traced = core::solve_steiner_tree(g, seeds, traced_config);
+
+  EXPECT_EQ(plain.tree_edges, traced.tree_edges);
+  EXPECT_EQ(plain.total_distance, traced.total_distance);
+  // Simulated metrics are part of the determinism contract too.
+  EXPECT_EQ(plain.phases.total().sim_units, traced.phases.total().sim_units);
+  EXPECT_GT(trace.probe().total_samples(), 0u);
+}
+
+TEST(Tracing, ThreadedEngineBitIdenticalAndSampled) {
+  const auto g = make_connected_graph(300, 25, 43);
+  const std::vector<vertex_id> seeds{7, 80, 150, 220, 280};
+  core::solver_config solver;
+  solver.num_ranks = 8;
+  solver.mode = runtime::execution_mode::parallel_threads;
+  solver.num_threads = 4;
+
+  const auto plain = core::solve_steiner_tree(g, seeds, solver);
+
+  obs::trace_config cfg;
+  obs::query_trace trace(cfg, solver.num_threads);
+  core::solver_config traced_config = solver;
+  traced_config.trace = &trace;
+  const auto traced = core::solve_steiner_tree(g, seeds, traced_config);
+
+  EXPECT_EQ(plain.tree_edges, traced.tree_edges);
+  EXPECT_EQ(plain.total_distance, traced.total_distance);
+  EXPECT_GT(trace.probe().total_samples(), 0u);
+  // Every worker lane saw at least one superstep of the solve.
+  for (std::size_t lane = 0; lane < trace.probe().lanes(); ++lane) {
+    EXPECT_FALSE(trace.probe().lane_samples(lane).empty()) << "lane " << lane;
+  }
+}
+
+TEST(Tracing, ServiceHandleExposesTraceAndSlowLogCaptures) {
+  const auto g = make_connected_graph(200, 25, 44);
+  steiner_service svc(graph::csr_graph(g), obs_config(1));
+
+  // Warm-up solve: the admission estimator is history-based (cold-solve p50),
+  // so the traced request below gets a non-zero completion estimate.
+  (void)svc.solve(make_query({7, 60, 110, 170}));
+
+  request r;
+  r.q.seeds = {3, 50, 100, 150};
+  query_handle h = svc.submit(r);
+  const query_result out = h.get();
+
+  ASSERT_NE(out.trace, nullptr);
+  ASSERT_NE(h.trace(), nullptr);
+  const auto summary = h.trace_summary();
+  ASSERT_TRUE(summary.has_value());
+  EXPECT_EQ(summary->request_id, h.id());
+  EXPECT_EQ(summary->query_id, out.query_id);
+  EXPECT_GT(summary->total_seconds, 0.0);
+  EXPECT_GT(summary->supersteps, 0u);
+  EXPECT_GT(summary->visitors, 0u);
+  // admission + queue_wait + six solver phases.
+  EXPECT_GE(summary->spans, 8u);
+  EXPECT_GT(summary->samples, 0u);
+  // Tracing was on with an estimate computed at admission.
+  EXPECT_GT(summary->admission_estimate_seconds, 0.0);
+
+  const std::string json = out.trace->to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("Voronoi Cell"), std::string::npos);
+  EXPECT_NE(json.find("queue_wait"), std::string::npos);
+
+  // threshold = 1ns: the solve must have landed in the slow-query log.
+  EXPECT_GE(svc.slow_log().size(), 1u);
+  EXPECT_GE(svc.stats().slow_queries, 1u);
+}
+
+TEST(Tracing, DisabledTracingYieldsNoTraceAndIdenticalTrees) {
+  const auto g = make_connected_graph(200, 25, 45);
+  const std::vector<vertex_id> seeds{3, 50, 100, 150};
+
+  service_config on = obs_config(1);
+  service_config off = obs_config(1);
+  off.trace.enabled = false;
+
+  steiner_service svc_on(graph::csr_graph(g), on);
+  steiner_service svc_off(graph::csr_graph(g), off);
+  const query_result a = svc_on.solve(make_query(seeds));
+  const query_result b = svc_off.solve(make_query(seeds));
+
+  EXPECT_NE(a.trace, nullptr);
+  EXPECT_EQ(b.trace, nullptr);
+  EXPECT_EQ(a.result.tree_edges, b.result.tree_edges);
+  EXPECT_EQ(a.result.total_distance, b.result.total_distance);
+  EXPECT_EQ(svc_off.slow_log().size(), 0u);
+}
+
+// ---- debug endpoint ---------------------------------------------------------
+
+TEST(DebugEndpoint, ServesMetricsStatuszAndTracez) {
+  const auto g = make_connected_graph(200, 25, 46);
+  steiner_service svc(graph::csr_graph(g), obs_config(1));
+  (void)svc.solve(make_query({3, 50, 100, 150}));
+
+  debug_endpoint endpoint(svc);
+  ASSERT_TRUE(endpoint.start());
+  ASSERT_TRUE(endpoint.running());
+  ASSERT_NE(endpoint.port(), 0);
+
+  const std::string metrics =
+      obs::http_body(obs::http_get(endpoint.port(), "/metrics"));
+  ASSERT_FALSE(metrics.empty());
+  const auto report = obs::validate_prometheus(metrics);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GT(series_value(metrics, "dsteiner_queries_total"), 0.0);
+
+  const std::string statusz =
+      obs::http_body(obs::http_get(endpoint.port(), "/statusz"));
+  EXPECT_NE(statusz.find("queries:"), std::string::npos);
+  EXPECT_NE(statusz.find("epoch:"), std::string::npos);
+  EXPECT_NE(statusz.find("slow_queries:"), std::string::npos);
+
+  const std::string tracez =
+      obs::http_body(obs::http_get(endpoint.port(), "/tracez"));
+  ASSERT_FALSE(tracez.empty());
+  EXPECT_EQ(tracez.front(), '[');
+  EXPECT_EQ(tracez.back(), ']');
+  // The slow log captured the solve (1ns threshold), so /tracez carries at
+  // least one Chrome trace object.
+  EXPECT_NE(tracez.find("\"traceEvents\""), std::string::npos);
+
+  const std::string missing = obs::http_get(endpoint.port(), "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  // Only routed requests count as served — the 404 above does not.
+  EXPECT_GE(endpoint.server().requests_served(), 3u);
+  endpoint.stop();
+  EXPECT_FALSE(endpoint.running());
+}
+
+TEST(DebugEndpoint, ScrapesConcurrentWithQueries) {
+  const auto g = make_connected_graph(250, 25, 47);
+  steiner_service svc(graph::csr_graph(g), obs_config(2));
+  debug_endpoint endpoint(svc);
+  ASSERT_TRUE(endpoint.start());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> scrapes_ok{0};
+  std::thread scraper([&] {
+    while (!stop.load()) {
+      const std::string body =
+          obs::http_body(obs::http_get(endpoint.port(), "/metrics"));
+      if (!body.empty() && obs::validate_prometheus(body).ok()) ++scrapes_ok;
+    }
+  });
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    query q;
+    q.seeds = {static_cast<vertex_id>(3 + i), 50, 100,
+               static_cast<vertex_id>(150 + i)};
+    (void)svc.solve(std::move(q));
+  }
+  stop.store(true);
+  scraper.join();
+  EXPECT_GT(scrapes_ok.load(), 0);
+}
+
+// ---- executor priority aging ------------------------------------------------
+
+TEST(Executor, AgingPromotesStarvedBackgroundTask) {
+  executor_config config;
+  config.num_threads = 1;
+  config.queue_capacity = 512;
+  config.aging_step_seconds = 0.005;
+  executor exec(config);
+
+  std::atomic<bool> background_ran{false};
+  std::atomic<int> interactive_left{400};
+
+  // A self-sustaining stream of interactive tasks: each one takes ~1ms and
+  // re-posts itself, so under strict priority the background task below
+  // would wait for the whole stream. Aging must pull it forward.
+  executor::task interactive = [&](double) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (background_ran.load() || interactive_left.fetch_sub(1) <= 0) return;
+    executor::task_options opts;
+    opts.priority = 0;
+    std::function<void(double)> self;  // re-post a fresh copy of this body
+    exec.post(
+        [&](double wait) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          if (background_ran.load() || interactive_left.fetch_sub(1) <= 0) {
+            return;
+          }
+          executor::task_options again;
+          again.priority = 0;
+          exec.post(
+              [&](double) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                (void)wait;
+              },
+              again);
+        },
+        opts);
+  };
+
+  {
+    executor::task_options opts;
+    opts.priority = 0;
+    for (int i = 0; i < 8; ++i) exec.post(interactive, opts);
+  }
+  {
+    executor::task_options opts;
+    opts.priority = 2;  // background
+    exec.post([&](double) { background_ran.store(true); }, opts);
+  }
+
+  for (int spin = 0; spin < 4000 && !background_ran.load(); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(background_ran.load());
+  EXPECT_GE(exec.stats().promoted, 1u);
+}
+
+TEST(Executor, NoAgingKeepsStrictPriorityAndCountsNothing) {
+  executor_config config;
+  config.num_threads = 1;
+  config.queue_capacity = 64;
+  executor exec(config);  // aging_step_seconds == 0: historical behaviour
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    executor::task_options opts;
+    opts.priority = static_cast<std::size_t>(i % 3);
+    exec.post([&](double) { ++ran; }, opts);
+  }
+  while (ran.load() < 10) std::this_thread::yield();
+  EXPECT_EQ(exec.stats().promoted, 0u);
+}
+
+TEST(Executor, StatsReportLiveQueueDepth) {
+  executor_config config;
+  config.num_threads = 1;
+  config.queue_capacity = 64;
+  executor exec(config);
+  std::atomic<bool> release{false};
+  exec.post([&](double) {
+    while (!release.load()) std::this_thread::yield();
+  });
+  exec.post([](double) {});
+  exec.post([](double) {});
+  // The blocker occupies the worker; two tasks wait in the queue.
+  for (int spin = 0; spin < 2000 && exec.stats().queue_depth < 2; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(exec.stats().queue_depth, 2u);
+  release.store(true);
+}
+
+}  // namespace

@@ -47,12 +47,14 @@ int scrape_debug_endpoint(const service::steiner_service& svc) {
       obs::http_body(obs::http_get(endpoint.port(), "/statusz"));
   const std::string tracez =
       obs::http_body(obs::http_get(endpoint.port(), "/tracez"));
+  const std::string slo = obs::http_body(obs::http_get(endpoint.port(), "/slo"));
   const obs::prom_report report = obs::validate_prometheus(metrics);
+  const obs::prom_report slo_report = obs::validate_prometheus(slo);
   std::printf(
       "debug endpoint (127.0.0.1:%u): /metrics %zu series in %zu families, "
-      "/statusz %zu bytes, /tracez %zu bytes\n",
+      "/statusz %zu bytes, /tracez %zu bytes, /slo %zu series\n",
       endpoint.port(), report.series, report.families, statusz.size(),
-      tracez.size());
+      tracez.size(), slo_report.series);
   if (metrics.empty() || !report.ok()) {
     std::fprintf(stderr, "malformed /metrics exposition:\n%s\n",
                  report.to_string().c_str());
@@ -61,6 +63,12 @@ int scrape_debug_endpoint(const service::steiner_service& svc) {
   if (statusz.find("queries:") == std::string::npos || tracez.empty() ||
       tracez.front() != '[') {
     std::fprintf(stderr, "debug endpoint: bad /statusz or /tracez payload\n");
+    return 1;
+  }
+  if (slo.empty() || !slo_report.ok() ||
+      slo.find("slo_burn_rate{") == std::string::npos) {
+    std::fprintf(stderr, "malformed /slo exposition:\n%s\n",
+                 slo_report.to_string().c_str());
     return 1;
   }
   return 0;
@@ -342,6 +350,97 @@ int run_overlap_mode(const graph::csr_graph& g, core::solver_config solver) {
   return pass ? 0 : 1;
 }
 
+/// Cost-model mode (--cost-model): the learned-admission acceptance check.
+/// A mixed workload cycles seed counts so per-query cost varies ~25x; the
+/// global-p50 baseline prices every cold solve identically while the RLS
+/// model regresses onto |S|, |S|^2 and the other analytic features. The
+/// exit status asserts the model's admission-residual p50 is no worse than
+/// the baseline's on the same (model-priced) queries.
+int run_cost_model_mode(const graph::csr_graph& g,
+                        core::solver_config solver) {
+  bench::print_header(
+      "Service cost model: learned admission estimates vs global p50",
+      "the measurement-loop extension (beyond the paper)",
+      "Unique seed sets cycling |S| in {4,8,12,16,20} — no cache, no warm\n"
+      "starts, every query a real cold solve. The RLS model trains on each\n"
+      "completion; once ready it prices admissions, and the paired residual\n"
+      "histograms compare it against the global-p50 baseline per query.");
+
+  service::service_config config;
+  config.solver = solver;
+  config.exec.num_threads = 1;  // synchronous: residual = estimate vs wall
+  config.exec.queue_capacity = 64;
+  config.enable_cache = false;      // unique sets anyway; keep it honest
+  config.enable_warm_start = false;  // isolate the cold-path regression
+  service::steiner_service svc(graph::csr_graph(g), config);
+
+  service::debug_endpoint endpoint(svc);
+  if (g_debug_endpoint && !endpoint.start()) {
+    std::fprintf(stderr, "debug endpoint: bind failed\n");
+    return 1;
+  }
+
+  constexpr std::size_t k_seed_counts[] = {4, 8, 12, 16, 20};
+  constexpr std::size_t k_rounds = 60;
+  std::size_t modelled = 0, failed = 0;
+  for (std::uint64_t i = 0; i < k_rounds; ++i) {
+    service::request r;
+    r.q.seeds = bench::default_seeds(g, k_seed_counts[i % 5],
+                                     /*salt=*/9000 + i);
+    r.q.use_cache = false;
+    service::query_handle h = svc.submit(r);
+    try {
+      (void)h.get();
+    } catch (const std::exception&) {
+      ++failed;
+      continue;
+    }
+    if (h.admission().model_used) ++modelled;
+
+    if (g_debug_endpoint && i == k_rounds / 2) {
+      // Mid-workload /slo scrape: burn-rate gauges must lint while the
+      // service is actively scoring completions against its objectives.
+      const std::string slo =
+          obs::http_body(obs::http_get(endpoint.port(), "/slo"));
+      const auto mid = obs::validate_prometheus(slo);
+      if (!mid.ok() || slo.find("slo_burn_rate{") == std::string::npos) {
+        std::fprintf(stderr, "mid-run /slo malformed:\n%s\n",
+                     mid.to_string().c_str());
+        return 1;
+      }
+    }
+  }
+
+  const auto snap = svc.snapshot();
+  const double model_p50 = snap.estimate_error_model.percentile(50.0);
+  const double baseline_p50 = snap.estimate_error_baseline.percentile(50.0);
+  const double model_p90 = snap.estimate_error_model.percentile(90.0);
+  const double baseline_p90 = snap.estimate_error_baseline.percentile(90.0);
+
+  util::table table({"estimator", "samples", "residual p50", "residual p90"});
+  table.add_row({"learned model", std::to_string(snap.estimate_error_model.count),
+                 util::format_duration(model_p50),
+                 util::format_duration(model_p90)});
+  table.add_row({"global p50", std::to_string(snap.estimate_error_baseline.count),
+                 util::format_duration(baseline_p50),
+                 util::format_duration(baseline_p90)});
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "model: ready=%d samples=%llu abs_err_ema=%s; %zu/%zu admissions "
+      "model-priced (%zu failed)\n",
+      snap.cost_model.ready ? 1 : 0,
+      static_cast<unsigned long long>(snap.cost_model.samples),
+      util::format_duration(snap.cost_model.abs_error_ema_seconds).c_str(),
+      modelled, k_rounds, failed);
+
+  const bool pass = modelled > 0 && model_p50 <= baseline_p50;
+  std::printf("check: model residual p50 %s baseline residual p50 (%s vs %s)\n",
+              pass ? "<=" : ">", util::format_duration(model_p50).c_str(),
+              util::format_duration(baseline_p50).c_str());
+  if (g_debug_endpoint && scrape_debug_endpoint(svc) != 0) return 1;
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -351,6 +450,7 @@ int main(int argc, char** argv) {
   std::size_t engine_threads = 0;
   bool qos = false;
   bool overlap = false;
+  bool cost_model = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--qos") == 0) {
       qos = true;
@@ -358,6 +458,10 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--overlap") == 0) {
       overlap = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--cost-model") == 0) {
+      cost_model = true;
       continue;
     }
     if (std::strcmp(argv[i], "--debug-endpoint") == 0) {
@@ -378,18 +482,19 @@ int main(int argc, char** argv) {
       continue;
     }
     std::fprintf(stderr,
-                 "usage: %s [--threads N] [--qos] [--overlap] "
+                 "usage: %s [--threads N] [--qos] [--overlap] [--cost-model] "
                  "[--debug-endpoint]\n",
                  argv[0]);
     return 2;
   }
 
-  if (qos || overlap) {
+  if (qos || overlap || cost_model) {
     const io::dataset data = io::load_dataset("CTS");
     core::solver_config mode_solver;
     mode_solver.num_ranks = 8;
     mode_solver.allow_disconnected_seeds = true;
     bench::apply_threads(mode_solver, engine_threads);
+    if (cost_model) return run_cost_model_mode(data.graph, mode_solver);
     return qos ? run_qos_mode(data.graph, mode_solver)
                : run_overlap_mode(data.graph, mode_solver);
   }

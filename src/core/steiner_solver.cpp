@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -245,6 +246,40 @@ steiner_result solve_steiner_tree_assisted(
     const solve_assists& assists, const solver_config& config,
     solve_artifacts* capture, assist_stats* stats) {
   return detail::solve_cold(graph, seeds, config, capture, assists, stats);
+}
+
+obs::query_features extract_query_features(graph::vertex_id num_vertices,
+                                           std::uint64_t num_arcs,
+                                           std::size_t seed_count,
+                                           const solver_config& config) {
+  using qf = obs::query_features;
+  obs::query_features f;
+  const double seeds = static_cast<double>(seed_count);
+  const double log_n = std::log2(1.0 + static_cast<double>(num_vertices));
+  const double log_m = std::log2(1.0 + static_cast<double>(num_arcs));
+  f.x[qf::k_bias] = 1.0;
+  f.x[qf::k_seeds] = seeds;
+  f.x[qf::k_log_vertices] = log_n;
+  f.x[qf::k_log_arcs] = log_m;
+  f.x[qf::k_seeds_log_n] = seeds * log_n;
+  f.x[qf::k_seeds_sq] = seeds * seeds;
+  // Resolve the engine mode and worker grant exactly as engine_context will,
+  // so admission-time predictions price the threads the solve actually gets.
+  const bool threaded =
+      config.mode == runtime::execution_mode::parallel_threads;
+  std::size_t workers = 1;
+  if (threaded) {
+    const std::size_t want =
+        config.num_threads != 0
+            ? config.num_threads
+            : runtime::parallel::worker_pool::default_threads();
+    workers = std::min(
+        want, static_cast<std::size_t>(std::max(1, config.num_ranks)));
+  }
+  f.x[qf::k_threaded] = threaded ? 1.0 : 0.0;
+  f.x[qf::k_inv_threads] =
+      1.0 / static_cast<double>(std::max<std::size_t>(1, workers));
+  return f;
 }
 
 }  // namespace dsteiner::core

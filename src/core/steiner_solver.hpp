@@ -22,6 +22,7 @@
 #include "core/metrics.hpp"
 #include "core/steiner_state.hpp"
 #include "graph/csr_graph.hpp"
+#include "obs/cost_model.hpp"
 #include "graph/types.hpp"
 #include "runtime/dist_graph.hpp"
 #include "runtime/mailbox.hpp"
@@ -145,5 +146,16 @@ struct assist_stats {
     const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds,
     const solve_assists& assists, const solver_config& config = {},
     solve_artifacts* capture = nullptr, assist_stats* stats = nullptr);
+
+/// Admission-time feature extraction for the learned admission cost model
+/// (obs::cost_model): fills the analytic features knowable before a solve
+/// runs — |S|, graph scale, their interaction terms, and the engine
+/// mode/worker grant resolved exactly as engine_context will resolve them.
+/// O(1), no CSR access (callers pass epoch header counts, never materialize
+/// an overlay for this). Service-side features (seed spread, overlay
+/// fraction, warm/fragment state) are filled in by the caller.
+[[nodiscard]] obs::query_features extract_query_features(
+    graph::vertex_id num_vertices, std::uint64_t num_arcs,
+    std::size_t seed_count, const solver_config& config);
 
 }  // namespace dsteiner::core

@@ -7,7 +7,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace dsteiner::obs {
@@ -41,9 +43,33 @@ void send_response(int fd, const char* status, const std::string& content_type,
 }  // namespace
 
 void debug_server::add_route(std::string path, std::string content_type,
-                             std::function<std::string()> handler) {
+                             std::function<std::string(std::string_view)> handler) {
   routes_.push_back(
       {std::move(path), std::move(content_type), std::move(handler)});
+}
+
+std::string query_param(std::string_view query, std::string_view key) {
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? query : query.substr(0, amp);
+    query = amp == std::string_view::npos ? std::string_view{}
+                                          : query.substr(amp + 1);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) continue;
+    if (pair.substr(0, eq) == key) return std::string(pair.substr(eq + 1));
+  }
+  return {};
+}
+
+std::uint64_t query_param_u64(std::string_view query, std::string_view key,
+                              std::uint64_t fallback) {
+  const std::string value = query_param(query, key);
+  if (value.empty()) return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') return fallback;
+  return static_cast<std::uint64_t>(parsed);
 }
 
 bool debug_server::start(std::uint16_t port) {
@@ -113,23 +139,46 @@ void debug_server::serve_loop() {
 }
 
 void debug_server::handle_connection(int fd) {
-  // Bound the read: a request line fits comfortably in 4 KiB and we never
-  // accept bodies. Wait briefly for the request to arrive.
+  // Bound the read in both space and time: a request line fits comfortably
+  // in 4 KiB, we never accept bodies, and the whole read gets one wall-clock
+  // budget — a stalled (or byte-dripping) client cannot hold the
+  // single-threaded accept loop past read_timeout_ms_.
   char buf[4096];
   std::size_t have = 0;
+  bool complete = false;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(read_timeout_ms_);
   while (have < sizeof(buf) - 1) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) break;
     pollfd pfd{};
     pfd.fd = fd;
     pfd.events = POLLIN;
-    if (::poll(&pfd, 1, 500) <= 0) break;
+    if (::poll(&pfd, 1, static_cast<int>(remaining.count())) <= 0) break;
     const ssize_t n = ::recv(fd, buf + have, sizeof(buf) - 1 - have, 0);
     if (n <= 0) break;
     have += static_cast<std::size_t>(n);
     buf[have] = '\0';
-    if (std::strstr(buf, "\r\n") != nullptr) break;  // request line complete
+    if (std::strstr(buf, "\r\n") != nullptr) {
+      complete = true;
+      break;
+    }
   }
   buf[have] = '\0';
 
+  if (!complete) {
+    if (have >= sizeof(buf) - 1) {
+      // Buffer full with no end-of-line in sight: no registered route has a
+      // request line this long, so answer as for an unknown resource.
+      send_response(fd, "404 Not Found", "text/plain",
+                    "request line too long\n");
+    } else {
+      send_response(fd, "400 Bad Request", "text/plain",
+                    "incomplete request\n");
+    }
+    return;
+  }
   if (std::strncmp(buf, "GET ", 4) != 0) {
     send_response(fd, "400 Bad Request", "text/plain", "bad request\n");
     return;
@@ -142,14 +191,28 @@ void debug_server::handle_connection(int fd) {
   }
   const std::string path(path_begin, path_end);
 
+  std::string_view query;
+  if (*path_end == '?') {
+    const char* query_begin = path_end + 1;
+    const char* query_end = query_begin;
+    while (*query_end != '\0' && *query_end != ' ' && *query_end != '\r' &&
+           *query_end != '\n') {
+      ++query_end;
+    }
+    query = std::string_view(query_begin,
+                             static_cast<std::size_t>(query_end - query_begin));
+  }
+
   for (const auto& r : routes_) {
     if (r.path == path) {
       requests_.fetch_add(1, std::memory_order_relaxed);
-      send_response(fd, "200 OK", r.content_type, r.handler());
+      send_response(fd, "200 OK", r.content_type, r.handler(query));
       return;
     }
   }
-  std::string listing = "not found: " + path + "\nroutes:\n";
+  std::string listing =
+      "not found: " + (path.size() > 128 ? path.substr(0, 128) + "..." : path) +
+      "\nroutes:\n";
   for (const auto& r : routes_) listing += "  " + r.path + "\n";
   send_response(fd, "404 Not Found", "text/plain", listing);
 }

@@ -18,8 +18,10 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -27,10 +29,12 @@ namespace dsteiner::obs {
 
 class debug_server {
  public:
-  /// Registers `handler` for exact-match `path` before start(). Handlers
-  /// must be callable from the server thread for the server's lifetime.
+  /// Registers `handler` for exact-match `path` before start(). The handler
+  /// receives the raw query string (the part after '?', possibly empty —
+  /// parse it with query_param()). Handlers must be callable from the
+  /// server thread for the server's lifetime.
   void add_route(std::string path, std::string content_type,
-                 std::function<std::string()> handler);
+                 std::function<std::string(std::string_view)> handler);
 
   /// Binds 127.0.0.1:`port` (0 = ephemeral) and launches the accept loop.
   /// Returns false (with no thread started) if the socket cannot be bound.
@@ -52,11 +56,18 @@ class debug_server {
     return requests_.load(std::memory_order_relaxed);
   }
 
+  /// Total wall-clock budget for reading one request (default 1000 ms).
+  /// A client that connects and stalls — or drips bytes slower than a
+  /// request line — gets a 400 when the budget runs out instead of wedging
+  /// the single-threaded accept loop. Tests shrink this to keep the
+  /// stalled-client case fast; call before start().
+  void set_read_timeout_ms(int ms) noexcept { read_timeout_ms_ = ms; }
+
  private:
   struct route {
     std::string path;
     std::string content_type;
-    std::function<std::string()> handler;
+    std::function<std::string(std::string_view)> handler;
   };
 
   void serve_loop();
@@ -69,7 +80,19 @@ class debug_server {
   std::atomic<std::uint64_t> requests_{0};
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
+  int read_timeout_ms_ = 1000;
 };
+
+/// Returns the value of `key` in a "?a=1&b=2" style query string (the part
+/// after '?', without the '?'), or empty when absent. No %-decoding — the
+/// debug routes only take small numeric/identifier values. Shared by the
+/// /tracez and /slo routes.
+std::string query_param(std::string_view query, std::string_view key);
+
+/// Numeric variant of query_param(): parses the value as an unsigned
+/// integer, returning `fallback` when the key is absent or non-numeric.
+std::uint64_t query_param_u64(std::string_view query, std::string_view key,
+                              std::uint64_t fallback);
 
 /// Blocking loopback HTTP GET used by tests and the bench-smoke scrape.
 /// Returns the full response (status line + headers + body), or an empty

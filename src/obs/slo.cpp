@@ -1,0 +1,161 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dsteiner::obs {
+
+namespace {
+
+double burn_rate(std::uint64_t good, std::uint64_t bad, double budget) {
+  const std::uint64_t total = good + bad;
+  if (total == 0 || !(budget > 0.0)) return 0.0;
+  const double bad_ratio =
+      static_cast<double>(bad) / static_cast<double>(total);
+  return bad_ratio / budget;
+}
+
+}  // namespace
+
+slo_tracker::slo_tracker(std::size_t num_classes, slo_config cfg)
+    : config_(std::move(cfg)), epoch_(std::chrono::steady_clock::now()) {
+  if (config_.ring_buckets == 0) config_.ring_buckets = 1;
+  if (!(config_.long_window_seconds > 0.0)) config_.long_window_seconds = 600.0;
+  if (!(config_.short_window_seconds > 0.0) ||
+      config_.short_window_seconds > config_.long_window_seconds) {
+    config_.short_window_seconds =
+        std::min(60.0, config_.long_window_seconds);
+  }
+  bucket_width_seconds_ =
+      config_.long_window_seconds / static_cast<double>(config_.ring_buckets);
+  const std::size_t count = std::max<std::size_t>(num_classes, 1);
+  classes_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    classes_.push_back(std::make_unique<class_state>());
+    classes_.back()->ring.resize(config_.ring_buckets);
+  }
+}
+
+double slo_tracker::objective_seconds(std::size_t cls) const noexcept {
+  if (config_.objective_seconds.empty()) return 1.0;
+  if (cls >= config_.objective_seconds.size()) {
+    return config_.objective_seconds.back();
+  }
+  return config_.objective_seconds[cls];
+}
+
+bool slo_tracker::violates(std::size_t cls,
+                           double latency_seconds) const noexcept {
+  return config_.enabled && latency_seconds > objective_seconds(cls);
+}
+
+std::int64_t slo_tracker::bucket_index(double now_seconds) const noexcept {
+  if (!(now_seconds > 0.0)) return 0;
+  return static_cast<std::int64_t>(now_seconds / bucket_width_seconds_);
+}
+
+void slo_tracker::rotate(class_state& cs, std::int64_t idx) const {
+  if (cs.current == idx) return;
+  if (cs.current >= 0) {
+    // Attribute everything recorded since the last rotation to the bucket
+    // that was current. reset_window() drains, so these events cannot be
+    // re-counted by a later rotation or snapshot.
+    auto drained = cs.live.reset_window();
+    auto& old_slot = cs.ring[static_cast<std::size_t>(cs.current) %
+                             cs.ring.size()];
+    if (old_slot.index == cs.current) old_slot.latency.accumulate(drained);
+  }
+  cs.current = idx;
+  auto& slot = cs.ring[static_cast<std::size_t>(idx) % cs.ring.size()];
+  if (slot.index != idx) {
+    slot = bucket{};
+    slot.index = idx;
+  }
+}
+
+void slo_tracker::record_at(std::size_t cls, double latency_seconds,
+                            double now_seconds) {
+  if (!config_.enabled) return;
+  if (!std::isfinite(latency_seconds) || latency_seconds < 0.0) return;
+  if (cls >= classes_.size()) cls = classes_.size() - 1;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& cs = *classes_[cls];
+  const std::int64_t idx = bucket_index(now_seconds);
+  rotate(cs, idx);
+  auto& slot = cs.ring[static_cast<std::size_t>(idx) % cs.ring.size()];
+  if (latency_seconds <= objective_seconds(cls)) {
+    ++slot.good;
+    ++cs.good_total;
+  } else {
+    ++slot.bad;
+    ++cs.bad_total;
+  }
+  cs.live.record(latency_seconds);
+}
+
+slo_snapshot slo_tracker::snapshot_at(double now_seconds) const {
+  slo_snapshot out;
+  out.enabled = config_.enabled;
+  out.error_budget = config_.error_budget;
+  out.short_window_seconds = config_.short_window_seconds;
+  out.long_window_seconds = config_.long_window_seconds;
+  out.classes.resize(classes_.size());
+  if (!config_.enabled) return out;
+
+  const std::int64_t idx = bucket_index(now_seconds);
+  const auto short_buckets = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(
+          std::llround(config_.short_window_seconds / bucket_width_seconds_)),
+      1, static_cast<std::int64_t>(config_.ring_buckets));
+  const std::int64_t long_buckets =
+      static_cast<std::int64_t>(config_.ring_buckets);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    auto& cs = *classes_[c];
+    rotate(cs, idx);
+    // Fold the current partial bucket's latencies in so the snapshot is
+    // complete; `live` is drained, future records start a fresh window.
+    auto& cur = cs.ring[static_cast<std::size_t>(idx) % cs.ring.size()];
+    cur.latency.accumulate(cs.live.reset_window());
+
+    auto& sc = out.classes[c];
+    sc.objective_seconds = objective_seconds(c);
+    sc.good_total = cs.good_total;
+    sc.bad_total = cs.bad_total;
+    for (const auto& slot : cs.ring) {
+      if (slot.index < 0 || slot.index > idx) continue;
+      if (slot.index > idx - long_buckets) {
+        sc.long_good += slot.good;
+        sc.long_bad += slot.bad;
+        sc.window_latency.accumulate(slot.latency);
+      }
+      if (slot.index > idx - short_buckets) {
+        sc.short_good += slot.good;
+        sc.short_bad += slot.bad;
+      }
+    }
+    sc.burn_rate_short =
+        burn_rate(sc.short_good, sc.short_bad, config_.error_budget);
+    sc.burn_rate_long =
+        burn_rate(sc.long_good, sc.long_bad, config_.error_budget);
+  }
+  return out;
+}
+
+double slo_tracker::clock_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void slo_tracker::record(std::size_t cls, double latency_seconds) {
+  record_at(cls, latency_seconds, clock_seconds());
+}
+
+slo_snapshot slo_tracker::snapshot() const {
+  return snapshot_at(clock_seconds());
+}
+
+}  // namespace dsteiner::obs

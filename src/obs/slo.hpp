@@ -1,0 +1,132 @@
+// SLO tracking: per-priority-class latency objectives, sliding-window
+// good/bad event counters, and multi-window error-budget burn rates.
+//
+// Each completed query is scored against its priority class's latency
+// objective (good: total latency <= objective, bad: above). Events land
+// in a ring of fixed-width time buckets sized to cover the long window;
+// the short window reads a suffix of the same ring. Burn rate is the
+// SRE-standard ratio
+//
+//     burn = (bad / (good + bad) over the window) / error_budget
+//
+// so burn == 1.0 means the service is spending its error budget exactly
+// at the sustainable rate, and e.g. burn >= 14.4 on the short window is
+// the classic "page now" threshold for a 1h/30d budget pair scaled down.
+// Exporting both windows from one ring lets dashboards alert on
+// fast-burn (short window, quick detection) and slow-burn (long window,
+// low noise) conditions without double-counting: the per-class latency
+// detail is drained from a live histogram via reset_window(), so every
+// event is attributed to exactly one bucket.
+//
+// The tracker is time-explicit — record_at()/snapshot_at() take the
+// clock as a parameter, so tests drive window rotation deterministically;
+// record()/snapshot() wrap them with a steady clock for production use.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "service/latency_histogram.hpp"
+
+namespace dsteiner::obs {
+
+struct slo_config {
+  bool enabled = true;
+  /// Latency objective per priority class, seconds (index = priority
+  /// class index). Classes beyond the vector reuse the last entry.
+  std::vector<double> objective_seconds = {0.25, 2.0, 10.0};
+  /// Allowed fraction of bad events over the long window (0.01 = 99% SLO).
+  double error_budget = 0.01;
+  double short_window_seconds = 60.0;
+  double long_window_seconds = 600.0;
+  /// Ring resolution: the long window is split into this many buckets
+  /// (bucket width = long_window_seconds / ring_buckets).
+  std::size_t ring_buckets = 60;
+};
+
+struct slo_class_snapshot {
+  double objective_seconds = 0.0;
+  /// Lifetime totals (monotone — exported as Prometheus counters).
+  std::uint64_t good_total = 0;
+  std::uint64_t bad_total = 0;
+  /// Windowed counts (include the current partial bucket).
+  std::uint64_t short_good = 0;
+  std::uint64_t short_bad = 0;
+  std::uint64_t long_good = 0;
+  std::uint64_t long_bad = 0;
+  double burn_rate_short = 0.0;
+  double burn_rate_long = 0.0;
+  /// Latency detail over the long window.
+  service::latency_histogram::snapshot_data window_latency{};
+};
+
+struct slo_snapshot {
+  bool enabled = false;
+  double error_budget = 0.0;
+  double short_window_seconds = 0.0;
+  double long_window_seconds = 0.0;
+  std::vector<slo_class_snapshot> classes;
+};
+
+class slo_tracker {
+ public:
+  slo_tracker(std::size_t num_classes, slo_config cfg = {});
+
+  slo_tracker(const slo_tracker&) = delete;
+  slo_tracker& operator=(const slo_tracker&) = delete;
+
+  /// Latency objective for a class (last entry reused past the vector).
+  [[nodiscard]] double objective_seconds(std::size_t cls) const noexcept;
+
+  /// True when `latency_seconds` misses the class objective — the caller
+  /// uses this to force-retain violating traces in the slow-query log.
+  [[nodiscard]] bool violates(std::size_t cls,
+                              double latency_seconds) const noexcept;
+
+  /// Score one completed query at an explicit clock reading (seconds on
+  /// any monotone axis; tests pass synthetic time).
+  void record_at(std::size_t cls, double latency_seconds, double now_seconds);
+
+  [[nodiscard]] slo_snapshot snapshot_at(double now_seconds) const;
+
+  /// Production wrappers over the tracker's own steady clock.
+  void record(std::size_t cls, double latency_seconds);
+  [[nodiscard]] slo_snapshot snapshot() const;
+
+  [[nodiscard]] bool enabled() const noexcept { return config_.enabled; }
+
+ private:
+  struct bucket {
+    std::int64_t index = -1;  ///< absolute bucket number, -1 = empty
+    std::uint64_t good = 0;
+    std::uint64_t bad = 0;
+    service::latency_histogram::snapshot_data latency{};
+  };
+
+  struct class_state {
+    std::uint64_t good_total = 0;
+    std::uint64_t bad_total = 0;
+    /// Latencies since the last rotation; drained exactly once into the
+    /// owning bucket via reset_window().
+    service::latency_histogram live;
+    std::vector<bucket> ring;
+    std::int64_t current = -1;  ///< bucket number `live` is accumulating for
+  };
+
+  [[nodiscard]] std::int64_t bucket_index(double now_seconds) const noexcept;
+  void rotate(class_state& cs, std::int64_t idx) const;
+  [[nodiscard]] double clock_seconds() const;
+
+  slo_config config_;
+  double bucket_width_seconds_ = 1.0;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  /// unique_ptr because class_state embeds a latency_histogram (atomics —
+  /// neither copyable nor movable), which vector growth would require.
+  mutable std::vector<std::unique_ptr<class_state>> classes_;
+};
+
+}  // namespace dsteiner::obs

@@ -47,6 +47,13 @@ struct trace_config {
   /// slow-query log. <= 0 disables capture.
   double slow_query_threshold_seconds = 0.250;
   std::size_t slow_log_capacity = 32;     ///< retained slow traces (ring)
+  /// Always-on head sampling: even with `enabled` false, roughly one in
+  /// round(1 / sample_rate) queries gets a full trace captured into the
+  /// flight-recorder ring, so /tracez and the cost model see representative
+  /// traffic without callers opting in. Deterministic (admission counter
+  /// modulo, not RNG) so tests can assert exact rates. <= 0 disables.
+  double sample_rate = 1.0 / 64.0;
+  std::size_t flight_recorder_capacity = 64;  ///< retained sampled traces
 };
 
 /// One closed interval of work. Offsets are seconds since the trace origin

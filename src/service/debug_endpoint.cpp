@@ -1,7 +1,9 @@
 #include "service/debug_endpoint.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -26,11 +28,19 @@ void line(std::string& out, const char* fmt, ...) {
 debug_endpoint::debug_endpoint(const steiner_service& service)
     : service_(service) {
   server_.add_route("/metrics", "text/plain; version=0.0.4",
-                    [this] { return render_metrics_text(service_.snapshot()); });
+                    [this](std::string_view) {
+                      return render_metrics_text(service_.snapshot());
+                    });
   server_.add_route("/statusz", "text/plain",
-                    [this] { return render_statusz(); });
+                    [this](std::string_view) { return render_statusz(); });
   server_.add_route("/tracez", "application/json",
-                    [this] { return render_tracez(); });
+                    [this](std::string_view query) {
+                      return render_tracez(query);
+                    });
+  server_.add_route("/slo", "text/plain; version=0.0.4",
+                    [this](std::string_view) {
+                      return render_slo_text(service_.snapshot());
+                    });
 }
 
 std::string debug_endpoint::render_statusz() const {
@@ -71,16 +81,54 @@ std::string debug_endpoint::render_statusz() const {
        snap.model_abs_error.percentile(50.0));
   line(out, "slow_queries: total=%" PRIu64 " retained=%zu", s.slow_queries,
        service_.slow_log().size());
+  line(out,
+       "tracing: sampled=%" PRIu64 " flight_recorder=%zu slo_violations=%"
+       PRIu64,
+       s.sampled_traces, service_.flight_recorder().size(), s.slo_violations);
+  line(out,
+       "cost_model: ready=%d samples=%" PRIu64 " abs_err_ema=%.6fs "
+       "model_admissions=%" PRIu64,
+       snap.cost_model.ready ? 1 : 0, snap.cost_model.samples,
+       snap.cost_model.abs_error_ema_seconds, s.model_admissions);
+  for (std::size_t i = 0; i < obs::query_features::k_dim; ++i) {
+    line(out, "cost_model.w[%-12s] = %+.6g", obs::query_features::name(i),
+         snap.cost_model.coefficients[i]);
+  }
+  line(out,
+       "estimate_error: used_p50=%.6fs model_p50=%.6fs baseline_p50=%.6fs",
+       snap.estimate_error.percentile(50.0),
+       snap.estimate_error_model.percentile(50.0),
+       snap.estimate_error_baseline.percentile(50.0));
+  for (std::size_t p = 0; p < snap.slo.classes.size(); ++p) {
+    const auto& c = snap.slo.classes[p];
+    const char* name = p < k_priority_classes
+                           ? to_string(static_cast<priority_class>(p))
+                           : "other";
+    line(out,
+         "slo[%s]: objective=%.3fs good=%" PRIu64 " bad=%" PRIu64
+         " burn_short=%.3f burn_long=%.3f",
+         name, c.objective_seconds, c.good_total, c.bad_total,
+         c.burn_rate_short, c.burn_rate_long);
+  }
   return out;
 }
 
-std::string debug_endpoint::render_tracez() const {
-  const auto traces = service_.slow_log().snapshot();
+std::string debug_endpoint::render_tracez(std::string_view query) const {
+  // Slow/violating traces first (oldest first), then the head-sampled
+  // flight recorder; ?limit=N keeps the newest N of the merged list.
+  auto traces = service_.slow_log().snapshot();
+  const auto sampled = service_.flight_recorder().snapshot();
+  traces.insert(traces.end(), sampled.begin(), sampled.end());
+  const std::uint64_t limit =
+      obs::query_param_u64(query, "limit", traces.size());
+  const std::size_t keep =
+      static_cast<std::size_t>(std::min<std::uint64_t>(limit, traces.size()));
+  const std::size_t first = traces.size() - keep;
   std::string out;
   out.reserve(1024);
   out.push_back('[');
-  for (std::size_t i = 0; i < traces.size(); ++i) {
-    if (i != 0) out.push_back(',');
+  for (std::size_t i = first; i < traces.size(); ++i) {
+    if (i != first) out.push_back(',');
     out.append(traces[i]->to_chrome_json());
   }
   out.push_back(']');

@@ -7,8 +7,11 @@
 //             snapshot) — scrape-ready;
 //   /statusz  human-readable one-page status: epoch window, queue depth,
 //             path counters, substrate occupancy, slow-query log size;
-//   /tracez   the slow-query log as a JSON array of Chrome trace objects,
-//             each loadable in Perfetto / chrome://tracing.
+//   /tracez   slow-query log plus flight recorder (head-sampled traces) as
+//             a JSON array of Chrome trace objects, each loadable in
+//             Perfetto / chrome://tracing; honors ?limit=N (newest last);
+//   /slo      the SLO burn-rate families alone, Prometheus exposition —
+//             a cheap scrape target for fast-burn alerting.
 //
 // Handlers run on the server thread and only read snapshot()/slow_log(), so
 // the endpoint never blocks a query. The service must outlive the endpoint.
@@ -38,7 +41,7 @@ class debug_endpoint {
 
  private:
   [[nodiscard]] std::string render_statusz() const;
-  [[nodiscard]] std::string render_tracez() const;
+  [[nodiscard]] std::string render_tracez(std::string_view query) const;
 
   const steiner_service& service_;
   obs::debug_server server_;

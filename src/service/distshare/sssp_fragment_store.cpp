@@ -149,6 +149,15 @@ fragment_ptr sssp_fragment_store::borrow(std::uint64_t graph_fingerprint,
   return it->second;
 }
 
+bool sssp_fragment_store::has(std::uint64_t graph_fingerprint,
+                              graph::vertex_id seed) const noexcept {
+  const shard& s =
+      *shards_[static_cast<std::size_t>(util::hash_combine(0xf7a6, seed)) %
+               shards_.size()];
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return s.index.find(key{graph_fingerprint, seed}) != s.index.end();
+}
+
 std::size_t sssp_fragment_store::retire_epochs_before(
     std::uint64_t first_live) {
   std::size_t purged = 0;

@@ -121,6 +121,13 @@ class sssp_fragment_store {
   [[nodiscard]] fragment_ptr borrow(std::uint64_t graph_fingerprint,
                                     graph::vertex_id seed);
 
+  /// Side-effect-free presence probe for (fingerprint, seed): no borrow
+  /// bump, no hit/miss accounting. Admission-time feature extraction asks
+  /// "would this solve get fragment assists?" without perturbing the
+  /// eviction scores or the store's stats.
+  [[nodiscard]] bool has(std::uint64_t graph_fingerprint,
+                         graph::vertex_id seed) const noexcept;
+
   /// Purges every fragment with epoch_id < first_live. Returns count purged.
   std::size_t retire_epochs_before(std::uint64_t first_live);
 

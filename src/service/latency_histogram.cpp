@@ -34,11 +34,27 @@ latency_histogram::snapshot_data latency_histogram::snapshot() const noexcept {
   return out;
 }
 
+latency_histogram::snapshot_data latency_histogram::reset_window() noexcept {
+  snapshot_data out;
+  out.count = count_.exchange(0, std::memory_order_relaxed);
+  out.total_seconds = total_seconds_.exchange(0.0, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < k_buckets; ++i) {
+    out.buckets[i] = buckets_[i].exchange(0, std::memory_order_relaxed);
+  }
+  return out;
+}
+
 double latency_histogram::snapshot_data::quantile(double q) const noexcept {
-  if (count == 0) return 0.0;
+  // Rank against the bucket sum, not `count`: windowed snapshots taken
+  // with reset_window() under concurrent writers can momentarily disagree
+  // between the two, and an all-zero-bucket window must yield 0, not the
+  // top bucket boundary (or NaN from a 0/0 interpolation).
+  std::uint64_t in_buckets = 0;
+  for (std::size_t i = 0; i < k_buckets; ++i) in_buckets += buckets[i];
+  if (in_buckets == 0) return 0.0;
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
-  const double rank = q * static_cast<double>(count);
+  const double rank = q * static_cast<double>(in_buckets);
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < k_buckets; ++i) {
     if (buckets[i] == 0) continue;

@@ -41,10 +41,24 @@ class latency_histogram {
     [[nodiscard]] double percentile(double p) const noexcept {
       return quantile(p / 100.0);
     }
+
+    /// Merge another snapshot into this one (window accumulation).
+    void accumulate(const snapshot_data& other) noexcept {
+      count += other.count;
+      total_seconds += other.total_seconds;
+      for (std::size_t i = 0; i < k_buckets; ++i) buckets[i] += other.buckets[i];
+    }
   };
 
   void record(double seconds) noexcept;
   [[nodiscard]] snapshot_data snapshot() const noexcept;
+
+  /// Drain the histogram: returns everything recorded since the previous
+  /// reset_window() (or construction) and zeroes the counters, so each
+  /// event lands in exactly one window. Uses atomic exchange per counter —
+  /// concurrent record() calls land either in this window or the next,
+  /// never both and never neither.
+  [[nodiscard]] snapshot_data reset_window() noexcept;
 
   /// Bucket index for a latency (exposed for tests).
   [[nodiscard]] static std::size_t bucket_of(double seconds) noexcept;

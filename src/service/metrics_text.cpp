@@ -91,6 +91,112 @@ void append_priority_counter(
   }
 }
 
+/// A gauge whose value is a float (ratios, seconds, burn rates).
+void append_gauge_value(std::string& out, std::string_view prefix,
+                        std::string_view name, std::string_view help,
+                        double value) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer), "# HELP %.*s_%.*s %.*s",
+                static_cast<int>(prefix.size()), prefix.data(),
+                static_cast<int>(name.size()), name.data(),
+                static_cast<int>(help.size()), help.data());
+  append_line(out, buffer);
+  std::snprintf(buffer, sizeof(buffer), "# TYPE %.*s_%.*s gauge",
+                static_cast<int>(prefix.size()), prefix.data(),
+                static_cast<int>(name.size()), name.data());
+  append_line(out, buffer);
+  std::snprintf(buffer, sizeof(buffer), "%.*s_%.*s %.9g",
+                static_cast<int>(prefix.size()), prefix.data(),
+                static_cast<int>(name.size()), name.data(), value);
+  append_line(out, buffer);
+}
+
+[[nodiscard]] const char* slo_class_name(std::size_t p) noexcept {
+  return p < k_priority_classes ? to_string(static_cast<priority_class>(p))
+                                : "other";
+}
+
+/// The SLO families: per-class objectives and lifetime good/bad counters,
+/// plus the short/long-window burn-rate gauges. Shared between /metrics and
+/// the standalone /slo route so both expose identical series.
+void append_slo_block(std::string& out, std::string_view prefix,
+                      const obs::slo_snapshot& slo) {
+  char buffer[256];
+  const int pn = static_cast<int>(prefix.size());
+  const char* pd = prefix.data();
+
+  append_gauge_value(out, prefix, "slo_error_budget",
+                     "Allowed bad-event fraction over the long window",
+                     slo.error_budget);
+
+  const auto header = [&](const char* name, const char* help,
+                          const char* type) {
+    std::snprintf(buffer, sizeof(buffer), "# HELP %.*s_%s %s", pn, pd, name,
+                  help);
+    append_line(out, buffer);
+    std::snprintf(buffer, sizeof(buffer), "# TYPE %.*s_%s %s", pn, pd, name,
+                  type);
+    append_line(out, buffer);
+  };
+
+  header("slo_objective_seconds", "Latency objective per priority class",
+         "gauge");
+  for (std::size_t p = 0; p < slo.classes.size(); ++p) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "%.*s_slo_objective_seconds{priority=\"%s\"} %.9g", pn, pd,
+                  slo_class_name(p), slo.classes[p].objective_seconds);
+    append_line(out, buffer);
+  }
+
+  header("slo_good_total", "Completions within the class objective",
+         "counter");
+  for (std::size_t p = 0; p < slo.classes.size(); ++p) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "%.*s_slo_good_total{priority=\"%s\"} %" PRIu64, pn, pd,
+                  slo_class_name(p), slo.classes[p].good_total);
+    append_line(out, buffer);
+  }
+
+  header("slo_bad_total", "Completions past the class objective", "counter");
+  for (std::size_t p = 0; p < slo.classes.size(); ++p) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "%.*s_slo_bad_total{priority=\"%s\"} %" PRIu64, pn, pd,
+                  slo_class_name(p), slo.classes[p].bad_total);
+    append_line(out, buffer);
+  }
+
+  header("slo_burn_rate",
+         "Error-budget burn rate (1.0 = budget spent exactly at the "
+         "sustainable rate) per priority class and window",
+         "gauge");
+  for (std::size_t p = 0; p < slo.classes.size(); ++p) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "%.*s_slo_burn_rate{priority=\"%s\",window=\"short\"} %.9g",
+                  pn, pd, slo_class_name(p), slo.classes[p].burn_rate_short);
+    append_line(out, buffer);
+    std::snprintf(buffer, sizeof(buffer),
+                  "%.*s_slo_burn_rate{priority=\"%s\",window=\"long\"} %.9g",
+                  pn, pd, slo_class_name(p), slo.classes[p].burn_rate_long);
+    append_line(out, buffer);
+  }
+
+  header("slo_window_queries",
+         "Completions scored inside the window, per priority class", "gauge");
+  for (std::size_t p = 0; p < slo.classes.size(); ++p) {
+    const auto& c = slo.classes[p];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%.*s_slo_window_queries{priority=\"%s\",window=\"short\"} "
+                  "%" PRIu64,
+                  pn, pd, slo_class_name(p), c.short_good + c.short_bad);
+    append_line(out, buffer);
+    std::snprintf(buffer, sizeof(buffer),
+                  "%.*s_slo_window_queries{priority=\"%s\",window=\"long\"} "
+                  "%" PRIu64,
+                  pn, pd, slo_class_name(p), c.long_good + c.long_bad);
+    append_line(out, buffer);
+  }
+}
+
 void append_histogram(std::string& out, std::string_view prefix,
                       std::string_view name, std::string_view help,
                       const latency_histogram::snapshot_data& hist) {
@@ -262,8 +368,30 @@ std::string render_metrics_text(const service_snapshot& snap,
   append_gauge(out, prefix, "executor_peak_queue_depth",
                "Deepest admission queue observed", s.exec.peak_queue_depth);
   append_counter(out, prefix, "slow_queries_total",
-                 "Queries past the slow-query trace threshold",
+                 "Queries retained in the slow-query log (threshold or SLO "
+                 "violation)",
                  s.slow_queries);
+  append_counter(out, prefix, "sampled_traces_total",
+                 "Untraced queries promoted to a full trace by head sampling",
+                 s.sampled_traces);
+  append_counter(out, prefix, "slo_violations_total",
+                 "Completions past their priority class latency objective",
+                 s.slo_violations);
+  append_counter(out, prefix, "model_priced_admissions_total",
+                 "Admission estimates priced by the learned cost model",
+                 s.model_admissions);
+
+  append_gauge(out, prefix, "cost_model_samples",
+               "Solves the admission cost model has trained on",
+               snap.cost_model.samples);
+  append_gauge(out, prefix, "cost_model_ready",
+               "1 once the learned model prices admissions",
+               snap.cost_model.ready ? 1 : 0);
+  append_gauge_value(out, prefix, "cost_model_abs_error_ema_seconds",
+                     "EMA of the model's absolute training residual",
+                     snap.cost_model.abs_error_ema_seconds);
+
+  append_slo_block(out, prefix, snap.slo);
 
   append_histogram(out, prefix, "queue_wait_seconds",
                    "Admission-to-pickup wait, all queries", snap.queue_wait);
@@ -284,6 +412,22 @@ std::string render_metrics_text(const service_snapshot& snap,
   append_histogram(out, prefix, "estimate_error_seconds",
                    "Absolute end-to-end vs admission-estimate residual",
                    snap.estimate_error);
+  append_histogram(out, prefix, "estimate_error_model_seconds",
+                   "Admission residual of the learned cost model (recorded "
+                   "only when the model priced the admission)",
+                   snap.estimate_error_model);
+  append_histogram(out, prefix, "estimate_error_baseline_seconds",
+                   "Admission residual the global-p50 baseline would have "
+                   "had on the same queries",
+                   snap.estimate_error_baseline);
+  return out;
+}
+
+std::string render_slo_text(const service_snapshot& snap,
+                            std::string_view prefix) {
+  std::string out;
+  out.reserve(2048);
+  append_slo_block(out, prefix, snap.slo);
   return out;
 }
 

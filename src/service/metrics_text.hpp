@@ -21,4 +21,11 @@ namespace dsteiner::service {
 [[nodiscard]] std::string render_metrics_text(const service_snapshot& snap,
                                               std::string_view prefix = "dsteiner");
 
+/// Renders only the SLO families (objectives, lifetime good/bad counters,
+/// short/long-window burn-rate gauges) from `snap.slo` — the body of the
+/// /slo debug route. Same exposition format as render_metrics_text, and the
+/// same series names, so a scraper can target either route.
+[[nodiscard]] std::string render_slo_text(const service_snapshot& snap,
+                                          std::string_view prefix = "dsteiner");
+
 }  // namespace dsteiner::service

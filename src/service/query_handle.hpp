@@ -29,6 +29,17 @@ namespace dsteiner::service {
 
 class steiner_service;
 
+/// Admission-time completion estimates for one request: the value admission
+/// decisions actually used, plus the two side-by-side predictions it chose
+/// between (the learned cost model and the global per-path p50 baseline).
+/// All zero when admission never priced the request.
+struct admission_estimates {
+  double used = 0.0;      ///< compared against the deadline, fed to the trace
+  double baseline = 0.0;  ///< global per-path p50 path (always computed)
+  double model = 0.0;     ///< learned cost model (0 = no prediction yet)
+  bool model_used = false;  ///< used == model (the model was ready)
+};
+
 namespace detail {
 
 /// Shared state between the service (producer side) and every handle copy.
@@ -47,10 +58,10 @@ struct request_state {
   util::cancel_source canceller;
   util::run_budget budget;
 
-  /// Admission-time completion estimate (seconds) from the cost model; 0
-  /// when no estimate was computed. Written before the task is posted, read
-  /// by the worker (happens-before via the executor queue).
-  double admission_estimate = 0.0;
+  /// Admission-time completion estimates (learned model + p50 baseline); all
+  /// zero when no estimate was computed. Written before the task is posted,
+  /// read by the worker (happens-before via the executor queue).
+  admission_estimates estimates{};
 
   std::promise<query_result> promise;
   /// Engaged by submit(request) before the task is posted; the legacy
@@ -110,6 +121,14 @@ class query_handle {
   /// Convenience: the finalized trace summary (latency splits, span totals,
   /// estimate-vs-actual error). nullopt whenever trace() is null.
   [[nodiscard]] std::optional<obs::trace_summary> trace_summary() const;
+
+  /// Admission-time completion estimates for this request — the learned
+  /// cost model's prediction and the global-p50 baseline side by side, plus
+  /// which one admission used. All zero when admission never priced the
+  /// request (legacy wrappers with estimation off).
+  [[nodiscard]] admission_estimates admission() const {
+    return state().estimates;
+  }
 
   /// Blocks until terminal. Returns the result for done requests; throws
   /// util::operation_cancelled (cancelled/expired), request_rejected

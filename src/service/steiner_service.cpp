@@ -30,7 +30,10 @@ steiner_service::steiner_service(graph::csr_graph graph, service_config config)
       cache_(config.cache),
       fragments_(config.fragment_store),
       oracle_(config.oracle),
+      cost_model_(config.cost_model),
+      slo_(k_priority_classes, config.slo),
       slow_log_(config.trace.slow_log_capacity),
+      flight_recorder_(config.trace.flight_recorder_capacity),
       exec_(config.exec) {
   // Core-budget split: the executor's workers provide inter-query
   // parallelism; whatever the budget leaves per worker goes to the threaded
@@ -184,8 +187,9 @@ executor::task steiner_service::make_task(
     }
     st->status.store(request_status::running, std::memory_order_release);
     try {
-      query_result out = execute(std::move(q), queue_wait, admitted,
-                                 &st->budget, st->admission_estimate, st->id);
+      query_result out =
+          execute(std::move(q), queue_wait, admitted,
+                  exec_context{&st->budget, st->estimates, st->id, st->priority});
       st->status.store(request_status::done, std::memory_order_release);
       st->promise.set_value(std::move(out));
     } catch (const util::operation_cancelled& stopped) {
@@ -228,15 +232,17 @@ void steiner_service::dispatch(request r,
   }
 
   // Cost-aware admission: only requests with deadlines can be unmeetable,
-  // but with tracing on the estimate is computed anyway so every trace can
-  // report its estimate-vs-actual error.
-  if (r.deadline || config_.trace.enabled) {
-    const double estimate = estimate_completion_seconds(r);
-    st->admission_estimate = estimate;
-    if (r.deadline && estimate > 0.0 &&
+  // but with tracing, the learned cost model, or SLO tracking on, the
+  // estimate is computed anyway — traces report estimate-vs-actual error and
+  // the model-vs-baseline histograms need both predictions per query.
+  if (r.deadline || config_.trace.enabled || config_.cost_model.enabled ||
+      config_.slo.enabled) {
+    const admission_estimates est = estimate_completion_seconds(r);
+    st->estimates = est;
+    if (r.deadline && est.used > 0.0 &&
         std::chrono::steady_clock::now() +
                 std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                    std::chrono::duration<double>(estimate)) >
+                    std::chrono::duration<double>(est.used)) >
             *r.deadline) {
       ++deadline_rejected_;
       reject(reject_reason::deadline_unmeetable);
@@ -429,7 +435,38 @@ void steiner_service::remember_donor(donor_ptr donor, std::uint64_t epoch_id) {
   while (donors_.size() > config_.donor_history) donors_.pop_back();
 }
 
-double steiner_service::estimate_completion_seconds(const request& r) {
+obs::query_features steiner_service::build_query_features(
+    const graph::epoch_graph& epoch,
+    std::span<const graph::vertex_id> canonical,
+    const core::solver_config& solver_config, bool warm) const {
+  using qf = obs::query_features;
+  // Header counts only — materializing an overlay CSR at admission would
+  // cost O(m) on the request path.
+  obs::query_features f = core::extract_query_features(
+      epoch.num_vertices(), epoch.num_arcs(), canonical.size(), solver_config);
+  if (config_.enable_oracle) {
+    f.x[qf::k_spread] = oracle_.seed_spread(epoch.fingerprint(), canonical);
+  }
+  const std::uint64_t arcs = epoch.num_arcs();
+  f.x[qf::k_overlay] =
+      arcs == 0 ? 0.0
+                : static_cast<double>(epoch.overlay_arcs()) /
+                      static_cast<double>(arcs);
+  f.x[qf::k_warm] = warm ? 1.0 : 0.0;
+  if (!warm && config_.enable_fragment_reuse && canonical.size() > 1) {
+    std::size_t present = 0;
+    for (const graph::vertex_id s : canonical) {
+      if (fragments_.has(epoch.fingerprint(), s)) ++present;
+    }
+    f.x[qf::k_fragments] = static_cast<double>(present) /
+                           static_cast<double>(canonical.size());
+  }
+  return f;
+}
+
+admission_estimates steiner_service::estimate_completion_seconds(
+    const request& r) {
+  admission_estimates est;
   // Queue drain ahead of this arrival: entries at its priority or above,
   // spread over the workers, each costing the executor's observed mean task
   // time. No execution history yet -> contributes nothing (admit unknowns).
@@ -437,7 +474,7 @@ double steiner_service::estimate_completion_seconds(const request& r) {
   const double backlog =
       static_cast<double>(exec_.backlog_ahead(priority_index(r.priority)));
   const double workers = static_cast<double>(exec_.num_threads());
-  double estimate = mean_task * backlog / workers;
+  double drain = mean_task * backlog / workers;
   // The queue is only half the drain: solves already *running* occupy the
   // same workers. Charge each one's expected residual (mean cost minus its
   // own elapsed time, floored at zero per task — a task past its mean is
@@ -447,8 +484,10 @@ double steiner_service::estimate_completion_seconds(const request& r) {
     for (const double elapsed : exec_.running_elapsed_seconds()) {
       residual += std::max(0.0, mean_task - elapsed);
     }
-    estimate += residual / workers;
+    drain += residual / workers;
   }
+  est.baseline = drain;
+  est.used = drain;
 
   // Per-path solve estimate, predicted the same way execute() will decide:
   // cached -> near-free, warm-startable -> warm p50, otherwise cold p50.
@@ -456,12 +495,12 @@ double steiner_service::estimate_completion_seconds(const request& r) {
   // surface at execution as failures, never as admission rejections.
   const graph::epoch_graph::ptr epoch =
       r.q.epoch ? epochs_.find(*r.q.epoch) : epochs_.current();
-  if (epoch == nullptr) return estimate;
+  if (epoch == nullptr) return est;
   std::vector<graph::vertex_id> canonical;
   try {
     canonical = core::canonicalize_seeds(epoch->num_vertices(), r.q.seeds);
   } catch (const std::out_of_range&) {
-    return estimate;
+    return est;
   }
   core::solver_config solver_config = r.q.config.value_or(config_.solver);
   grant_worker_budget(solver_config);
@@ -470,7 +509,11 @@ double steiner_service::estimate_completion_seconds(const request& r) {
       util::hash_range(canonical.data(), canonical.size(), 0x5eed),
       config_hash(solver_config)};
   if (config_.enable_cache && r.q.use_cache && cache_.peek(key, canonical)) {
-    return estimate + cache_hit_total_hist_.snapshot().quantile(0.5);
+    // No solver will run: the learned model predicts solve time, so only
+    // the baseline path can price a cache hit.
+    est.baseline = drain + cache_hit_total_hist_.snapshot().quantile(0.5);
+    est.used = est.baseline;
+    return est;
   }
   const bool warmable = config_.enable_warm_start && r.q.allow_warm_start &&
                         canonical.size() > 1 &&
@@ -497,8 +540,26 @@ double steiner_service::estimate_completion_seconds(const request& r) {
       }
     }
   }
-  estimate += warmable && warm_p50 > 0.0 ? warm_p50 : cold_p50;
-  return estimate;
+  est.baseline = drain + (warmable && warm_p50 > 0.0 ? warm_p50 : cold_p50);
+  est.used = est.baseline;
+
+  // Learned model: per-query features in, predicted solve seconds out.
+  // Admission trusts it once it has min_samples observations; before that
+  // the prediction is still exported for the side-by-side comparison.
+  if (config_.cost_model.enabled) {
+    const obs::query_features f =
+        build_query_features(*epoch, canonical, solver_config, warmable);
+    const double predicted = cost_model_.predict_seconds(f);
+    if (predicted > 0.0) {
+      est.model = drain + predicted;
+      if (cost_model_.ready()) {
+        est.used = est.model;
+        est.model_used = true;
+        ++model_admissions_;
+      }
+    }
+  }
+  return est;
 }
 
 void steiner_service::refresh_in_background(
@@ -551,15 +612,27 @@ void steiner_service::refresh_in_background(
 }
 
 query_result steiner_service::execute(query q, double queue_wait,
-                                      util::timer admitted,
-                                      const util::run_budget* budget,
-                                      double admission_estimate,
-                                      std::uint64_t request_id) {
+                                      util::timer admitted, exec_context ctx) {
+  const util::run_budget* budget = ctx.budget;
   if (budget != nullptr) budget->check();
   query_result out;
   out.query_id = ++query_counter_;
   out.queue_wait_seconds = queue_wait;
   queue_wait_hist_.record(queue_wait);
+
+  // Head sampling: deterministic counter modulo (not RNG) so one in
+  // round(1/sample_rate) queries is sampled exactly — testable, and immune
+  // to unlucky streaks. Sampled queries get a full trace even when tracing
+  // is off; the capture is pure observation, so the solve stays
+  // bit-identical either way.
+  bool sampled = false;
+  if (config_.trace.sample_rate > 0.0) {
+    const auto period = static_cast<std::uint64_t>(
+        std::llround(1.0 / config_.trace.sample_rate));
+    const std::uint64_t tick =
+        sample_ticker_.fetch_add(1, std::memory_order_relaxed);
+    sampled = period <= 1 || tick % period == 0;
+  }
 
   // Resolve the target epoch at execution time; pinned queries must still be
   // live. The epoch's CSR is deliberately NOT materialized here: cache hits,
@@ -583,7 +656,7 @@ query_result steiner_service::execute(query q, double queue_wait,
   // spans (admission bookkeeping, queue wait) land before offset "now". Like
   // budget, the trace pointer is absent from config_hash (pure observation).
   std::shared_ptr<obs::query_trace> trace;
-  if (config_.trace.enabled) {
+  if (config_.trace.enabled || sampled) {
     const std::size_t lanes =
         std::max<std::size_t>(1, solver_config.num_threads);
     trace = std::make_shared<obs::query_trace>(config_.trace, lanes,
@@ -594,17 +667,45 @@ query_result steiner_service::execute(query q, double queue_wait,
     trace->add_span(
         {"queue_wait", "service", queued_at, pickup - queued_at, 0, 0, 0, 0.0});
     solver_config.trace = trace.get();
+    if (sampled) ++sampled_traces_;
   }
-  // Slow-query capture + summary freeze, shared by every return path.
-  const auto finish_trace = [&](double modelled) {
+  // Completion bookkeeping shared by every successful return path: SLO
+  // scoring, estimate-error histograms, then trace finalize + retention
+  // (slow log for threshold/SLO outliers, flight recorder for samples).
+  const auto finish_query = [&](double modelled) {
+    const std::size_t cls = priority_index(ctx.priority);
+    bool violating = false;
+    if (config_.slo.enabled) {
+      violating = slo_.violates(cls, out.total_seconds);
+      if (violating) ++slo_violations_;
+      slo_.record(cls, out.total_seconds);
+    }
+    if (ctx.estimates.used > 0.0) {
+      estimate_error_hist_.record(
+          std::abs(out.total_seconds - ctx.estimates.used));
+    }
+    // Paired model-vs-baseline residuals, recorded only for model-priced
+    // admissions so both histograms describe the same query population.
+    if (ctx.estimates.model_used) {
+      estimate_error_model_hist_.record(
+          std::abs(out.total_seconds - ctx.estimates.model));
+      estimate_error_baseline_hist_.record(
+          std::abs(out.total_seconds - ctx.estimates.baseline));
+    }
     if (trace == nullptr) return;
-    trace->finalize(request_id, out.query_id, queue_wait, out.solve_seconds,
-                    out.total_seconds, admission_estimate, modelled);
+    trace->finalize(ctx.request_id, out.query_id, queue_wait,
+                    out.solve_seconds, out.total_seconds, ctx.estimates.used,
+                    modelled);
     out.trace = trace;
     const double threshold = config_.trace.slow_query_threshold_seconds;
-    if (threshold > 0.0 && out.total_seconds >= threshold) {
+    const bool slow = threshold > 0.0 && out.total_seconds >= threshold;
+    if (slow || violating) {
+      // SLO violators are force-retained even under the slow threshold —
+      // a violated objective is an outlier by definition.
       ++slow_queries_;
       slow_log_.push(trace);
+    } else if (sampled) {
+      flight_recorder_.push(trace);
     }
   };
 
@@ -626,12 +727,8 @@ query_result steiner_service::execute(query q, double queue_wait,
       cache_hit_total_hist_.record(out.total_seconds);
     }
     total_hist_.record(out.total_seconds);
-    if (admission_estimate > 0.0) {
-      estimate_error_hist_.record(
-          std::abs(out.total_seconds - admission_estimate));
-    }
     // Solver never ran on this path: no modelled time to compare against.
-    finish_trace(0.0);
+    finish_query(0.0);
     return out;
   };
 
@@ -862,6 +959,19 @@ query_result steiner_service::execute(query q, double queue_wait,
     modelled = out.result.phases.total().sim_seconds(solver_config.costs);
     modelled_solve_hist_.record(modelled);
     model_abs_error_hist_.record(std::abs(out.solve_seconds - modelled));
+    // Train the admission cost model on what actually happened: realized
+    // path (warm flag) and realized fragment assists, not the admission-time
+    // guesses. One O(d^2) RLS update per real solve.
+    if (config_.cost_model.enabled) {
+      obs::query_features f = build_query_features(
+          *epoch, canonical, solver_config,
+          out.kind == solve_kind::warm_start);
+      f.x[obs::query_features::k_fragments] =
+          canonical.empty() ? 0.0
+                            : static_cast<double>(out.assist.fragments_injected) /
+                                  static_cast<double>(canonical.size());
+      cost_model_.observe(f, out.solve_seconds);
+    }
 
     auto fresh = std::make_shared<cached_solve>();
     fresh->seeds = canonical;
@@ -911,11 +1021,7 @@ query_result steiner_service::execute(query q, double queue_wait,
 
   out.total_seconds = admitted.seconds();
   total_hist_.record(out.total_seconds);
-  if (admission_estimate > 0.0) {
-    estimate_error_hist_.record(
-        std::abs(out.total_seconds - admission_estimate));
-  }
-  finish_trace(modelled);
+  finish_query(modelled);
   return out;
 }
 
@@ -943,6 +1049,9 @@ service_stats steiner_service::stats() const {
   s.oracle_pruned_visitors = oracle_pruned_visitors_.load();
   s.oracle_builds = oracle_.stats().builds;
   s.bound_sharpened = bound_sharpened_.load();
+  s.sampled_traces = sampled_traces_.load();
+  s.slo_violations = slo_violations_.load();
+  s.model_admissions = model_admissions_.load();
   for (std::size_t p = 0; p < k_priority_classes; ++p) {
     s.admitted_by_priority[p] = admitted_by_prio_[p].load();
     s.shed_by_priority[p] = shed_by_prio_[p].load();
@@ -964,6 +1073,10 @@ service_snapshot steiner_service::snapshot() const {
   snap.modelled_solve = modelled_solve_hist_.snapshot();
   snap.model_abs_error = model_abs_error_hist_.snapshot();
   snap.estimate_error = estimate_error_hist_.snapshot();
+  snap.estimate_error_model = estimate_error_model_hist_.snapshot();
+  snap.estimate_error_baseline = estimate_error_baseline_hist_.snapshot();
+  snap.cost_model = cost_model_.snapshot();
+  snap.slo = slo_.snapshot();
   return snap;
 }
 

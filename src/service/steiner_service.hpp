@@ -64,6 +64,8 @@
 #include "core/warm_start.hpp"
 #include "graph/csr_graph.hpp"
 #include "graph/epoch_graph.hpp"
+#include "obs/cost_model.hpp"
+#include "obs/slo.hpp"
 #include "obs/slow_query_log.hpp"
 #include "obs/trace.hpp"
 #include "service/distshare/landmark_oracle.hpp"
@@ -124,8 +126,21 @@ struct service_config {
   /// Query-scoped tracing (obs/trace.hpp): span capture, per-superstep
   /// engine samples, the slow-query log. Pure observation — traced and
   /// untraced solves produce bit-identical trees — so it defaults on;
-  /// set trace.enabled = false to shed even the capture cost.
+  /// set trace.enabled = false to shed even the capture cost. Head sampling
+  /// (trace.sample_rate) keeps a representative trickle of traces flowing
+  /// into the flight recorder even with enabled = false.
   obs::trace_config trace{};
+  /// Learned admission cost model (obs/cost_model.hpp): an online RLS
+  /// regression from per-query features (|S|, graph scale, seed spread,
+  /// overlay fraction, warm/fragment state, engine grant) to solve seconds,
+  /// trained from every completed solve. Admission switches from the global
+  /// per-path p50 baseline to the model once it has cost_model.min_samples
+  /// observations; both predictions are exported side by side either way.
+  obs::cost_model_config cost_model{};
+  /// Per-priority-class latency objectives and error-budget burn-rate
+  /// tracking (obs/slo.hpp). Scored on every successful completion;
+  /// violating queries are force-retained in the slow-query log.
+  obs::slo_config slo{};
 };
 
 struct service_stats {
@@ -147,7 +162,10 @@ struct service_stats {
   std::uint64_t stale_refreshes_deduped = 0;  ///< suppressed: already in flight
   std::uint64_t leader_abandoned = 0;  ///< single-flight solves stopped after
                                        ///< every rider walked away
-  std::uint64_t slow_queries = 0;  ///< traces past the slow-query threshold
+  std::uint64_t slow_queries = 0;  ///< slow-log captures (threshold or SLO)
+  std::uint64_t sampled_traces = 0;  ///< head-sample hits that captured traces
+  std::uint64_t slo_violations = 0;  ///< completions past their class objective
+  std::uint64_t model_admissions = 0;  ///< admissions priced by the learned model
 
   // Shared distance substrate (distshare/).
   std::uint64_t fragment_assisted = 0;  ///< cold solves pre-seeded from store
@@ -182,6 +200,13 @@ struct service_snapshot {
   latency_histogram::snapshot_data modelled_solve;  ///< cost-model solve time
   latency_histogram::snapshot_data model_abs_error;  ///< |wall - modelled|
   latency_histogram::snapshot_data estimate_error;  ///< |total - admission est.|
+  /// Paired learned-model-vs-baseline comparison: for every query whose
+  /// admission was priced by the learned model, the absolute error of both
+  /// its prediction and what the global-p50 baseline would have said.
+  latency_histogram::snapshot_data estimate_error_model;
+  latency_histogram::snapshot_data estimate_error_baseline;
+  obs::cost_model_snapshot cost_model;  ///< RLS coefficients, samples, residual
+  obs::slo_snapshot slo;                ///< per-class burn rates and windows
 };
 
 class steiner_service {
@@ -269,9 +294,27 @@ class steiner_service {
   }
 
   /// The slow-query log: the last few traces whose end-to-end latency
-  /// crossed config().trace.slow_query_threshold_seconds. Read-only.
+  /// crossed config().trace.slow_query_threshold_seconds, plus SLO-violating
+  /// queries (force-retained regardless of the threshold). Read-only.
   [[nodiscard]] const obs::slow_query_log& slow_log() const noexcept {
     return slow_log_;
+  }
+
+  /// The flight recorder: head-sampled traces (one in ~1/trace.sample_rate
+  /// queries) that were NOT slow or SLO-violating — the representative
+  /// traffic /tracez shows next to the outliers. Read-only.
+  [[nodiscard]] const obs::slow_query_log& flight_recorder() const noexcept {
+    return flight_recorder_;
+  }
+
+  /// The learned admission cost model's coefficients/sample state.
+  [[nodiscard]] obs::cost_model_snapshot cost_model_snapshot() const {
+    return cost_model_.snapshot();
+  }
+
+  /// Per-priority-class SLO burn rates and windowed counts.
+  [[nodiscard]] obs::slo_snapshot slo_snapshot() const {
+    return slo_.snapshot();
   }
 
   /// Counters + per-stage latency histograms; safe to call under load.
@@ -328,17 +371,35 @@ class steiner_service {
       std::shared_ptr<detail::request_state> st, query q);
   /// Terminal bookkeeping for a stopped (cancelled/expired) request.
   void note_stopped(detail::request_state& st, util::cancel_reason why);
-  /// Predicted completion seconds (queue drain + per-path solve estimate)
-  /// for the admission cost model; 0.0 = no history, always admit.
-  [[nodiscard]] double estimate_completion_seconds(const request& r);
-  /// `admission_estimate`/`request_id` feed the trace summary (estimate
-  /// error, identification); both 0 on paths without them (legacy wrappers,
-  /// background refreshes).
+  /// Predicted completion seconds (queue drain + solve estimate) for
+  /// admission: the learned cost model's prediction once it is ready, the
+  /// global per-path p50 baseline before that — both returned side by side.
+  /// used == 0.0 means no history: always admit.
+  [[nodiscard]] admission_estimates estimate_completion_seconds(
+      const request& r);
+  /// The cost model's feature vector for a prospective or completed solve on
+  /// `epoch`. `warm` selects the warm-repair flag and suppresses the
+  /// fragment-presence probe (warm solves don't borrow fragments).
+  [[nodiscard]] obs::query_features build_query_features(
+      const graph::epoch_graph& epoch,
+      std::span<const graph::vertex_id> canonical,
+      const core::solver_config& solver_config, bool warm) const;
+  /// Per-request context execute() needs beyond the query itself. The
+  /// defaults describe a background refresh: no budget, no admission
+  /// estimates, no request id, background priority.
+  struct exec_context {
+    const util::run_budget* budget = nullptr;
+    admission_estimates estimates{};
+    std::uint64_t request_id = 0;
+    priority_class priority = priority_class::background;
+  };
   [[nodiscard]] query_result execute(query q, double queue_wait,
-                                     util::timer admitted,
-                                     const util::run_budget* budget = nullptr,
-                                     double admission_estimate = 0.0,
-                                     std::uint64_t request_id = 0);
+                                     util::timer admitted, exec_context ctx);
+  /// Background-refresh convenience: execute() with a default exec_context.
+  [[nodiscard]] query_result execute(query q, double queue_wait,
+                                     util::timer admitted) {
+    return execute(std::move(q), queue_wait, admitted, exec_context{});
+  }
   [[nodiscard]] std::optional<donor_match> find_donor(
       std::span<const graph::vertex_id> canonical_seeds,
       const graph::epoch_graph& epoch);
@@ -388,10 +449,30 @@ class steiner_service {
   latency_histogram modelled_solve_hist_;
   latency_histogram model_abs_error_hist_;
   latency_histogram estimate_error_hist_;
+  /// Paired comparison, recorded only for model-priced admissions: the
+  /// learned model's absolute error and the baseline's on the same queries.
+  latency_histogram estimate_error_model_hist_;
+  latency_histogram estimate_error_baseline_hist_;
 
-  /// Slow-query log: completed traces past the configured threshold.
+  /// Learned admission cost model: trained from every completed real solve,
+  /// consulted by estimate_completion_seconds (internally synchronized).
+  obs::cost_model cost_model_;
+  /// Per-priority-class SLO scoring (internally synchronized).
+  obs::slo_tracker slo_;
+
+  /// Slow-query log: completed traces past the configured threshold, plus
+  /// SLO violators (force-retained).
   obs::slow_query_log slow_log_;
+  /// Flight recorder: head-sampled traces of ordinary (not slow, not
+  /// violating) queries — the representative-traffic ring behind /tracez.
+  obs::slow_query_log flight_recorder_;
+  /// Deterministic head-sampling ticker: query k is sampled when
+  /// k % round(1 / trace.sample_rate) == 0.
+  std::atomic<std::uint64_t> sample_ticker_{0};
   std::atomic<std::uint64_t> slow_queries_{0};
+  std::atomic<std::uint64_t> sampled_traces_{0};
+  std::atomic<std::uint64_t> slo_violations_{0};
+  std::atomic<std::uint64_t> model_admissions_{0};
 
   /// Warm-start donor registry: the last few solves' artifacts, epoch-keyed.
   /// Bounded by donor_history — artifacts are O(|V|) each, so they

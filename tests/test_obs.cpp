@@ -5,16 +5,26 @@
 // aging.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/steiner_solver.hpp"
 #include "graph/generators.hpp"
+#include "obs/cost_model.hpp"
 #include "obs/debug_server.hpp"
 #include "obs/prom_validate.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "service/debug_endpoint.hpp"
 #include "service/executor.hpp"
@@ -68,6 +78,51 @@ double series_value(const std::string& text, const std::string& name) {
     return std::stod(line.substr(name.size() + 1));
   }
   return -1.0;
+}
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+/// Connects to the loopback debug server, sends `data` raw (no framing),
+/// optionally half-closes the write side, and returns whatever the server
+/// answers. Exercises the malformed-client paths http_get() cannot reach.
+std::string raw_request(std::uint16_t port, const std::string& data,
+                        bool shutdown_write) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return {};
+  }
+  if (!data.empty()) (void)::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+  if (shutdown_write) ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
 }
 
 // ---- latency histogram ------------------------------------------------------
@@ -281,6 +336,9 @@ TEST(Tracing, DisabledTracingYieldsNoTraceAndIdenticalTrees) {
   service_config on = obs_config(1);
   service_config off = obs_config(1);
   off.trace.enabled = false;
+  // Head sampling is a separate always-on knob (and deterministically
+  // samples the first execution) — zero it to turn observation fully off.
+  off.trace.sample_rate = 0.0;
 
   steiner_service svc_on(graph::csr_graph(g), on);
   steiner_service svc_off(graph::csr_graph(g), off);
@@ -452,6 +510,326 @@ TEST(Executor, StatsReportLiveQueueDepth) {
   }
   EXPECT_GE(exec.stats().queue_depth, 2u);
   release.store(true);
+}
+
+// ---- latency histogram windows ----------------------------------------------
+
+TEST(LatencyHistogram, ResetWindowDrainsExactlyOnce) {
+  latency_histogram hist;
+  hist.record(1e-3);
+  hist.record(1e-3);
+  hist.record(2e-3);
+  const auto w1 = hist.reset_window();
+  EXPECT_EQ(w1.count, 3u);
+  EXPECT_GT(w1.total_seconds, 0.0);
+  // Drained: the live histogram starts a fresh window.
+  EXPECT_EQ(hist.snapshot().count, 0u);
+  hist.record(5e-3);
+  const auto w2 = hist.reset_window();
+  EXPECT_EQ(w2.count, 1u);
+
+  // Windows recompose without double counting.
+  latency_histogram::snapshot_data acc{};
+  acc.accumulate(w1);
+  acc.accumulate(w2);
+  EXPECT_EQ(acc.count, 4u);
+  EXPECT_GT(acc.percentile(50.0), 0.0);
+}
+
+TEST(LatencyHistogram, AllZeroBucketWindowHasFinitePercentiles) {
+  // A windowed snapshot can carry a count with no bucket mass (e.g. a
+  // snapshot raced between the bucket and count updates, or an accumulate
+  // of empty windows with a stale count). Percentiles must degrade to 0.
+  latency_histogram::snapshot_data z{};
+  z.count = 7;
+  EXPECT_EQ(z.percentile(50.0), 0.0);
+  EXPECT_FALSE(std::isnan(z.percentile(99.0)));
+  EXPECT_FALSE(std::isnan(z.quantile(0.999)));
+}
+
+// ---- cost model -------------------------------------------------------------
+
+TEST(CostModel, DisabledOrEmptyPredictsZero) {
+  obs::query_features f;
+  f.x[obs::query_features::k_bias] = 1.0;
+  f.x[obs::query_features::k_seeds] = 8.0;
+
+  obs::cost_model_config off;
+  off.enabled = false;
+  obs::cost_model disabled(off);
+  disabled.observe(f, 1.0);
+  EXPECT_EQ(disabled.predict_seconds(f), 0.0);
+  EXPECT_FALSE(disabled.ready());
+
+  obs::cost_model empty;
+  EXPECT_EQ(empty.predict_seconds(f), 0.0);
+  EXPECT_FALSE(empty.ready());
+
+  // Non-finite and negative targets must not poison the coefficients.
+  empty.observe(f, std::numeric_limits<double>::quiet_NaN());
+  empty.observe(f, -1.0);
+  EXPECT_EQ(empty.snapshot().samples, 0u);
+}
+
+TEST(CostModel, RlsConvergesAndBeatsGlobalP50Baseline) {
+  // Synthetic workload with the admission estimator's real failure mode:
+  // per-query cost varies ~5x with |S|, which a global p50 cannot express.
+  // The model sees the analytic features and must fit the curve online.
+  obs::cost_model model;
+  const double counts[] = {4.0, 8.0, 12.0, 16.0, 20.0};
+  std::vector<double> history, model_err, baseline_err;
+  for (int i = 0; i < 120; ++i) {
+    const double s = counts[i % 5];
+    obs::query_features f;
+    f.x[obs::query_features::k_bias] = 1.0;
+    f.x[obs::query_features::k_seeds] = s;
+    f.x[obs::query_features::k_seeds_sq] = s * s;
+    f.x[obs::query_features::k_log_vertices] = 10.0;  // fixed graph
+    f.x[obs::query_features::k_log_arcs] = 11.5;
+    f.x[obs::query_features::k_seeds_log_n] = s * 10.0;
+    f.x[obs::query_features::k_inv_threads] = 1.0;
+    const double y = 0.01 + 0.002 * s + 0.0001 * s * s;
+    if (model.ready()) {
+      // Online evaluation: predict before this sample trains the model,
+      // against the global-p50-so-far baseline on the same query.
+      model_err.push_back(std::abs(model.predict_seconds(f) - y));
+      baseline_err.push_back(std::abs(median(history) - y));
+    }
+    model.observe(f, y);
+    history.push_back(y);
+  }
+  ASSERT_FALSE(model_err.empty());
+  EXPECT_LT(median(model_err), median(baseline_err));
+
+  const auto snap = model.snapshot();
+  EXPECT_TRUE(snap.enabled);
+  EXPECT_TRUE(snap.ready);
+  EXPECT_EQ(snap.samples, 120u);
+  EXPECT_LT(snap.abs_error_ema_seconds, 0.01);
+}
+
+// ---- SLO tracker ------------------------------------------------------------
+
+TEST(Slo, BurnRateWindowsRotateAndExpire) {
+  obs::slo_config cfg;
+  cfg.objective_seconds = {1.0};
+  cfg.error_budget = 0.1;  // short 60s / long 600s / 60 buckets of 10s
+  obs::slo_tracker tracker(1, cfg);
+  EXPECT_TRUE(tracker.violates(0, 2.0));
+  EXPECT_FALSE(tracker.violates(0, 0.5));
+
+  tracker.record_at(0, 0.5, 5.0);  // good
+  tracker.record_at(0, 2.0, 5.0);  // bad
+
+  const auto s1 = tracker.snapshot_at(5.0);
+  ASSERT_EQ(s1.classes.size(), 1u);
+  EXPECT_EQ(s1.classes[0].good_total, 1u);
+  EXPECT_EQ(s1.classes[0].bad_total, 1u);
+  EXPECT_EQ(s1.classes[0].short_good, 1u);
+  EXPECT_EQ(s1.classes[0].short_bad, 1u);
+  // bad ratio 0.5 against a 0.1 budget: burning 5x sustainable.
+  EXPECT_DOUBLE_EQ(s1.classes[0].burn_rate_short, 5.0);
+  EXPECT_DOUBLE_EQ(s1.classes[0].burn_rate_long, 5.0);
+  EXPECT_EQ(s1.classes[0].window_latency.count, 2u);
+
+  // 95s later: outside the short window, still inside the long one.
+  const auto s2 = tracker.snapshot_at(100.0);
+  EXPECT_EQ(s2.classes[0].short_good + s2.classes[0].short_bad, 0u);
+  EXPECT_DOUBLE_EQ(s2.classes[0].burn_rate_short, 0.0);
+  EXPECT_EQ(s2.classes[0].long_good, 1u);
+  EXPECT_EQ(s2.classes[0].long_bad, 1u);
+  EXPECT_DOUBLE_EQ(s2.classes[0].burn_rate_long, 5.0);
+
+  // Past the long window: the ring expired the events; lifetime totals stay.
+  const auto s3 = tracker.snapshot_at(700.0);
+  EXPECT_EQ(s3.classes[0].long_good + s3.classes[0].long_bad, 0u);
+  EXPECT_DOUBLE_EQ(s3.classes[0].burn_rate_long, 0.0);
+  EXPECT_EQ(s3.classes[0].good_total, 1u);
+  EXPECT_EQ(s3.classes[0].bad_total, 1u);
+
+  obs::slo_config off = cfg;
+  off.enabled = false;
+  obs::slo_tracker disabled(1, off);
+  disabled.record_at(0, 5.0, 1.0);
+  EXPECT_FALSE(disabled.violates(0, 5.0));
+  EXPECT_EQ(disabled.snapshot_at(1.0).classes[0].bad_total, 0u);
+}
+
+TEST(Slo, ViolationIsForceRetainedInSlowLog) {
+  const auto g = make_connected_graph(200, 25, 48);
+  service_config config = obs_config(1);
+  // Far above any solve time: the slow threshold alone would retain nothing.
+  config.trace.slow_query_threshold_seconds = 1e9;
+  config.trace.sample_rate = 0.0;
+  // Zero-latency objective for every class: each completion violates.
+  config.slo.objective_seconds = {0.0};
+  steiner_service svc(graph::csr_graph(g), config);
+  (void)svc.solve(make_query({3, 50, 100, 150}));
+
+  EXPECT_GE(svc.stats().slo_violations, 1u);
+  EXPECT_GE(svc.stats().slow_queries, 1u);
+  EXPECT_GE(svc.slow_log().size(), 1u);
+  const auto snap = svc.snapshot();
+  ASSERT_FALSE(snap.slo.classes.empty());
+  std::uint64_t bad = 0;
+  for (const auto& c : snap.slo.classes) bad += c.bad_total;
+  EXPECT_GE(bad, 1u);
+}
+
+// ---- head sampling ----------------------------------------------------------
+
+TEST(Sampling, HeadSamplingRateIsExact) {
+  const auto g = make_connected_graph(220, 25, 49);
+  service_config config = obs_config(1);
+  config.trace.enabled = false;           // only sampling can create traces
+  config.trace.sample_rate = 0.25;        // every 4th execution
+  config.trace.slow_query_threshold_seconds = 1e9;
+  config.slo.enabled = false;             // nothing force-retained
+  steiner_service svc(graph::csr_graph(g), config);
+
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    query q;
+    q.seeds = {static_cast<vertex_id>(5 + i), 60, 120,
+               static_cast<vertex_id>(160 + i)};
+    (void)svc.solve(std::move(q));
+  }
+  // Deterministic modulo sampling: executions 0 and 4 of 8.
+  EXPECT_EQ(svc.stats().sampled_traces, 2u);
+  EXPECT_EQ(svc.flight_recorder().size(), 2u);
+  EXPECT_EQ(svc.slow_log().size(), 0u);
+}
+
+TEST(Sampling, SampledSolveBitIdenticalToUntracedBothEngines) {
+  const auto g = make_connected_graph(300, 25, 50);
+  const std::vector<vertex_id> seeds{7, 80, 150, 220, 280};
+  for (const bool threaded : {false, true}) {
+    service_config sampled_cfg = obs_config(1);
+    sampled_cfg.trace.enabled = false;
+    sampled_cfg.trace.sample_rate = 1.0;  // every query head-sampled
+    sampled_cfg.trace.slow_query_threshold_seconds = 1e9;
+    service_config plain_cfg = sampled_cfg;
+    plain_cfg.trace.sample_rate = 0.0;    // never sampled
+    if (threaded) {
+      for (auto* c : {&sampled_cfg, &plain_cfg}) {
+        c->solver.mode = runtime::execution_mode::parallel_threads;
+        c->solver.num_threads = 4;
+      }
+    }
+    steiner_service svc_sampled(graph::csr_graph(g), sampled_cfg);
+    steiner_service svc_plain(graph::csr_graph(g), plain_cfg);
+    const query_result a = svc_sampled.solve(make_query(seeds));
+    const query_result b = svc_plain.solve(make_query(seeds));
+
+    EXPECT_NE(a.trace, nullptr) << "threaded=" << threaded;
+    EXPECT_EQ(b.trace, nullptr) << "threaded=" << threaded;
+    EXPECT_EQ(a.result.tree_edges, b.result.tree_edges)
+        << "threaded=" << threaded;
+    EXPECT_EQ(a.result.total_distance, b.result.total_distance)
+        << "threaded=" << threaded;
+    EXPECT_EQ(a.result.phases.total().sim_units,
+              b.result.phases.total().sim_units)
+        << "threaded=" << threaded;
+  }
+}
+
+// ---- debug endpoint: query params, /slo, robustness -------------------------
+
+TEST(DebugServer, QueryParamParsing) {
+  EXPECT_EQ(obs::query_param("limit=5&mode=full", "mode"), "full");
+  EXPECT_EQ(obs::query_param("limit=5&mode=full", "limit"), "5");
+  EXPECT_EQ(obs::query_param("limit=5", "missing"), "");
+  EXPECT_EQ(obs::query_param("", "limit"), "");
+  EXPECT_EQ(obs::query_param_u64("limit=12", "limit", 99), 12u);
+  EXPECT_EQ(obs::query_param_u64("limit=abc", "limit", 99), 99u);
+  EXPECT_EQ(obs::query_param_u64("", "limit", 99), 99u);
+}
+
+TEST(DebugEndpoint, TracezHonorsLimitAndSloRouteServesBurnRates) {
+  const auto g = make_connected_graph(200, 25, 51);
+  steiner_service svc(graph::csr_graph(g), obs_config(1));
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    query q;
+    q.seeds = {static_cast<vertex_id>(3 + i), 50, 100,
+               static_cast<vertex_id>(140 + i)};
+    (void)svc.solve(std::move(q));
+  }
+  debug_endpoint endpoint(svc);
+  ASSERT_TRUE(endpoint.start());
+
+  const std::string all =
+      obs::http_body(obs::http_get(endpoint.port(), "/tracez"));
+  EXPECT_GE(count_occurrences(all, "\"traceEvents\""), 3u);
+  const std::string one =
+      obs::http_body(obs::http_get(endpoint.port(), "/tracez?limit=1"));
+  EXPECT_EQ(count_occurrences(one, "\"traceEvents\""), 1u);
+  // A malformed limit falls back to "everything".
+  const std::string junk =
+      obs::http_body(obs::http_get(endpoint.port(), "/tracez?limit=bogus"));
+  EXPECT_EQ(count_occurrences(junk, "\"traceEvents\""),
+            count_occurrences(all, "\"traceEvents\""));
+
+  const std::string slo = obs::http_body(obs::http_get(endpoint.port(), "/slo"));
+  ASSERT_FALSE(slo.empty());
+  const auto report = obs::validate_prometheus(slo);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_NE(slo.find("dsteiner_slo_burn_rate{priority="), std::string::npos);
+  EXPECT_NE(slo.find("window=\"short\""), std::string::npos);
+  EXPECT_NE(slo.find("window=\"long\""), std::string::npos);
+
+  // /statusz grew cost-model and burn-rate rows.
+  const std::string statusz =
+      obs::http_body(obs::http_get(endpoint.port(), "/statusz"));
+  EXPECT_NE(statusz.find("cost_model:"), std::string::npos);
+  EXPECT_NE(statusz.find("cost_model.w["), std::string::npos);
+  EXPECT_NE(statusz.find("slo["), std::string::npos);
+
+  // /metrics carries the new families alongside the old ones.
+  const std::string metrics =
+      obs::http_body(obs::http_get(endpoint.port(), "/metrics"));
+  EXPECT_TRUE(obs::validate_prometheus(metrics).ok());
+  EXPECT_GE(series_value(metrics, "dsteiner_cost_model_samples"), 1.0);
+  EXPECT_GE(series_value(metrics, "dsteiner_sampled_traces_total"), 0.0);
+  EXPECT_GE(series_value(metrics, "dsteiner_slo_violations_total"), 0.0);
+  EXPECT_NE(metrics.find("dsteiner_estimate_error_model_seconds_bucket"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("dsteiner_estimate_error_baseline_seconds_bucket"),
+            std::string::npos);
+}
+
+TEST(DebugServer, OversizedRequestLineGets404) {
+  obs::debug_server server;
+  server.add_route("/ping", "text/plain",
+                   [](std::string_view) { return std::string("pong"); });
+  ASSERT_TRUE(server.start());
+  // 8 KiB with no CRLF overflows the 4 KiB request buffer.
+  const std::string response =
+      raw_request(server.port(), std::string(8192, 'A'), true);
+  EXPECT_NE(response.find("404"), std::string::npos);
+  EXPECT_NE(response.find("request line too long"), std::string::npos);
+  // The server survives and still answers well-formed requests.
+  EXPECT_EQ(obs::http_body(obs::http_get(server.port(), "/ping")), "pong");
+  server.stop();
+}
+
+TEST(DebugServer, PartialAndStalledRequestsGet400) {
+  obs::debug_server server;
+  server.add_route("/ping", "text/plain",
+                   [](std::string_view) { return std::string("pong"); });
+  server.set_read_timeout_ms(100);  // keep the stalled case fast
+  ASSERT_TRUE(server.start());
+
+  // Half-close after a partial request line: disconnect-before-CRLF.
+  const std::string partial = raw_request(server.port(), "GET /pi", true);
+  EXPECT_NE(partial.find("400"), std::string::npos);
+  EXPECT_NE(partial.find("incomplete request"), std::string::npos);
+
+  // Stalled client: stays connected, never completes the line; the read
+  // deadline must answer instead of wedging the accept loop.
+  const std::string stalled = raw_request(server.port(), "GET /pi", false);
+  EXPECT_NE(stalled.find("400"), std::string::npos);
+
+  EXPECT_EQ(obs::http_body(obs::http_get(server.port(), "/ping")), "pong");
+  server.stop();
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include "core/validation.hpp"
 #include "core/voronoi.hpp"
 #include "core/warm_start.hpp"
+#include "graph/delta_stepping.hpp"
 #include "runtime/comm.hpp"
 #include "util/timer.hpp"
 
@@ -159,10 +160,39 @@ steiner_result solve_cold(const graph::csr_graph& graph,
   result.delegate_count = dgraph.delegate_count();
   result.memory.partition_bytes = dgraph.memory_bytes();
 
-  const runtime::communicator comm(config.num_ranks, config.costs);
-  comm.reset_peak_buffer();
   const engine_context context(config);
   const runtime::engine_config& engine = context.config;
+  // The communicator borrows the solve's worker pool (null in async mode) to
+  // parallelize the allreduce_map replication fan-out between engine phases.
+  const runtime::communicator comm(config.num_ranks, config.costs, engine.pool);
+  comm.reset_peak_buffer();
+
+  // Phase-1 scheduling: bucketed growth runs phase 1 (and only phase 1) as
+  // bucketed delta-stepping with the knobs resolved here; 0-valued knobs get
+  // graph-derived defaults. The landmark oracle's largest upper bound caps the
+  // useful priority range: once every open bucket starts above it, nothing
+  // left can improve any cell and the engines drain-and-stop.
+  runtime::engine_config phase1 = engine;
+  if (config.growth == runtime::growth_mode::bucketed) {
+    phase1.growth = runtime::growth_mode::bucketed;
+    phase1.bucket_delta = config.bucket_delta != 0
+                              ? config.bucket_delta
+                              : graph::heuristic_delta(graph);
+    const std::uint64_t avg_degree =
+        graph.num_vertices() == 0 ? 0 : graph.num_arcs() / graph.num_vertices();
+    phase1.tile_threshold =
+        config.tile_threshold != 0
+            ? config.tile_threshold
+            : std::max<std::uint64_t>(64, 4 * avg_degree);
+    if (!assists.prune_upper_bound.empty()) {
+      phase1.priority_limit =
+          *std::max_element(assists.prune_upper_bound.begin(),
+                            assists.prune_upper_bound.end());
+    }
+    result.growth.mode = runtime::growth_mode::bucketed;
+    result.growth.delta = phase1.bucket_delta;
+    result.growth.tile_threshold = phase1.tile_threshold;
+  }
 
   // Step 1: Voronoi cells (Alg. 3 line 12). With assists, the state is
   // pre-seeded from shared fragments (the initial frontier shrinks to the
@@ -174,9 +204,12 @@ steiner_result solve_cold(const graph::csr_graph& graph,
     phase_span span(config.trace, runtime::phase_names::voronoi, config.costs);
     assist_stats astats;
     std::atomic<std::uint64_t> pruned{0};
+    std::atomic<std::uint64_t> tiles{0};
+    const voronoi_tiling tiling{&tiles};
     runtime::phase_metrics metrics;
     if (assists.empty()) {
-      metrics = compute_voronoi_cells(dgraph, seed_list, state, engine);
+      metrics = compute_voronoi_cells(dgraph, seed_list, state, phase1,
+                                      voronoi_prune{}, tiling);
     } else {
       std::vector<voronoi_visitor> initial = inject_fragments(
           graph, assists.fragments, seed_list, state, &astats.preseeded_vertices);
@@ -187,8 +220,13 @@ steiner_result solve_cold(const graph::csr_graph& graph,
       }
       astats.frontier_visitors = initial.size();
       const voronoi_prune prune{assists.prune_upper_bound, &pruned};
-      metrics = repair_voronoi_cells(dgraph, std::move(initial), state, engine,
-                                     prune);
+      metrics = repair_voronoi_cells(dgraph, std::move(initial), state, phase1,
+                                     prune, tiling);
+    }
+    if (config.growth == runtime::growth_mode::bucketed) {
+      result.growth.buckets_processed = metrics.buckets_processed;
+      result.growth.bucket_pruned = metrics.bucket_pruned;
+      result.growth.tiles_emitted = tiles.load(std::memory_order_relaxed);
     }
     astats.pruned_visitors = pruned.load(std::memory_order_relaxed);
     if (assist_out != nullptr) *assist_out = astats;
@@ -279,6 +317,8 @@ obs::query_features extract_query_features(graph::vertex_id num_vertices,
   f.x[qf::k_threaded] = threaded ? 1.0 : 0.0;
   f.x[qf::k_inv_threads] =
       1.0 / static_cast<double>(std::max<std::size_t>(1, workers));
+  f.x[qf::k_bucketed] =
+      config.growth == runtime::growth_mode::bucketed ? 1.0 : 0.0;
   return f;
 }
 

@@ -54,6 +54,19 @@ struct solver_config {
   std::size_t num_threads = 0;
   runtime::cost_model costs{};
 
+  /// Phase-1 scheduling: strict priority order (default; bit-identical
+  /// metrics across engines/thread counts) or delta-stepping buckets
+  /// (faster cold solves, same output tree, schedule-dependent metrics).
+  /// Only phase 1 is ever bucketed; all other phases stay strict.
+  runtime::growth_mode growth = runtime::growth_mode::strict_order;
+  /// Bucket width for bucketed growth; 0 resolves to graph::heuristic_delta
+  /// (average arc weight) at solve time.
+  std::uint64_t bucket_delta = 0;
+  /// Degree threshold above which bucketed growth splits a non-delegate
+  /// vertex's scatter into edge tiles of this width; 0 resolves to
+  /// max(64, 4 * average degree) at solve time.
+  std::uint64_t tile_threshold = 0;
+
   /// Distance-graph reduction: sparse map merge (default) or the paper's
   /// dense (|S| choose 2) buffer; either path optionally chunked (§V-F).
   bool dense_distance_graph = false;
@@ -85,6 +98,17 @@ struct solver_config {
   obs::query_trace* trace = nullptr;
 };
 
+/// How phase 1 actually ran: the resolved growth knobs and the bucket/tile
+/// work they produced. All zeros under strict order.
+struct growth_stats {
+  runtime::growth_mode mode = runtime::growth_mode::strict_order;
+  std::uint64_t delta = 0;            ///< resolved bucket width
+  std::uint64_t tile_threshold = 0;   ///< resolved tile width
+  std::uint64_t buckets_processed = 0;
+  std::uint64_t tiles_emitted = 0;
+  std::uint64_t bucket_pruned = 0;    ///< visitors dropped by bucket pruning
+};
+
 struct steiner_result {
   std::vector<graph::weighted_edge> tree_edges;  ///< GS, canonical u < v per edge
   graph::weight_t total_distance = 0;            ///< D(GS)
@@ -96,6 +120,7 @@ struct steiner_result {
 
   std::size_t distance_graph_edges = 0;  ///< |E'1|
   std::uint64_t delegate_count = 0;      ///< high-degree vertices split across ranks
+  growth_stats growth;                   ///< phase-1 scheduling telemetry
 
   [[nodiscard]] double wall_seconds() const { return phases.total().wall_seconds; }
   [[nodiscard]] std::uint64_t total_messages() const {

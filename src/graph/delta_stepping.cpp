@@ -6,6 +6,15 @@
 
 namespace dsteiner::graph {
 
+weight_t heuristic_delta(const csr_graph& graph) {
+  // Heuristic width: the average edge weight (Meyer & Sanders suggest
+  // Theta(max_weight / max_degree); the mean works well on our inputs).
+  if (graph.num_arcs() == 0) return 1;
+  unsigned __int128 sum = 0;
+  for (const weight_t w : graph.arc_weights()) sum += w;
+  return std::max<weight_t>(1, static_cast<weight_t>(sum / graph.num_arcs()));
+}
+
 delta_stepping_result delta_stepping(const csr_graph& graph, vertex_id source,
                                      weight_t delta) {
   assert(source < graph.num_vertices());
@@ -14,18 +23,7 @@ delta_stepping_result delta_stepping(const csr_graph& graph, vertex_id source,
   result.distance.assign(n, k_inf_distance);
   result.parent.assign(n, k_no_vertex);
 
-  if (delta == 0) {
-    // Heuristic width: the average edge weight (Meyer & Sanders suggest
-    // Theta(max_weight / max_degree); the mean works well on our inputs).
-    if (graph.num_arcs() > 0) {
-      unsigned __int128 sum = 0;
-      for (const weight_t w : graph.arc_weights()) sum += w;
-      delta = std::max<weight_t>(
-          1, static_cast<weight_t>(sum / graph.num_arcs()));
-    } else {
-      delta = 1;
-    }
-  }
+  if (delta == 0) delta = heuristic_delta(graph);
 
   std::vector<std::deque<vertex_id>> buckets;
   const auto bucket_of = [&](weight_t dist) {

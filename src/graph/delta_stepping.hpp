@@ -32,4 +32,9 @@ struct delta_stepping_result {
                                                    vertex_id source,
                                                    weight_t delta = 0);
 
+/// The heuristic bucket width a delta of 0 resolves to: the average arc
+/// weight, floored at 1. Shared with the engine's bucketed growth mode so
+/// `bucket_delta = 0` means the same thing everywhere.
+[[nodiscard]] weight_t heuristic_delta(const csr_graph& graph);
+
 }  // namespace dsteiner::graph

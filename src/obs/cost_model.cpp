@@ -18,6 +18,7 @@ const char* query_features::name(std::size_t i) noexcept {
     case k_fragments: return "fragment_fraction";
     case k_threaded: return "threaded_engine";
     case k_inv_threads: return "inv_threads";
+    case k_bucketed: return "bucketed_growth";
     default: return "unknown";
   }
 }

@@ -72,6 +72,13 @@ std::string debug_endpoint::render_statusz() const {
        s.fragments.fragments, s.fragments.bytes_in_use, s.fragment_assisted,
        s.oracle_builds);
   line(out,
+       "growth: bucketed_solves=%" PRIu64 " buckets=%" PRIu64 " tiles=%" PRIu64
+       " bucket_pruned=%" PRIu64 " last_delta=%" PRIu64
+       " last_tile_threshold=%" PRIu64,
+       s.bucketed_solves, s.growth_buckets_processed, s.growth_tiles,
+       s.growth_bucket_pruned, s.growth_last_delta,
+       s.growth_last_tile_threshold);
+  line(out,
        "latency: p50=%.6fs p99=%.6fs mean=%.6fs samples=%" PRIu64,
        snap.total.percentile(50.0), snap.total.percentile(99.0),
        snap.total.mean(), snap.total.count);

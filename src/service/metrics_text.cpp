@@ -316,6 +316,29 @@ std::string render_metrics_text(const service_snapshot& snap,
                  s.oracle_pruned_visitors);
   append_counter(out, prefix, "oracle_builds_total",
                  "Landmark table (re)builds", s.oracle_builds);
+  append_counter(out, prefix, "bucketed_solves_total",
+                 "Cold solves that ran phase 1 as bucketed delta-stepping "
+                 "(relaxed-determinism requests)",
+                 s.bucketed_solves);
+  append_counter(out, prefix, "growth_buckets_processed_total",
+                 "Delta-stepping buckets drained by bucketed phase-1 runs",
+                 s.growth_buckets_processed);
+  append_counter(out, prefix, "growth_tiles_emitted_total",
+                 "Edge tiles emitted for high-degree vertices under bucketed "
+                 "growth",
+                 s.growth_tiles);
+  append_counter(out, prefix, "growth_bucket_pruned_total",
+                 "Visitors dropped when the landmark bound closed all "
+                 "remaining buckets",
+                 s.growth_bucket_pruned);
+  append_gauge(out, prefix, "growth_last_bucket_delta",
+               "Resolved delta-stepping bucket width of the most recent "
+               "bucketed solve",
+               s.growth_last_delta);
+  append_gauge(out, prefix, "growth_last_tile_threshold",
+               "Resolved edge-tiling degree threshold of the most recent "
+               "bucketed solve",
+               s.growth_last_tile_threshold);
   append_counter(out, prefix, "bound_sharpened_admissions_total",
                  "Admission cost estimates scaled by oracle seed spread",
                  s.bound_sharpened);

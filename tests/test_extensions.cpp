@@ -68,6 +68,34 @@ TEST(DeltaStepping, LightHeavySplitObserved) {
   EXPECT_GT(ds.heavy_relaxations, 0u);
 }
 
+TEST(DeltaStepping, MatchesDijkstraOnHubHeavyPowerLawGraph) {
+  // RMAT's skewed degree distribution is the shape that stresses bucketed
+  // scheduling: a few hubs own most arcs, so bucket membership churns hard.
+  graph::rmat_params params;
+  params.scale = 10;
+  params.edge_factor = 12;
+  params.seed = 0xD5;
+  graph::edge_list list = graph::generate_rmat(params);
+  graph::assign_uniform_weights(list, 1, 500, 0xD5 ^ 0x44);
+  graph::connect_components(list, 501, 0xD5);
+  const graph::csr_graph g(list);
+
+  const auto reference = graph::dijkstra(g, 0);
+  for (const weight_t delta : {weight_t{0}, weight_t{3}, weight_t{250}}) {
+    const auto ds = graph::delta_stepping(g, 0, delta);
+    EXPECT_EQ(ds.distance, reference.distance) << "delta=" << delta;
+    EXPECT_EQ(ds.parent, reference.parent) << "delta=" << delta;
+  }
+}
+
+TEST(DeltaStepping, HeuristicDeltaIsTheAverageArcWeight) {
+  graph::edge_list list(3);
+  list.add_undirected_edge(0, 1, 10);
+  list.add_undirected_edge(1, 2, 30);
+  const graph::csr_graph g(list);
+  EXPECT_EQ(graph::heuristic_delta(g), 20u);  // (10+10+30+30)/4
+}
+
 TEST(DeltaStepping, UnreachableStaysInfinite) {
   graph::edge_list list(3);
   list.add_undirected_edge(0, 1, 4);

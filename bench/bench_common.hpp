@@ -24,30 +24,96 @@
 
 namespace dsteiner::bench {
 
+/// Shared bench CLI parsing. Each binary declares its flags through the
+/// accessors below (in any order on the command line), then calls finish(),
+/// which aborts with a usage line naming every declared flag if an argument
+/// went unrecognised. Values are validated strictly — a malformed value
+/// exits with status 2, the same contract the benches previously each
+/// hand-rolled around strtoull.
+class flag_parser {
+ public:
+  flag_parser(int argc, char** argv)
+      : program_(argc > 0 ? argv[0] : "bench"),
+        args_(argv + (argc > 0 ? 1 : 0), argv + argc),
+        used_(args_.size(), false) {}
+
+  /// `--name N` with N >= 1; `fallback` when the flag is absent.
+  std::size_t positive_uint(const char* name, std::size_t fallback) {
+    usage_ += std::string(" [") + name + " N]";
+    const char* text = value_of(name);
+    if (text == nullptr) return fallback;
+    char* end = nullptr;
+    // strtoull wraps negatives into huge values; reject them up front.
+    const unsigned long long value =
+        text[0] == '-' ? 0 : std::strtoull(text, &end, 10);
+    if (end == nullptr || *end != '\0' || value == 0) {
+      std::fprintf(stderr, "%s: %s expects a positive integer\n", program_,
+                   name);
+      std::exit(2);
+    }
+    return static_cast<std::size_t>(value);
+  }
+
+  /// `--name a|b|...`: index of the matched choice; `fallback` when absent.
+  std::size_t choice(const char* name, std::vector<std::string> choices,
+                     std::size_t fallback) {
+    std::string alternatives;
+    for (const std::string& c : choices) {
+      if (!alternatives.empty()) alternatives += "|";
+      alternatives += c;
+    }
+    usage_ += std::string(" [") + name + " " + alternatives + "]";
+    const char* text = value_of(name);
+    if (text == nullptr) return fallback;
+    for (std::size_t i = 0; i < choices.size(); ++i) {
+      if (choices[i] == text) return i;
+    }
+    std::fprintf(stderr, "%s: %s expects %s\n", program_, name,
+                 alternatives.c_str());
+    std::exit(2);
+  }
+
+  /// Call after every flag is declared: any argument no accessor consumed is
+  /// unknown, and aborts with the accumulated usage line.
+  void finish() const {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (!used_[i]) {
+        std::fprintf(stderr, "usage: %s%s\n", program_, usage_.c_str());
+        std::exit(2);
+      }
+    }
+  }
+
+ private:
+  /// Finds `--name value`, marking both tokens consumed. A trailing flag
+  /// with no value is malformed, not unknown, so it errors here.
+  const char* value_of(const char* name) {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (std::strcmp(args_[i], name) != 0) continue;
+      if (i + 1 >= args_.size()) {
+        std::fprintf(stderr, "%s: %s expects a value\n", program_, name);
+        std::exit(2);
+      }
+      used_[i] = used_[i + 1] = true;
+      return args_[i + 1];
+    }
+    return nullptr;
+  }
+
+  const char* program_;
+  std::vector<char*> args_;
+  std::vector<bool> used_;
+  std::string usage_;
+};
+
 /// Strict `--threads N` flag shared by the engine benches: 0 (flag absent)
 /// keeps the cooperative single-thread engine; N >= 1 switches the solver to
 /// execution_mode::parallel_threads with N engine workers, making scaling
 /// curves reproducible from the CLI. Unknown arguments abort with usage.
 inline std::size_t parse_threads_flag(int argc, char** argv) {
-  std::size_t threads = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      const char* text = argv[++i];
-      char* end = nullptr;
-      // strtoull wraps negatives into huge values; reject them up front.
-      const unsigned long long value =
-          text[0] == '-' ? 0 : std::strtoull(text, &end, 10);
-      if (end == nullptr || *end != '\0' || value == 0) {
-        std::fprintf(stderr, "%s: --threads expects a positive integer\n",
-                     argv[0]);
-        std::exit(2);
-      }
-      threads = static_cast<std::size_t>(value);
-      continue;
-    }
-    std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
-    std::exit(2);
-  }
+  flag_parser flags(argc, argv);
+  const std::size_t threads = flags.positive_uint("--threads", 0);
+  flags.finish();
   return threads;
 }
 

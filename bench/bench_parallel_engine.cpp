@@ -40,35 +40,11 @@ struct engine_flags {
 };
 
 engine_flags parse_flags(int argc, char** argv) {
+  dsteiner::bench::flag_parser parser(argc, argv);
   engine_flags flags;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      const char* text = argv[++i];
-      char* end = nullptr;
-      const unsigned long long value =
-          text[0] == '-' ? 0 : std::strtoull(text, &end, 10);
-      if (end == nullptr || *end != '\0' || value == 0) {
-        std::fprintf(stderr, "%s: --threads expects a positive integer\n",
-                     argv[0]);
-        std::exit(2);
-      }
-      flags.threads = static_cast<std::size_t>(value);
-      continue;
-    }
-    if (std::strcmp(argv[i], "--growth") == 0 && i + 1 < argc) {
-      const char* value = argv[++i];
-      if (std::strcmp(value, "bucketed") == 0) {
-        flags.bucketed = true;
-      } else if (std::strcmp(value, "strict") != 0) {
-        std::fprintf(stderr, "%s: --growth expects strict|bucketed\n", argv[0]);
-        std::exit(2);
-      }
-      continue;
-    }
-    std::fprintf(stderr, "usage: %s [--threads N] [--growth strict|bucketed]\n",
-                 argv[0]);
-    std::exit(2);
-  }
+  flags.threads = parser.positive_uint("--threads", 0);
+  flags.bucketed = parser.choice("--growth", {"strict", "bucketed"}, 0) == 1;
+  parser.finish();
   return flags;
 }
 

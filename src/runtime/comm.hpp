@@ -107,6 +107,10 @@ class communicator {
     // one fixed source carry no such hazard.
     if (pool_ != nullptr && pool_->size() > 1 && per_rank.size() > 1 &&
         merged.size() >= 1024) {
+      // Concurrent whole-map replica copies hold the full merged payload
+      // live at once, so the §V-F chunked bound above does not describe this
+      // path's real peak — charge the full map as the collective buffer.
+      note_buffer_bytes(items * entry_bytes);
       const std::size_t stride = pool_->size();
       auto* ranks = &per_rank;
       const auto* source = &merged;

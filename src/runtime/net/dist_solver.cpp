@@ -1,0 +1,700 @@
+#include "runtime/net/dist_solver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <map>
+#include <queue>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+
+#include "core/distance_graph.hpp"
+#include "core/mst_prim.hpp"
+#include "core/solver_detail.hpp"
+#include "core/validation.hpp"
+#include "graph/delta_stepping.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/net/loopback_backend.hpp"
+#include "runtime/net/termination.hpp"
+#include "runtime/partition.hpp"
+#include "util/cancellation.hpp"
+
+namespace dsteiner::runtime::net {
+
+namespace {
+
+/// Visitors per data frame: keeps frames far under k_max_payload_bytes while
+/// amortising the 8-byte header (8192 * 32B = 256 KiB payloads).
+constexpr std::size_t k_batch_records = 8192;
+
+using clock = std::chrono::steady_clock;
+
+double seconds_since(clock::time_point start) {
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+/// Shared mutable context for one rank's solve.
+struct rank_ctx {
+  const graph::csr_graph& graph;
+  const core::solver_config& config;
+  comm_backend& net;
+  peer_channels chans;
+  termination_vote vote;
+  partitioner part;
+  net_solve_report report;
+  std::uint64_t modelled_epoch = 0;  ///< modelled bytes at last sample
+
+  rank_ctx(const graph::csr_graph& g, const core::solver_config& cfg,
+           comm_backend& backend)
+      : graph(g),
+        config(cfg),
+        net(backend),
+        chans(backend),
+        vote(chans),
+        part(g.num_vertices(), backend.world_size(), cfg.scheme) {
+    report.rank = backend.rank();
+    report.world = backend.world_size();
+  }
+
+  [[nodiscard]] int rank() const noexcept { return net.rank(); }
+  [[nodiscard]] int world() const noexcept { return net.world_size(); }
+  [[nodiscard]] bool owns(graph::vertex_id v) const noexcept {
+    return part.owner(v) == net.rank();
+  }
+
+  void send_all(const frame& f) {
+    for (int peer = 0; peer < world(); ++peer) {
+      if (peer != rank()) net.send(peer, f);
+    }
+  }
+
+  /// Closes one superstep: records a (measured, modelled) traffic sample and
+  /// runs the termination vote. Throws operation_cancelled when the folded
+  /// vote carries a cancel bit, keeping all ranks' unwinding in lockstep.
+  vote_decision end_superstep(std::uint32_t superstep,
+                              std::uint64_t outstanding,
+                              std::uint64_t min_bucket,
+                              std::uint64_t sent_before) {
+    const vote_decision decision = vote.round(
+        outstanding,
+        config.budget != nullptr && config.budget->stop_requested(),
+        min_bucket, superstep);
+    ++report.supersteps;
+    net_superstep_sample sample;
+    sample.superstep = superstep;
+    sample.bytes_measured = net.stats().bytes_sent - sent_before;
+    sample.bytes_modelled = report.bytes_modelled - modelled_epoch;
+    modelled_epoch = report.bytes_modelled;
+    report.samples.push_back(sample);
+    if (decision.cancel) {
+      // Our own budget's reason if it tripped; otherwise another rank
+      // cancelled and "cancelled" is the only honest description.
+      util::cancel_reason why = util::cancel_reason::cancelled;
+      if (config.budget != nullptr) {
+        const util::cancel_reason mine = config.budget->stop_reason();
+        if (mine != util::cancel_reason::none) why = mine;
+      }
+      throw util::operation_cancelled(why);
+    }
+    return decision;
+  }
+};
+
+/// Phase 1: distributed Voronoi cell growth. Each superstep relaxes the
+/// rank's admitted frontier to a local fixed point (remote candidates batch
+/// per owner), exchanges batches, then votes on termination. Under bucketed
+/// growth only visitors in globally-open buckets are drained; the rest wait,
+/// and the vote's min-fold decides the next bucket — the distributed
+/// analogue of the threaded engine's bucket schedule.
+phase_metrics run_voronoi(rank_ctx& ctx,
+                                std::span<const graph::vertex_id> seed_list,
+                                core::steiner_state& state,
+                                core::growth_stats& growth) {
+  phase_metrics metrics{};
+  const auto t0 = clock::now();
+
+  const bool bucketed = ctx.config.growth == growth_mode::bucketed;
+  const std::uint64_t delta =
+      bucketed ? (ctx.config.bucket_delta != 0
+                      ? ctx.config.bucket_delta
+                      : graph::heuristic_delta(ctx.graph))
+               : 0;
+  growth.mode = ctx.config.growth;
+  growth.delta = delta;
+  const auto bucket_of = [&](graph::weight_t r) {
+    return bucketed ? r / delta : 0;
+  };
+
+  std::vector<net_visitor> pending;
+  for (const graph::vertex_id s : seed_list) {
+    if (ctx.owns(s)) pending.push_back(net_visitor{s, s, s, 0});
+  }
+
+  std::vector<std::vector<net_visitor>> outbox(
+      static_cast<std::size_t>(ctx.world()));
+  // The local drain settles in lexicographic (r, t, vp) order — the paper's
+  // priority-queue scheduling (Fig. 5). Any drain order reaches the same
+  // fixed point (bit-identity does not depend on it), but FIFO/LIFO chaotic
+  // relaxation re-corrects each vertex O(paths) times on weighted graphs and
+  // the correction cascade amplifies across ranks; distance order settles
+  // most vertices once per superstep.
+  const auto visitor_after = [](const net_visitor& a, const net_visitor& b) {
+    return std::tuple{a.r, a.t, a.vp} > std::tuple{b.r, b.t, b.vp};
+  };
+  std::priority_queue<net_visitor, std::vector<net_visitor>,
+                      decltype(visitor_after)>
+      worklist(visitor_after);
+  std::vector<net_visitor> deferred;
+  std::uint64_t bucket_limit = 0;  // seeds start in bucket 0
+
+  for (std::uint32_t superstep = 0;; ++superstep) {
+    const std::uint64_t sent_before = ctx.net.stats().bytes_sent;
+
+    // Split the backlog into this superstep's open buckets and the rest.
+    deferred.clear();
+    for (net_visitor& v : pending) {
+      if (bucket_of(v.r) <= bucket_limit) {
+        worklist.push(v);
+      } else {
+        deferred.push_back(v);
+      }
+    }
+    pending.swap(deferred);
+    if (bucketed && !worklist.empty()) ++growth.buckets_processed;
+
+    // Drain to a local fixed point; cross-partition candidates batch up.
+    while (!worklist.empty()) {
+      const net_visitor v = worklist.top();
+      worklist.pop();
+      if (std::tuple{v.r, v.t, v.vp} >= state.tuple_of(v.vj)) {
+        ++metrics.previsit_rejections;
+        continue;
+      }
+      state.distance[v.vj] = v.r;
+      state.src[v.vj] = v.t;
+      state.pred[v.vj] = v.vp;
+      ++metrics.visitors_processed;
+      const auto neighbors = ctx.graph.neighbors(v.vj);
+      const auto weights = ctx.graph.weights(v.vj);
+      for (std::size_t i = 0; i < neighbors.size(); ++i) {
+        const net_visitor cand{neighbors[i], v.vj, v.t, v.r + weights[i]};
+        if (std::tuple{cand.r, cand.t, cand.vp} >= state.tuple_of(cand.vj)) {
+          continue;  // already superseded — never admissible later
+        }
+        if (ctx.owns(cand.vj)) {
+          ++metrics.messages_local;
+          if (bucket_of(cand.r) <= bucket_limit) {
+            worklist.push(cand);
+          } else {
+            pending.push_back(cand);
+          }
+        } else {
+          ++metrics.messages_remote;
+          outbox[static_cast<std::size_t>(ctx.part.owner(cand.vj))]
+              .push_back(cand);
+        }
+      }
+    }
+
+    // Flush batches, then the marker that bounds this superstep's data.
+    for (int peer = 0; peer < ctx.world(); ++peer) {
+      auto& out = outbox[static_cast<std::size_t>(peer)];
+      if (peer != ctx.rank()) {
+        for (std::size_t begin = 0; begin < out.size();
+             begin += k_batch_records) {
+          const std::size_t end =
+              std::min(begin + k_batch_records, out.size());
+          ctx.net.send(peer,
+                       encode_visitor_batch(std::span(out).subspan(
+                           begin, end - begin)));
+        }
+        ctx.report.bytes_modelled += out.size() * 32;
+        ctx.net.send(peer, make_marker(superstep));
+      }
+      out.clear();
+    }
+
+    // Park everything the peers sent this superstep into the backlog,
+    // dropping candidates the local state already beats.
+    for (int peer = 0; peer < ctx.world(); ++peer) {
+      if (peer == ctx.rank()) continue;
+      ctx.chans.until_marker(peer, frame_type::superstep_marker, [&](frame& f) {
+        for (const net_visitor& v : decode_visitor_batch(f)) {
+          if (std::tuple{v.r, v.t, v.vp} < state.tuple_of(v.vj)) {
+            pending.push_back(v);
+          } else {
+            ++metrics.previsit_rejections;
+          }
+        }
+      });
+    }
+
+    metrics.queue_peak_items = std::max(
+        metrics.queue_peak_items, static_cast<std::uint64_t>(pending.size()));
+    ++metrics.rounds;
+
+    std::uint64_t min_bucket = UINT64_MAX;
+    for (const net_visitor& v : pending) {
+      min_bucket = std::min(min_bucket, bucket_of(v.r));
+    }
+    const vote_decision decision = ctx.end_superstep(
+        superstep, pending.size(), min_bucket, sent_before);
+    if (decision.stop) break;
+    bucket_limit = bucketed ? decision.min_bucket : 0;
+  }
+
+  metrics.queue_peak_bytes = metrics.queue_peak_items * sizeof(net_visitor);
+  metrics.wall_seconds = seconds_since(t0);
+  return metrics;
+}
+
+/// Boundary label sync between phases 1 and 2: each owned, reached vertex's
+/// (src, d1) goes to every other rank owning one of its neighbours — exactly
+/// the remote reads of the cross-edge scan. pred is deliberately not synced:
+/// walk-backs only ever dereference pred on the owner.
+void sync_ghosts(rank_ctx& ctx, core::steiner_state& state,
+                 phase_metrics& metrics) {
+  const std::uint64_t sent_before = ctx.net.stats().bytes_sent;
+  std::vector<std::vector<ghost_label>> out(
+      static_cast<std::size_t>(ctx.world()));
+  std::vector<std::uint8_t> dest_mark(static_cast<std::size_t>(ctx.world()), 0);
+  const graph::vertex_id n = ctx.graph.num_vertices();
+  for (graph::vertex_id v = 0; v < n; ++v) {
+    if (!ctx.owns(v) || !state.reached(v)) continue;
+    std::fill(dest_mark.begin(), dest_mark.end(), 0);
+    for (const graph::vertex_id u : ctx.graph.neighbors(v)) {
+      const int owner = ctx.part.owner(u);
+      if (owner == ctx.rank() || dest_mark[static_cast<std::size_t>(owner)]) {
+        continue;
+      }
+      dest_mark[static_cast<std::size_t>(owner)] = 1;
+      out[static_cast<std::size_t>(owner)].push_back(
+          ghost_label{v, state.src[v], state.distance[v]});
+    }
+  }
+  for (int peer = 0; peer < ctx.world(); ++peer) {
+    auto& labels = out[static_cast<std::size_t>(peer)];
+    if (peer != ctx.rank()) {
+      for (std::size_t begin = 0; begin < labels.size();
+           begin += k_batch_records) {
+        const std::size_t end = std::min(begin + k_batch_records, labels.size());
+        ctx.net.send(peer, encode_ghost_batch(
+                               std::span(labels).subspan(begin, end - begin)));
+      }
+      ctx.report.ghost_labels_sent += labels.size();
+      ctx.report.bytes_modelled += labels.size() * 24;
+      metrics.messages_remote += labels.size();
+      ctx.net.send(peer, make_marker(0));
+    }
+    labels.clear();
+  }
+  for (int peer = 0; peer < ctx.world(); ++peer) {
+    if (peer == ctx.rank()) continue;
+    ctx.chans.until_marker(peer, frame_type::superstep_marker, [&](frame& f) {
+      for (const ghost_label& g : decode_ghost_batch(f)) {
+        state.distance[g.v] = g.dist;
+        state.src[g.v] = g.src;
+        ++ctx.report.ghost_labels_applied;
+      }
+    });
+  }
+  net_superstep_sample sample;
+  sample.superstep = 0;
+  sample.bytes_measured = ctx.net.stats().bytes_sent - sent_before;
+  sample.bytes_modelled = ctx.report.bytes_modelled - ctx.modelled_epoch;
+  ctx.modelled_epoch = ctx.report.bytes_modelled;
+  ctx.report.samples.push_back(sample);
+}
+
+/// Phase 2: partition-local cross-cell minimum bridges. Each undirected edge
+/// is probed exactly once globally — at the owner of its lower endpoint,
+/// whose ghost table holds the higher endpoint's label after sync_ghosts.
+phase_metrics scan_local_min_edges(rank_ctx& ctx,
+                                         const core::steiner_state& state,
+                                         core::cross_edge_map& local_en) {
+  phase_metrics metrics{};
+  const auto t0 = clock::now();
+  const graph::vertex_id n = ctx.graph.num_vertices();
+  for (graph::vertex_id u = 0; u < n; ++u) {
+    if (!ctx.owns(u) || !state.reached(u)) continue;
+    const auto neighbors = ctx.graph.neighbors(u);
+    const auto weights = ctx.graph.weights(u);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const graph::vertex_id vt = neighbors[i];
+      if (u >= vt || !state.reached(vt)) continue;
+      if (state.src[u] == state.src[vt]) continue;
+      ++metrics.visitors_processed;
+      const core::cross_edge_entry candidate{
+          state.distance[u] + weights[i] + state.distance[vt],
+          std::min(u, vt), std::max(u, vt), weights[i]};
+      const core::seed_pair key{std::min(state.src[u], state.src[vt]),
+                                std::max(state.src[u], state.src[vt])};
+      const auto [it, inserted] = local_en.emplace(key, candidate);
+      if (!inserted) it->second = core::min_entry(it->second, candidate);
+    }
+  }
+  metrics.rounds = 1;
+  metrics.wall_seconds = seconds_since(t0);
+  return metrics;
+}
+
+/// Phase 3: all-to-all exchange of the per-rank EN maps and a lexicographic
+/// min-merge — the wire realisation of Allreduce(MIN) over EN. The merged
+/// map's *content* is identical on every rank (min is order-free), which is
+/// all downstream phases read: they iterate bridges in sorted key order.
+phase_metrics reduce_global_en(rank_ctx& ctx,
+                                     const core::cross_edge_map& local_en,
+                                     core::cross_edge_map& global_en,
+                                     const runtime::communicator& comm) {
+  phase_metrics metrics{};
+  const auto t0 = clock::now();
+  const std::uint64_t sent_before = ctx.net.stats().bytes_sent;
+
+  std::vector<wire_en_entry> wire;
+  wire.reserve(local_en.size());
+  for (const auto& [key, entry] : local_en) {
+    wire.push_back(wire_en_entry{key.first, key.second, entry.bridge_distance,
+                                 entry.u, entry.v, entry.edge_weight});
+  }
+  for (int peer = 0; peer < ctx.world(); ++peer) {
+    if (peer == ctx.rank()) continue;
+    for (std::size_t begin = 0; begin < wire.size();
+         begin += k_batch_records) {
+      const std::size_t end = std::min(begin + k_batch_records, wire.size());
+      ctx.net.send(peer, encode_en_batch(
+                             std::span(wire).subspan(begin, end - begin)));
+    }
+    ctx.net.send(peer, make_marker(0));
+  }
+  ctx.report.bytes_modelled +=
+      wire.size() * 48 * static_cast<std::uint64_t>(ctx.world() - 1);
+
+  global_en = local_en;
+  const auto merge = [&](const wire_en_entry& e) {
+    const core::cross_edge_entry entry{e.bridge_distance, e.u, e.v,
+                                       e.edge_weight};
+    const auto [it, inserted] =
+        global_en.emplace(core::seed_pair{e.seed_a, e.seed_b}, entry);
+    if (!inserted) it->second = core::min_entry(it->second, entry);
+  };
+  for (int peer = 0; peer < ctx.world(); ++peer) {
+    if (peer == ctx.rank()) continue;
+    ctx.chans.until_marker(peer, frame_type::superstep_marker, [&](frame& f) {
+      for (const wire_en_entry& e : decode_en_batch(f)) merge(e);
+    });
+  }
+
+  // Simulated-clock accounting mirrors the in-process collective: the
+  // reduced map is the payload every rank ends up holding.
+  constexpr std::uint64_t entry_bytes =
+      sizeof(core::seed_pair) + sizeof(core::cross_edge_entry);
+  comm.charge_collective(global_en.size() * entry_bytes, metrics);
+  comm.note_buffer_bytes(global_en.size() * entry_bytes);
+
+  net_superstep_sample sample;
+  sample.superstep = 0;
+  sample.bytes_measured = ctx.net.stats().bytes_sent - sent_before;
+  sample.bytes_modelled = ctx.report.bytes_modelled - ctx.modelled_epoch;
+  ctx.modelled_epoch = ctx.report.bytes_modelled;
+  ctx.report.samples.push_back(sample);
+  metrics.wall_seconds = seconds_since(t0);
+  return metrics;
+}
+
+/// Phase 6: pred walk-backs from the surviving bridges, BSP over walk_batch
+/// frames. Every rank derives the same bridge list (global_en is identical),
+/// seeds its own endpoints, and marks/walks only owned vertices.
+phase_metrics run_tree_edges(rank_ctx& ctx,
+                                   const core::cross_edge_map& pruned_en,
+                                   const core::steiner_state& state,
+                                   std::vector<graph::weighted_edge>& local_es) {
+  phase_metrics metrics{};
+  const auto t0 = clock::now();
+
+  std::vector<std::pair<core::seed_pair, core::cross_edge_entry>> bridges(
+      pruned_en.begin(), pruned_en.end());
+  std::sort(bridges.begin(), bridges.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::vector<std::uint8_t> in_tree(ctx.graph.num_vertices(), 0);
+  std::vector<graph::vertex_id> worklist;
+  for (const auto& [key, entry] : bridges) {
+    if (ctx.owns(entry.u)) {
+      local_es.push_back(
+          graph::weighted_edge{entry.u, entry.v, entry.edge_weight});
+      worklist.push_back(entry.u);
+    }
+    if (ctx.owns(entry.v)) worklist.push_back(entry.v);
+  }
+
+  std::vector<std::vector<graph::vertex_id>> outbox(
+      static_cast<std::size_t>(ctx.world()));
+  std::vector<graph::vertex_id> next;
+  for (std::uint32_t superstep = 0;; ++superstep) {
+    const std::uint64_t sent_before = ctx.net.stats().bytes_sent;
+    while (!worklist.empty()) {
+      const graph::vertex_id vj = worklist.back();
+      worklist.pop_back();
+      if (in_tree[vj] != 0) {
+        ++metrics.previsit_rejections;
+        continue;
+      }
+      in_tree[vj] = 1;
+      ++metrics.visitors_processed;
+      if (vj == state.src[vj]) continue;  // reached the cell's seed
+      const graph::vertex_id p = state.pred[vj];
+      const auto w = ctx.graph.edge_weight(vj, p);
+      if (!w.has_value()) {
+        throw std::logic_error("tree walk-back crossed a missing edge");
+      }
+      local_es.push_back(
+          graph::weighted_edge{std::min(p, vj), std::max(p, vj), *w});
+      if (p == state.src[vj]) continue;  // next hop is the seed: edge covers it
+      if (ctx.owns(p)) {
+        ++metrics.messages_local;
+        worklist.push_back(p);
+      } else {
+        ++metrics.messages_remote;
+        outbox[static_cast<std::size_t>(ctx.part.owner(p))].push_back(p);
+      }
+    }
+
+    for (int peer = 0; peer < ctx.world(); ++peer) {
+      auto& out = outbox[static_cast<std::size_t>(peer)];
+      if (peer != ctx.rank()) {
+        for (std::size_t begin = 0; begin < out.size();
+             begin += k_batch_records) {
+          const std::size_t end = std::min(begin + k_batch_records, out.size());
+          ctx.net.send(peer, encode_walk_batch(std::span(out).subspan(
+                                 begin, end - begin)));
+        }
+        ctx.report.bytes_modelled += out.size() * 8;
+        ctx.net.send(peer, make_marker(superstep));
+      }
+      out.clear();
+    }
+    next.clear();
+    for (int peer = 0; peer < ctx.world(); ++peer) {
+      if (peer == ctx.rank()) continue;
+      ctx.chans.until_marker(peer, frame_type::superstep_marker, [&](frame& f) {
+        for (const graph::vertex_id v : decode_walk_batch(f)) {
+          if (in_tree[v] == 0) next.push_back(v);
+        }
+      });
+    }
+    worklist.swap(next);
+    ++metrics.rounds;
+    const vote_decision decision = ctx.end_superstep(
+        superstep, worklist.size(), UINT64_MAX, sent_before);
+    if (decision.stop) break;
+  }
+  metrics.wall_seconds = seconds_since(t0);
+  return metrics;
+}
+
+/// Final assembly: allgather the per-rank edge lists and canonically sort.
+phase_metrics gather_tree(rank_ctx& ctx,
+                                std::vector<graph::weighted_edge>& local_es,
+                                std::vector<graph::weighted_edge>& tree) {
+  phase_metrics metrics{};
+  const auto t0 = clock::now();
+  const std::uint64_t sent_before = ctx.net.stats().bytes_sent;
+  for (int peer = 0; peer < ctx.world(); ++peer) {
+    if (peer == ctx.rank()) continue;
+    for (std::size_t begin = 0; begin < local_es.size();
+         begin += k_batch_records) {
+      const std::size_t end = std::min(begin + k_batch_records, local_es.size());
+      ctx.net.send(peer, encode_edge_batch(std::span(local_es).subspan(
+                             begin, end - begin)));
+    }
+    ctx.net.send(peer, make_marker(0));
+  }
+  ctx.report.bytes_modelled +=
+      local_es.size() * 24 * static_cast<std::uint64_t>(ctx.world() - 1);
+
+  tree = std::move(local_es);
+  for (int peer = 0; peer < ctx.world(); ++peer) {
+    if (peer == ctx.rank()) continue;
+    ctx.chans.until_marker(peer, frame_type::superstep_marker, [&](frame& f) {
+      for (const graph::weighted_edge& e : decode_edge_batch(f)) {
+        tree.push_back(e);
+      }
+    });
+  }
+  std::sort(tree.begin(), tree.end(),
+            [](const graph::weighted_edge& a, const graph::weighted_edge& b) {
+              return std::tuple{a.source, a.target} <
+                     std::tuple{b.source, b.target};
+            });
+  net_superstep_sample sample;
+  sample.superstep = 0;
+  sample.bytes_measured = ctx.net.stats().bytes_sent - sent_before;
+  sample.bytes_modelled = ctx.report.bytes_modelled - ctx.modelled_epoch;
+  ctx.modelled_epoch = ctx.report.bytes_modelled;
+  ctx.report.samples.push_back(sample);
+  metrics.wall_seconds = seconds_since(t0);
+  return metrics;
+}
+
+}  // namespace
+
+core::steiner_result solve_rank(const graph::csr_graph& graph,
+                                std::span<const graph::vertex_id> seeds,
+                                const core::solver_config& config,
+                                comm_backend& net, net_solve_report* report) {
+  // Deterministic preprocessing — identical on every rank, so a rejected
+  // seed list throws everywhere before any traffic flows.
+  const std::vector<graph::vertex_id> seed_list =
+      core::detail::dedup_seeds(graph, seeds);
+
+  core::steiner_result result;
+  result.num_seeds = seed_list.size();
+  rank_ctx ctx(graph, config, net);
+
+  if (seed_list.size() > 1) {
+    core::steiner_state state(graph.num_vertices());
+    result.phases.phase(phase_names::voronoi) =
+        run_voronoi(ctx, seed_list, state, result.growth);
+
+    auto& local_metrics = result.phases.phase(phase_names::local_min_edge);
+    sync_ghosts(ctx, state, local_metrics);
+    core::cross_edge_map local_en;
+    {
+      phase_metrics scan = scan_local_min_edges(ctx, state, local_en);
+      scan.messages_remote += local_metrics.messages_remote;
+      local_metrics = scan;
+    }
+    if (config.budget != nullptr) config.budget->check();
+
+    const runtime::communicator comm(ctx.world(), config.costs);
+    core::cross_edge_map global_en;
+    result.phases.phase(phase_names::global_min_edge) =
+        reduce_global_en(ctx, local_en, global_en, comm);
+    result.distance_graph_edges = global_en.size();
+
+    auto& mst_metrics = result.phases.phase(phase_names::mst);
+    const auto mst_t0 = clock::now();
+    const core::distance_graph_mst mst = core::compute_distance_graph_mst(
+        global_en, seed_list, comm, mst_metrics);
+    mst_metrics.wall_seconds = seconds_since(mst_t0);
+    result.spans_all_seeds = mst.spans_all_seeds;
+    if (!mst.spans_all_seeds && !config.allow_disconnected_seeds) {
+      throw std::runtime_error("seeds are not mutually reachable");
+    }
+
+    auto& prune_metrics = result.phases.phase(phase_names::pruning);
+    const auto prune_t0 = clock::now();
+    {
+      const std::set<core::seed_pair> keep(mst.mst_pairs.begin(),
+                                           mst.mst_pairs.end());
+      std::erase_if(global_en, [&](const auto& kv) {
+        return keep.find(kv.first) == keep.end();
+      });
+      constexpr std::uint64_t entry_bytes =
+          sizeof(core::seed_pair) + sizeof(core::cross_edge_entry);
+      comm.charge_collective(global_en.size() * entry_bytes, prune_metrics);
+    }
+    prune_metrics.wall_seconds = seconds_since(prune_t0);
+    if (config.budget != nullptr) config.budget->check();
+
+    std::vector<graph::weighted_edge> local_es;
+    result.phases.phase(phase_names::tree_edge) =
+        run_tree_edges(ctx, global_en, state, local_es);
+
+    phase_metrics gather =
+        gather_tree(ctx, local_es, result.tree_edges);
+    result.phases.phase(phase_names::tree_edge).merge(gather);
+
+    for (const graph::weighted_edge& e : result.tree_edges) {
+      result.total_distance += e.weight;
+    }
+
+    result.memory.graph_bytes = graph.memory_bytes();
+    result.memory.state_bytes =
+        state.memory_bytes() + graph.num_vertices() * sizeof(std::uint8_t);
+    result.memory.queue_peak_bytes =
+        result.phases.phase(phase_names::voronoi).queue_peak_bytes;
+    result.memory.distance_graph_bytes =
+        global_en.size() *
+        (sizeof(core::seed_pair) + sizeof(core::cross_edge_entry));
+    result.memory.collective_buffer_bytes = comm.peak_buffer_bytes();
+    result.memory.tree_bytes =
+        result.tree_edges.size() * sizeof(graph::weighted_edge);
+
+    if (config.validate) {
+      const core::validation_result check =
+          core::validate_steiner_tree(graph, seed_list, result.tree_edges);
+      if (!check) {
+        throw std::runtime_error("distributed solve failed validation: " +
+                                 check.error);
+      }
+    }
+  } else {
+    result.memory.graph_bytes = graph.memory_bytes();
+  }
+
+  ctx.report.vote_rounds = ctx.vote.rounds();
+  ctx.report.stats = net.stats();
+  if (report != nullptr) *report = std::move(ctx.report);
+  return result;
+}
+
+core::steiner_result solve_loopback(
+    const graph::csr_graph& graph, std::span<const graph::vertex_id> seeds,
+    const core::solver_config& config, int world,
+    std::vector<net_solve_report>* reports) {
+  if (world <= 0) {
+    throw std::invalid_argument("solve_loopback: world must be positive");
+  }
+  loopback_mesh mesh(world);
+  std::vector<core::steiner_result> results(static_cast<std::size_t>(world));
+  std::vector<net_solve_report> rank_reports(static_cast<std::size_t>(world));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(world));
+
+  const auto run = [&](int rank) noexcept {
+    try {
+      results[static_cast<std::size_t>(rank)] =
+          solve_rank(graph, seeds, config, mesh.endpoint(rank),
+                     &rank_reports[static_cast<std::size_t>(rank)]);
+    } catch (...) {
+      errors[static_cast<std::size_t>(rank)] = std::current_exception();
+      mesh.close_all();  // unblock peers so every rank unwinds
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(world - 1));
+  for (int rank = 1; rank < world; ++rank) {
+    threads.emplace_back(run, rank);
+  }
+  run(0);
+  for (std::thread& t : threads) t.join();
+
+  // Prefer the root cause over the wire_errors peers see once the mesh is
+  // torn down, and cancellation over everything (the service maps it).
+  std::exception_ptr first;
+  for (const std::exception_ptr& e : errors) {
+    if (!e) continue;
+    if (!first) first = e;
+    try {
+      std::rethrow_exception(e);
+    } catch (const util::operation_cancelled&) {
+      first = e;
+      break;
+    } catch (const wire_error&) {
+      // keep looking for a more specific cause
+    } catch (...) {
+      first = e;
+    }
+  }
+  if (first) std::rethrow_exception(first);
+
+  if (reports != nullptr) *reports = std::move(rank_reports);
+  return std::move(results.front());
+}
+
+}  // namespace dsteiner::runtime::net

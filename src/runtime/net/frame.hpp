@@ -1,0 +1,162 @@
+// Wire format of the real multi-process transport (src/runtime/net/).
+//
+// Every message between ranks is one length-prefixed *frame*:
+//
+//   magic u16 | type u8 | flags u8 | payload_len u32 | payload bytes
+//
+// All integers are little-endian fixed-width, so a frame encoded by any rank
+// decodes identically on any peer regardless of host padding or ABI — the
+// same property MPI datatypes buy the paper's implementation. Decoding is
+// strict: a bad magic, an oversized length, a truncated payload or trailing
+// garbage all raise `wire_error` instead of yielding a partial message, so a
+// desynchronised stream fails loudly at the first frame boundary.
+//
+// The typed payload codecs below carry exactly the state the engines already
+// exchange in-process: Voronoi visitor batches (Alg. 4 relaxations crossing
+// partitions), tree-edge walk batches (Alg. 6), ghost boundary labels,
+// cross-cell EN entries (Alg. 5), result tree edges, and the two-phase
+// termination votes folding the superstep barrier's aggregate payload.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace dsteiner::runtime::net {
+
+/// Malformed wire data: bad magic, truncated/oversized frame, payload whose
+/// length is not a whole number of records, or an unexpected frame type.
+class wire_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class frame_type : std::uint8_t {
+  hello = 1,            ///< mesh handshake: {rank, world}
+  visitor_batch = 2,    ///< Voronoi visitors routed to their target's owner
+  walk_batch = 3,       ///< tree-edge pred walk-backs (vertex ids)
+  ghost_sync = 4,       ///< boundary labels {v, src, dist} pushed to neighbours
+  en_entries = 5,       ///< cross-cell EN entries for the global reduction
+  tree_edges = 6,       ///< per-rank result edges for the final allgather
+  superstep_marker = 7, ///< end-of-superstep: no more data frames this step
+  vote = 8,             ///< termination vote, phase A (propose)
+  vote_confirm = 9,     ///< termination vote, phase B (confirm)
+  shutdown = 10,        ///< orderly mesh teardown
+};
+
+[[nodiscard]] const char* to_string(frame_type type) noexcept;
+
+struct frame {
+  frame_type type = frame_type::shutdown;
+  std::vector<std::uint8_t> payload;
+};
+
+inline constexpr std::uint16_t k_frame_magic = 0xD57E;
+inline constexpr std::size_t k_header_bytes = 8;
+/// Upper bound a receiver enforces before allocating the payload buffer: a
+/// corrupted length field cannot OOM the rank. Batches are chunked well below
+/// this by the senders.
+inline constexpr std::uint32_t k_max_payload_bytes = 64u << 20;
+
+/// Bytes a frame occupies on the wire (what the traffic counters measure).
+[[nodiscard]] inline std::uint64_t wire_bytes(const frame& f) noexcept {
+  return k_header_bytes + f.payload.size();
+}
+
+struct frame_header {
+  frame_type type = frame_type::shutdown;
+  std::uint32_t payload_bytes = 0;
+};
+
+/// Serialises the 8-byte header for `f` into `out`.
+void encode_header(const frame& f, std::uint8_t out[k_header_bytes]);
+
+/// Parses and validates an 8-byte header (magic, type range, length bound).
+[[nodiscard]] frame_header decode_header(
+    std::span<const std::uint8_t> header_bytes);
+
+/// Whole-buffer encode/decode, used by the loopback tests and anywhere a
+/// frame travels through memory instead of a socket. decode_frame rejects
+/// buffers with missing or trailing bytes.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const frame& f);
+[[nodiscard]] frame decode_frame(std::span<const std::uint8_t> bytes);
+
+// ---- typed payloads ------------------------------------------------------
+
+/// One Voronoi relaxation crossing a partition boundary. Field meanings match
+/// core::voronoi_visitor: relax vertex `vj` with candidate label
+/// (dist `r`, seed `t`, pred `vp`).
+struct net_visitor {
+  graph::vertex_id vj = 0;
+  graph::vertex_id vp = graph::k_no_vertex;
+  graph::vertex_id t = graph::k_no_vertex;
+  graph::weight_t r = graph::k_inf_distance;
+
+  friend bool operator==(const net_visitor&, const net_visitor&) = default;
+};
+
+/// A boundary vertex's converged phase-1 label, pushed by its owner to every
+/// rank owning one of its neighbours (the ghost/boundary sync).
+struct ghost_label {
+  graph::vertex_id v = 0;
+  graph::vertex_id src = graph::k_no_vertex;
+  graph::weight_t dist = graph::k_inf_distance;
+
+  friend bool operator==(const ghost_label&, const ghost_label&) = default;
+};
+
+/// One rank's contribution to a termination round — the same payload the
+/// threaded engine folds through parallel::superstep_barrier::aggregate:
+/// outstanding backlog (summed), cooperative-stop flag (OR-folded) and the
+/// lowest open delta-stepping bucket (min-folded; UINT64_MAX = none).
+struct bucket_vote {
+  std::uint64_t outstanding = 0;
+  std::uint64_t min_bucket = UINT64_MAX;
+  std::uint32_t superstep = 0;
+  std::uint8_t cancel = 0;
+
+  friend bool operator==(const bucket_vote&, const bucket_vote&) = default;
+};
+
+/// One EN entry on the wire: canonical seed pair + its best bridge.
+struct wire_en_entry {
+  graph::vertex_id seed_a = 0;  ///< canonical: seed_a < seed_b
+  graph::vertex_id seed_b = 0;
+  graph::weight_t bridge_distance = graph::k_inf_distance;
+  graph::vertex_id u = graph::k_no_vertex;  ///< bridge endpoints, u < v
+  graph::vertex_id v = graph::k_no_vertex;
+  graph::weight_t edge_weight = 0;
+
+  friend bool operator==(const wire_en_entry&, const wire_en_entry&) = default;
+};
+
+[[nodiscard]] frame encode_hello(int rank, int world);
+void decode_hello(const frame& f, int& rank, int& world);
+
+[[nodiscard]] frame encode_visitor_batch(std::span<const net_visitor> items);
+[[nodiscard]] std::vector<net_visitor> decode_visitor_batch(const frame& f);
+
+[[nodiscard]] frame encode_walk_batch(std::span<const graph::vertex_id> items);
+[[nodiscard]] std::vector<graph::vertex_id> decode_walk_batch(const frame& f);
+
+[[nodiscard]] frame encode_ghost_batch(std::span<const ghost_label> items);
+[[nodiscard]] std::vector<ghost_label> decode_ghost_batch(const frame& f);
+
+[[nodiscard]] frame encode_en_batch(std::span<const wire_en_entry> items);
+[[nodiscard]] std::vector<wire_en_entry> decode_en_batch(const frame& f);
+
+[[nodiscard]] frame encode_edge_batch(
+    std::span<const graph::weighted_edge> items);
+[[nodiscard]] std::vector<graph::weighted_edge> decode_edge_batch(
+    const frame& f);
+
+[[nodiscard]] frame encode_vote(const bucket_vote& vote, bool confirm);
+[[nodiscard]] bucket_vote decode_vote(const frame& f);
+
+[[nodiscard]] frame make_marker(std::uint32_t superstep);
+[[nodiscard]] std::uint32_t decode_marker(const frame& f);
+
+}  // namespace dsteiner::runtime::net

@@ -1,0 +1,94 @@
+#include "runtime/net/loopback_backend.hpp"
+
+#include <stdexcept>
+
+namespace dsteiner::runtime::net {
+
+namespace {
+constexpr const char* k_closed = "loopback mesh closed";
+}  // namespace
+
+/// One rank's view of the mesh. send() moves an encoded-size-accounted frame
+/// into the destination inbox; recv() waits on this rank's own inbox.
+class loopback_endpoint final : public comm_backend {
+ public:
+  loopback_endpoint(loopback_mesh* mesh, int rank)
+      : mesh_(mesh), rank_(rank) {}
+
+  [[nodiscard]] int rank() const noexcept override { return rank_; }
+  [[nodiscard]] int world_size() const noexcept override {
+    return mesh_->world_;
+  }
+
+  void send(int to, const frame& f) override {
+    if (to == rank_ || to < 0 || to >= mesh_->world_) {
+      throw std::invalid_argument("loopback send: bad destination rank");
+    }
+    loopback_mesh::inbox& box = *mesh_->inboxes_[static_cast<std::size_t>(to)];
+    {
+      std::lock_guard lock(box.mutex);
+      if (box.closed) throw wire_error(k_closed);
+      box.frames.emplace_back(rank_, f);
+    }
+    box.ready.notify_one();
+    stats_.bytes_sent += wire_bytes(f);
+    ++stats_.frames_sent;
+  }
+
+  bool recv(int& from, frame& out) override {
+    loopback_mesh::inbox& box =
+        *mesh_->inboxes_[static_cast<std::size_t>(rank_)];
+    std::unique_lock lock(box.mutex);
+    box.ready.wait(lock, [&] { return !box.frames.empty() || box.closed; });
+    if (box.frames.empty()) return false;  // closed and drained
+    from = box.frames.front().first;
+    out = std::move(box.frames.front().second);
+    box.frames.pop_front();
+    lock.unlock();
+    stats_.bytes_received += wire_bytes(out);
+    ++stats_.frames_received;
+    return true;
+  }
+
+  [[nodiscard]] net_stats stats() const noexcept override { return stats_; }
+
+  void close() override { mesh_->close_all(); }
+
+ private:
+  loopback_mesh* mesh_;
+  int rank_;
+  net_stats stats_;
+};
+
+loopback_mesh::loopback_mesh(int world) : world_(world) {
+  if (world <= 0) {
+    throw std::invalid_argument("loopback_mesh: world must be positive");
+  }
+  inboxes_.reserve(static_cast<std::size_t>(world));
+  endpoints_.reserve(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    inboxes_.push_back(std::make_unique<inbox>());
+    endpoints_.push_back(std::make_unique<loopback_endpoint>(this, r));
+  }
+}
+
+loopback_mesh::~loopback_mesh() { close_all(); }
+
+comm_backend& loopback_mesh::endpoint(int rank) {
+  if (rank < 0 || rank >= world_) {
+    throw std::invalid_argument("loopback_mesh: rank out of range");
+  }
+  return *endpoints_[static_cast<std::size_t>(rank)];
+}
+
+void loopback_mesh::close_all() {
+  for (auto& box : inboxes_) {
+    {
+      std::lock_guard lock(box->mutex);
+      box->closed = true;
+    }
+    box->ready.notify_all();
+  }
+}
+
+}  // namespace dsteiner::runtime::net

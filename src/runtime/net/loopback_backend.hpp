@@ -1,0 +1,62 @@
+// In-process loopback mesh — the default comm_backend.
+//
+// Extraction of the transport the repo has always effectively used: every
+// rank lives in the same process and "sending" is moving a frame into the
+// destination rank's inbox. Zero behaviour change versus shared memory for
+// the algorithms above it, but the frames still pass through the real wire
+// encode path for byte accounting, so loopback solves report the same
+// measured traffic a TCP solve does — which is what lets tests assert the
+// TCP backend is a pure transport swap.
+//
+// One `loopback_mesh` owns `world` endpoints; each endpoint is driven by
+// exactly one rank thread (net::solve_loopback spawns one thread per rank).
+// Inboxes are mutex+condvar deques: unbounded, so a rank can always complete
+// its superstep sends before draining receives (the BSP discipline the
+// solver relies on), and `close_all()` unblocks every waiter for error
+// unwinding.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "runtime/net/comm_backend.hpp"
+
+namespace dsteiner::runtime::net {
+
+class loopback_mesh {
+ public:
+  explicit loopback_mesh(int world);
+  ~loopback_mesh();
+
+  loopback_mesh(const loopback_mesh&) = delete;
+  loopback_mesh& operator=(const loopback_mesh&) = delete;
+
+  [[nodiscard]] int world_size() const noexcept { return world_; }
+
+  /// Rank `rank`'s endpoint. The mesh must outlive every returned reference.
+  [[nodiscard]] comm_backend& endpoint(int rank);
+
+  /// Closes every inbox: blocked receivers wake and drain, then observe
+  /// end-of-mesh. Used for orderly teardown and error unwinding.
+  void close_all();
+
+ private:
+  friend class loopback_endpoint;
+
+  struct inbox {
+    std::mutex mutex;
+    std::condition_variable ready;
+    std::deque<std::pair<int, frame>> frames;  ///< (from, frame)
+    bool closed = false;
+  };
+
+  int world_;
+  std::vector<std::unique_ptr<inbox>> inboxes_;
+  std::vector<std::unique_ptr<comm_backend>> endpoints_;
+};
+
+}  // namespace dsteiner::runtime::net

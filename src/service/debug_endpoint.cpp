@@ -79,6 +79,13 @@ std::string debug_endpoint::render_statusz() const {
        s.growth_bucket_pruned, s.growth_last_delta,
        s.growth_last_tile_threshold);
   line(out,
+       "net: solves=%" PRIu64 " bytes_sent=%" PRIu64 " bytes_modelled=%" PRIu64
+       " frames=%" PRIu64 " supersteps=%" PRIu64 " votes=%" PRIu64
+       " ghost_labels=%" PRIu64,
+       s.distributed_solves, s.net_bytes_sent, s.net_bytes_modelled,
+       s.net_frames_sent, s.net_supersteps, s.net_vote_rounds,
+       s.net_ghost_labels);
+  line(out,
        "latency: p50=%.6fs p99=%.6fs mean=%.6fs samples=%" PRIu64,
        snap.total.percentile(50.0), snap.total.percentile(99.0),
        snap.total.mean(), snap.total.count);

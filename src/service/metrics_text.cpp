@@ -240,6 +240,51 @@ void append_histogram(std::string& out, std::string_view prefix,
   append_line(out, buffer);
 }
 
+/// append_histogram with every bucket bound and the sum multiplied by
+/// `scale`: the latency_histogram's log2 grid was laid out for seconds, so
+/// byte-valued series record samples as bytes x 1/scale and re-scale the
+/// exposition bounds back to bytes here.
+void append_histogram_scaled(std::string& out, std::string_view prefix,
+                             std::string_view name, std::string_view help,
+                             const latency_histogram::snapshot_data& hist,
+                             double scale) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer), "# HELP %.*s_%.*s %.*s",
+                static_cast<int>(prefix.size()), prefix.data(),
+                static_cast<int>(name.size()), name.data(),
+                static_cast<int>(help.size()), help.data());
+  append_line(out, buffer);
+  std::snprintf(buffer, sizeof(buffer), "# TYPE %.*s_%.*s histogram",
+                static_cast<int>(prefix.size()), prefix.data(),
+                static_cast<int>(name.size()), name.data());
+  append_line(out, buffer);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < latency_histogram::k_buckets; ++i) {
+    cumulative += hist.buckets[i];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%.*s_%.*s_bucket{le=\"%.9g\"} %" PRIu64,
+                  static_cast<int>(prefix.size()), prefix.data(),
+                  static_cast<int>(name.size()), name.data(),
+                  latency_histogram::bucket_upper_seconds(i) * scale,
+                  cumulative);
+    append_line(out, buffer);
+  }
+  std::snprintf(buffer, sizeof(buffer),
+                "%.*s_%.*s_bucket{le=\"+Inf\"} %" PRIu64,
+                static_cast<int>(prefix.size()), prefix.data(),
+                static_cast<int>(name.size()), name.data(), cumulative);
+  append_line(out, buffer);
+  std::snprintf(buffer, sizeof(buffer), "%.*s_%.*s_sum %.9g",
+                static_cast<int>(prefix.size()), prefix.data(),
+                static_cast<int>(name.size()), name.data(),
+                hist.total_seconds * scale);
+  append_line(out, buffer);
+  std::snprintf(buffer, sizeof(buffer), "%.*s_%.*s_count %" PRIu64,
+                static_cast<int>(prefix.size()), prefix.data(),
+                static_cast<int>(name.size()), name.data(), cumulative);
+  append_line(out, buffer);
+}
+
 }  // namespace
 
 std::string render_metrics_text(const service_snapshot& snap,
@@ -339,6 +384,30 @@ std::string render_metrics_text(const service_snapshot& snap,
                "Resolved edge-tiling degree threshold of the most recent "
                "bucketed solve",
                s.growth_last_tile_threshold);
+  append_counter(out, prefix, "net_solves_total",
+                 "Cold solves executed on the distributed comm_backend mesh",
+                 s.distributed_solves);
+  append_counter(out, prefix, "net_bytes_sent_total",
+                 "Measured wire bytes sent by distributed solves, all ranks "
+                 "(headers, markers and votes included)",
+                 s.net_bytes_sent);
+  append_counter(out, prefix, "net_bytes_modelled_total",
+                 "Perf-model payload-byte prediction for the same solves "
+                 "(records x record size, no framing)",
+                 s.net_bytes_modelled);
+  append_counter(out, prefix, "net_frames_sent_total",
+                 "Typed frames put on the mesh by distributed solves",
+                 s.net_frames_sent);
+  append_counter(out, prefix, "net_supersteps_total",
+                 "BSP supersteps executed by distributed solves (mesh-wide, "
+                 "not per-rank)",
+                 s.net_supersteps);
+  append_counter(out, prefix, "net_vote_rounds_total",
+                 "Two-phase termination vote rounds (confirm rounds included)",
+                 s.net_vote_rounds);
+  append_counter(out, prefix, "net_ghost_labels_total",
+                 "Boundary vertex labels synchronized between ranks",
+                 s.net_ghost_labels);
   append_counter(out, prefix, "bound_sharpened_admissions_total",
                  "Admission cost estimates scaled by oracle seed spread",
                  s.bound_sharpened);
@@ -443,6 +512,15 @@ std::string render_metrics_text(const service_snapshot& snap,
                    "Admission residual the global-p50 baseline would have "
                    "had on the same queries",
                    snap.estimate_error_baseline);
+  append_histogram_scaled(out, prefix, "comm_bytes_modelled",
+                          "Perf-model predicted payload bytes per distributed "
+                          "superstep",
+                          snap.comm_bytes_modelled, 1e6);
+  append_histogram_scaled(out, prefix, "comm_bytes_measured",
+                          "Measured wire bytes per distributed superstep "
+                          "(always >= the modelled series; the gap is framing "
+                          "overhead)",
+                          snap.comm_bytes_measured, 1e6);
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "runtime/net/dist_solver.hpp"
 #include "runtime/parallel/worker_pool.hpp"
 #include "util/hash.hpp"
 
@@ -98,6 +99,46 @@ void steiner_service::grant_worker_budget(
   if (config.mode == runtime::execution_mode::parallel_threads &&
       config.num_threads == 0) {
     config.num_threads = intra_query_threads_;
+  }
+}
+
+void steiner_service::record_net_reports(
+    const std::vector<runtime::net::net_solve_report>& reports,
+    obs::query_trace* trace) {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_modelled = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t ghost_labels = 0;
+  std::uint64_t supersteps = 0;
+  std::uint64_t vote_rounds = 0;
+  for (const runtime::net::net_solve_report& r : reports) {
+    bytes_sent += r.stats.bytes_sent;
+    bytes_modelled += r.bytes_modelled;
+    frames_sent += r.stats.frames_sent;
+    ghost_labels += r.ghost_labels_sent;
+    // Supersteps march in lockstep across ranks (the vote is a barrier), so
+    // the mesh-wide count is the max, not the sum.
+    supersteps = std::max(supersteps, r.supersteps);
+    vote_rounds += r.vote_rounds;
+    for (const runtime::net::net_superstep_sample& s : r.samples) {
+      comm_bytes_modelled_hist_.record(static_cast<double>(s.bytes_modelled) *
+                                       1e-6);
+      comm_bytes_measured_hist_.record(static_cast<double>(s.bytes_measured) *
+                                       1e-6);
+    }
+  }
+  net_bytes_sent_ += bytes_sent;
+  net_bytes_modelled_ += bytes_modelled;
+  net_frames_sent_ += frames_sent;
+  net_ghost_labels_ += ghost_labels;
+  net_supersteps_ += supersteps;
+  net_vote_rounds_ += vote_rounds;
+  if (trace != nullptr) {
+    trace->add_event("net_bytes_sent", static_cast<double>(bytes_sent));
+    trace->add_event("net_bytes_modelled",
+                     static_cast<double>(bytes_modelled));
+    trace->add_event("net_supersteps", static_cast<double>(supersteps));
+    trace->add_event("net_vote_rounds", static_cast<double>(vote_rounds));
   }
 }
 
@@ -906,53 +947,71 @@ query_result steiner_service::execute(query q, double queue_wait,
       }
     }
     if (!warmed) {
-      // Shared-substrate assists: borrow the fragments of whichever seeds
-      // earlier solves settled on this epoch (pre-seeding phase 1 from their
-      // surface) and fetch landmark upper bounds to prune the rest. Both are
-      // output-neutral; a fragment-assisted solve still counts as cold.
-      core::solve_assists assists;
-      std::vector<core::sssp_fragment_view> frag_views;
-      std::vector<distshare::fragment_ptr> borrowed;
-      if (config_.enable_fragment_reuse && q.allow_warm_start &&
-          canonical.size() > 1) {
-        for (const graph::vertex_id s : canonical) {
-          if (distshare::fragment_ptr f =
-                  fragments_.borrow(epoch->fingerprint(), s)) {
-            frag_views.push_back(f->view());
-            borrowed.push_back(std::move(f));
-            if (trace != nullptr) {
-              trace->add_event("fragment_borrow", static_cast<double>(s));
+      if (config_.distributed.world >= 2) {
+        // Distributed cold path (runtime/net/): the solve runs as `world`
+        // loopback comm_backend ranks exchanging the same typed frames the
+        // TCP mesh carries, with hash-partitioned vertex state and two-phase
+        // termination votes. The tree is bit-identical to the in-process
+        // solver. No warm capture or fragment assists here — per-rank state
+        // is sharded, so there is no whole-graph artifact to keep.
+        artifacts.reset();
+        std::vector<runtime::net::net_solve_report> reports;
+        out.result = runtime::net::solve_loopback(*csr, canonical,
+                                                  solver_config,
+                                                  config_.distributed.world,
+                                                  &reports);
+        record_net_reports(reports, trace.get());
+        ++distributed_solves_;
+      } else {
+        // Shared-substrate assists: borrow the fragments of whichever seeds
+        // earlier solves settled on this epoch (pre-seeding phase 1 from
+        // their surface) and fetch landmark upper bounds to prune the rest.
+        // Both are output-neutral; a fragment-assisted solve still counts as
+        // cold.
+        core::solve_assists assists;
+        std::vector<core::sssp_fragment_view> frag_views;
+        std::vector<distshare::fragment_ptr> borrowed;
+        if (config_.enable_fragment_reuse && q.allow_warm_start &&
+            canonical.size() > 1) {
+          for (const graph::vertex_id s : canonical) {
+            if (distshare::fragment_ptr f =
+                    fragments_.borrow(epoch->fingerprint(), s)) {
+              frag_views.push_back(f->view());
+              borrowed.push_back(std::move(f));
+              if (trace != nullptr) {
+                trace->add_event("fragment_borrow", static_cast<double>(s));
+              }
             }
           }
+          assists.fragments = frag_views;
         }
-        assists.fragments = frag_views;
-      }
-      std::vector<graph::weight_t> prune_bound;
-      if (config_.enable_oracle && canonical.size() > 1) {
-        prune_bound = oracle_.prune_bounds(epoch->fingerprint(), canonical);
-        assists.prune_upper_bound = prune_bound;
-        if (prune_bound.empty()) kick_oracle_build(epoch);
-        if (trace != nullptr && !prune_bound.empty()) {
-          trace->add_event("oracle_prune_bounds",
-                           static_cast<double>(prune_bound.size()));
+        std::vector<graph::weight_t> prune_bound;
+        if (config_.enable_oracle && canonical.size() > 1) {
+          prune_bound = oracle_.prune_bounds(epoch->fingerprint(), canonical);
+          assists.prune_upper_bound = prune_bound;
+          if (prune_bound.empty()) kick_oracle_build(epoch);
+          if (trace != nullptr && !prune_bound.empty()) {
+            trace->add_event("oracle_prune_bounds",
+                             static_cast<double>(prune_bound.size()));
+          }
         }
-      }
-      if (assists.empty()) {
-        out.result = artifacts != nullptr
-                         ? core::solve_steiner_tree_capture(
-                               *csr, canonical, solver_config, *artifacts)
-                         : core::solve_steiner_tree(*csr, canonical,
-                                                    solver_config);
-      } else {
-        out.result = core::solve_steiner_tree_assisted(
-            *csr, canonical, assists, solver_config, artifacts.get(),
-            &out.assist);
-        if (out.assist.fragments_injected > 0) {
-          ++fragment_assisted_;
-          fragment_hits_ += out.assist.fragments_injected;
-          preseeded_vertices_ += out.assist.preseeded_vertices;
+        if (assists.empty()) {
+          out.result = artifacts != nullptr
+                           ? core::solve_steiner_tree_capture(
+                                 *csr, canonical, solver_config, *artifacts)
+                           : core::solve_steiner_tree(*csr, canonical,
+                                                      solver_config);
+        } else {
+          out.result = core::solve_steiner_tree_assisted(
+              *csr, canonical, assists, solver_config, artifacts.get(),
+              &out.assist);
+          if (out.assist.fragments_injected > 0) {
+            ++fragment_assisted_;
+            fragment_hits_ += out.assist.fragments_injected;
+            preseeded_vertices_ += out.assist.preseeded_vertices;
+          }
+          oracle_pruned_visitors_ += out.assist.pruned_visitors;
         }
-        oracle_pruned_visitors_ += out.assist.pruned_visitors;
       }
       out.kind = solve_kind::cold;
       ++cold_solves_;
@@ -1089,6 +1148,13 @@ service_stats steiner_service::stats() const {
   s.oracle_pruned_visitors = oracle_pruned_visitors_.load();
   s.oracle_builds = oracle_.stats().builds;
   s.bound_sharpened = bound_sharpened_.load();
+  s.distributed_solves = distributed_solves_.load();
+  s.net_bytes_sent = net_bytes_sent_.load();
+  s.net_bytes_modelled = net_bytes_modelled_.load();
+  s.net_frames_sent = net_frames_sent_.load();
+  s.net_supersteps = net_supersteps_.load();
+  s.net_vote_rounds = net_vote_rounds_.load();
+  s.net_ghost_labels = net_ghost_labels_.load();
   s.sampled_traces = sampled_traces_.load();
   s.slo_violations = slo_violations_.load();
   s.model_admissions = model_admissions_.load();
@@ -1115,6 +1181,8 @@ service_snapshot steiner_service::snapshot() const {
   snap.estimate_error = estimate_error_hist_.snapshot();
   snap.estimate_error_model = estimate_error_model_hist_.snapshot();
   snap.estimate_error_baseline = estimate_error_baseline_hist_.snapshot();
+  snap.comm_bytes_modelled = comm_bytes_modelled_hist_.snapshot();
+  snap.comm_bytes_measured = comm_bytes_measured_hist_.snapshot();
   snap.cost_model = cost_model_.snapshot();
   snap.slo = slo_.snapshot();
   return snap;

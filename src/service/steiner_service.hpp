@@ -78,6 +78,10 @@
 #include "service/result_cache.hpp"
 #include "util/cancellation.hpp"
 
+namespace dsteiner::runtime::net {
+struct net_solve_report;  // runtime/net/dist_solver.hpp
+}  // namespace dsteiner::runtime::net
+
 namespace dsteiner::service {
 
 struct service_config {
@@ -141,6 +145,19 @@ struct service_config {
   /// tracking (obs/slo.hpp). Scored on every successful completion;
   /// violating queries are force-retained in the slow-query log.
   obs::slo_config slo{};
+  /// Distributed runtime (runtime/net/): world >= 2 routes every cold solve
+  /// through `net::solve_loopback` — one comm_backend rank per in-process
+  /// thread, exchanging the same typed frames the TCP backend puts on real
+  /// sockets. Output is bit-identical to the single-process solver (the
+  /// solver's fixed point is a unique lexicographic minimum), so this is the
+  /// serving-path twin of the `dsteiner-rank` multi-process launcher: same
+  /// wire codecs, same termination votes, same traffic counters, minus the
+  /// kernel. Warm starts and fragment capture are skipped in this mode
+  /// (artifacts live sharded across ranks); 1 = classic in-process solver.
+  struct distributed_config {
+    int world = 1;
+  };
+  distributed_config distributed{};
 };
 
 struct service_stats {
@@ -174,6 +191,16 @@ struct service_stats {
   std::uint64_t growth_bucket_pruned = 0;  ///< visitors dropped by bucket pruning
   std::uint64_t growth_last_delta = 0;  ///< resolved bucket width, last solve
   std::uint64_t growth_last_tile_threshold = 0;  ///< resolved tile width, last
+
+  // Distributed runtime traffic (runtime/net/), populated when
+  // config.distributed.world >= 2. Bytes are whole-mesh sums over all ranks.
+  std::uint64_t distributed_solves = 0;  ///< cold solves run on the net mesh
+  std::uint64_t net_bytes_sent = 0;      ///< measured wire bytes (w/ headers)
+  std::uint64_t net_bytes_modelled = 0;  ///< perf-model payload prediction
+  std::uint64_t net_frames_sent = 0;     ///< frames put on the mesh
+  std::uint64_t net_supersteps = 0;      ///< BSP supersteps across solves
+  std::uint64_t net_vote_rounds = 0;     ///< termination vote rounds
+  std::uint64_t net_ghost_labels = 0;    ///< boundary labels synchronized
 
   // Shared distance substrate (distshare/).
   std::uint64_t fragment_assisted = 0;  ///< cold solves pre-seeded from store
@@ -213,6 +240,14 @@ struct service_snapshot {
   /// its prediction and what the global-p50 baseline would have said.
   latency_histogram::snapshot_data estimate_error_model;
   latency_histogram::snapshot_data estimate_error_baseline;
+  /// Distributed traffic, paired modelled-vs-measured: one sample per
+  /// superstep, in megabytes (bytes x 1e-6 — the histogram's log2 buckets
+  /// were sized for seconds, and MB land in the same useful range). Measured
+  /// counts real wire bytes including headers/markers/votes, so measured >=
+  /// modelled holds per sample; the gap is framing overhead the perf model
+  /// deliberately excludes.
+  latency_histogram::snapshot_data comm_bytes_modelled;
+  latency_histogram::snapshot_data comm_bytes_measured;
   obs::cost_model_snapshot cost_model;  ///< RLS coefficients, samples, residual
   obs::slo_snapshot slo;                ///< per-class burn rates and windows
 };
@@ -432,6 +467,11 @@ class steiner_service {
   /// parallel_threads solve with no explicit thread count gets this
   /// service's intra-query worker grant.
   void grant_worker_budget(core::solver_config& config) const noexcept;
+  /// Folds one distributed solve's per-rank telemetry into the service's net
+  /// counters and the paired modelled/measured per-superstep histograms.
+  void record_net_reports(
+      const std::vector<runtime::net::net_solve_report>& reports,
+      obs::query_trace* trace);
 
   service_config config_;
   graph::epoch_store epochs_;
@@ -467,6 +507,9 @@ class steiner_service {
   /// learned model's absolute error and the baseline's on the same queries.
   latency_histogram estimate_error_model_hist_;
   latency_histogram estimate_error_baseline_hist_;
+  /// Distributed per-superstep traffic in MB (see service_snapshot).
+  latency_histogram comm_bytes_modelled_hist_;
+  latency_histogram comm_bytes_measured_hist_;
 
   /// Learned admission cost model: trained from every completed real solve,
   /// consulted by estimate_completion_seconds (internally synchronized).
@@ -558,6 +601,13 @@ class steiner_service {
   std::atomic<std::uint64_t> preseeded_vertices_{0};
   std::atomic<std::uint64_t> oracle_pruned_visitors_{0};
   std::atomic<std::uint64_t> bound_sharpened_{0};
+  std::atomic<std::uint64_t> distributed_solves_{0};
+  std::atomic<std::uint64_t> net_bytes_sent_{0};
+  std::atomic<std::uint64_t> net_bytes_modelled_{0};
+  std::atomic<std::uint64_t> net_frames_sent_{0};
+  std::atomic<std::uint64_t> net_supersteps_{0};
+  std::atomic<std::uint64_t> net_vote_rounds_{0};
+  std::atomic<std::uint64_t> net_ghost_labels_{0};
   std::array<std::atomic<std::uint64_t>, k_priority_classes> admitted_by_prio_{};
   std::array<std::atomic<std::uint64_t>, k_priority_classes> shed_by_prio_{};
 

@@ -1,0 +1,426 @@
+// The distributed transport subsystem (src/runtime/net/): wire-format
+// round-trips and strict rejection, loopback mesh semantics, the termination
+// vote, and the headline guarantee — a distributed solve over any world size
+// and either backend is bit-identical to the single-process solver.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/steiner_solver.hpp"
+#include "core/validation.hpp"
+#include "graph/generators.hpp"
+#include "runtime/net/dist_solver.hpp"
+#include "runtime/net/frame.hpp"
+#include "runtime/net/loopback_backend.hpp"
+#include "runtime/net/tcp_backend.hpp"
+#include "runtime/net/termination.hpp"
+#include "util/cancellation.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace dsteiner;
+using namespace dsteiner::runtime::net;
+using graph::vertex_id;
+using graph::weight_t;
+
+graph::csr_graph make_connected_graph(int n, weight_t w_hi,
+                                      std::uint64_t seed) {
+  graph::edge_list list =
+      graph::generate_erdos_renyi(n, static_cast<std::uint64_t>(n) * 3, seed);
+  graph::assign_uniform_weights(list, 1, w_hi, seed ^ 0x99);
+  graph::connect_components(list, w_hi + 1, seed);
+  return graph::csr_graph(list);
+}
+
+std::vector<vertex_id> pick_seeds(const graph::csr_graph& g, std::size_t count,
+                                  std::uint64_t seed) {
+  util::rng gen(seed);
+  const auto picks =
+      util::sample_without_replacement(g.num_vertices(), count, gen);
+  return {picks.begin(), picks.end()};
+}
+
+// ---- frame round-trips ------------------------------------------------------
+
+TEST(NetFrame, VisitorBatchRoundTrip) {
+  const std::vector<net_visitor> in{
+      {1, 2, 3, 4},
+      {graph::k_no_vertex, graph::k_no_vertex, 0, graph::k_inf_distance},
+      {42, 0, 7, 123456789}};
+  const frame f = encode_visitor_batch(in);
+  EXPECT_EQ(f.type, frame_type::visitor_batch);
+  EXPECT_EQ(f.payload.size(), in.size() * 32);
+  EXPECT_EQ(decode_visitor_batch(f), in);
+}
+
+TEST(NetFrame, GhostAndWalkAndEdgeRoundTrip) {
+  const std::vector<ghost_label> ghosts{{5, 2, 17}, {9, 9, 0}};
+  EXPECT_EQ(decode_ghost_batch(encode_ghost_batch(ghosts)), ghosts);
+
+  const std::vector<vertex_id> walk{0, 7, graph::k_no_vertex};
+  EXPECT_EQ(decode_walk_batch(encode_walk_batch(walk)), walk);
+
+  const std::vector<graph::weighted_edge> edges{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(decode_edge_batch(encode_edge_batch(edges)), edges);
+}
+
+TEST(NetFrame, EnEntryRoundTrip) {
+  const std::vector<wire_en_entry> in{{1, 2, 30, 4, 5, 6},
+                                      {7, 8, 90, 10, 11, 12}};
+  const frame f = encode_en_batch(in);
+  EXPECT_EQ(f.payload.size(), in.size() * 48);
+  EXPECT_EQ(decode_en_batch(f), in);
+}
+
+TEST(NetFrame, VoteRoundTrip) {
+  bucket_vote vote;
+  vote.outstanding = 123;
+  vote.min_bucket = 9;
+  vote.superstep = 17;
+  vote.cancel = 1;
+  EXPECT_EQ(decode_vote(encode_vote(vote, false)), vote);
+  const frame confirm = encode_vote(vote, true);
+  EXPECT_EQ(confirm.type, frame_type::vote_confirm);
+  EXPECT_EQ(decode_vote(confirm), vote);
+}
+
+TEST(NetFrame, MarkerAndHelloRoundTrip) {
+  EXPECT_EQ(decode_marker(make_marker(99)), 99u);
+  int rank = -1;
+  int world = -1;
+  decode_hello(encode_hello(3, 8), rank, world);
+  EXPECT_EQ(rank, 3);
+  EXPECT_EQ(world, 8);
+}
+
+TEST(NetFrame, WholeFrameEncodeDecode) {
+  const std::vector<net_visitor> in{{1, 2, 3, 4}};
+  const frame f = encode_visitor_batch(in);
+  const std::vector<std::uint8_t> bytes = encode_frame(f);
+  EXPECT_EQ(bytes.size(), k_header_bytes + f.payload.size());
+  const frame back = decode_frame(bytes);
+  EXPECT_EQ(back.type, f.type);
+  EXPECT_EQ(back.payload, f.payload);
+}
+
+// ---- strict rejection -------------------------------------------------------
+
+TEST(NetFrame, RejectsTruncatedHeader) {
+  const std::vector<std::uint8_t> bytes(k_header_bytes - 1, 0);
+  EXPECT_THROW((void)decode_header(bytes), wire_error);
+}
+
+TEST(NetFrame, RejectsBadMagic) {
+  std::vector<std::uint8_t> bytes = encode_frame(make_marker(0));
+  bytes[0] ^= 0xFF;
+  EXPECT_THROW((void)decode_frame(bytes), wire_error);
+}
+
+TEST(NetFrame, RejectsOversizedLength) {
+  std::vector<std::uint8_t> bytes = encode_frame(make_marker(0));
+  // Patch the length field beyond k_max_payload_bytes.
+  const std::uint32_t huge = k_max_payload_bytes + 1;
+  for (int i = 0; i < 4; ++i) {
+    bytes[4 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(huge >> (8 * i));
+  }
+  EXPECT_THROW((void)decode_header(bytes), wire_error);
+}
+
+TEST(NetFrame, RejectsUnknownType) {
+  std::vector<std::uint8_t> bytes = encode_frame(make_marker(0));
+  bytes[2] = 200;
+  EXPECT_THROW((void)decode_header(bytes), wire_error);
+}
+
+TEST(NetFrame, RejectsTruncatedAndTrailingPayload) {
+  const std::vector<std::uint8_t> bytes =
+      encode_frame(encode_visitor_batch(std::vector<net_visitor>{{1, 2, 3, 4}}));
+  std::vector<std::uint8_t> truncated(bytes.begin(), bytes.end() - 1);
+  EXPECT_THROW((void)decode_frame(truncated), wire_error);
+  std::vector<std::uint8_t> trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_THROW((void)decode_frame(trailing), wire_error);
+}
+
+TEST(NetFrame, RejectsPartialRecords) {
+  frame f = encode_visitor_batch(std::vector<net_visitor>{{1, 2, 3, 4}});
+  f.payload.pop_back();  // 31 bytes: not a whole 32-byte record
+  EXPECT_THROW((void)decode_visitor_batch(f), wire_error);
+}
+
+TEST(NetFrame, RejectsWrongType) {
+  const frame f = make_marker(0);
+  EXPECT_THROW((void)decode_visitor_batch(f), wire_error);
+  EXPECT_THROW((void)decode_vote(f), wire_error);
+}
+
+// ---- loopback mesh ----------------------------------------------------------
+
+TEST(NetLoopback, DeliversPerPeerFifoWithStats) {
+  loopback_mesh mesh(3);
+  comm_backend& a = mesh.endpoint(0);
+  comm_backend& b = mesh.endpoint(1);
+
+  a.send(1, make_marker(1));
+  a.send(1, make_marker(2));
+  int from = -1;
+  frame f;
+  ASSERT_TRUE(b.recv(from, f));
+  EXPECT_EQ(from, 0);
+  EXPECT_EQ(decode_marker(f), 1u);
+  ASSERT_TRUE(b.recv(from, f));
+  EXPECT_EQ(decode_marker(f), 2u);
+
+  EXPECT_EQ(a.stats().frames_sent, 2u);
+  EXPECT_EQ(a.stats().bytes_sent, 2 * (k_header_bytes + 4));
+  EXPECT_EQ(b.stats().frames_received, 2u);
+
+  mesh.close_all();
+  EXPECT_FALSE(b.recv(from, f));
+  EXPECT_THROW(a.send(1, make_marker(3)), wire_error);
+}
+
+TEST(NetLoopback, DrainsPendingFramesAfterClose) {
+  loopback_mesh mesh(2);
+  mesh.endpoint(0).send(1, make_marker(7));
+  mesh.close_all();
+  int from = -1;
+  frame f;
+  ASSERT_TRUE(mesh.endpoint(1).recv(from, f));
+  EXPECT_EQ(decode_marker(f), 7u);
+  EXPECT_FALSE(mesh.endpoint(1).recv(from, f));
+}
+
+TEST(NetTermination, TwoPhaseVoteStopsOnlyWhenAllIdle) {
+  loopback_mesh mesh(2);
+  vote_decision d0;
+  vote_decision d1;
+  std::thread peer([&] {
+    peer_channels chans(mesh.endpoint(1));
+    termination_vote vote(chans);
+    d1 = vote.round(5, false, 2, 0);  // this rank still has work
+  });
+  peer_channels chans(mesh.endpoint(0));
+  termination_vote vote(chans);
+  d0 = vote.round(0, false, UINT64_MAX, 0);
+  peer.join();
+  EXPECT_FALSE(d0.stop);
+  EXPECT_FALSE(d1.stop);
+  EXPECT_EQ(d0.min_bucket, 2u);  // min-folded across ranks
+
+  std::thread peer2([&] {
+    peer_channels c(mesh.endpoint(1));
+    termination_vote v(c);
+    d1 = v.round(0, false, UINT64_MAX, 1);
+  });
+  peer_channels c0(mesh.endpoint(0));
+  termination_vote v0(c0);
+  d0 = v0.round(0, false, UINT64_MAX, 1);
+  peer2.join();
+  EXPECT_TRUE(d0.stop);   // proposed idle + confirmed idle
+  EXPECT_TRUE(d1.stop);
+  EXPECT_EQ(v0.rounds(), 2u);  // propose + confirm
+}
+
+// ---- distributed bit-identity ----------------------------------------------
+
+void expect_identical(const core::steiner_result& a,
+                      const core::steiner_result& b) {
+  EXPECT_EQ(a.tree_edges, b.tree_edges);
+  EXPECT_EQ(a.total_distance, b.total_distance);
+  EXPECT_EQ(a.num_seeds, b.num_seeds);
+  EXPECT_EQ(a.spans_all_seeds, b.spans_all_seeds);
+}
+
+TEST(NetDistSolve, LoopbackMatchesSingleProcessAcrossWorldSizes) {
+  for (const std::uint64_t graph_seed : {11ull, 23ull}) {
+    const graph::csr_graph g = make_connected_graph(300, 40, graph_seed);
+    const auto seeds = pick_seeds(g, 7, graph_seed ^ 0xF00);
+    core::solver_config config;
+    config.validate = true;
+    const auto reference = core::solve_steiner_tree(g, seeds, config);
+    for (const int world : {1, 2, 3, 5}) {
+      std::vector<net_solve_report> reports;
+      const auto distributed =
+          solve_loopback(g, seeds, config, world, &reports);
+      expect_identical(distributed, reference);
+      ASSERT_EQ(reports.size(), static_cast<std::size_t>(world));
+      if (world > 1) {
+        std::uint64_t measured = 0;
+        for (const auto& r : reports) measured += r.stats.bytes_sent;
+        EXPECT_GT(measured, 0u);
+        EXPECT_EQ(reports[0].supersteps, reports[1].supersteps);
+      }
+    }
+  }
+}
+
+TEST(NetDistSolve, BucketedGrowthMatchesStrict) {
+  const graph::csr_graph g = make_connected_graph(250, 30, 77);
+  const auto seeds = pick_seeds(g, 5, 0xABC);
+  core::solver_config strict;
+  const auto reference = core::solve_steiner_tree(g, seeds, strict);
+
+  core::solver_config bucketed = strict;
+  bucketed.growth = runtime::growth_mode::bucketed;
+  const auto distributed = solve_loopback(g, seeds, bucketed, 3);
+  expect_identical(distributed, reference);
+}
+
+TEST(NetDistSolve, RmatGraphMatches) {
+  graph::rmat_params params;
+  params.scale = 8;
+  params.edge_factor = 8;
+  params.seed = 5;
+  graph::edge_list list = graph::generate_rmat(params);
+  graph::assign_uniform_weights(list, 1, 20, 0x5EED);
+  graph::connect_components(list, 21, 5);
+  const graph::csr_graph g(list);
+  const auto seeds = pick_seeds(g, 6, 42);
+
+  core::solver_config config;
+  config.validate = true;
+  const auto reference = core::solve_steiner_tree(g, seeds, config);
+  expect_identical(solve_loopback(g, seeds, config, 4), reference);
+}
+
+TEST(NetDistSolve, SingleSeedAndDuplicateSeeds) {
+  const graph::csr_graph g = make_connected_graph(60, 10, 3);
+  const auto one = solve_loopback(g, std::vector<vertex_id>{5}, {}, 2);
+  EXPECT_TRUE(one.tree_edges.empty());
+  EXPECT_EQ(one.num_seeds, 1u);
+
+  const auto dup =
+      solve_loopback(g, std::vector<vertex_id>{5, 9, 5, 9, 12}, {}, 2);
+  const auto reference =
+      core::solve_steiner_tree(g, std::vector<vertex_id>{5, 9, 12});
+  expect_identical(dup, reference);
+}
+
+TEST(NetDistSolve, CancelledBudgetUnwindsAllRanks) {
+  const graph::csr_graph g = make_connected_graph(200, 20, 9);
+  const auto seeds = pick_seeds(g, 5, 1);
+  util::cancel_source source;
+  source.request_cancel();
+  util::run_budget budget;
+  budget.cancel = source.token();
+  core::solver_config config;
+  config.budget = &budget;
+  EXPECT_THROW((void)solve_loopback(g, seeds, config, 3),
+               util::operation_cancelled);
+}
+
+TEST(NetDistSolve, ReportsModelledAndMeasuredTraffic) {
+  const graph::csr_graph g = make_connected_graph(300, 25, 15);
+  const auto seeds = pick_seeds(g, 6, 2);
+  std::vector<net_solve_report> reports;
+  (void)solve_loopback(g, seeds, {}, 4, &reports);
+  for (const auto& r : reports) {
+    EXPECT_GT(r.stats.bytes_sent, 0u);
+    EXPECT_GT(r.bytes_modelled, 0u);
+    // Measured wire bytes include headers/markers/votes, so they dominate
+    // the payload-only model.
+    EXPECT_GE(r.stats.bytes_sent, r.bytes_modelled);
+    EXPECT_FALSE(r.samples.empty());
+    std::uint64_t modelled = 0;
+    for (const auto& s : r.samples) modelled += s.bytes_modelled;
+    EXPECT_EQ(modelled, r.bytes_modelled);
+    EXPECT_GT(r.vote_rounds, 0u);
+  }
+}
+
+// ---- TCP backend ------------------------------------------------------------
+
+std::uint16_t test_base_port() {
+  // Derived from the pid so parallel ctest shards don't collide.
+  return static_cast<std::uint16_t>(20000 + (::getpid() % 20000));
+}
+
+TEST(NetTcp, MeshExchangesFramesBothWays) {
+  const std::uint16_t port = test_base_port();
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Rank 1 process: echo rank 0's marker value back, doubled.
+    int status = 1;
+    try {
+      tcp_backend net({1, 2, port, 15000});
+      int from = -1;
+      frame f;
+      if (net.recv(from, f) && from == 0) {
+        net.send(0, make_marker(decode_marker(f) * 2));
+        status = 0;
+      }
+    } catch (...) {
+    }
+    ::_exit(status);
+  }
+  tcp_backend net({0, 2, port, 15000});
+  net.send(1, make_marker(21));
+  int from = -1;
+  frame f;
+  ASSERT_TRUE(net.recv(from, f));
+  EXPECT_EQ(from, 1);
+  EXPECT_EQ(decode_marker(f), 42u);
+  EXPECT_GT(net.stats().bytes_sent, 0u);
+  EXPECT_GT(net.stats().bytes_received, 0u);
+  int wstatus = -1;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+  EXPECT_TRUE(WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0);
+}
+
+TEST(NetTcp, DistributedSolveBitIdenticalToSingleProcess) {
+  const std::uint16_t port =
+      static_cast<std::uint16_t>(test_base_port() + 100);
+  const graph::csr_graph g = make_connected_graph(250, 30, 51);
+  const auto seeds = pick_seeds(g, 6, 7);
+  core::solver_config config;
+  const auto reference = core::solve_steiner_tree(g, seeds, config);
+
+  constexpr int k_world = 3;
+  std::vector<pid_t> children;
+  for (int rank = 1; rank < k_world; ++rank) {
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      // Child process: rank `rank` of the TCP mesh. Exit 0 iff its copy of
+      // the result matches the single-process reference bit for bit.
+      int status = 1;
+      try {
+        tcp_backend net({rank, k_world, port, 15000});
+        const auto mine = solve_rank(g, seeds, config, net);
+        if (mine.tree_edges == reference.tree_edges &&
+            mine.total_distance == reference.total_distance) {
+          status = 0;
+        }
+      } catch (...) {
+      }
+      ::_exit(status);
+    }
+    children.push_back(child);
+  }
+
+  tcp_backend net({0, k_world, port, 15000});
+  net_solve_report report;
+  const auto distributed = solve_rank(g, seeds, config, net, &report);
+  expect_identical(distributed, reference);
+  EXPECT_GT(report.stats.bytes_sent, 0u);
+  EXPECT_GT(report.ghost_labels_sent, 0u);
+
+  for (const pid_t child : children) {
+    int wstatus = -1;
+    ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+    EXPECT_TRUE(WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0)
+        << "child rank failed or mismatched";
+  }
+}
+
+}  // namespace

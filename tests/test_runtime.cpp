@@ -174,6 +174,42 @@ TEST(Communicator, AllreduceMapAccountingMatchesDensePath) {
   }
 }
 
+TEST(Communicator, AllreduceMapPoolFanOutChargesFullMapPeak) {
+  // Regression: the parallel replication fan-out copies whole-map replicas
+  // concurrently, so the §V-F per-chunk buffer bound recorded by the chunk
+  // loop does not describe that path's real peak. The pool branch must
+  // charge the full merged map as the collective buffer; the sequential
+  // path keeps the chunk bound.
+  using map_t = std::unordered_map<std::pair<int, int>, int, util::pair_hash>;
+  constexpr std::size_t items = 2048;  // >= the 1024 fan-out threshold
+  constexpr std::size_t chunk = 256;
+  constexpr std::uint64_t entry_bytes =
+      sizeof(std::pair<int, int>) + sizeof(int);
+  const auto build_maps = [] {
+    std::vector<map_t> maps(2);
+    for (int i = 0; i < static_cast<int>(items); ++i) {
+      maps[static_cast<std::size_t>(i) % 2][{i, i + 1}] = i;  // disjoint keys
+    }
+    return maps;
+  };
+  const auto min_val = [](int a, int b) { return std::min(a, b); };
+  phase_metrics m;
+
+  const communicator sequential(2, cost_model{});
+  auto seq_maps = build_maps();
+  sequential.reset_peak_buffer();
+  sequential.allreduce_map(seq_maps, min_val, m, chunk);
+  EXPECT_EQ(sequential.peak_buffer_bytes(), chunk * entry_bytes);
+
+  parallel::worker_pool pool(2);
+  const communicator pooled(2, cost_model{}, &pool);
+  auto pool_maps = build_maps();
+  pooled.reset_peak_buffer();
+  pooled.allreduce_map(pool_maps, min_val, m, chunk);
+  EXPECT_EQ(pooled.peak_buffer_bytes(), items * entry_bytes);
+  EXPECT_EQ(pool_maps, seq_maps);  // accounting only; same reduction
+}
+
 struct test_visitor {
   graph::vertex_id v = 0;
   std::uint64_t prio = 0;

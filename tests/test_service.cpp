@@ -338,6 +338,45 @@ TEST(Service, QueryFlagsForceFreshColdSolves) {
   EXPECT_EQ(second.result.tree_edges, first.result.tree_edges);
 }
 
+TEST(Service, DistributedColdSolveBitIdenticalToInProcess) {
+  const auto g = make_connected_graph(220, 25, 27);
+  auto config = quiet_config(2);
+  config.distributed.world = 3;
+  steiner_service dist_svc(graph::csr_graph(g), config);
+  steiner_service local_svc(graph::csr_graph(g), quiet_config(2));
+  query q;
+  q.seeds = {5, 60, 110, 170};
+  const auto dist = dist_svc.solve(q);
+  const auto local = local_svc.solve(q);
+  EXPECT_EQ(dist.kind, solve_kind::cold);
+  EXPECT_EQ(dist.result.tree_edges, local.result.tree_edges);
+  EXPECT_EQ(dist.result.total_distance, local.result.total_distance);
+
+  // Distributed solves still feed the cache: identical repeats are free.
+  const auto repeat = dist_svc.solve(q);
+  EXPECT_EQ(repeat.kind, solve_kind::cache_hit);
+
+  const auto stats = dist_svc.stats();
+  EXPECT_EQ(stats.distributed_solves, 1u);
+  EXPECT_GT(stats.net_bytes_modelled, 0u);
+  EXPECT_GE(stats.net_bytes_sent, stats.net_bytes_modelled);
+  EXPECT_GT(stats.net_frames_sent, 0u);
+  EXPECT_GT(stats.net_supersteps, 0u);
+  EXPECT_GT(stats.net_vote_rounds, 0u);
+
+  // The paired modelled/measured histograms carry one sample per superstep
+  // and surface in /metrics next to the latency families.
+  const auto snap = dist_svc.snapshot();
+  EXPECT_GT(snap.comm_bytes_measured.count, 0u);
+  EXPECT_EQ(snap.comm_bytes_measured.count, snap.comm_bytes_modelled.count);
+  const std::string text = render_metrics_text(snap);
+  EXPECT_NE(text.find("dsteiner_net_bytes_sent_total"), std::string::npos);
+  EXPECT_NE(text.find("dsteiner_comm_bytes_measured_bucket"),
+            std::string::npos);
+  EXPECT_NE(text.find("dsteiner_comm_bytes_modelled_bucket"),
+            std::string::npos);
+}
+
 TEST(Service, ConfigOverrideGetsItsOwnCacheEntry) {
   steiner_service svc(make_connected_graph(150, 20, 26), quiet_config(1));
   query q;

@@ -16,9 +16,13 @@
 //      small fixed payload, so measured - modelled <= frames x 64 bytes;
 //   3. the /metrics exposition carries the paired
 //      dsteiner_comm_bytes_{modelled,measured} histograms with equal sample
-//      counts and parses clean under the Prometheus validator.
+//      counts and parses clean under the Prometheus validator;
+//   4. the telemetry plane is cheap: re-running the same queries with
+//      config.solver.net_telemetry off must not be dramatically faster —
+//      telemetry-on wall clock stays within 5% (plus an absolute slack for
+//      CI timer noise) of telemetry-off.
 //
-// Exit status reflects all three checks, so CI's bench-smoke can gate on it.
+// Exit status reflects all four checks, so CI's bench-smoke can gate on it.
 #include <cstdio>
 #include <string>
 
@@ -58,6 +62,7 @@ int main(int argc, char** argv) {
   util::table table({"query", "|S|", "modelled", "measured", "overhead",
                      "supersteps", "votes", "wall"});
   bool ok = true;
+  double telemetry_on_wall = 0.0;
   std::uint64_t prev_modelled = 0;
   std::uint64_t prev_measured = 0;
   std::uint64_t prev_frames = 0;
@@ -69,6 +74,7 @@ int main(int argc, char** argv) {
     util::timer wall;
     const auto result = svc.solve(q);
     const double wall_seconds = wall.seconds();
+    telemetry_on_wall += wall_seconds;
     if (result.kind != service::solve_kind::cold) {
       std::fprintf(stderr, "query %zu was not a cold solve\n", i);
       ok = false;
@@ -114,6 +120,17 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.render().c_str());
 
   const auto snap = svc.snapshot();
+  if (snap.stats.cluster_telemetry_samples == 0 ||
+      snap.cluster_superstep_seconds.count !=
+          snap.stats.cluster_telemetry_samples) {
+    std::fprintf(
+        stderr,
+        "cluster telemetry missing or out of step: %llu samples counted, "
+        "%llu histogram records\n",
+        static_cast<unsigned long long>(snap.stats.cluster_telemetry_samples),
+        static_cast<unsigned long long>(snap.cluster_superstep_seconds.count));
+    ok = false;
+  }
   if (snap.comm_bytes_measured.count == 0 ||
       snap.comm_bytes_measured.count != snap.comm_bytes_modelled.count) {
     std::fprintf(stderr,
@@ -141,7 +158,40 @@ int main(int argc, char** argv) {
   std::printf("exposition: %zu series across %zu families, %s\n",
               report.series, report.families,
               report.ok() ? "valid" : "INVALID");
-  std::printf("\n%s\n", ok ? "OK: perf model within the framing band"
-                           : "FAILED: see stderr");
+
+  // Telemetry overhead: re-run the identical query set on a fresh service
+  // with the telemetry plane off and compare wall clocks. The 5% relative
+  // band is the contract; the 0.5s absolute slack keeps sub-second runs from
+  // failing on scheduler noise rather than real overhead.
+  {
+    service::service_config off_config = svc_config;
+    off_config.solver.net_telemetry = false;
+    service::steiner_service off_svc(graph::csr_graph(ds.graph), off_config);
+    double telemetry_off_wall = 0.0;
+    for (std::size_t i = 0; i < queries; ++i) {
+      service::query q;
+      q.seeds = bench::default_seeds(ds.graph, 8 + 4 * i);
+      util::timer wall;
+      (void)off_svc.solve(q);
+      telemetry_off_wall += wall.seconds();
+    }
+    std::printf("telemetry overhead: on=%s off=%s (%+.1f%%)\n",
+                util::format_duration(telemetry_on_wall).c_str(),
+                util::format_duration(telemetry_off_wall).c_str(),
+                telemetry_off_wall > 0.0
+                    ? 100.0 * (telemetry_on_wall - telemetry_off_wall) /
+                          telemetry_off_wall
+                    : 0.0);
+    if (telemetry_on_wall > telemetry_off_wall * 1.05 + 0.5) {
+      std::fprintf(stderr,
+                   "telemetry overhead out of band: on=%.3fs off=%.3fs\n",
+                   telemetry_on_wall, telemetry_off_wall);
+      ok = false;
+    }
+  }
+  std::printf("\n%s\n",
+              ok ? "OK: perf model within the framing band, telemetry "
+                   "overhead within 5%"
+                 : "FAILED: see stderr");
   return ok ? 0 : 1;
 }

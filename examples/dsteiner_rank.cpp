@@ -29,8 +29,12 @@
 //   --growth strict|bucketed   phase-1 scheduling mode
 //   --verify-single      also run the in-process solver and require
 //                        bit-identical output (exit 1 on mismatch)
-//   --metrics-text       print this rank's dsteiner_net_* counters as
+//   --metrics-text       print this rank's dsteiner_net_* counters (plus, on
+//                        rank 0, the dsteiner_cluster_* families) as
 //                        Prometheus text exposition (self-validated)
+//   --clusterz           rank 0: print the merged cluster telemetry JSON
+//                        (straggler report) — the same document the query
+//                        service serves at /clusterz
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -63,7 +67,8 @@ using namespace dsteiner;
                " [--edge-factor N])\n"
                "                     [--seeds a,b,c | --num-seeds N]\n"
                "                     [--growth strict|bucketed]\n"
-               "                     [--verify-single] [--metrics-text]\n");
+               "                     [--verify-single] [--metrics-text]\n"
+               "                     [--clusterz]\n");
   std::exit(2);
 }
 
@@ -114,6 +119,7 @@ struct launcher_options {
   runtime::growth_mode growth = runtime::growth_mode::strict_order;
   bool verify_single = false;
   bool metrics_text = false;
+  bool clusterz = false;
 };
 
 launcher_options parse_options(int argc, char** argv) {
@@ -156,6 +162,8 @@ launcher_options parse_options(int argc, char** argv) {
       opts.verify_single = true;
     } else if (arg == "--metrics-text") {
       opts.metrics_text = true;
+    } else if (arg == "--clusterz") {
+      opts.clusterz = true;
     } else {
       usage(("unknown option " + arg).c_str());
     }
@@ -233,6 +241,25 @@ int print_metrics(const runtime::net::net_solve_report& report) {
   append_counter(out, "dsteiner_net_bytes_modelled_total",
                  "Perf-model predicted payload bytes for the same traffic.",
                  report.rank, report.bytes_modelled);
+  if (report.rank == 0 && !report.cluster.samples.empty()) {
+    // Rank 0 carries the merged telemetry plane; expose the same
+    // dsteiner_cluster_* families the query service's /metrics serves.
+    const std::vector<runtime::net::straggler_row> rows =
+        runtime::net::straggler_rows(report.cluster);
+    std::uint64_t straggling = 0;
+    for (const runtime::net::straggler_row& row : rows) {
+      if (row.compute_skew >= 2.0) ++straggling;
+    }
+    append_counter(out, "dsteiner_cluster_telemetry_samples_total",
+                   "Per-rank, per-superstep telemetry frames merged on rank 0.",
+                   report.rank, report.cluster.samples.size());
+    append_counter(out, "dsteiner_cluster_supersteps_total",
+                   "Superstep groups attributed by the straggler report.",
+                   report.rank, rows.size());
+    append_counter(out, "dsteiner_cluster_straggler_supersteps_total",
+                   "Attributed supersteps whose compute skew reached 2x.",
+                   report.rank, straggling);
+  }
   const obs::prom_report check = obs::validate_prometheus(out);
   std::fputs(out.c_str(), stdout);
   if (!check.ok()) {
@@ -296,6 +323,12 @@ int run_rank(const launcher_options& opts, int rank) {
     }
   }
   if (opts.metrics_text && status == 0) status = print_metrics(report);
+  if (opts.clusterz && status == 0 && rank == 0) {
+    // The merged telemetry plane lives on rank 0 only.
+    std::fputs(runtime::net::render_cluster_json(report.cluster).c_str(),
+               stdout);
+    std::fputc('\n', stdout);
+  }
   return status;
 }
 

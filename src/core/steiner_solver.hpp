@@ -80,6 +80,15 @@ struct solver_config {
   /// Run validate_steiner_tree on the output (cheap; asserts invariants).
   bool validate = false;
 
+  /// Distributed-runtime telemetry plane (runtime/net/): when true, every
+  /// rank emits one telemetry frame per superstep boundary to rank 0, which
+  /// merges all ranks' samples into net_solve_report::cluster. Pure
+  /// observation — nothing is ever read back, so telemetry-on and -off
+  /// distributed solves are bit-identical (under test in test_net); only
+  /// traffic totals move, by the telemetry frames' own bytes. Excluded from
+  /// the service's config hash for the same reason as `trace`.
+  bool net_telemetry = true;
+
   /// Cooperative cancellation/deadline budget, polled at solver checkpoints
   /// (engine rounds / superstep barriers and phase boundaries); a tripped
   /// budget unwinds the solve via util::operation_cancelled with all partial

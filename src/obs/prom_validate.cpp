@@ -102,6 +102,11 @@ prom_report validate_prometheus(const std::string& text) {
   std::map<std::string, std::string> types;  // family -> type
   std::set<std::string> helps;               // families with # HELP
   std::set<std::string> seen_series;         // name + "{" + labels + "}"
+  // Interleaving detection: the exposition format requires every family's
+  // samples to form one contiguous run. A sample from a family we already
+  // moved past means two runs — scrapers keep only one of them.
+  std::string open_family;
+  std::set<std::string> closed_families;
   // histogram family + label-group -> running bucket state
   std::map<std::string, bucket_state> buckets;
   // histogram family + label-group -> _count value (to cross-check +Inf)
@@ -122,7 +127,9 @@ prom_report validate_prometheus(const std::string& text) {
       meta >> hash >> kind >> name;
       if (kind == "HELP") {
         if (!valid_metric_name(name)) fail(lineno, "bad HELP name: " + name);
-        helps.insert(name);
+        if (!helps.insert(name).second) {
+          fail(lineno, "duplicate HELP declaration for " + name);
+        }
       } else if (kind == "TYPE") {
         std::string type;
         meta >> type;
@@ -186,6 +193,14 @@ prom_report validate_prometheus(const std::string& text) {
     }
     if (helps.count(family) == 0) {
       fail(lineno, "sample " + name + " has no preceding # HELP " + family);
+    }
+
+    if (family != open_family) {
+      if (!open_family.empty()) closed_families.insert(open_family);
+      if (closed_families.count(family) != 0) {
+        fail(lineno, "interleaved samples for family " + family);
+      }
+      open_family = family;
     }
 
     const std::string series_key = name + "{" + labels + "}";

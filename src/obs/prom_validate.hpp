@@ -5,7 +5,10 @@
 // that real scrapers reject violations of:
 //
 //   * every sample belongs to a series introduced by # HELP and # TYPE;
+//   * no duplicate # HELP or # TYPE declarations for a family;
 //   * no duplicate series (same name + label set twice);
+//   * each family's samples form one contiguous run (no interleaving —
+//     scrapers keep only one run of a family that appears twice);
 //   * counter series names end in `_total` (excluding histogram machinery);
 //   * histogram buckets are cumulative (non-decreasing in `le` order), end
 //     with an `le="+Inf"` bucket, and that bucket equals `_count`;

@@ -10,18 +10,22 @@ namespace {
 /// Appends a Chrome trace_event "X" (complete) record. Timestamps/durations
 /// are microseconds per the trace_event spec.
 void append_complete(std::string& out, const char* name, const char* cat,
-                     double start_seconds, double dur_seconds, int tid,
-                     const char* args_json) {
+                     double start_seconds, double dur_seconds, int pid,
+                     int tid, const char* args_json) {
   char buf[512];
   const double ts_us = start_seconds * 1e6;
   const double dur_us = std::max(dur_seconds, 0.0) * 1e6;
   std::snprintf(buf, sizeof(buf),
-                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,"
+                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":%d,"
                 "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":%s},",
-                name, cat, tid, ts_us, dur_us,
+                name, cat, pid, tid, ts_us, dur_us,
                 args_json != nullptr ? args_json : "{}");
   out += buf;
 }
+
+/// pid of the synthetic "cluster" process that carries one track per rank of
+/// a distributed solve (pid 1 is the service process).
+constexpr int k_cluster_pid = 2;
 
 /// Appends an instant ("i") event — distshare annotations.
 void append_instant(std::string& out, const char* name, double at_seconds,
@@ -102,6 +106,28 @@ void query_trace::add_event(const char* name, double value) noexcept {
   events_.push_back(e);
 }
 
+void query_trace::add_rank_slice(rank_slice s) noexcept {
+  if (rank_slices_.size() >= cfg_.rank_slice_capacity) {
+    ++dropped_;
+    return;
+  }
+  rank_slices_.push_back(s);
+}
+
+void query_trace::set_cluster_summary(std::uint32_t world,
+                                      std::uint64_t supersteps,
+                                      std::int32_t critical_rank,
+                                      std::uint64_t critical_supersteps,
+                                      double max_compute_skew,
+                                      double comm_wait_fraction) noexcept {
+  summary_.cluster_world = world;
+  summary_.cluster_supersteps = supersteps;
+  summary_.cluster_critical_rank = critical_rank;
+  summary_.cluster_critical_supersteps = critical_supersteps;
+  summary_.cluster_max_compute_skew = max_compute_skew;
+  summary_.cluster_comm_wait_fraction = comm_wait_fraction;
+}
+
 void query_trace::finalize(std::uint64_t request_id, std::uint64_t query_id,
                            double queue_wait_seconds, double solve_seconds,
                            double total_seconds,
@@ -160,8 +186,8 @@ std::string query_trace::to_chrome_json() const {
                   "{\"supersteps\":%" PRIu64 ",\"visitors\":%" PRIu64
                   ",\"messages\":%" PRIu64 ",\"modelled_seconds\":%.6g}",
                   s.supersteps, s.visitors, s.messages, s.modelled_seconds);
-    append_complete(out, s.name, s.category, s.start_seconds, s.dur_seconds, 0,
-                    args);
+    append_complete(out, s.name, s.category, s.start_seconds, s.dur_seconds, 1,
+                    0, args);
   }
 
   for (const auto& e : events_) {
@@ -196,17 +222,62 @@ std::string query_trace::to_chrome_json() const {
         // The sample is stamped at superstep end: compute ran first, then
         // the barrier wait. Lay the slices back-to-back ending at the stamp.
         append_complete(out, s.phase, "superstep",
-                        end - barrier - compute, compute,
+                        end - barrier - compute, compute, 1,
                         static_cast<int>(w) + 1, args);
         if (barrier > 0.0F) {
           append_complete(out, "barrier_wait", "barrier", end - barrier,
-                          barrier, static_cast<int>(w) + 1, "{}");
+                          barrier, 1, static_cast<int>(w) + 1, "{}");
         }
       } else {
         char name[64];
         std::snprintf(name, sizeof(name), "rank %d", s.rank);
         append_counter(out, name, s.end_offset_seconds, s.visitors, s.sent,
                        s.backlog);
+      }
+    }
+  }
+
+  // Cluster telemetry: one Perfetto track per rank of the distributed solve,
+  // under a second synthetic process. Remote ranks' clocks cannot be aligned
+  // with the trace origin, so each rank's compute/send/recv/vote slices are
+  // laid end to end from a per-rank cursor starting at 0 — honest about
+  // relative durations and skew, silent about absolute offsets.
+  if (!rank_slices_.empty()) {
+    out +=
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,"
+        "\"args\":{\"name\":\"cluster\"}},";
+    std::int32_t max_rank = 0;
+    for (const auto& s : rank_slices_) max_rank = std::max(max_rank, s.rank);
+    for (std::int32_t r = 0; r <= max_rank; ++r) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,"
+                    "\"tid\":%d,\"args\":{\"name\":\"rank %d\"}},",
+                    r, r);
+      out += buf;
+    }
+    std::vector<double> cursor(static_cast<std::size_t>(max_rank) + 1, 0.0);
+    for (const auto& s : rank_slices_) {
+      double& at = cursor[static_cast<std::size_t>(s.rank)];
+      char args[256];
+      std::snprintf(args, sizeof(args),
+                    "{\"superstep\":%u,\"visitors\":%" PRIu64
+                    ",\"bytes_sent\":%" PRIu64 "}",
+                    s.superstep, s.visitors, s.bytes_sent);
+      append_complete(out, s.phase, "rank_compute", at, s.compute_seconds,
+                      k_cluster_pid, s.rank, args);
+      at += s.compute_seconds;
+      const struct {
+        const char* name;
+        double dur;
+      } comm[] = {{"send_flush", s.send_flush_seconds},
+                  {"recv_wait", s.recv_wait_seconds},
+                  {"vote", s.vote_seconds}};
+      for (const auto& c : comm) {
+        if (c.dur <= 0.0) continue;
+        append_complete(out, c.name, "rank_comm", at, c.dur, k_cluster_pid,
+                        s.rank, "{}");
+        at += c.dur;
       }
     }
   }

@@ -54,6 +54,9 @@ struct trace_config {
   /// modulo, not RNG) so tests can assert exact rates. <= 0 disables.
   double sample_rate = 1.0 / 64.0;
   std::size_t flight_recorder_capacity = 64;  ///< retained sampled traces
+  /// Max merged cluster-telemetry slices per query (distributed solves:
+  /// ranks x supersteps); overflow drops and counts like spans/events.
+  std::size_t rank_slice_capacity = 4096;
 };
 
 /// One closed interval of work. Offsets are seconds since the trace origin
@@ -74,6 +77,24 @@ struct trace_event {
   const char* name = "";
   double at_seconds = 0.0;
   double value = 0.0;
+};
+
+/// One rank's activity in one superstep of a distributed solve, merged in by
+/// the service from the runtime/net cluster telemetry (rank 0's aggregation).
+/// Remote ranks' clocks are not comparable to the trace origin, so the Chrome
+/// exporter lays each rank's slices end to end from a per-rank cursor —
+/// relative durations and cross-rank skew are faithful, absolute alignment
+/// with the service track is not.
+struct rank_slice {
+  const char* phase = "";  ///< static string (telemetry phase name)
+  std::int32_t rank = 0;
+  std::uint32_t superstep = 0;
+  double compute_seconds = 0.0;
+  double send_flush_seconds = 0.0;
+  double recv_wait_seconds = 0.0;
+  double vote_seconds = 0.0;
+  std::uint64_t visitors = 0;
+  std::uint64_t bytes_sent = 0;  ///< data-frame wire bytes to all peers
 };
 
 /// The cheap digest attached to query_handle / query_result: everything a
@@ -98,6 +119,16 @@ struct trace_summary {
   std::size_t spans = 0;
   std::size_t samples = 0;
   std::uint64_t dropped = 0;  ///< spans + events + samples lost to capacity
+
+  // Distributed cluster attribution (solves routed via distributed.world
+  // >= 2; all-zero otherwise). Folded from the merged rank telemetry's
+  // straggler report via set_cluster_summary().
+  std::uint32_t cluster_world = 0;
+  std::uint64_t cluster_supersteps = 0;  ///< attributed superstep groups
+  std::int32_t cluster_critical_rank = -1;  ///< most frequent critical rank
+  std::uint64_t cluster_critical_supersteps = 0;
+  double cluster_max_compute_skew = 0.0;  ///< worst max/median compute ratio
+  double cluster_comm_wait_fraction = 0.0;  ///< comm share of all rank time
 };
 
 class query_trace {
@@ -126,6 +157,19 @@ class query_trace {
   /// Records a point event at the current offset. Single-writer; bounded.
   void add_event(const char* name, double value = 0.0) noexcept;
 
+  /// Records one merged cluster-telemetry slice (distributed solves).
+  /// Single-writer like spans/events; drops (counted) at capacity.
+  void add_rank_slice(rank_slice s) noexcept;
+
+  /// Writes the distributed straggler digest into the summary. Independent
+  /// of finalize() (which never touches the cluster_* fields), so the
+  /// service may call them in either order.
+  void set_cluster_summary(std::uint32_t world, std::uint64_t supersteps,
+                           std::int32_t critical_rank,
+                           std::uint64_t critical_supersteps,
+                           double max_compute_skew,
+                           double comm_wait_fraction) noexcept;
+
   /// The engine-facing sample sink. Its lifetime is the trace's; the solver
   /// config carries `&probe()` down into engine_config.
   [[nodiscard]] engine_probe& probe() noexcept { return probe_; }
@@ -147,6 +191,9 @@ class query_trace {
   [[nodiscard]] const std::vector<trace_event>& events() const noexcept {
     return events_;
   }
+  [[nodiscard]] const std::vector<rank_slice>& rank_slices() const noexcept {
+    return rank_slices_;
+  }
 
   /// Renders the Chrome trace_event JSON array ({"traceEvents":[...]}).
   /// Read-only; call after finalize().
@@ -157,6 +204,7 @@ class query_trace {
   trace_config cfg_;
   std::vector<span> spans_;
   std::vector<trace_event> events_;
+  std::vector<rank_slice> rank_slices_;
   std::uint64_t dropped_ = 0;
   engine_probe probe_;
   trace_summary summary_;

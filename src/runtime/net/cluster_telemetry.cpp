@@ -1,0 +1,161 @@
+#include "runtime/net/cluster_telemetry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace dsteiner::runtime::net {
+
+namespace {
+
+constexpr double k_nanos = 1e-9;
+
+double seconds(std::uint64_t nanos) {
+  return static_cast<double>(nanos) * k_nanos;
+}
+
+void append_number(std::string& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  out += buf;
+}
+
+}  // namespace
+
+cluster_trace merge_cluster_samples(int world,
+                                    std::vector<rank_telemetry> samples) {
+  std::sort(samples.begin(), samples.end(),
+            [](const rank_telemetry& a, const rank_telemetry& b) {
+              if (a.phase != b.phase) return a.phase < b.phase;
+              if (a.superstep != b.superstep) return a.superstep < b.superstep;
+              return a.rank < b.rank;
+            });
+  return cluster_trace{world, std::move(samples)};
+}
+
+std::vector<straggler_row> straggler_rows(const cluster_trace& trace) {
+  std::vector<straggler_row> rows;
+  const auto& samples = trace.samples;
+  std::size_t begin = 0;
+  while (begin < samples.size()) {
+    std::size_t end = begin;
+    while (end < samples.size() &&
+           samples[end].phase == samples[begin].phase &&
+           samples[end].superstep == samples[begin].superstep) {
+      ++end;
+    }
+
+    straggler_row row;
+    row.phase = samples[begin].phase;
+    row.superstep = samples[begin].superstep;
+    std::uint64_t group_total = 0;
+    std::uint64_t group_comm = 0;
+    std::vector<double> computes;
+    computes.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      const rank_telemetry& s = samples[i];
+      const std::uint64_t total = s.total_nanos();
+      group_total += total;
+      group_comm += s.comm_nanos();
+      computes.push_back(seconds(s.compute_nanos));
+      // Strict > keeps the lowest rank on ties (samples are rank-sorted).
+      if (row.critical_rank < 0 || seconds(total) > row.max_total_seconds) {
+        row.critical_rank = s.rank;
+        row.max_total_seconds = seconds(total);
+      }
+      row.max_compute_seconds =
+          std::max(row.max_compute_seconds, seconds(s.compute_nanos));
+    }
+    std::sort(computes.begin(), computes.end());
+    const std::size_t n = computes.size();
+    row.median_compute_seconds =
+        n % 2 == 1 ? computes[n / 2]
+                   : 0.5 * (computes[n / 2 - 1] + computes[n / 2]);
+    row.compute_skew = row.median_compute_seconds > 0.0
+                           ? row.max_compute_seconds / row.median_compute_seconds
+                           : 1.0;
+    row.comm_wait_fraction =
+        group_total > 0 ? static_cast<double>(group_comm) /
+                              static_cast<double>(group_total)
+                        : 0.0;
+    rows.push_back(row);
+    begin = end;
+  }
+  return rows;
+}
+
+cluster_summary summarize_cluster(const cluster_trace& trace) {
+  cluster_summary summary;
+  summary.world = trace.world;
+  const auto rows = straggler_rows(trace);
+  summary.supersteps = rows.size();
+
+  std::map<int, std::uint64_t> dominated;
+  for (const straggler_row& row : rows) {
+    if (row.critical_rank >= 0) ++dominated[row.critical_rank];
+    summary.max_compute_skew =
+        std::max(summary.max_compute_skew, row.compute_skew);
+  }
+  for (const auto& [rank, count] : dominated) {
+    // Strict > keeps the lowest rank on ties (map iterates rank-ascending).
+    if (count > summary.critical_supersteps) {
+      summary.critical_rank = rank;
+      summary.critical_supersteps = count;
+    }
+  }
+
+  std::uint64_t total = 0;
+  std::uint64_t comm = 0;
+  for (const rank_telemetry& s : trace.samples) {
+    total += s.total_nanos();
+    comm += s.comm_nanos();
+  }
+  summary.comm_wait_fraction =
+      total > 0 ? static_cast<double>(comm) / static_cast<double>(total) : 0.0;
+  return summary;
+}
+
+std::string render_cluster_json(const cluster_trace& trace) {
+  const cluster_summary summary = summarize_cluster(trace);
+  std::string out;
+  out.reserve(512 + trace.samples.size() * 64);
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"world\":%d,\"samples\":%zu,\"supersteps\":%llu,"
+                "\"critical_rank\":%d,\"critical_supersteps\":%llu,",
+                trace.world, trace.samples.size(),
+                static_cast<unsigned long long>(summary.supersteps),
+                summary.critical_rank,
+                static_cast<unsigned long long>(summary.critical_supersteps));
+  out += buf;
+  out += "\"max_compute_skew\":";
+  append_number(out, summary.max_compute_skew);
+  out += ",\"comm_wait_fraction\":";
+  append_number(out, summary.comm_wait_fraction);
+  out += ",\"straggler_report\":[";
+  bool first = true;
+  for (const straggler_row& row : straggler_rows(trace)) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"phase\":\"%s\",\"superstep\":%u,\"critical_rank\":%d,",
+                  to_string(static_cast<telemetry_phase>(row.phase)),
+                  row.superstep, row.critical_rank);
+    out += buf;
+    out += "\"max_total_seconds\":";
+    append_number(out, row.max_total_seconds);
+    out += ",\"max_compute_seconds\":";
+    append_number(out, row.max_compute_seconds);
+    out += ",\"median_compute_seconds\":";
+    append_number(out, row.median_compute_seconds);
+    out += ",\"compute_skew\":";
+    append_number(out, row.compute_skew);
+    out += ",\"comm_wait_fraction\":";
+    append_number(out, row.comm_wait_fraction);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace dsteiner::runtime::net

@@ -37,6 +37,21 @@ double seconds_since(clock::time_point start) {
   return std::chrono::duration<double>(clock::now() - start).count();
 }
 
+/// Per-sample timing/traffic scratch for the telemetry plane, reset at each
+/// superstep boundary.
+struct telemetry_scratch {
+  double compute_seconds = 0.0;
+  double send_flush_seconds = 0.0;
+  double recv_wait_seconds = 0.0;
+  std::uint64_t visitors = 0;
+  std::uint64_t remote_msgs = 0;
+  std::vector<telemetry_peer_traffic> peers;
+};
+
+std::uint64_t to_nanos(double s) {
+  return s <= 0.0 ? 0 : static_cast<std::uint64_t>(s * 1e9);
+}
+
 /// Shared mutable context for one rank's solve.
 struct rank_ctx {
   const graph::csr_graph& graph;
@@ -47,6 +62,12 @@ struct rank_ctx {
   partitioner part;
   net_solve_report report;
   std::uint64_t modelled_epoch = 0;  ///< modelled bytes at last sample
+  const bool telemetry_on;
+  /// Rank 0 only (under loopback every rank shares one config, so gating on
+  /// rank keeps the trace single-writer; rank 0 runs on the caller thread).
+  obs::query_trace* const trace;
+  telemetry_scratch scratch;
+  std::vector<rank_telemetry> cluster_rx;  ///< rank 0: all ranks' samples
 
   rank_ctx(const graph::csr_graph& g, const core::solver_config& cfg,
            comm_backend& backend)
@@ -55,9 +76,17 @@ struct rank_ctx {
         net(backend),
         chans(backend),
         vote(chans),
-        part(g.num_vertices(), backend.world_size(), cfg.scheme) {
+        part(g.num_vertices(), backend.world_size(), cfg.scheme),
+        telemetry_on(cfg.net_telemetry),
+        trace(backend.rank() == 0 ? cfg.trace : nullptr) {
     report.rank = backend.rank();
     report.world = backend.world_size();
+    scratch.peers.assign(static_cast<std::size_t>(backend.world_size()), {});
+    if (telemetry_on && backend.rank() == 0) {
+      chans.set_telemetry_sink([this](int /*from*/, frame& f) {
+        cluster_rx.push_back(decode_telemetry(f));
+      });
+    }
   }
 
   [[nodiscard]] int rank() const noexcept { return net.rank(); }
@@ -72,18 +101,114 @@ struct rank_ctx {
     }
   }
 
-  /// Closes one superstep: records a (measured, modelled) traffic sample and
-  /// runs the termination vote. Throws operation_cancelled when the folded
-  /// vote carries a cancel bit, keeping all ranks' unwinding in lockstep.
-  vote_decision end_superstep(std::uint32_t superstep,
+  void reset_scratch() {
+    scratch.compute_seconds = 0.0;
+    scratch.send_flush_seconds = 0.0;
+    scratch.recv_wait_seconds = 0.0;
+    scratch.visitors = 0;
+    scratch.remote_msgs = 0;
+    std::fill(scratch.peers.begin(), scratch.peers.end(),
+              telemetry_peer_traffic{});
+  }
+
+  /// Sends one data frame, attributing its wire bytes to the current
+  /// telemetry window's per-peer traffic. Control frames (markers, votes)
+  /// bypass this on purpose — the plane reports application communication.
+  void send_data(int peer, const frame& f) {
+    if (telemetry_on) {
+      telemetry_peer_traffic& t = scratch.peers[static_cast<std::size_t>(peer)];
+      ++t.batches_sent;
+      t.bytes_sent += wire_bytes(f);
+    }
+    net.send(peer, f);
+  }
+
+  /// until_marker wrapper counting received data frames into the window.
+  std::uint32_t drain_until_marker(int peer,
+                                   const std::function<void(frame&)>& fn) {
+    return chans.until_marker(
+        peer, frame_type::superstep_marker, [&](frame& f) {
+          if (telemetry_on) {
+            telemetry_peer_traffic& t =
+                scratch.peers[static_cast<std::size_t>(peer)];
+            ++t.batches_received;
+            t.bytes_received += wire_bytes(f);
+          }
+          fn(f);
+        });
+  }
+
+  /// Builds this window's sample from the scratch and routes it: rank 0
+  /// keeps it locally, other ranks push it to rank 0 as a telemetry frame
+  /// (its payload charged to the perf model like any other payload, so the
+  /// modelled/measured invariants keep holding with telemetry on). Also
+  /// mirrors an aggregate row into the rank-0 engine probe, which is what
+  /// puts distributed solves into /tracez and the slow-query log.
+  void emit_telemetry(telemetry_phase phase, std::uint32_t superstep,
+                      std::uint64_t min_bucket, std::uint64_t ghost_labels,
+                      double vote_seconds, std::uint64_t backlog) {
+    if (trace != nullptr) {
+      obs::superstep_sample probe_sample;
+      probe_sample.superstep = superstep;
+      probe_sample.rank = -1;  // aggregate row: this whole rank's superstep
+      probe_sample.visitors = static_cast<std::uint32_t>(scratch.visitors);
+      probe_sample.sent = static_cast<std::uint32_t>(scratch.remote_msgs);
+      probe_sample.backlog = static_cast<std::uint32_t>(backlog);
+      probe_sample.compute_seconds =
+          static_cast<float>(scratch.compute_seconds);
+      probe_sample.barrier_wait_seconds =
+          static_cast<float>(scratch.recv_wait_seconds + vote_seconds);
+      probe_sample.bucket = min_bucket;
+      trace->probe().record(0, probe_sample);
+    }
+    if (!telemetry_on) return;
+    rank_telemetry t;
+    t.rank = rank();
+    t.phase = static_cast<std::uint8_t>(phase);
+    t.superstep = superstep;
+    t.visitors = scratch.visitors;
+    t.min_bucket = min_bucket;
+    t.ghost_labels = ghost_labels;
+    t.compute_nanos = to_nanos(scratch.compute_seconds);
+    t.send_flush_nanos = to_nanos(scratch.send_flush_seconds);
+    t.recv_wait_nanos = to_nanos(scratch.recv_wait_seconds);
+    t.vote_nanos = to_nanos(vote_seconds);
+    t.peers = scratch.peers;
+    if (rank() != 0) {
+      const frame f = encode_telemetry(t);
+      report.bytes_modelled += f.payload.size();
+      net.send(0, f);
+    } else {
+      cluster_rx.push_back(t);
+    }
+    report.telemetry.push_back(std::move(t));
+  }
+
+  /// One-shot exchange phases (ghost sync, EN reduce, gather) close their
+  /// telemetry window with this instead of end_superstep: no vote ran.
+  void emit_phase_telemetry(telemetry_phase phase,
+                            std::uint64_t ghost_labels = 0) {
+    emit_telemetry(phase, 0, UINT64_MAX, ghost_labels, 0.0, 0);
+  }
+
+  /// Closes one superstep: runs the termination vote, emits the telemetry
+  /// sample, and records a (measured, modelled) traffic sample — in that
+  /// order, so the telemetry frame's own bytes land in the same traffic
+  /// sample as the superstep it describes. Throws operation_cancelled when
+  /// the folded vote carries a cancel bit, keeping all ranks' unwinding in
+  /// lockstep.
+  vote_decision end_superstep(telemetry_phase phase, std::uint32_t superstep,
                               std::uint64_t outstanding,
                               std::uint64_t min_bucket,
                               std::uint64_t sent_before) {
+    const auto vote_t0 = clock::now();
     const vote_decision decision = vote.round(
         outstanding,
         config.budget != nullptr && config.budget->stop_requested(),
         min_bucket, superstep);
+    const double vote_seconds = seconds_since(vote_t0);
     ++report.supersteps;
+    emit_telemetry(phase, superstep, min_bucket, 0, vote_seconds, outstanding);
     net_superstep_sample sample;
     sample.superstep = superstep;
     sample.bytes_measured = net.stats().bytes_sent - sent_before;
@@ -153,6 +278,10 @@ phase_metrics run_voronoi(rank_ctx& ctx,
 
   for (std::uint32_t superstep = 0;; ++superstep) {
     const std::uint64_t sent_before = ctx.net.stats().bytes_sent;
+    ctx.reset_scratch();
+    const std::uint64_t visitors_before = metrics.visitors_processed;
+    const std::uint64_t remote_before = metrics.messages_remote;
+    const auto compute_t0 = clock::now();
 
     // Split the backlog into this superstep's open buckets and the rest.
     deferred.clear();
@@ -200,7 +329,12 @@ phase_metrics run_voronoi(rank_ctx& ctx,
       }
     }
 
+    ctx.scratch.compute_seconds = seconds_since(compute_t0);
+    ctx.scratch.visitors = metrics.visitors_processed - visitors_before;
+    ctx.scratch.remote_msgs = metrics.messages_remote - remote_before;
+
     // Flush batches, then the marker that bounds this superstep's data.
+    const auto flush_t0 = clock::now();
     for (int peer = 0; peer < ctx.world(); ++peer) {
       auto& out = outbox[static_cast<std::size_t>(peer)];
       if (peer != ctx.rank()) {
@@ -208,21 +342,23 @@ phase_metrics run_voronoi(rank_ctx& ctx,
              begin += k_batch_records) {
           const std::size_t end =
               std::min(begin + k_batch_records, out.size());
-          ctx.net.send(peer,
-                       encode_visitor_batch(std::span(out).subspan(
-                           begin, end - begin)));
+          ctx.send_data(peer,
+                        encode_visitor_batch(std::span(out).subspan(
+                            begin, end - begin)));
         }
         ctx.report.bytes_modelled += out.size() * 32;
         ctx.net.send(peer, make_marker(superstep));
       }
       out.clear();
     }
+    ctx.scratch.send_flush_seconds = seconds_since(flush_t0);
 
     // Park everything the peers sent this superstep into the backlog,
     // dropping candidates the local state already beats.
+    const auto recv_t0 = clock::now();
     for (int peer = 0; peer < ctx.world(); ++peer) {
       if (peer == ctx.rank()) continue;
-      ctx.chans.until_marker(peer, frame_type::superstep_marker, [&](frame& f) {
+      ctx.drain_until_marker(peer, [&](frame& f) {
         for (const net_visitor& v : decode_visitor_batch(f)) {
           if (std::tuple{v.r, v.t, v.vp} < state.tuple_of(v.vj)) {
             pending.push_back(v);
@@ -232,6 +368,7 @@ phase_metrics run_voronoi(rank_ctx& ctx,
         }
       });
     }
+    ctx.scratch.recv_wait_seconds = seconds_since(recv_t0);
 
     metrics.queue_peak_items = std::max(
         metrics.queue_peak_items, static_cast<std::uint64_t>(pending.size()));
@@ -242,7 +379,8 @@ phase_metrics run_voronoi(rank_ctx& ctx,
       min_bucket = std::min(min_bucket, bucket_of(v.r));
     }
     const vote_decision decision = ctx.end_superstep(
-        superstep, pending.size(), min_bucket, sent_before);
+        telemetry_phase::voronoi, superstep, pending.size(), min_bucket,
+        sent_before);
     if (decision.stop) break;
     bucket_limit = bucketed ? decision.min_bucket : 0;
   }
@@ -259,6 +397,9 @@ phase_metrics run_voronoi(rank_ctx& ctx,
 void sync_ghosts(rank_ctx& ctx, core::steiner_state& state,
                  phase_metrics& metrics) {
   const std::uint64_t sent_before = ctx.net.stats().bytes_sent;
+  ctx.reset_scratch();
+  const std::uint64_t ghosts_before = ctx.report.ghost_labels_sent;
+  const auto compute_t0 = clock::now();
   std::vector<std::vector<ghost_label>> out(
       static_cast<std::size_t>(ctx.world()));
   std::vector<std::uint8_t> dest_mark(static_cast<std::size_t>(ctx.world()), 0);
@@ -276,14 +417,16 @@ void sync_ghosts(rank_ctx& ctx, core::steiner_state& state,
           ghost_label{v, state.src[v], state.distance[v]});
     }
   }
+  ctx.scratch.compute_seconds = seconds_since(compute_t0);
+  const auto flush_t0 = clock::now();
   for (int peer = 0; peer < ctx.world(); ++peer) {
     auto& labels = out[static_cast<std::size_t>(peer)];
     if (peer != ctx.rank()) {
       for (std::size_t begin = 0; begin < labels.size();
            begin += k_batch_records) {
         const std::size_t end = std::min(begin + k_batch_records, labels.size());
-        ctx.net.send(peer, encode_ghost_batch(
-                               std::span(labels).subspan(begin, end - begin)));
+        ctx.send_data(peer, encode_ghost_batch(
+                                std::span(labels).subspan(begin, end - begin)));
       }
       ctx.report.ghost_labels_sent += labels.size();
       ctx.report.bytes_modelled += labels.size() * 24;
@@ -292,9 +435,11 @@ void sync_ghosts(rank_ctx& ctx, core::steiner_state& state,
     }
     labels.clear();
   }
+  ctx.scratch.send_flush_seconds = seconds_since(flush_t0);
+  const auto recv_t0 = clock::now();
   for (int peer = 0; peer < ctx.world(); ++peer) {
     if (peer == ctx.rank()) continue;
-    ctx.chans.until_marker(peer, frame_type::superstep_marker, [&](frame& f) {
+    ctx.drain_until_marker(peer, [&](frame& f) {
       for (const ghost_label& g : decode_ghost_batch(f)) {
         state.distance[g.v] = g.dist;
         state.src[g.v] = g.src;
@@ -302,6 +447,9 @@ void sync_ghosts(rank_ctx& ctx, core::steiner_state& state,
       }
     });
   }
+  ctx.scratch.recv_wait_seconds = seconds_since(recv_t0);
+  ctx.emit_phase_telemetry(telemetry_phase::ghost_sync,
+                           ctx.report.ghost_labels_sent - ghosts_before);
   net_superstep_sample sample;
   sample.superstep = 0;
   sample.bytes_measured = ctx.net.stats().bytes_sent - sent_before;
@@ -353,25 +501,30 @@ phase_metrics reduce_global_en(rank_ctx& ctx,
   phase_metrics metrics{};
   const auto t0 = clock::now();
   const std::uint64_t sent_before = ctx.net.stats().bytes_sent;
+  ctx.reset_scratch();
 
+  const auto compute_t0 = clock::now();
   std::vector<wire_en_entry> wire;
   wire.reserve(local_en.size());
   for (const auto& [key, entry] : local_en) {
     wire.push_back(wire_en_entry{key.first, key.second, entry.bridge_distance,
                                  entry.u, entry.v, entry.edge_weight});
   }
+  ctx.scratch.compute_seconds = seconds_since(compute_t0);
+  const auto flush_t0 = clock::now();
   for (int peer = 0; peer < ctx.world(); ++peer) {
     if (peer == ctx.rank()) continue;
     for (std::size_t begin = 0; begin < wire.size();
          begin += k_batch_records) {
       const std::size_t end = std::min(begin + k_batch_records, wire.size());
-      ctx.net.send(peer, encode_en_batch(
-                             std::span(wire).subspan(begin, end - begin)));
+      ctx.send_data(peer, encode_en_batch(
+                              std::span(wire).subspan(begin, end - begin)));
     }
     ctx.net.send(peer, make_marker(0));
   }
   ctx.report.bytes_modelled +=
       wire.size() * 48 * static_cast<std::uint64_t>(ctx.world() - 1);
+  ctx.scratch.send_flush_seconds = seconds_since(flush_t0);
 
   global_en = local_en;
   const auto merge = [&](const wire_en_entry& e) {
@@ -381,12 +534,15 @@ phase_metrics reduce_global_en(rank_ctx& ctx,
         global_en.emplace(core::seed_pair{e.seed_a, e.seed_b}, entry);
     if (!inserted) it->second = core::min_entry(it->second, entry);
   };
+  const auto recv_t0 = clock::now();
   for (int peer = 0; peer < ctx.world(); ++peer) {
     if (peer == ctx.rank()) continue;
-    ctx.chans.until_marker(peer, frame_type::superstep_marker, [&](frame& f) {
+    ctx.drain_until_marker(peer, [&](frame& f) {
       for (const wire_en_entry& e : decode_en_batch(f)) merge(e);
     });
   }
+  ctx.scratch.recv_wait_seconds = seconds_since(recv_t0);
+  ctx.emit_phase_telemetry(telemetry_phase::en_reduce);
 
   // Simulated-clock accounting mirrors the in-process collective: the
   // reduced map is the payload every rank ends up holding.
@@ -436,6 +592,10 @@ phase_metrics run_tree_edges(rank_ctx& ctx,
   std::vector<graph::vertex_id> next;
   for (std::uint32_t superstep = 0;; ++superstep) {
     const std::uint64_t sent_before = ctx.net.stats().bytes_sent;
+    ctx.reset_scratch();
+    const std::uint64_t visitors_before = metrics.visitors_processed;
+    const std::uint64_t remote_before = metrics.messages_remote;
+    const auto compute_t0 = clock::now();
     while (!worklist.empty()) {
       const graph::vertex_id vj = worklist.back();
       worklist.pop_back();
@@ -463,33 +623,42 @@ phase_metrics run_tree_edges(rank_ctx& ctx,
       }
     }
 
+    ctx.scratch.compute_seconds = seconds_since(compute_t0);
+    ctx.scratch.visitors = metrics.visitors_processed - visitors_before;
+    ctx.scratch.remote_msgs = metrics.messages_remote - remote_before;
+
+    const auto flush_t0 = clock::now();
     for (int peer = 0; peer < ctx.world(); ++peer) {
       auto& out = outbox[static_cast<std::size_t>(peer)];
       if (peer != ctx.rank()) {
         for (std::size_t begin = 0; begin < out.size();
              begin += k_batch_records) {
           const std::size_t end = std::min(begin + k_batch_records, out.size());
-          ctx.net.send(peer, encode_walk_batch(std::span(out).subspan(
-                                 begin, end - begin)));
+          ctx.send_data(peer, encode_walk_batch(std::span(out).subspan(
+                                  begin, end - begin)));
         }
         ctx.report.bytes_modelled += out.size() * 8;
         ctx.net.send(peer, make_marker(superstep));
       }
       out.clear();
     }
+    ctx.scratch.send_flush_seconds = seconds_since(flush_t0);
     next.clear();
+    const auto recv_t0 = clock::now();
     for (int peer = 0; peer < ctx.world(); ++peer) {
       if (peer == ctx.rank()) continue;
-      ctx.chans.until_marker(peer, frame_type::superstep_marker, [&](frame& f) {
+      ctx.drain_until_marker(peer, [&](frame& f) {
         for (const graph::vertex_id v : decode_walk_batch(f)) {
           if (in_tree[v] == 0) next.push_back(v);
         }
       });
     }
+    ctx.scratch.recv_wait_seconds = seconds_since(recv_t0);
     worklist.swap(next);
     ++metrics.rounds;
     const vote_decision decision = ctx.end_superstep(
-        superstep, worklist.size(), UINT64_MAX, sent_before);
+        telemetry_phase::tree_walk, superstep, worklist.size(), UINT64_MAX,
+        sent_before);
     if (decision.stop) break;
   }
   metrics.wall_seconds = seconds_since(t0);
@@ -503,23 +672,33 @@ phase_metrics gather_tree(rank_ctx& ctx,
   phase_metrics metrics{};
   const auto t0 = clock::now();
   const std::uint64_t sent_before = ctx.net.stats().bytes_sent;
+  ctx.reset_scratch();
+  const auto flush_t0 = clock::now();
   for (int peer = 0; peer < ctx.world(); ++peer) {
     if (peer == ctx.rank()) continue;
     for (std::size_t begin = 0; begin < local_es.size();
          begin += k_batch_records) {
       const std::size_t end = std::min(begin + k_batch_records, local_es.size());
-      ctx.net.send(peer, encode_edge_batch(std::span(local_es).subspan(
-                             begin, end - begin)));
+      ctx.send_data(peer, encode_edge_batch(std::span(local_es).subspan(
+                              begin, end - begin)));
     }
-    ctx.net.send(peer, make_marker(0));
   }
   ctx.report.bytes_modelled +=
       local_es.size() * 24 * static_cast<std::uint64_t>(ctx.world() - 1);
+  ctx.scratch.send_flush_seconds = seconds_since(flush_t0);
+  // This is the last exchange of the solve, so the sample must precede the
+  // markers: per-peer FIFO then guarantees rank 0 absorbs it while draining
+  // to our marker below. The cost is that gather samples carry no recv_wait
+  // (the drain has not happened yet when they are emitted).
+  ctx.emit_phase_telemetry(telemetry_phase::gather);
+  for (int peer = 0; peer < ctx.world(); ++peer) {
+    if (peer != ctx.rank()) ctx.net.send(peer, make_marker(0));
+  }
 
   tree = std::move(local_es);
   for (int peer = 0; peer < ctx.world(); ++peer) {
     if (peer == ctx.rank()) continue;
-    ctx.chans.until_marker(peer, frame_type::superstep_marker, [&](frame& f) {
+    ctx.drain_until_marker(peer, [&](frame& f) {
       for (const graph::weighted_edge& e : decode_edge_batch(f)) {
         tree.push_back(e);
       }
@@ -557,57 +736,85 @@ core::steiner_result solve_rank(const graph::csr_graph& graph,
 
   if (seed_list.size() > 1) {
     core::steiner_state state(graph.num_vertices());
-    result.phases.phase(phase_names::voronoi) =
-        run_voronoi(ctx, seed_list, state, result.growth);
+    {
+      // Phase spans go to ctx.trace — non-null only on rank 0, which keeps
+      // the shared loopback trace single-writer. This is what makes
+      // distributed cold solves show up in /tracez and the slow-query log.
+      core::detail::phase_span span(ctx.trace, phase_names::voronoi,
+                                    config.costs);
+      result.phases.phase(phase_names::voronoi) =
+          run_voronoi(ctx, seed_list, state, result.growth);
+      span.close(result.phases.phase(phase_names::voronoi));
+    }
 
     auto& local_metrics = result.phases.phase(phase_names::local_min_edge);
-    sync_ghosts(ctx, state, local_metrics);
     core::cross_edge_map local_en;
     {
+      core::detail::phase_span span(ctx.trace, phase_names::local_min_edge,
+                                    config.costs);
+      sync_ghosts(ctx, state, local_metrics);
       phase_metrics scan = scan_local_min_edges(ctx, state, local_en);
       scan.messages_remote += local_metrics.messages_remote;
       local_metrics = scan;
+      span.close(local_metrics);
     }
     if (config.budget != nullptr) config.budget->check();
 
     const runtime::communicator comm(ctx.world(), config.costs);
     core::cross_edge_map global_en;
-    result.phases.phase(phase_names::global_min_edge) =
-        reduce_global_en(ctx, local_en, global_en, comm);
+    {
+      core::detail::phase_span span(ctx.trace, phase_names::global_min_edge,
+                                    config.costs);
+      result.phases.phase(phase_names::global_min_edge) =
+          reduce_global_en(ctx, local_en, global_en, comm);
+      span.close(result.phases.phase(phase_names::global_min_edge));
+    }
     result.distance_graph_edges = global_en.size();
 
     auto& mst_metrics = result.phases.phase(phase_names::mst);
-    const auto mst_t0 = clock::now();
-    const core::distance_graph_mst mst = core::compute_distance_graph_mst(
-        global_en, seed_list, comm, mst_metrics);
-    mst_metrics.wall_seconds = seconds_since(mst_t0);
-    result.spans_all_seeds = mst.spans_all_seeds;
-    if (!mst.spans_all_seeds && !config.allow_disconnected_seeds) {
-      throw std::runtime_error("seeds are not mutually reachable");
-    }
-
-    auto& prune_metrics = result.phases.phase(phase_names::pruning);
-    const auto prune_t0 = clock::now();
     {
-      const std::set<core::seed_pair> keep(mst.mst_pairs.begin(),
-                                           mst.mst_pairs.end());
-      std::erase_if(global_en, [&](const auto& kv) {
-        return keep.find(kv.first) == keep.end();
-      });
-      constexpr std::uint64_t entry_bytes =
-          sizeof(core::seed_pair) + sizeof(core::cross_edge_entry);
-      comm.charge_collective(global_en.size() * entry_bytes, prune_metrics);
+      core::detail::phase_span span(ctx.trace, phase_names::mst, config.costs);
+      const auto mst_t0 = clock::now();
+      const core::distance_graph_mst mst = core::compute_distance_graph_mst(
+          global_en, seed_list, comm, mst_metrics);
+      mst_metrics.wall_seconds = seconds_since(mst_t0);
+      span.close(mst_metrics);
+      result.spans_all_seeds = mst.spans_all_seeds;
+      if (!mst.spans_all_seeds && !config.allow_disconnected_seeds) {
+        throw std::runtime_error("seeds are not mutually reachable");
+      }
+
+      auto& prune_metrics = result.phases.phase(phase_names::pruning);
+      core::detail::phase_span prune_span(ctx.trace, phase_names::pruning,
+                                          config.costs);
+      const auto prune_t0 = clock::now();
+      {
+        const std::set<core::seed_pair> keep(mst.mst_pairs.begin(),
+                                             mst.mst_pairs.end());
+        std::erase_if(global_en, [&](const auto& kv) {
+          return keep.find(kv.first) == keep.end();
+        });
+        constexpr std::uint64_t entry_bytes =
+            sizeof(core::seed_pair) + sizeof(core::cross_edge_entry);
+        comm.charge_collective(global_en.size() * entry_bytes, prune_metrics);
+      }
+      prune_metrics.wall_seconds = seconds_since(prune_t0);
+      prune_span.close(prune_metrics);
     }
-    prune_metrics.wall_seconds = seconds_since(prune_t0);
     if (config.budget != nullptr) config.budget->check();
 
     std::vector<graph::weighted_edge> local_es;
-    result.phases.phase(phase_names::tree_edge) =
-        run_tree_edges(ctx, global_en, state, local_es);
+    {
+      core::detail::phase_span span(ctx.trace, phase_names::tree_edge,
+                                    config.costs);
+      result.phases.phase(phase_names::tree_edge) =
+          run_tree_edges(ctx, global_en, state, local_es);
 
-    phase_metrics gather =
-        gather_tree(ctx, local_es, result.tree_edges);
-    result.phases.phase(phase_names::tree_edge).merge(gather);
+      phase_metrics gather =
+          gather_tree(ctx, local_es, result.tree_edges);
+      result.phases.phase(phase_names::tree_edge).merge(gather);
+      span.close(result.phases.phase(phase_names::tree_edge));
+    }
 
     for (const graph::weighted_edge& e : result.tree_edges) {
       result.total_distance += e.weight;
@@ -639,6 +846,10 @@ core::steiner_result solve_rank(const graph::csr_graph& graph,
 
   ctx.report.vote_rounds = ctx.vote.rounds();
   ctx.report.stats = net.stats();
+  if (ctx.telemetry_on && ctx.rank() == 0) {
+    ctx.report.cluster =
+        merge_cluster_samples(ctx.world(), std::move(ctx.cluster_rx));
+  }
   if (report != nullptr) *report = std::move(ctx.report);
   return result;
 }

@@ -31,6 +31,7 @@
 
 #include "core/steiner_solver.hpp"
 #include "graph/csr_graph.hpp"
+#include "runtime/net/cluster_telemetry.hpp"
 #include "runtime/net/comm_backend.hpp"
 
 namespace dsteiner::runtime::net {
@@ -57,6 +58,13 @@ struct net_solve_report {
   std::uint64_t bytes_modelled = 0;  ///< sum over samples
   net_stats stats;                   ///< final backend counters
   std::vector<net_superstep_sample> samples;
+  /// Telemetry samples this rank emitted (config.net_telemetry; one per
+  /// superstep boundary plus one per one-shot exchange phase).
+  std::vector<rank_telemetry> telemetry;
+  /// Rank 0 only: every rank's telemetry merged into canonical order — the
+  /// cluster observability plane's product. Empty on other ranks and when
+  /// telemetry is off.
+  cluster_trace cluster;
 };
 
 /// Runs one rank of the distributed solve over `net`. Every rank of the mesh

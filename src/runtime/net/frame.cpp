@@ -126,6 +126,18 @@ const char* to_string(frame_type type) noexcept {
     case frame_type::vote: return "vote";
     case frame_type::vote_confirm: return "vote_confirm";
     case frame_type::shutdown: return "shutdown";
+    case frame_type::telemetry: return "telemetry";
+  }
+  return "?";
+}
+
+const char* to_string(telemetry_phase phase) noexcept {
+  switch (phase) {
+    case telemetry_phase::voronoi: return "voronoi";
+    case telemetry_phase::ghost_sync: return "ghost_sync";
+    case telemetry_phase::en_reduce: return "en_reduce";
+    case telemetry_phase::tree_walk: return "tree_walk";
+    case telemetry_phase::gather: return "gather";
   }
   return "?";
 }
@@ -146,7 +158,7 @@ frame_header decode_header(std::span<const std::uint8_t> header_bytes) {
   }
   const std::uint8_t raw_type = header_bytes[2];
   if (raw_type < static_cast<std::uint8_t>(frame_type::hello) ||
-      raw_type > static_cast<std::uint8_t>(frame_type::shutdown)) {
+      raw_type > static_cast<std::uint8_t>(frame_type::telemetry)) {
     throw wire_error("unknown frame type " + std::to_string(raw_type));
   }
   const std::uint32_t len = get_u32(header_bytes.data() + 4);
@@ -348,6 +360,62 @@ std::uint32_t decode_marker(const frame& f) {
   const std::uint32_t superstep = r.u32();
   r.expect_done("superstep_marker");
   return superstep;
+}
+
+frame encode_telemetry(const rank_telemetry& sample) {
+  wire_writer w(69 + sample.peers.size() * 24);
+  w.u32(static_cast<std::uint32_t>(sample.rank));
+  w.u8(sample.phase);
+  w.u32(sample.superstep);
+  w.u64(sample.visitors);
+  w.u64(sample.min_bucket);
+  w.u64(sample.ghost_labels);
+  w.u64(sample.compute_nanos);
+  w.u64(sample.send_flush_nanos);
+  w.u64(sample.recv_wait_nanos);
+  w.u64(sample.vote_nanos);
+  w.u32(static_cast<std::uint32_t>(sample.peers.size()));
+  for (const telemetry_peer_traffic& peer : sample.peers) {
+    w.u32(peer.batches_sent);
+    w.u64(peer.bytes_sent);
+    w.u32(peer.batches_received);
+    w.u64(peer.bytes_received);
+  }
+  return frame{frame_type::telemetry, w.take()};
+}
+
+rank_telemetry decode_telemetry(const frame& f) {
+  check_type(f, frame_type::telemetry, "telemetry");
+  wire_reader r(f.payload);
+  rank_telemetry sample;
+  sample.rank = static_cast<std::int32_t>(r.u32());
+  sample.phase = r.u8();
+  sample.superstep = r.u32();
+  sample.visitors = r.u64();
+  sample.min_bucket = r.u64();
+  sample.ghost_labels = r.u64();
+  sample.compute_nanos = r.u64();
+  sample.send_flush_nanos = r.u64();
+  sample.recv_wait_nanos = r.u64();
+  sample.vote_nanos = r.u64();
+  if (sample.phase < static_cast<std::uint8_t>(telemetry_phase::voronoi) ||
+      sample.phase > static_cast<std::uint8_t>(telemetry_phase::gather)) {
+    throw wire_error("telemetry: unknown phase " +
+                     std::to_string(sample.phase));
+  }
+  const std::uint32_t peer_count = r.u32();
+  if (r.remaining() != static_cast<std::size_t>(peer_count) * 24) {
+    throw wire_error("telemetry: peer array length mismatch");
+  }
+  sample.peers.resize(peer_count);
+  for (telemetry_peer_traffic& peer : sample.peers) {
+    peer.batches_sent = r.u32();
+    peer.bytes_sent = r.u64();
+    peer.batches_received = r.u32();
+    peer.bytes_received = r.u64();
+  }
+  r.expect_done("telemetry");
+  return sample;
 }
 
 }  // namespace dsteiner::runtime::net

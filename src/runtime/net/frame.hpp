@@ -45,6 +45,7 @@ enum class frame_type : std::uint8_t {
   vote = 8,             ///< termination vote, phase A (propose)
   vote_confirm = 9,     ///< termination vote, phase B (confirm)
   shutdown = 10,        ///< orderly mesh teardown
+  telemetry = 11,       ///< per-rank superstep sample, pushed to rank 0
 };
 
 [[nodiscard]] const char* to_string(frame_type type) noexcept;
@@ -158,5 +159,64 @@ void decode_hello(const frame& f, int& rank, int& world);
 
 [[nodiscard]] frame make_marker(std::uint32_t superstep);
 [[nodiscard]] std::uint32_t decode_marker(const frame& f);
+
+// ---- cluster telemetry ---------------------------------------------------
+
+/// Which phase of the distributed pipeline a telemetry sample belongs to.
+/// Ordered by pipeline position so sorting by (phase, superstep, rank) yields
+/// the execution order of the whole solve.
+enum class telemetry_phase : std::uint8_t {
+  voronoi = 1,     ///< bucketed Voronoi growth supersteps (Alg. 4)
+  ghost_sync = 2,  ///< boundary-label exchange (one-shot)
+  en_reduce = 3,   ///< all-to-all EN reduction (one-shot, Alg. 5)
+  tree_walk = 4,   ///< tree-edge walk-back supersteps (Alg. 6)
+  gather = 5,      ///< result-edge allgather (one-shot)
+};
+
+[[nodiscard]] const char* to_string(telemetry_phase phase) noexcept;
+
+/// Data-frame traffic one rank exchanged with one peer during one sample
+/// window. Control frames (markers, votes, telemetry itself) are excluded:
+/// the plane reports the application's communication, not its own.
+struct telemetry_peer_traffic {
+  std::uint32_t batches_sent = 0;
+  std::uint64_t bytes_sent = 0;  ///< wire bytes (header + payload)
+  std::uint32_t batches_received = 0;
+  std::uint64_t bytes_received = 0;
+
+  friend bool operator==(const telemetry_peer_traffic&,
+                         const telemetry_peer_traffic&) = default;
+};
+
+/// One rank's activity during one superstep (or one-shot exchange phase) —
+/// the payload of a frame_type::telemetry frame. Every rank emits one per
+/// superstep boundary; ranks != 0 push theirs to rank 0, which merges all of
+/// them into a cluster_trace. Timings travel as integer nanoseconds so the
+/// codec stays fixed-width like every other payload.
+struct rank_telemetry {
+  std::int32_t rank = 0;
+  std::uint8_t phase = 0;  ///< a telemetry_phase value
+  std::uint32_t superstep = 0;
+  std::uint64_t visitors = 0;      ///< visitors/walks drained this window
+  std::uint64_t min_bucket = UINT64_MAX;  ///< open delta bucket (none = max)
+  std::uint64_t ghost_labels = 0;  ///< boundary labels pushed (ghost phase)
+  std::uint64_t compute_nanos = 0;     ///< local drain/relax work
+  std::uint64_t send_flush_nanos = 0;  ///< encoding + flushing data batches
+  std::uint64_t recv_wait_nanos = 0;   ///< peer-drain loop (block + apply)
+  std::uint64_t vote_nanos = 0;        ///< two-phase termination vote
+  std::vector<telemetry_peer_traffic> peers;  ///< indexed by peer rank
+
+  [[nodiscard]] std::uint64_t total_nanos() const noexcept {
+    return compute_nanos + send_flush_nanos + recv_wait_nanos + vote_nanos;
+  }
+  [[nodiscard]] std::uint64_t comm_nanos() const noexcept {
+    return send_flush_nanos + recv_wait_nanos + vote_nanos;
+  }
+
+  friend bool operator==(const rank_telemetry&, const rank_telemetry&) = default;
+};
+
+[[nodiscard]] frame encode_telemetry(const rank_telemetry& sample);
+[[nodiscard]] rank_telemetry decode_telemetry(const frame& f);
 
 }  // namespace dsteiner::runtime::net

@@ -18,6 +18,10 @@ frame peer_channels::next(int from) {
       throw wire_error("mesh closed while waiting for rank " +
                        std::to_string(from));
     }
+    if (f.type == frame_type::telemetry) {
+      if (telemetry_sink_) telemetry_sink_(src, f);
+      continue;  // never parked: invisible to the protocol paths
+    }
     pending_[static_cast<std::size_t>(src)].push_back(std::move(f));
   }
   frame out = std::move(queue.front());

@@ -47,11 +47,21 @@ class peer_channels {
   std::uint32_t until_marker(int from, frame_type marker_type,
                              const std::function<void(frame&)>& fn);
 
+  /// Registers the observability drain for frame_type::telemetry. Telemetry
+  /// frames are control-plane: they are diverted here at recv time and never
+  /// enter the per-peer queues, so next()/expect()/until_marker() — and
+  /// every phase decoder behind them — stay oblivious to the telemetry
+  /// plane. With no sink registered (every rank but 0) they are discarded.
+  void set_telemetry_sink(std::function<void(int from, frame&)> sink) {
+    telemetry_sink_ = std::move(sink);
+  }
+
   [[nodiscard]] comm_backend& backend() noexcept { return net_; }
 
  private:
   comm_backend& net_;
   std::vector<std::deque<frame>> pending_;  ///< parked frames, per peer
+  std::function<void(int, frame&)> telemetry_sink_;
 };
 
 /// Folded result of one termination round.

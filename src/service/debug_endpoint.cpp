@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <string>
 
+#include "runtime/net/cluster_telemetry.hpp"
 #include "service/metrics_text.hpp"
 
 namespace dsteiner::service {
@@ -41,6 +42,8 @@ debug_endpoint::debug_endpoint(const steiner_service& service)
                     [this](std::string_view) {
                       return render_slo_text(service_.snapshot());
                     });
+  server_.add_route("/clusterz", "application/json",
+                    [this](std::string_view) { return render_clusterz(); });
 }
 
 std::string debug_endpoint::render_statusz() const {
@@ -85,6 +88,14 @@ std::string debug_endpoint::render_statusz() const {
        s.distributed_solves, s.net_bytes_sent, s.net_bytes_modelled,
        s.net_frames_sent, s.net_supersteps, s.net_vote_rounds,
        s.net_ghost_labels);
+  line(out,
+       "cluster: telemetry_samples=%" PRIu64 " supersteps=%" PRIu64
+       " straggler_supersteps=%" PRIu64 " superstep_p50=%.6fs"
+       " comm_wait_p50=%.6fs",
+       s.cluster_telemetry_samples, s.cluster_supersteps,
+       s.cluster_straggler_supersteps,
+       snap.cluster_superstep_seconds.percentile(50.0),
+       snap.cluster_comm_wait_seconds.percentile(50.0));
   line(out,
        "latency: p50=%.6fs p99=%.6fs mean=%.6fs samples=%" PRIu64,
        snap.total.percentile(50.0), snap.total.percentile(99.0),
@@ -147,6 +158,19 @@ std::string debug_endpoint::render_tracez(std::string_view query) const {
   }
   out.push_back(']');
   return out;
+}
+
+std::string debug_endpoint::render_clusterz() const {
+  const std::shared_ptr<const runtime::net::cluster_trace> trace =
+      service_.cluster_trace_snapshot();
+  if (trace == nullptr) {
+    // No distributed solve has completed with telemetry on yet; world 0
+    // distinguishes "nothing to report" from a real single-rank trace.
+    return "{\"world\":0,\"samples\":0,\"supersteps\":0,\"critical_rank\":-1,"
+           "\"critical_supersteps\":0,\"max_compute_skew\":0.000000,"
+           "\"comm_wait_fraction\":0.000000,\"straggler_report\":[]}";
+  }
+  return runtime::net::render_cluster_json(*trace);
 }
 
 }  // namespace dsteiner::service

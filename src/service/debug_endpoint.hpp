@@ -11,7 +11,11 @@
 //             a JSON array of Chrome trace objects, each loadable in
 //             Perfetto / chrome://tracing; honors ?limit=N (newest last);
 //   /slo      the SLO burn-rate families alone, Prometheus exposition —
-//             a cheap scrape target for fast-burn alerting.
+//             a cheap scrape target for fast-burn alerting;
+//   /clusterz the most recent distributed solve's merged rank telemetry:
+//             whole-solve straggler digest plus one row per (phase,
+//             superstep) group with critical-path rank, compute skew and
+//             comm-wait fraction ({"world":0,...} until one completes).
 //
 // Handlers run on the server thread and only read snapshot()/slow_log(), so
 // the endpoint never blocks a query. The service must outlive the endpoint.
@@ -42,6 +46,7 @@ class debug_endpoint {
  private:
   [[nodiscard]] std::string render_statusz() const;
   [[nodiscard]] std::string render_tracez(std::string_view query) const;
+  [[nodiscard]] std::string render_clusterz() const;
 
   const steiner_service& service_;
   obs::debug_server server_;

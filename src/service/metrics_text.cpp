@@ -408,6 +408,16 @@ std::string render_metrics_text(const service_snapshot& snap,
   append_counter(out, prefix, "net_ghost_labels_total",
                  "Boundary vertex labels synchronized between ranks",
                  s.net_ghost_labels);
+  append_counter(out, prefix, "cluster_telemetry_samples_total",
+                 "Per-rank, per-superstep telemetry frames merged on rank 0",
+                 s.cluster_telemetry_samples);
+  append_counter(out, prefix, "cluster_supersteps_total",
+                 "Superstep groups attributed by the straggler report",
+                 s.cluster_supersteps);
+  append_counter(out, prefix, "cluster_straggler_supersteps_total",
+                 "Attributed supersteps whose max/median compute skew "
+                 "reached 2x",
+                 s.cluster_straggler_supersteps);
   append_counter(out, prefix, "bound_sharpened_admissions_total",
                  "Admission cost estimates scaled by oracle seed spread",
                  s.bound_sharpened);
@@ -521,6 +531,14 @@ std::string render_metrics_text(const service_snapshot& snap,
                           "(always >= the modelled series; the gap is framing "
                           "overhead)",
                           snap.comm_bytes_measured, 1e6);
+  append_histogram(out, prefix, "cluster_superstep_seconds",
+                   "Wall seconds per rank per superstep (compute + "
+                   "send-flush + recv-wait + vote)",
+                   snap.cluster_superstep_seconds);
+  append_histogram(out, prefix, "cluster_comm_wait_seconds",
+                   "Communication share of each rank-superstep sample "
+                   "(send-flush + recv-wait + vote)",
+                   snap.cluster_comm_wait_seconds);
   return out;
 }
 

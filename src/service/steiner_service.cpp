@@ -140,6 +140,66 @@ void steiner_service::record_net_reports(
     trace->add_event("net_supersteps", static_cast<double>(supersteps));
     trace->add_event("net_vote_rounds", static_cast<double>(vote_rounds));
   }
+
+  // Cluster telemetry plane: rank 0's report carries every rank's merged
+  // per-superstep samples (empty when config.net_telemetry is off). Fold
+  // them into counters/histograms, merge them into the query trace as
+  // per-rank Perfetto tracks, and publish the whole trace for /clusterz.
+  for (const runtime::net::net_solve_report& r : reports) {
+    if (r.rank != 0 || r.cluster.samples.empty()) continue;
+    const std::vector<runtime::net::straggler_row> rows =
+        runtime::net::straggler_rows(r.cluster);
+    const runtime::net::cluster_summary digest =
+        runtime::net::summarize_cluster(r.cluster);
+    cluster_telemetry_samples_ += r.cluster.samples.size();
+    cluster_supersteps_ += rows.size();
+    std::uint64_t straggling = 0;
+    for (const runtime::net::straggler_row& row : rows) {
+      if (row.compute_skew >= 2.0) ++straggling;
+    }
+    cluster_straggler_supersteps_ += straggling;
+    for (const runtime::net::rank_telemetry& t : r.cluster.samples) {
+      cluster_superstep_seconds_hist_.record(
+          static_cast<double>(t.total_nanos()) * 1e-9);
+      cluster_comm_wait_seconds_hist_.record(
+          static_cast<double>(t.comm_nanos()) * 1e-9);
+    }
+    if (trace != nullptr) {
+      for (const runtime::net::rank_telemetry& t : r.cluster.samples) {
+        obs::rank_slice slice;
+        slice.phase = runtime::net::to_string(
+            static_cast<runtime::net::telemetry_phase>(t.phase));
+        slice.rank = t.rank;
+        slice.superstep = t.superstep;
+        slice.compute_seconds = static_cast<double>(t.compute_nanos) * 1e-9;
+        slice.send_flush_seconds =
+            static_cast<double>(t.send_flush_nanos) * 1e-9;
+        slice.recv_wait_seconds = static_cast<double>(t.recv_wait_nanos) * 1e-9;
+        slice.vote_seconds = static_cast<double>(t.vote_nanos) * 1e-9;
+        slice.visitors = t.visitors;
+        for (const runtime::net::telemetry_peer_traffic& p : t.peers) {
+          slice.bytes_sent += p.bytes_sent;
+        }
+        trace->add_rank_slice(slice);
+      }
+      trace->set_cluster_summary(
+          static_cast<std::uint32_t>(digest.world), digest.supersteps,
+          digest.critical_rank, digest.critical_supersteps,
+          digest.max_compute_skew, digest.comm_wait_fraction);
+    }
+    auto published = std::make_shared<runtime::net::cluster_trace>(r.cluster);
+    {
+      const std::lock_guard<std::mutex> lock(cluster_mutex_);
+      last_cluster_ = std::move(published);
+    }
+    break;  // one rank-0 report per solve
+  }
+}
+
+std::shared_ptr<const runtime::net::cluster_trace>
+steiner_service::cluster_trace_snapshot() const {
+  const std::lock_guard<std::mutex> lock(cluster_mutex_);
+  return last_cluster_;
 }
 
 std::uint64_t steiner_service::config_hash(
@@ -163,9 +223,13 @@ std::uint64_t steiner_service::config_hash(
   // schedule and therefore the metrics, but the output tree is the same
   // lexicographic fixed point, so strict and relaxed queries deliberately
   // share one cache entry (the cached tree is always the strict tree).
+  // Deliberate exception #5: `net_telemetry` is NOT hashed — the distributed
+  // telemetry plane is pure observation like `trace` (it moves traffic
+  // totals by its own frames but never the output tree), so telemetry-on
+  // and -off runs share one cache entry.
   static_assert(sizeof(runtime::cost_model) == 8 * sizeof(double),
                 "cost_model changed: update config_hash");
-  static_assert(sizeof(core::solver_config) <= 112 + sizeof(runtime::cost_model),
+  static_assert(sizeof(core::solver_config) <= 120 + sizeof(runtime::cost_model),
                 "solver_config changed: update config_hash");
   const auto f64 = [](double value) {
     return std::bit_cast<std::uint64_t>(value);
@@ -1155,6 +1219,9 @@ service_stats steiner_service::stats() const {
   s.net_supersteps = net_supersteps_.load();
   s.net_vote_rounds = net_vote_rounds_.load();
   s.net_ghost_labels = net_ghost_labels_.load();
+  s.cluster_telemetry_samples = cluster_telemetry_samples_.load();
+  s.cluster_supersteps = cluster_supersteps_.load();
+  s.cluster_straggler_supersteps = cluster_straggler_supersteps_.load();
   s.sampled_traces = sampled_traces_.load();
   s.slo_violations = slo_violations_.load();
   s.model_admissions = model_admissions_.load();
@@ -1183,6 +1250,8 @@ service_snapshot steiner_service::snapshot() const {
   snap.estimate_error_baseline = estimate_error_baseline_hist_.snapshot();
   snap.comm_bytes_modelled = comm_bytes_modelled_hist_.snapshot();
   snap.comm_bytes_measured = comm_bytes_measured_hist_.snapshot();
+  snap.cluster_superstep_seconds = cluster_superstep_seconds_hist_.snapshot();
+  snap.cluster_comm_wait_seconds = cluster_comm_wait_seconds_hist_.snapshot();
   snap.cost_model = cost_model_.snapshot();
   snap.slo = slo_.snapshot();
   return snap;

@@ -80,6 +80,7 @@
 
 namespace dsteiner::runtime::net {
 struct net_solve_report;  // runtime/net/dist_solver.hpp
+struct cluster_trace;     // runtime/net/cluster_telemetry.hpp
 }  // namespace dsteiner::runtime::net
 
 namespace dsteiner::service {
@@ -201,6 +202,10 @@ struct service_stats {
   std::uint64_t net_supersteps = 0;      ///< BSP supersteps across solves
   std::uint64_t net_vote_rounds = 0;     ///< termination vote rounds
   std::uint64_t net_ghost_labels = 0;    ///< boundary labels synchronized
+  // Cluster telemetry plane (per-rank superstep frames, merged on rank 0).
+  std::uint64_t cluster_telemetry_samples = 0;  ///< rank×superstep samples
+  std::uint64_t cluster_supersteps = 0;  ///< attributed superstep groups
+  std::uint64_t cluster_straggler_supersteps = 0;  ///< compute skew >= 2x
 
   // Shared distance substrate (distshare/).
   std::uint64_t fragment_assisted = 0;  ///< cold solves pre-seeded from store
@@ -248,6 +253,12 @@ struct service_snapshot {
   /// deliberately excludes.
   latency_histogram::snapshot_data comm_bytes_modelled;
   latency_histogram::snapshot_data comm_bytes_measured;
+  /// Cluster telemetry: per rank×superstep sample, wall seconds of the whole
+  /// sample (compute + send-flush + recv-wait + vote) and of its
+  /// communication share — the distribution /clusterz's straggler report
+  /// summarizes per superstep.
+  latency_histogram::snapshot_data cluster_superstep_seconds;
+  latency_histogram::snapshot_data cluster_comm_wait_seconds;
   obs::cost_model_snapshot cost_model;  ///< RLS coefficients, samples, residual
   obs::slo_snapshot slo;                ///< per-class burn rates and windows
 };
@@ -362,6 +373,13 @@ class steiner_service {
 
   /// Counters + per-stage latency histograms; safe to call under load.
   [[nodiscard]] service_snapshot snapshot() const;
+
+  /// The most recent distributed solve's merged cluster telemetry (rank 0's
+  /// aggregation of every rank's per-superstep frames), or null when no
+  /// distributed solve has completed with telemetry on. Shared read-only
+  /// snapshot — /clusterz renders it without holding service locks.
+  [[nodiscard]] std::shared_ptr<const runtime::net::cluster_trace>
+  cluster_trace_snapshot() const;
 
   /// Engine workers the core-budget split grants a parallel_threads solve.
   /// Computed regardless of the default solver's mode, since per-query
@@ -510,6 +528,9 @@ class steiner_service {
   /// Distributed per-superstep traffic in MB (see service_snapshot).
   latency_histogram comm_bytes_modelled_hist_;
   latency_histogram comm_bytes_measured_hist_;
+  /// Cluster telemetry: per rank×superstep total and comm-wait seconds.
+  latency_histogram cluster_superstep_seconds_hist_;
+  latency_histogram cluster_comm_wait_seconds_hist_;
 
   /// Learned admission cost model: trained from every completed real solve,
   /// consulted by estimate_completion_seconds (internally synchronized).
@@ -608,6 +629,14 @@ class steiner_service {
   std::atomic<std::uint64_t> net_supersteps_{0};
   std::atomic<std::uint64_t> net_vote_rounds_{0};
   std::atomic<std::uint64_t> net_ghost_labels_{0};
+  std::atomic<std::uint64_t> cluster_telemetry_samples_{0};
+  std::atomic<std::uint64_t> cluster_supersteps_{0};
+  std::atomic<std::uint64_t> cluster_straggler_supersteps_{0};
+  /// Latest merged cluster trace (rank 0's aggregation), swapped in whole by
+  /// record_net_reports; /clusterz copies the shared_ptr under the mutex and
+  /// renders lock-free.
+  mutable std::mutex cluster_mutex_;
+  std::shared_ptr<const runtime::net::cluster_trace> last_cluster_;
   std::array<std::atomic<std::uint64_t>, k_priority_classes> admitted_by_prio_{};
   std::array<std::atomic<std::uint64_t>, k_priority_classes> shed_by_prio_{};
 

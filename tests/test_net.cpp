@@ -15,6 +15,8 @@
 #include "core/steiner_solver.hpp"
 #include "core/validation.hpp"
 #include "graph/generators.hpp"
+#include "obs/trace.hpp"
+#include "runtime/net/cluster_telemetry.hpp"
 #include "runtime/net/dist_solver.hpp"
 #include "runtime/net/frame.hpp"
 #include "runtime/net/loopback_backend.hpp"
@@ -108,6 +110,53 @@ TEST(NetFrame, WholeFrameEncodeDecode) {
   const frame back = decode_frame(bytes);
   EXPECT_EQ(back.type, f.type);
   EXPECT_EQ(back.payload, f.payload);
+}
+
+TEST(NetFrame, TelemetryRoundTrip) {
+  rank_telemetry in;
+  in.rank = 2;
+  in.phase = static_cast<std::uint8_t>(telemetry_phase::voronoi);
+  in.superstep = 17;
+  in.visitors = 12345;
+  in.min_bucket = 9;
+  in.ghost_labels = 77;
+  in.compute_nanos = 1111;
+  in.send_flush_nanos = 222;
+  in.recv_wait_nanos = 3333;
+  in.vote_nanos = 44;
+  in.peers = {{3, 480, 2, 320}, {0, 0, 0, 0}, {7, 9000, 1, 64}};
+
+  const frame f = encode_telemetry(in);
+  EXPECT_EQ(f.type, frame_type::telemetry);
+  EXPECT_EQ(f.payload.size(), 69u + in.peers.size() * 24);
+  EXPECT_EQ(decode_telemetry(f), in);
+  // Whole-frame trip (what actually crosses the wire to rank 0).
+  EXPECT_EQ(decode_telemetry(decode_frame(encode_frame(f))), in);
+
+  EXPECT_EQ(in.total_nanos(), 1111u + 222u + 3333u + 44u);
+  EXPECT_EQ(in.comm_nanos(), 222u + 3333u + 44u);
+}
+
+TEST(NetFrame, TelemetryRejectsTruncationAndBadPhase) {
+  rank_telemetry sample;
+  sample.phase = static_cast<std::uint8_t>(telemetry_phase::tree_walk);
+  sample.peers.resize(2);
+
+  frame truncated = encode_telemetry(sample);
+  truncated.payload.pop_back();  // partial peer record
+  EXPECT_THROW((void)decode_telemetry(truncated), wire_error);
+
+  frame short_peers = encode_telemetry(sample);
+  short_peers.payload.resize(short_peers.payload.size() - 24);  // count lies
+  EXPECT_THROW((void)decode_telemetry(short_peers), wire_error);
+
+  frame bad_phase = encode_telemetry(sample);
+  bad_phase.payload[4] = 0;  // phase byte below the enum range
+  EXPECT_THROW((void)decode_telemetry(bad_phase), wire_error);
+  bad_phase.payload[4] = 99;  // and above it
+  EXPECT_THROW((void)decode_telemetry(bad_phase), wire_error);
+
+  EXPECT_THROW((void)decode_telemetry(make_marker(0)), wire_error);
 }
 
 // ---- strict rejection -------------------------------------------------------
@@ -337,6 +386,134 @@ TEST(NetDistSolve, ReportsModelledAndMeasuredTraffic) {
   }
 }
 
+// ---- cluster telemetry plane ------------------------------------------------
+
+using sample_key = std::tuple<std::uint8_t, std::uint32_t, std::int32_t,
+                              std::uint64_t>;
+
+std::vector<sample_key> cluster_keys(const cluster_trace& trace) {
+  std::vector<sample_key> keys;
+  keys.reserve(trace.samples.size());
+  for (const rank_telemetry& s : trace.samples) {
+    keys.emplace_back(s.phase, s.superstep, s.rank, s.visitors);
+  }
+  return keys;
+}
+
+TEST(NetClusterTelemetry, MergeIsDeterministicAcrossRunsAndCoversAllRanks) {
+  const graph::csr_graph g = make_connected_graph(300, 35, 19);
+  const auto seeds = pick_seeds(g, 6, 0xBEEF);
+  core::solver_config config;  // net_telemetry defaults on
+
+  for (const int world : {2, 3}) {
+    std::vector<std::vector<sample_key>> runs;
+    for (int run = 0; run < 2; ++run) {
+      std::vector<net_solve_report> reports;
+      (void)solve_loopback(g, seeds, config, world, &reports);
+      ASSERT_EQ(reports.size(), static_cast<std::size_t>(world));
+
+      const cluster_trace& cluster = reports[0].cluster;
+      EXPECT_EQ(cluster.world, world);
+      // Rank 0 absorbed exactly what every rank emitted, no frame lost to
+      // the data-plane interleaving.
+      std::size_t emitted = 0;
+      for (const net_solve_report& r : reports) {
+        emitted += r.telemetry.size();
+        EXPECT_TRUE(r.rank == 0 || r.cluster.samples.empty())
+            << "cluster merge leaked off rank 0";
+      }
+      EXPECT_EQ(cluster.samples.size(), emitted);
+
+      // Canonical (phase, superstep, rank) order, every rank present.
+      std::vector<bool> seen(static_cast<std::size_t>(world), false);
+      for (std::size_t i = 0; i < cluster.samples.size(); ++i) {
+        const rank_telemetry& s = cluster.samples[i];
+        ASSERT_GE(s.rank, 0);
+        ASSERT_LT(s.rank, world);
+        seen[static_cast<std::size_t>(s.rank)] = true;
+        if (i > 0) {
+          const rank_telemetry& p = cluster.samples[i - 1];
+          EXPECT_LE(std::make_tuple(p.phase, p.superstep, p.rank),
+                    std::make_tuple(s.phase, s.superstep, s.rank));
+        }
+      }
+      for (const bool rank_seen : seen) EXPECT_TRUE(rank_seen);
+      runs.push_back(cluster_keys(cluster));
+    }
+    // Same graph/seeds/world => identical merged sample keys run over run
+    // (timings move, the schedule does not).
+    EXPECT_EQ(runs[0], runs[1]) << "world " << world;
+  }
+
+  // world 1: the plane degenerates to rank 0 observing itself.
+  std::vector<net_solve_report> solo;
+  (void)solve_loopback(g, seeds, config, 1, &solo);
+  ASSERT_EQ(solo.size(), 1u);
+  EXPECT_EQ(solo[0].cluster.samples.size(), solo[0].telemetry.size());
+  EXPECT_FALSE(solo[0].cluster.samples.empty());
+}
+
+TEST(NetClusterTelemetry, StragglerReportAttributesEverySuperstepGroup) {
+  const graph::csr_graph g = make_connected_graph(250, 30, 31);
+  const auto seeds = pick_seeds(g, 5, 0xCAFE);
+  std::vector<net_solve_report> reports;
+  (void)solve_loopback(g, seeds, {}, 3, &reports);
+  const cluster_trace& cluster = reports[0].cluster;
+  ASSERT_FALSE(cluster.samples.empty());
+
+  const auto rows = straggler_rows(cluster);
+  std::size_t grouped = 0;
+  for (const straggler_row& row : rows) {
+    EXPECT_GE(row.critical_rank, 0);
+    EXPECT_LT(row.critical_rank, 3);
+    EXPECT_GE(row.compute_skew, 1.0);
+    EXPECT_GE(row.comm_wait_fraction, 0.0);
+    EXPECT_LE(row.comm_wait_fraction, 1.0);
+    for (const rank_telemetry& s : cluster.samples) {
+      if (s.phase == row.phase && s.superstep == row.superstep) ++grouped;
+    }
+  }
+  EXPECT_EQ(grouped, cluster.samples.size());  // every sample attributed
+
+  const cluster_summary summary = summarize_cluster(cluster);
+  EXPECT_EQ(summary.world, 3);
+  EXPECT_EQ(summary.supersteps, rows.size());
+  EXPECT_GE(summary.critical_rank, 0);
+  EXPECT_GE(summary.max_compute_skew, 1.0);
+  EXPECT_LE(summary.critical_supersteps, summary.supersteps);
+
+  const std::string json = render_cluster_json(cluster);
+  EXPECT_NE(json.find("\"straggler_report\""), std::string::npos);
+  EXPECT_NE(json.find("\"critical_rank\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(NetClusterTelemetry, TracedAndUntracedSolvesBitIdentical) {
+  const graph::csr_graph g = make_connected_graph(300, 25, 47);
+  const auto seeds = pick_seeds(g, 6, 0x7777);
+
+  core::solver_config off;
+  off.net_telemetry = false;
+  std::vector<net_solve_report> off_reports;
+  const auto baseline = solve_loopback(g, seeds, off, 3, &off_reports);
+  EXPECT_TRUE(off_reports[0].cluster.samples.empty());
+  EXPECT_TRUE(off_reports[0].telemetry.empty());
+
+  obs::query_trace trace(obs::trace_config{}, 1);
+  core::solver_config on;
+  on.net_telemetry = true;
+  on.trace = &trace;
+  std::vector<net_solve_report> on_reports;
+  const auto traced = solve_loopback(g, seeds, on, 3, &on_reports);
+
+  // The whole observability plane is pure observation.
+  expect_identical(traced, baseline);
+  EXPECT_FALSE(on_reports[0].cluster.samples.empty());
+  EXPECT_FALSE(trace.spans().empty());          // phase spans from solve_rank
+  EXPECT_GT(trace.probe().total_samples(), 0u); // per-superstep engine rows
+}
+
 // ---- TCP backend ------------------------------------------------------------
 
 std::uint16_t test_base_port() {
@@ -408,12 +585,34 @@ TEST(NetTcp, DistributedSolveBitIdenticalToSingleProcess) {
     children.push_back(child);
   }
 
+  // Rank 0 (this process) additionally carries a query trace; the children
+  // run untraced. Mixing is safe — tracing and telemetry are pure
+  // observation, which the bit-identity expectations below re-prove over a
+  // real kernel socket mesh.
+  obs::query_trace trace(obs::trace_config{}, 1);
+  core::solver_config traced_config = config;
+  traced_config.trace = &trace;
+
   tcp_backend net({0, k_world, port, 15000});
   net_solve_report report;
-  const auto distributed = solve_rank(g, seeds, config, net, &report);
+  const auto distributed = solve_rank(g, seeds, traced_config, net, &report);
   expect_identical(distributed, reference);
   EXPECT_GT(report.stats.bytes_sent, 0u);
   EXPECT_GT(report.ghost_labels_sent, 0u);
+
+  // The telemetry plane crossed the TCP mesh: rank 0's merged cluster trace
+  // covers every forked rank, and the trace recorded the distributed phases.
+  ASSERT_FALSE(report.cluster.samples.empty());
+  EXPECT_EQ(report.cluster.world, k_world);
+  std::vector<bool> covered(k_world, false);
+  for (const rank_telemetry& s : report.cluster.samples) {
+    ASSERT_GE(s.rank, 0);
+    ASSERT_LT(s.rank, k_world);
+    covered[static_cast<std::size_t>(s.rank)] = true;
+  }
+  for (const bool rank_covered : covered) EXPECT_TRUE(rank_covered);
+  EXPECT_FALSE(trace.spans().empty());
+  EXPECT_GT(trace.probe().total_samples(), 0u);
 
   for (const pid_t child : children) {
     int wstatus = -1;

@@ -204,6 +204,58 @@ TEST(PromValidate, FlagsMissingInfBucket) {
   EXPECT_FALSE(report.ok());
 }
 
+TEST(PromValidate, FlagsDuplicateHelpAndTypeDeclarations) {
+  const auto dup_help = obs::validate_prometheus(
+      "# HELP app_x_total X\n"
+      "# HELP app_x_total X again\n"
+      "# TYPE app_x_total counter\n"
+      "app_x_total 1\n");
+  EXPECT_FALSE(dup_help.ok());
+  EXPECT_NE(dup_help.to_string().find("duplicate HELP"), std::string::npos);
+
+  const auto dup_type = obs::validate_prometheus(
+      "# HELP app_x_total X\n"
+      "# TYPE app_x_total counter\n"
+      "# TYPE app_x_total counter\n"
+      "app_x_total 1\n");
+  EXPECT_FALSE(dup_type.ok());
+}
+
+TEST(PromValidate, FlagsInterleavedFamilySamples) {
+  // app_a_total's samples are split by an app_b_total sample — scrapers keep
+  // only one contiguous run of a family, so this loses data silently.
+  const auto report = obs::validate_prometheus(
+      "# HELP app_a_total A\n"
+      "# TYPE app_a_total counter\n"
+      "# HELP app_b_total B\n"
+      "# TYPE app_b_total counter\n"
+      "app_a_total{k=\"1\"} 1\n"
+      "app_b_total 2\n"
+      "app_a_total{k=\"2\"} 3\n");
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("interleaved samples"), std::string::npos);
+}
+
+TEST(PromValidate, AcceptsContiguousMultiSampleFamilies) {
+  // Label-varied samples of one family in one run — including histogram
+  // machinery spanning _bucket/_sum/_count — are NOT interleaving.
+  const auto report = obs::validate_prometheus(
+      "# HELP app_a_total A\n"
+      "# TYPE app_a_total counter\n"
+      "app_a_total{k=\"1\"} 1\n"
+      "app_a_total{k=\"2\"} 3\n"
+      "# HELP app_h H\n"
+      "# TYPE app_h histogram\n"
+      "app_h_bucket{le=\"1\"} 2\n"
+      "app_h_bucket{le=\"+Inf\"} 3\n"
+      "app_h_sum 4\n"
+      "app_h_count 3\n"
+      "# HELP app_b_total B\n"
+      "# TYPE app_b_total counter\n"
+      "app_b_total 2\n");
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
 // ---- service exposition -----------------------------------------------------
 
 TEST(Metrics, ExpositionParsesCleanAndCountersAreMonotone) {
@@ -419,6 +471,71 @@ TEST(DebugEndpoint, ScrapesConcurrentWithQueries) {
   stop.store(true);
   scraper.join();
   EXPECT_GT(scrapes_ok.load(), 0);
+}
+
+// ---- cluster observability plane --------------------------------------------
+
+TEST(ClusterTelemetry, DistributedSolveFeedsClusterzTraceAndMetrics) {
+  const auto g = make_connected_graph(250, 25, 52);
+  service_config config = obs_config(1);
+  config.distributed.world = 2;
+  steiner_service svc(graph::csr_graph(g), config);
+  debug_endpoint endpoint(svc);
+  ASSERT_TRUE(endpoint.start());
+
+  // Before any distributed solve: the route answers with the empty document.
+  const std::string empty_doc =
+      obs::http_body(obs::http_get(endpoint.port(), "/clusterz"));
+  EXPECT_NE(empty_doc.find("\"world\":0"), std::string::npos);
+
+  const query_result result = svc.solve(make_query({3, 50, 100, 150}));
+  ASSERT_NE(result.trace, nullptr);
+
+  // The straggler digest landed in the trace summary...
+  const obs::trace_summary& summary = result.trace->summary();
+  EXPECT_EQ(summary.cluster_world, 2u);
+  EXPECT_GT(summary.cluster_supersteps, 0u);
+  EXPECT_GE(summary.cluster_critical_rank, 0);
+  EXPECT_GE(summary.cluster_max_compute_skew, 1.0);
+  EXPECT_GT(summary.cluster_comm_wait_fraction, 0.0);
+  EXPECT_LE(summary.cluster_comm_wait_fraction, 1.0);
+
+  // ...and the Chrome export carries one track per rank under the synthetic
+  // cluster process next to the service-side spans.
+  EXPECT_FALSE(result.trace->rank_slices().empty());
+  const std::string chrome = result.trace->to_chrome_json();
+  EXPECT_NE(chrome.find("\"name\":\"cluster\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\":\"rank 0\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\":\"rank 1\""), std::string::npos);
+  EXPECT_NE(chrome.find("rank_compute"), std::string::npos);
+
+  // /clusterz now serves the merged straggler report.
+  const std::string clusterz =
+      obs::http_body(obs::http_get(endpoint.port(), "/clusterz"));
+  EXPECT_NE(clusterz.find("\"world\":2"), std::string::npos);
+  EXPECT_NE(clusterz.find("\"straggler_report\":["), std::string::npos);
+  EXPECT_NE(clusterz.find("\"critical_rank\""), std::string::npos);
+
+  // /statusz has the cluster line; /metrics carries the new families and
+  // still parses clean.
+  const std::string statusz =
+      obs::http_body(obs::http_get(endpoint.port(), "/statusz"));
+  EXPECT_NE(statusz.find("cluster: telemetry_samples="), std::string::npos);
+  const std::string metrics =
+      obs::http_body(obs::http_get(endpoint.port(), "/metrics"));
+  EXPECT_TRUE(obs::validate_prometheus(metrics).ok());
+  EXPECT_GT(series_value(metrics, "dsteiner_cluster_telemetry_samples_total"),
+            0.0);
+  EXPECT_GT(series_value(metrics, "dsteiner_cluster_supersteps_total"), 0.0);
+  EXPECT_GE(series_value(metrics,
+                         "dsteiner_cluster_straggler_supersteps_total"),
+            0.0);
+
+  const auto snap = svc.snapshot();
+  EXPECT_EQ(snap.cluster_superstep_seconds.count,
+            snap.stats.cluster_telemetry_samples);
+  EXPECT_EQ(snap.cluster_comm_wait_seconds.count,
+            snap.stats.cluster_telemetry_samples);
 }
 
 // ---- executor priority aging ------------------------------------------------
